@@ -1,0 +1,77 @@
+"""Algorithm 1 convergence diagnostics.
+
+Not a paper table per se, but the paper's algorithm is the central
+artefact: this bench times a full Algorithm-1 run on the estimated
+curves and asserts the convergence behaviour its proof sketch promises
+(monotone loss descent, equalization at the fixed point, low attacker
+exploitability).
+"""
+
+import numpy as np
+
+from repro.core.algorithm1 import compute_optimal_defense
+from repro.core.equilibrium import attacker_best_response_value, defense_exploitability
+from repro.core.game import PoisoningGame
+from repro.core.mixed_strategy import equalization_residual
+from repro.core.payoff_estimation import estimate_payoff_curves
+from repro.experiments.reporting import ascii_series
+
+
+def test_algorithm1_convergence_paper_curves(benchmark):
+    """Convergence on the paper-calibrated curves, where the loss
+    surface has genuine curvature (both E and Γ active)."""
+    from repro.core.paper_curves import PAPER_N_POISON, paper_figure1_curves
+
+    curves = paper_figure1_curves()
+    result = benchmark.pedantic(
+        lambda: compute_optimal_defense(curves, n_radii=3,
+                                        n_poison=PAPER_N_POISON,
+                                        epsilon=1e-12, max_iter=2000,
+                                        initial_step=0.05),
+        rounds=1, iterations=1,
+    )
+    print()
+    trace = np.asarray(result.loss_trace)
+    print(ascii_series(np.arange(len(trace)), trace,
+                       x_label="iteration", y_label="defender loss"))
+    print(f"converged: {result.converged} after {result.n_iterations} iterations")
+
+    assert np.all(np.diff(trace) <= 1e-12)
+    assert result.converged
+    assert result.n_iterations > 3  # non-trivial descent
+    assert equalization_residual(result.defense, curves) < 1e-8
+
+
+def test_algorithm1_convergence(benchmark, figure1_sweep):
+    sweep = figure1_sweep
+    curves = estimate_payoff_curves(
+        sweep.percentiles, sweep.acc_clean, sweep.acc_attacked, sweep.n_poison
+    )
+
+    result = benchmark.pedantic(
+        lambda: compute_optimal_defense(curves, n_radii=3,
+                                        n_poison=sweep.n_poison,
+                                        epsilon=1e-10, max_iter=400),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    trace = np.asarray(result.loss_trace)
+    print(ascii_series(np.arange(len(trace)), trace,
+                       x_label="iteration", y_label="defender loss"))
+    print(f"converged: {result.converged} after {result.n_iterations} iterations")
+    print(f"final loss: {result.expected_loss:.6f}")
+
+    game = PoisoningGame(curves=curves, n_poison=sweep.n_poison)
+    br_value, br_p = attacker_best_response_value(game, result.defense)
+    exploit = defense_exploitability(game, result.defense)
+    print(f"attacker best response: placement {br_p:.3f}, value {br_value:.5f}")
+    print(f"exploitability: {exploit:.6f}")
+
+    # monotone descent
+    assert np.all(np.diff(trace) <= 1e-12)
+    assert result.converged
+    # the fixed point satisfies the Section-4.2 equalization condition
+    assert equalization_residual(result.defense, curves) < 1e-8
+    # the attacker gains little by deviating off the support
+    assert exploit <= 0.3 * abs(result.expected_loss) + 1e-9

@@ -1,0 +1,53 @@
+"""Certified trade-off curve — Figure 1 from first principles.
+
+The certified-defences machinery (related work [5] in the paper) upper
+bounds the damage any attacker confined inside the filter can force,
+*without simulating attacks*.  Sweeping the certificate across filter
+strengths regenerates the qualitative Figure-1 trade-off analytically:
+the certified attack contribution falls as the filter strengthens
+(``E`` decreasing), so the defender faces the same
+interior-optimum structure the empirical sweep measures.
+"""
+
+import numpy as np
+
+from repro.defenses.certified import certify_radius_defense
+from repro.experiments.reporting import ascii_table
+
+
+def test_certified_tradeoff_curve(benchmark, spambase_ctx):
+    ctx = spambase_ctx
+    # certify on a subsample for speed: the bound's shape is what matters
+    rng = np.random.default_rng(0)
+    idx = rng.permutation(ctx.n_train)[:800]
+    X, y = ctx.X_train[idx], ctx.y_train[idx]
+    percentiles = [0.0, 0.05, 0.15, 0.30, 0.50]
+
+    def run():
+        return {
+            p: certify_radius_defense(X, y, filter_percentile=p, eps=0.2,
+                                      n_iter=120)
+            for p in percentiles
+        }
+
+    certs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(ascii_table(
+        ["filter percentile", "certified loss", "clean loss",
+         "certified attack contribution"],
+        [
+            (f"{p:.0%}", f"{c.certified_loss:.4f}", f"{c.clean_loss:.4f}",
+             f"{c.attack_contribution:.4f}")
+            for p, c in certs.items()
+        ],
+        title="Certified radius-defence bound vs filter strength (eps = 20%)",
+    ))
+
+    contributions = [certs[p].attack_contribution for p in percentiles]
+    # the certified attack contribution decreases as the filter
+    # strengthens (the certificate's counterpart of E(p) decreasing)
+    assert contributions[-1] <= contributions[0] + 1e-6
+    # every bound sits above the clean loss
+    for c in certs.values():
+        assert c.certified_loss >= c.clean_loss - 1e-9

@@ -1,0 +1,90 @@
+"""Table 1 on the paper-calibrated curves — the algorithm-level check.
+
+The surrogate dataset's measured E/Γ differ quantitatively from the
+authors' (EXPERIMENTS.md), so this bench validates Algorithm 1 against
+the paper's **published outputs** directly: reconstruct the E/Γ curves
+the paper's Figure 1 and Table 1 imply
+(:mod:`repro.core.paper_curves`), run Algorithm 1, and compare its
+support radii / probabilities / accuracies with the published Table 1.
+
+Published Table 1:
+    n=2: radii {5.8 %, 15.7 %}, probabilities {51.2 %, 48.8 %}, acc 85.6 %
+    n=3: radii {5.8 %, 9.4 %, 16.3 %}, probabilities ≈ uniform, acc 86.1 %
+and "the accuracy of the ML model using mixed defense strategy is
+strictly higher than the accuracy of all pure defense strategies".
+"""
+
+import numpy as np
+
+from repro.core.algorithm1 import compute_optimal_defense
+from repro.core.paper_curves import (
+    PAPER_N_POISON,
+    PAPER_TABLE1_N2,
+    PAPER_TABLE1_N3,
+    paper_figure1_curves,
+)
+from repro.experiments.reporting import ascii_table
+
+CLEAN_BASELINE = 0.885  # the paper's unfiltered clean accuracy (Figure 1)
+
+
+def test_table1_on_paper_calibrated_curves(benchmark):
+    curves = paper_figure1_curves()
+
+    def run():
+        return {
+            n: compute_optimal_defense(curves, n, PAPER_N_POISON,
+                                       epsilon=1e-12, max_iter=2000,
+                                       initial_step=0.05)
+            for n in (2, 3)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ps = curves.grid(501)
+    pure_losses = PAPER_N_POISON * curves.E_vec(ps) + curves.gamma_vec(ps)
+    best_pure_loss = float(pure_losses.min())
+    best_pure_acc = CLEAN_BASELINE - best_pure_loss
+
+    print()
+    rows = []
+    for n, published in ((2, PAPER_TABLE1_N2), (3, PAPER_TABLE1_N3)):
+        res = results[n]
+        acc = CLEAN_BASELINE - res.expected_loss
+        rows.append((
+            f"n={n} (ours)",
+            "  ".join(f"{p:.1%}" for p in res.defense.percentiles),
+            "  ".join(f"{q:.1%}" for q in res.defense.probabilities),
+            f"{acc:.1%}",
+        ))
+        rows.append((
+            f"n={n} (paper)",
+            "  ".join(f"{p:.1%}" for p in published["percentiles"]),
+            "  ".join(f"{q:.1%}" for q in published["probabilities"]),
+            f"{published['accuracy']:.1%}",
+        ))
+    rows.append(("best pure (ours)", "-", "-", f"{best_pure_acc:.1%}"))
+    print(ascii_table(["strategy", "radii", "probabilities", "accuracy"], rows,
+                      title="Table 1 — Algorithm 1 on paper-calibrated curves"))
+
+    # -- shape assertions against the published table ---------------------
+    res2, res3 = results[2], results[3]
+    # support radii land in the paper's band (a few percent of the axis)
+    for ours, ref in zip(res2.defense.percentiles,
+                         PAPER_TABLE1_N2["percentiles"]):
+        assert abs(ours - ref) < 0.05
+    for ours, ref in zip(res3.defense.percentiles,
+                         PAPER_TABLE1_N3["percentiles"]):
+        assert abs(ours - ref) < 0.05
+    # n=2 probabilities near 50/50 (paper: 51.2/48.8)
+    assert abs(res2.defense.probabilities[0] - 0.512) < 0.08
+    # n=3 probabilities near uniform (paper: 1/3 each)
+    assert np.all(np.abs(res3.defense.probabilities - 1 / 3) < 0.09)
+    # mixed strictly beats every pure strategy; n=3 at least as good as n=2
+    assert res2.expected_loss < best_pure_loss
+    assert res3.expected_loss <= res2.expected_loss + 1e-9
+    # accuracies in the paper's ballpark (within ~2 accuracy points)
+    assert abs((CLEAN_BASELINE - res2.expected_loss)
+               - PAPER_TABLE1_N2["accuracy"]) < 0.025
+    assert abs((CLEAN_BASELINE - res3.expected_loss)
+               - PAPER_TABLE1_N3["accuracy"]) < 0.025

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the rows/series the paper reports (captured with ``-s``).  The
+timed portion is the interesting computation (sweep, Algorithm 1, LP);
+dataset construction is shared via session fixtures.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.payoff_sweep import run_pure_strategy_sweep
+from repro.experiments.runner import make_spambase_context
+
+# The percentile grid every experiment shares (the paper's Figure-1 axis).
+SWEEP_PERCENTILES = np.array([0.0, 0.01, 0.02, 0.03, 0.05, 0.075, 0.10,
+                              0.15, 0.20, 0.25, 0.30, 0.40, 0.50])
+
+
+@pytest.fixture(scope="session")
+def spambase_ctx():
+    """The paper's setting: full-size Spambase, 70/30 split, SVM victim."""
+    return make_spambase_context(seed=0)
+
+
+@pytest.fixture(scope="session")
+def figure1_sweep(spambase_ctx):
+    """The Figure-1 measurement, shared by the table/ablation benches."""
+    return run_pure_strategy_sweep(
+        spambase_ctx, percentiles=SWEEP_PERCENTILES,
+        poison_fraction=0.2, n_repeats=2,
+    )

@@ -1,0 +1,70 @@
+"""Attack gallery: how much damage does each poisoning attack do?
+
+Compares every attack in :mod:`repro.attacks` against the undefended
+and the filter-defended SVM on the Spambase surrogate, reporting
+accuracy and the filter's detection quality.  This is the motivating
+scenario of the paper's introduction: optimal placement beats naive
+contamination, and the filter's strength decides which attacks survive.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.attacks import (
+    BilevelGradientAttack,
+    FurthestPointAttack,
+    LabelFlipAttack,
+    OptimalBoundaryAttack,
+    RandomNoiseAttack,
+)
+from repro.experiments import evaluate_configuration, make_spambase_context
+from repro.experiments.reporting import ascii_table
+
+
+def main() -> None:
+    ctx = make_spambase_context(seed=0, n_samples=2600)
+    clean = evaluate_configuration(ctx).accuracy
+    print(f"clean accuracy (no attack, no filter): {clean:.4f}\n")
+
+    attacks = [
+        ("optimal boundary @ 0%", ctx.boundary_attack(0.0)),
+        ("optimal boundary @ 10%", ctx.boundary_attack(0.10)),
+        ("bilevel gradient @ 10%", BilevelGradientAttack(
+            0.10, n_outer=6, surrogate=ctx.attack_surrogate())),
+        ("label flip (random)", LabelFlipAttack("random")),
+        ("label flip (far)", LabelFlipAttack("far_from_own_class")),
+        ("random noise @ 0%", RandomNoiseAttack(0.0)),
+        ("furthest point", FurthestPointAttack(0.1)),
+    ]
+
+    rows = []
+    for name, attack in attacks:
+        undefended = evaluate_configuration(
+            ctx, attack=attack, poison_fraction=0.2, seed=1
+        )
+        defended = evaluate_configuration(
+            ctx, filter_percentile=0.10, attack=attack,
+            poison_fraction=0.2, seed=1,
+        )
+        report = defended.report
+        rows.append((
+            name,
+            f"{undefended.accuracy:.4f}",
+            f"{defended.accuracy:.4f}",
+            f"{report.poison_recall:.0%}" if report else "-",
+            f"{report.genuine_loss:.0%}" if report else "-",
+        ))
+
+    print(ascii_table(
+        ["attack", "acc (no filter)", "acc (10% filter)",
+         "poison caught", "genuine lost"],
+        rows,
+        title="Attack gallery — 20% contamination, Spambase surrogate",
+    ))
+    print("\nReading: the optimal boundary attack at 0% devastates the")
+    print("undefended model but is fully caught by the 10% filter; placed")
+    print("at 10% it slips just inside the same filter — the chase that")
+    print("motivates the mixed-strategy defence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Mixed Strategy Game Model Against Data
+Poisoning Attacks" (Ou & Samavi, DSN 2019; arXiv:1906.02872).
+
+Top-level convenience re-exports cover the main workflow:
+
+>>> from repro import (make_spambase_context, run_pure_strategy_sweep,
+...                    estimate_payoff_curves, compute_optimal_defense)
+>>> ctx = make_spambase_context(seed=0, n_samples=1500)
+>>> sweep = run_pure_strategy_sweep(ctx)
+>>> curves = estimate_payoff_curves(sweep.percentiles, sweep.acc_clean,
+...                                 sweep.acc_attacked, sweep.n_poison)
+>>> result = compute_optimal_defense(curves, n_radii=3,
+...                                  n_poison=sweep.n_poison)
+>>> result.defense.percentiles  # the mixed NE support  # doctest: +SKIP
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: game model, best responses, mixed NE,
+    Algorithm 1, payoff-curve estimation, equilibrium checks.
+``repro.gametheory``
+    Generic zero-sum solvers (LP, fictitious play, regret matching,
+    support enumeration) used for independent cross-checks.
+``repro.ml``
+    From-scratch ML substrate (hinge-loss SVM et al.).
+``repro.data``
+    Spambase (real or surrogate), synthetic tasks, data geometry.
+``repro.attacks`` / ``repro.defenses``
+    Poisoning attacks and sanitisation defences.
+``repro.experiments``
+    Seeded harnesses behind every figure and table.
+"""
+
+from repro.core import (
+    PayoffCurves,
+    PoisoningGame,
+    MixedDefense,
+    compute_optimal_defense,
+    estimate_payoff_curves,
+    find_pure_equilibrium,
+)
+from repro.experiments import (
+    make_spambase_context,
+    make_synthetic_context,
+    run_pure_strategy_sweep,
+    run_table1_experiment,
+    evaluate_configuration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PayoffCurves",
+    "PoisoningGame",
+    "MixedDefense",
+    "compute_optimal_defense",
+    "estimate_payoff_curves",
+    "find_pure_equilibrium",
+    "make_spambase_context",
+    "make_synthetic_context",
+    "run_pure_strategy_sweep",
+    "run_table1_experiment",
+    "evaluate_configuration",
+    "__version__",
+]

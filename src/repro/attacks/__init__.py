@@ -1,0 +1,37 @@
+"""Data-poisoning attacks.
+
+The paper's threat model: the attacker controls a fraction of the
+training set and places poisoning points *optimally within a chosen
+radius* of the genuine-data centroid.  :class:`OptimalBoundaryAttack`
+implements that optimal placement; the other attacks are the standard
+baselines (label flipping, random noise, furthest-point duplication)
+plus a gradient-refinement attack approximating the bilevel
+formulation of Muñoz-González et al. (2017).
+
+All attacks share the :class:`PoisoningAttack` interface: they *add*
+points — ``generate`` returns only the malicious set, and
+:func:`poison_dataset` splices it into a training set.
+"""
+
+from repro.attacks.base import PoisoningAttack, poison_dataset, attack_budget
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack
+from repro.attacks.label_flip import LabelFlipAttack
+from repro.attacks.random_noise import RandomNoiseAttack
+from repro.attacks.furthest_point import FurthestPointAttack
+from repro.attacks.mixed_attack import AttackerMixedStrategy, RadiusAllocation
+from repro.attacks.bilevel import BilevelGradientAttack
+from repro.attacks.targeted import TargetedClassAttack
+
+__all__ = [
+    "PoisoningAttack",
+    "poison_dataset",
+    "attack_budget",
+    "OptimalBoundaryAttack",
+    "LabelFlipAttack",
+    "RandomNoiseAttack",
+    "FurthestPointAttack",
+    "AttackerMixedStrategy",
+    "RadiusAllocation",
+    "BilevelGradientAttack",
+    "TargetedClassAttack",
+]

@@ -1,0 +1,94 @@
+"""Attack interface and shared helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.ml.base import signed_labels
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int, check_X_y
+
+__all__ = ["PoisoningAttack", "poison_dataset", "attack_budget"]
+
+
+class PoisoningAttack(ABC):
+    """Abstract poisoning attack.
+
+    Subclasses implement :meth:`generate`, producing ``n_poison``
+    malicious points given (read-only) knowledge of the clean training
+    set.  The threat model grants the attacker full knowledge of the
+    training distribution (the paper cites transferability results to
+    justify this even when the literal training set is private).
+    """
+
+    @abstractmethod
+    def generate(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_poison: int,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X_poison, y_poison)`` with exactly ``n_poison`` rows."""
+
+    def name(self) -> str:
+        """Human-readable attack name for reports."""
+        return type(self).__name__
+
+
+def attack_budget(n_train: int, fraction: float) -> int:
+    """Number of poisoning points for a contamination ``fraction``.
+
+    The paper assumes "the attacker can manipulate 20 % of the training
+    data", meaning poison makes up ``fraction`` of the *final* training
+    set: ``n_poison = fraction * (n_train + n_poison)``, i.e.
+    ``n_poison = n_train * fraction / (1 - fraction)``.
+    """
+    check_positive_int(n_train, name="n_train")
+    fraction = check_fraction(fraction, name="fraction", inclusive_high=False)
+    return int(round(n_train * fraction / (1.0 - fraction)))
+
+
+def poison_dataset(
+    X: np.ndarray,
+    y: np.ndarray,
+    attack: PoisoningAttack,
+    *,
+    fraction: float = 0.2,
+    seed: int | np.random.Generator | None = None,
+    shuffle: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inject an attack into ``(X, y)``.
+
+    Returns ``(X_mix, y_mix, is_poison)`` where ``is_poison`` is a
+    boolean mask over rows of the mixed set — ground truth that the
+    defender never sees but evaluation code uses for diagnostics.
+    """
+    X, y = check_X_y(X, y)
+    # Work in signed labels throughout: attacks emit {-1, +1} while
+    # datasets commonly use {0, 1}; mixing the two would corrupt y.
+    y = signed_labels(y)
+    rng = as_generator(seed)
+    n_poison = attack_budget(X.shape[0], fraction)
+    if n_poison == 0:
+        return X, y, np.zeros(X.shape[0], dtype=bool)
+    X_p, y_p = attack.generate(X, y, n_poison, seed=rng)
+    X_p = np.asarray(X_p, dtype=float)
+    y_p = signed_labels(np.asarray(y_p, dtype=int))
+    if X_p.shape != (n_poison, X.shape[1]) or y_p.shape != (n_poison,):
+        raise ValueError(
+            f"{attack.name()} returned shapes {X_p.shape}/{y_p.shape}, "
+            f"expected ({n_poison}, {X.shape[1]})/({n_poison},)"
+        )
+    X_mix = np.vstack([X, X_p])
+    y_mix = np.concatenate([y, y_p])
+    is_poison = np.concatenate(
+        [np.zeros(X.shape[0], dtype=bool), np.ones(n_poison, dtype=bool)]
+    )
+    if shuffle:
+        perm = rng.permutation(X_mix.shape[0])
+        X_mix, y_mix, is_poison = X_mix[perm], y_mix[perm], is_poison[perm]
+    return X_mix, y_mix, is_poison

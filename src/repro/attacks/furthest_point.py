@@ -1,0 +1,52 @@
+"""Furthest-point duplication attack.
+
+Duplicates the genuine points farthest from the centroid with flipped
+labels.  Unlike :class:`OptimalBoundaryAttack` this attack stays *on
+the data manifold* (every poisoning point is a real email's feature
+vector), which makes it a stress test for detectors that key on
+unrealistic feature combinations rather than distance alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import PoisoningAttack
+from repro.data.geometry import compute_centroid, distances_to_centroid
+from repro.ml.base import signed_labels
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_X_y
+
+__all__ = ["FurthestPointAttack"]
+
+
+class FurthestPointAttack(PoisoningAttack):
+    """Flip labels of copies of the most outlying genuine points.
+
+    Parameters
+    ----------
+    max_percentile:
+        Only points farther than this removal-percentile radius are
+        candidates, mirroring the radius budget of the optimal attack
+        (``0.0`` means only the single farthest shell, so the default
+        ``0.1`` allows the outer 10 %).
+    centroid_method:
+        Centroid estimator.
+    """
+
+    def __init__(self, max_percentile: float = 0.1, *, centroid_method: str = "median"):
+        self.max_percentile = check_fraction(max_percentile, name="max_percentile")
+        self.centroid_method = centroid_method
+
+    def generate(self, X, y, n_poison, *, seed=None):
+        X, y = check_X_y(X, y)
+        rng = as_generator(seed)
+        centroid = compute_centroid(X, method=self.centroid_method)
+        distances = distances_to_centroid(X, centroid)
+        order = np.argsort(-distances)  # farthest first
+        n_candidates = max(1, int(np.ceil(self.max_percentile * X.shape[0])))
+        candidates = order[:n_candidates]
+        idx = rng.choice(candidates, size=n_poison, replace=n_poison > n_candidates)
+        X_poison = X[idx].copy()
+        y_poison = -signed_labels(y)[idx]
+        return X_poison, y_poison

@@ -1,0 +1,66 @@
+"""Label-flipping attack baseline.
+
+Copies genuine points and flips their labels.  The ``strategy``
+parameter selects which points to copy: random points, or the points
+farthest from the opposite class (the classic "adversarial label flip"
+heuristic, harder for loss-based defences to spot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import PoisoningAttack
+from repro.ml.base import signed_labels
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_X_y
+
+__all__ = ["LabelFlipAttack"]
+
+_STRATEGIES = ("random", "far_from_own_class", "near_boundary")
+
+
+class LabelFlipAttack(PoisoningAttack):
+    """Inject copies of genuine points with inverted labels.
+
+    Parameters
+    ----------
+    strategy:
+        ``"random"`` — uniform random victims.
+        ``"far_from_own_class"`` — victims farthest from their own class
+        mean (flipping them plants confident wrong labels deep in the
+        other class's territory).
+        ``"near_boundary"`` — victims closest to the class-means midplane
+        (subtle flips that are hard to detect).
+    """
+
+    def __init__(self, strategy: str = "random"):
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+        self.strategy = strategy
+
+    def generate(self, X, y, n_poison, *, seed=None):
+        X, y = check_X_y(X, y)
+        rng = as_generator(seed)
+        y_signed = signed_labels(y)
+        n = X.shape[0]
+
+        if self.strategy == "random":
+            idx = rng.choice(n, size=n_poison, replace=n_poison > n)
+        else:
+            mean_pos = X[y_signed == 1].mean(axis=0)
+            mean_neg = X[y_signed == -1].mean(axis=0)
+            own_mean = np.where((y_signed == 1)[:, None], mean_pos, mean_neg)
+            dist_own = np.linalg.norm(X - own_mean, axis=1)
+            if self.strategy == "far_from_own_class":
+                order = np.argsort(-dist_own)
+            else:  # near_boundary
+                other_mean = np.where((y_signed == 1)[:, None], mean_neg, mean_pos)
+                dist_other = np.linalg.norm(X - other_mean, axis=1)
+                order = np.argsort(np.abs(dist_own - dist_other))
+            reps = int(np.ceil(n_poison / n))
+            idx = np.tile(order, reps)[:n_poison]
+
+        X_poison = X[idx].copy()
+        y_poison = -y_signed[idx]
+        return X_poison, y_poison

@@ -1,0 +1,160 @@
+"""Attacker strategies over radii: pure allocations and mixed strategies.
+
+The attacker's pure strategy in the game is an *allocation*
+``S_a = {(p_1, n_1), ..., (p_m, n_m)}`` — how many of the ``N``
+poisoning points to place at each percentile radius.  A *mixed* attack
+strategy is a distribution over allocations; at the defender's
+equilibrium every allocation supported on the defence's radii earns
+the same payoff, so the attacker may pick any of them (Section 4.2 of
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import PoisoningAttack
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability_vector, check_X_y
+
+__all__ = ["RadiusAllocation", "AttackerMixedStrategy"]
+
+
+@dataclass(frozen=True)
+class RadiusAllocation:
+    """A pure attacker strategy: counts of points at each percentile.
+
+    ``percentiles[i]`` receives ``counts[i]`` poisoning points; the
+    total is the attack budget ``N``.
+    """
+
+    percentiles: tuple
+    counts: tuple
+
+    def __post_init__(self):
+        ps = tuple(float(p) for p in self.percentiles)
+        cs = tuple(int(c) for c in self.counts)
+        if len(ps) != len(cs) or not ps:
+            raise ValueError("percentiles and counts must be equal-length and non-empty")
+        if any(not 0.0 <= p <= 1.0 for p in ps):
+            raise ValueError(f"percentiles must lie in [0, 1], got {ps}")
+        if any(c < 0 for c in cs) or sum(cs) == 0:
+            raise ValueError(f"counts must be non-negative with positive total, got {cs}")
+        object.__setattr__(self, "percentiles", ps)
+        object.__setattr__(self, "counts", cs)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @staticmethod
+    def all_at(percentile: float, n: int) -> "RadiusAllocation":
+        """The paper's canonical optimal response: all ``n`` points at one radius."""
+        return RadiusAllocation(percentiles=(percentile,), counts=(n,))
+
+    @staticmethod
+    def spread(percentiles, n: int, weights=None) -> "RadiusAllocation":
+        """Split ``n`` points across ``percentiles`` (uniformly by default)."""
+        ps = [float(p) for p in percentiles]
+        if weights is None:
+            weights = np.full(len(ps), 1.0 / len(ps))
+        weights = check_probability_vector(weights)
+        counts = np.floor(weights * n).astype(int)
+        # Distribute the remainder to the largest fractional parts.
+        remainder = n - counts.sum()
+        fracs = weights * n - counts
+        for i in np.argsort(-fracs)[:remainder]:
+            counts[i] += 1
+        keep = counts > 0
+        return RadiusAllocation(
+            percentiles=tuple(np.asarray(ps)[keep]), counts=tuple(counts[keep])
+        )
+
+
+class MixedAllocationAttack(PoisoningAttack):
+    """Executes a :class:`RadiusAllocation` as a concrete attack.
+
+    Delegates each radius group to an :class:`OptimalBoundaryAttack`
+    targeting that percentile.
+    """
+
+    def __init__(self, allocation: RadiusAllocation, **attack_kwargs):
+        if not isinstance(allocation, RadiusAllocation):
+            raise TypeError("allocation must be a RadiusAllocation")
+        self.allocation = allocation
+        self.attack_kwargs = attack_kwargs
+
+    def generate(self, X, y, n_poison, *, seed=None):
+        X, y = check_X_y(X, y)
+        rng = as_generator(seed)
+        if n_poison != self.allocation.total:
+            # Rescale the allocation to the requested budget.
+            weights = np.asarray(self.allocation.counts, dtype=float)
+            weights /= weights.sum()
+            allocation = RadiusAllocation.spread(self.allocation.percentiles,
+                                                 n_poison, weights)
+        else:
+            allocation = self.allocation
+        parts_X, parts_y = [], []
+        for p, count in zip(allocation.percentiles, allocation.counts):
+            sub = OptimalBoundaryAttack(target_percentile=p, **self.attack_kwargs)
+            Xp, yp = sub.generate(X, y, count, seed=rng)
+            parts_X.append(Xp)
+            parts_y.append(yp)
+        return np.vstack(parts_X), np.concatenate(parts_y)
+
+
+@dataclass
+class AttackerMixedStrategy:
+    """A distribution over pure allocations.
+
+    At the mixed-defence equilibrium the attacker is indifferent over
+    allocations supported on the defence's radii; this class lets
+    experiments sample any of them and verify that indifference
+    empirically.
+    """
+
+    allocations: list
+    probabilities: np.ndarray
+
+    def __post_init__(self):
+        if not self.allocations or not all(
+            isinstance(a, RadiusAllocation) for a in self.allocations
+        ):
+            raise ValueError("allocations must be a non-empty list of RadiusAllocation")
+        self.probabilities = check_probability_vector(self.probabilities)
+        if len(self.allocations) != len(self.probabilities):
+            raise ValueError(
+                f"{len(self.allocations)} allocations but "
+                f"{len(self.probabilities)} probabilities"
+            )
+
+    def sample(self, seed: int | np.random.Generator | None = None) -> RadiusAllocation:
+        """Draw one pure allocation."""
+        rng = as_generator(seed)
+        idx = rng.choice(len(self.allocations), p=self.probabilities)
+        return self.allocations[idx]
+
+    def as_attack(self, seed: int | np.random.Generator | None = None,
+                  **attack_kwargs) -> MixedAllocationAttack:
+        """Sample an allocation and wrap it as an executable attack."""
+        return MixedAllocationAttack(self.sample(seed), **attack_kwargs)
+
+    @staticmethod
+    def indifferent_over(percentiles, n: int) -> "AttackerMixedStrategy":
+        """Uniform mixture of the pure 'all points at one radius' allocations.
+
+        This is the attacker side of the equilibrium described in
+        Section 4.2: with the equalizing defence in play, each of these
+        allocations has identical expected payoff.
+        """
+        allocations = [RadiusAllocation.all_at(float(p), n) for p in percentiles]
+        probs = np.full(len(allocations), 1.0 / len(allocations))
+        return AttackerMixedStrategy(allocations=allocations, probabilities=probs)
+
+
+# Re-export for the package namespace (MixedAllocationAttack is public too).
+__all__.append("MixedAllocationAttack")

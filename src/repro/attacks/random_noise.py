@@ -1,0 +1,56 @@
+"""Random-noise poisoning baseline.
+
+Uniformly random directions at a chosen radius with random labels — a
+weak attack that calibrates how much of the optimal attack's damage
+comes from *placement* rather than sheer contamination volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import PoisoningAttack
+from repro.data.geometry import compute_centroid, distances_to_centroid, radius_for_percentile
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_X_y
+
+__all__ = ["RandomNoiseAttack"]
+
+
+class RandomNoiseAttack(PoisoningAttack):
+    """Random points on (or within) a radius shell, random labels.
+
+    Parameters
+    ----------
+    target_percentile:
+        Same percentile axis as :class:`OptimalBoundaryAttack`.
+    fill:
+        If true, radii are sampled uniformly in ``[0, r]`` instead of
+        on the shell at ``r``.
+    centroid_method:
+        Centroid estimator for the placement origin.
+    """
+
+    def __init__(self, target_percentile: float = 0.0, *, fill: bool = False,
+                 centroid_method: str = "median"):
+        self.target_percentile = check_fraction(target_percentile,
+                                                name="target_percentile")
+        self.fill = bool(fill)
+        self.centroid_method = centroid_method
+
+    def generate(self, X, y, n_poison, *, seed=None):
+        X, y = check_X_y(X, y)
+        rng = as_generator(seed)
+        centroid = compute_centroid(X, method=self.centroid_method)
+        distances = distances_to_centroid(X, centroid)
+        radius = radius_for_percentile(distances, self.target_percentile)
+
+        directions = rng.normal(size=(n_poison, X.shape[1]))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        if self.fill:
+            radii = rng.uniform(0.0, radius, size=n_poison)
+        else:
+            radii = np.full(n_poison, radius * (1.0 - 1e-3))
+        X_poison = centroid.location[None, :] + radii[:, None] * directions
+        y_poison = rng.choice([-1, 1], size=n_poison)
+        return X_poison, y_poison

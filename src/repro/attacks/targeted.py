@@ -1,0 +1,106 @@
+"""Targeted (integrity) poisoning: subvert one class's predictions.
+
+The paper's threat model mentions attackers who "degrade the model's
+performance **or subvert the model outcome**".  The availability
+attacks in this package do the former; this one does the latter: it
+pushes the decision boundary so that points of a chosen *victim class*
+are misclassified, while overall accuracy on the other class is left as
+intact as possible (stealthier against accuracy monitoring).
+
+Mechanism: all poisoning points carry the victim label's *opposite*
+and are placed (within the radius budget) on the victim side of the
+surrogate boundary, dragging it across the victim class's territory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import PoisoningAttack
+from repro.data.geometry import compute_centroid, distances_to_centroid, \
+    radius_for_percentile
+from repro.ml.base import clone_estimator, signed_labels
+from repro.ml.ridge import RidgeClassifier
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_X_y
+
+__all__ = ["TargetedClassAttack"]
+
+
+class TargetedClassAttack(PoisoningAttack):
+    """Flip the model's behaviour on one class.
+
+    Parameters
+    ----------
+    victim_label:
+        The class whose predictions the attacker wants flipped
+        (``+1`` or ``-1``; ``0`` is treated as ``-1``).
+    target_percentile:
+        Radius budget on the percentile axis (as in the other attacks).
+    surrogate:
+        Learner used to find the victim side of the boundary.
+    centroid_method:
+        Centroid estimator for the placement sphere.
+    spread:
+        Standard deviation of the placement cloud relative to the
+        placement radius (a cloud, not a point mass, resists trivial
+        duplicate-detection).
+    """
+
+    def __init__(self, victim_label: int = 1, *, target_percentile: float = 0.05,
+                 surrogate=None, centroid_method: str = "median",
+                 spread: float = 0.1):
+        self.victim_label = 1 if victim_label > 0 else -1
+        self.target_percentile = check_fraction(target_percentile,
+                                                name="target_percentile")
+        self.surrogate = surrogate if surrogate is not None else RidgeClassifier(reg=1e-2)
+        self.centroid_method = centroid_method
+        if spread < 0:
+            raise ValueError(f"spread must be non-negative, got {spread}")
+        self.spread = float(spread)
+
+    def generate(self, X, y, n_poison, *, seed=None):
+        X, y = check_X_y(X, y)
+        rng = as_generator(seed)
+        y_signed = signed_labels(y)
+        centroid = compute_centroid(X, method=self.centroid_method)
+        radius = (1.0 - 1e-3) * radius_for_percentile(
+            distances_to_centroid(X, centroid), self.target_percentile
+        )
+
+        model = clone_estimator(self.surrogate).fit(X, y)
+        w = np.asarray(model.coef_, dtype=float)
+        norm = np.linalg.norm(w)
+        if norm == 0.0:
+            w = rng.normal(size=X.shape[1])
+            norm = np.linalg.norm(w)
+        w_unit = w / norm
+
+        # The victim class's side of the boundary: +w for label +1.
+        victim_direction = self.victim_label * w_unit
+        # Poison labels are the opposite of the victim class, planted on
+        # the victim's side: the learner is taught that victim territory
+        # belongs to the other class.
+        labels = np.full(n_poison, -self.victim_label, dtype=int)
+
+        base = centroid.location + radius * victim_direction
+        cloud = rng.normal(0.0, self.spread * radius, size=(n_poison, X.shape[1]))
+        X_poison = base[None, :] + cloud
+        # Project back inside the radius budget.
+        offsets = X_poison - centroid.location
+        norms = np.linalg.norm(offsets, axis=1)
+        outside = norms > radius
+        if np.any(outside):
+            offsets[outside] *= (radius / norms[outside])[:, None]
+            X_poison = centroid.location + offsets
+        return X_poison, labels
+
+    def victim_recall(self, model, X_test, y_test) -> float:
+        """Recall of the victim class under ``model`` (the attack's target)."""
+        X_test, y_test = check_X_y(X_test, y_test)
+        y_signed = signed_labels(y_test)
+        members = y_signed == self.victim_label
+        if not members.any():
+            raise ValueError(f"no test points with victim label {self.victim_label}")
+        preds = model.predict(X_test[members])
+        return float(np.mean(preds == self.victim_label))

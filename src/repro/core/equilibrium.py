@@ -1,0 +1,135 @@
+"""Equilibrium quality metrics and the exact LP cross-check.
+
+Algorithm 1 is a local gradient method on a restricted (fixed support
+size, equalized) strategy family.  Two independent checks validate its
+output:
+
+* :func:`defense_exploitability` — how much more than the equalized
+  value an unconstrained attacker can extract against the returned
+  strategy (≈ 0 for a true equilibrium strategy);
+* :func:`cross_check_with_lp` — solve a fine discretisation of the
+  game *exactly* with the zero-sum LP from
+  :mod:`repro.gametheory.lp_solver` and compare game values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.game import PoisoningGame
+from repro.core.mixed_strategy import MixedDefense
+from repro.gametheory.continuous import DiscretizedZeroSumGame
+from repro.gametheory.lp_solver import LPSolution
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "attacker_best_response_value",
+    "defense_exploitability",
+    "cross_check_with_lp",
+    "EquilibriumCrossCheck",
+]
+
+
+def attacker_best_response_value(
+    game: PoisoningGame, defense: MixedDefense, *, n_grid: int = 2001
+) -> tuple[float, float]:
+    """Best per-point placement against a mixed defence.
+
+    Scans the percentile grid (including the support points themselves,
+    where the survival indicator steps) for the placement maximising
+    ``E(p) * survival(p)``.  Returns ``(total_value, best_percentile)``
+    with ``total_value = N * max_p E(p) * survival(p)``.
+    """
+    check_positive_int(n_grid, name="n_grid")
+    candidates = np.unique(np.concatenate([
+        game.curves.grid(n_grid),
+        defense.percentiles,  # survival steps exactly here
+    ]))
+    values = np.array([
+        defense.attacker_value_at(float(p), game.curves) for p in candidates
+    ])
+    best = int(np.argmax(values))
+    return game.n_poison * float(values[best]), float(candidates[best])
+
+
+def defense_exploitability(
+    game: PoisoningGame, defense: MixedDefense, *, n_grid: int = 2001
+) -> float:
+    """Gap between the attacker's best response and the equalized value.
+
+    For an equalized strategy the supported placements all yield
+    ``E(p_innermost)`` per point; if some *other* placement yields
+    more, the strategy is exploitable by that amount (scaled by ``N``).
+    Non-negative; ≈ 0 at equilibrium.
+    """
+    br_value, _ = attacker_best_response_value(game, defense, n_grid=n_grid)
+    equalized = game.n_poison * defense.equalized_value(game.curves)
+    return max(0.0, br_value - equalized)
+
+
+@dataclass(frozen=True)
+class EquilibriumCrossCheck:
+    """Comparison of Algorithm 1's solution against the exact LP.
+
+    Attributes
+    ----------
+    lp_solution:
+        Exact solution of the discretised zero-sum game.
+    lp_value:
+        Its game value (defender's expected loss at the discretised NE).
+    algorithm1_loss:
+        The loss Algorithm 1 reported for its strategy.
+    value_gap:
+        ``algorithm1_loss - lp_value`` — how far the restricted-family
+        local optimum is from the (discretised) game value.  Small and
+        non-negative (up to discretisation error) when Algorithm 1 is
+        working.
+    lp_defense_support:
+        Defender grid percentiles receiving > 1 % probability in the LP
+        solution, for qualitative comparison with Algorithm 1's support.
+    """
+
+    lp_solution: LPSolution
+    lp_value: float
+    algorithm1_loss: float
+    value_gap: float
+    lp_defense_support: np.ndarray
+
+
+def cross_check_with_lp(
+    game: PoisoningGame,
+    algorithm1_loss: float,
+    *,
+    n_grid: int = 101,
+    support_threshold: float = 0.01,
+) -> EquilibriumCrossCheck:
+    """Solve the discretised poisoning game exactly and compare values.
+
+    The attacker's pure strategies are restricted to single-radius
+    allocations ("all N at p"), which is payoff-sufficient: against any
+    defender mix, *some* single radius maximises per-point value, so
+    splitting the budget cannot beat the best single placement.
+    """
+    check_positive_int(n_grid, name="n_grid")
+
+    def payoff(p_attack: float, p_defense: float) -> float:
+        return game.payoff(game.all_at(float(np.clip(p_attack, 0.0, 1.0))),
+                           float(np.clip(p_defense, 0.0, 1.0)))
+
+    continuous = DiscretizedZeroSumGame(
+        payoff=payoff,
+        row_interval=(0.0, game.curves.p_max),
+        col_interval=(0.0, game.curves.p_max),
+    )
+    solution, matrix = continuous.solve(n_grid, n_grid)
+    defender_grid = np.asarray(matrix.col_labels, dtype=float)
+    support = defender_grid[solution.col_strategy > support_threshold]
+    return EquilibriumCrossCheck(
+        lp_solution=solution,
+        lp_value=solution.value,
+        algorithm1_loss=float(algorithm1_loss),
+        value_gap=float(algorithm1_loss - solution.value),
+        lp_defense_support=support,
+    )

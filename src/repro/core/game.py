@@ -1,0 +1,182 @@
+"""The poisoning attack/defence zero-sum game (Section 3 of the paper).
+
+Conventions
+-----------
+All strategies live on the **percentile axis** ``p ∈ [0, 1]``: the
+fraction of genuine training points *farther from the centroid* than
+the radius in question (equivalently, the fraction a filter at that
+radius removes).  ``p = 0`` is the data boundary ``B`` (weakest filter:
+nothing removed; most exposed attack placement), increasing ``p`` moves
+toward the centroid.  The geometric radius is strictly decreasing in
+``p``, so:
+
+* a poisoning point placed at percentile ``p_a`` **survives** a filter
+  at percentile ``p_d`` iff its radius is inside the filter radius,
+  i.e. iff ``p_a >= p_d``;
+* the per-point damage curve ``E`` is **non-increasing** in ``p``
+  (the paper's "the greater r_i is, the higher the payoff");
+* the collateral-cost curve ``Γ`` is **non-decreasing** in ``p``
+  (the paper's "the smaller θ_d is, the higher the cost").
+
+The payoff (attacker's gain = defender's loss) of pure strategies
+``S_a = {(p_i, n_i)}`` and ``θ_d ~ p_d`` is
+
+    U(S_a, p_d) = Σ_{p_i >= p_d} n_i · E(p_i)  +  Γ(p_d)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.attacks.mixed_attack import RadiusAllocation
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["PayoffCurves", "PoisoningGame"]
+
+
+@dataclass
+class PayoffCurves:
+    """The game's primitive curves ``E(p)`` and ``Γ(p)``.
+
+    Parameters
+    ----------
+    E:
+        Per-point attacker payoff at percentile ``p`` (accuracy-damage
+        units).  Must be non-increasing on the domain; may cross zero —
+        the crossing is the paper's ``Ta`` threshold.
+    gamma:
+        Defender's collateral cost of filtering at percentile ``p``.
+        Must be non-decreasing with ``gamma(0) == 0`` (no filter, no
+        cost).
+    p_max:
+        Upper end of the modelled percentile domain (filters stronger
+        than this are never considered; the paper sweeps up to ~50 %).
+    """
+
+    E: Callable[[float], float]
+    gamma: Callable[[float], float]
+    p_max: float = 0.5
+
+    def __post_init__(self):
+        self.p_max = check_fraction(self.p_max, name="p_max", inclusive_low=False)
+
+    def E_vec(self, ps) -> np.ndarray:
+        """Vectorised ``E``."""
+        return np.array([float(self.E(float(p))) for p in np.atleast_1d(np.asarray(ps, float))])
+
+    def gamma_vec(self, ps) -> np.ndarray:
+        """Vectorised ``Γ``."""
+        return np.array([float(self.gamma(float(p))) for p in np.atleast_1d(np.asarray(ps, float))])
+
+    def grid(self, n: int = 201) -> np.ndarray:
+        """Uniform percentile grid over the domain ``[0, p_max]``."""
+        check_positive_int(n, name="n")
+        return np.linspace(0.0, self.p_max, n)
+
+    def validate_shape(self, *, n_grid: int = 201, tol: float = 1e-9) -> None:
+        """Raise if ``E`` is not non-increasing or ``Γ`` not non-decreasing."""
+        ps = self.grid(n_grid)
+        E_vals = self.E_vec(ps)
+        g_vals = self.gamma_vec(ps)
+        if np.any(np.diff(E_vals) > tol):
+            worst = float(np.diff(E_vals).max())
+            raise ValueError(f"E must be non-increasing in p; max increase {worst}")
+        if np.any(np.diff(g_vals) < -tol):
+            worst = float(np.diff(g_vals).min())
+            raise ValueError(f"gamma must be non-decreasing in p; max decrease {worst}")
+        if abs(float(self.gamma(0.0))) > 1e-6:
+            raise ValueError(f"gamma(0) must be 0 (no filter, no cost), got {self.gamma(0.0)}")
+
+
+@dataclass
+class PoisoningGame:
+    """The two-player zero-sum poisoning game.
+
+    Parameters
+    ----------
+    curves:
+        The payoff primitives ``E`` and ``Γ``.
+    n_poison:
+        The attacker's budget ``N`` (number of injected points).
+    """
+
+    curves: PayoffCurves
+    n_poison: int = 100
+    _history: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self.n_poison = check_positive_int(self.n_poison, name="n_poison")
+
+    # -- survival rule -----------------------------------------------------
+
+    @staticmethod
+    def survives(p_attack: float, p_defense: float) -> bool:
+        """A point at percentile ``p_attack`` survives a filter at ``p_defense``.
+
+        Survival means the point's radius is within the filter radius;
+        on the percentile axis that is ``p_attack >= p_defense`` (ties
+        survive: a point exactly on the filter sphere is kept, matching
+        the paper's ``θ_d >= r_i``).
+        """
+        return p_attack >= p_defense
+
+    # -- payoffs -----------------------------------------------------------
+
+    def payoff(self, allocation: RadiusAllocation, p_defense: float) -> float:
+        """``U(S_a, θ_d)`` — attacker's payoff / defender's loss."""
+        p_defense = check_fraction(p_defense, name="p_defense")
+        surviving = sum(
+            n_i * float(self.curves.E(p_i))
+            for p_i, n_i in zip(allocation.percentiles, allocation.counts)
+            if self.survives(p_i, p_defense)
+        )
+        return surviving + float(self.curves.gamma(p_defense))
+
+    def attacker_payoff(self, allocation: RadiusAllocation, p_defense: float) -> float:
+        """Alias for :meth:`payoff` (the attacker maximises it)."""
+        return self.payoff(allocation, p_defense)
+
+    def defender_payoff(self, allocation: RadiusAllocation, p_defense: float) -> float:
+        """Zero-sum mirror: ``-U``."""
+        return -self.payoff(allocation, p_defense)
+
+    def expected_payoff(self, allocation: RadiusAllocation, defense) -> float:
+        """Expected ``U`` against a mixed defence.
+
+        ``defense`` is any object with ``percentiles`` and
+        ``probabilities`` arrays (duck-typed to avoid a circular import
+        with :mod:`repro.core.mixed_strategy`).
+        """
+        ps = np.asarray(defense.percentiles, dtype=float)
+        qs = np.asarray(defense.probabilities, dtype=float)
+        return float(sum(q * self.payoff(allocation, p) for p, q in zip(ps, qs)))
+
+    def per_point_value(self, p_attack: float, defense) -> float:
+        """Expected damage of one point at ``p_attack`` vs a mixed defence.
+
+        This is the quantity the equalization condition makes constant:
+        ``E(p) * P(filter weaker or equal)``.
+        """
+        p_attack = check_fraction(p_attack, name="p_attack")
+        ps = np.asarray(defense.percentiles, dtype=float)
+        qs = np.asarray(defense.probabilities, dtype=float)
+        survival = float(qs[ps <= p_attack].sum())
+        return float(self.curves.E(p_attack)) * survival
+
+    # -- convenience ---------------------------------------------------------
+
+    def all_at(self, p: float) -> RadiusAllocation:
+        """The canonical pure attack: the whole budget at one percentile."""
+        return RadiusAllocation.all_at(check_fraction(p, name="p"), self.n_poison)
+
+    def matrix_on_grids(self, attacker_ps, defender_ps) -> np.ndarray:
+        """Payoff matrix ``U`` tabulated on percentile grids (attacker rows)."""
+        attacker_ps = np.asarray(attacker_ps, dtype=float)
+        defender_ps = np.asarray(defender_ps, dtype=float)
+        return np.array([
+            [self.payoff(self.all_at(float(pa)), float(pd)) for pd in defender_ps]
+            for pa in attacker_ps
+        ])

@@ -1,0 +1,166 @@
+"""The mixed-strategy defence and the Section-4.2 equalization conditions.
+
+A mixed defence is a distribution over filter percentiles.  The paper
+proves two necessary NE conditions for the defender:
+
+1. the support has at least two points (no pure NE exists), and
+2. for every supported percentile ``p`` the product
+   ``E(p) * cdf_m(p)`` is the same constant, where ``cdf_m`` counts
+   probability *from the boundary B toward the centroid* — i.e. the
+   probability that the realised filter is weaker than (or equal to)
+   ``p``, which is exactly the survival probability of a point placed
+   at ``p``.
+
+Under condition 2 the attacker is indifferent over all supported
+radii, so its best-response value is ``N * E(p_innermost)`` (the
+paper's ``N · E(r_min)``), and the defender's equilibrium strategy is
+the equalized distribution minimising total loss — what Algorithm 1
+searches for.
+
+The closed form implemented by :func:`equalizing_probabilities`: with
+support ``p_1 < ... < p_n`` (ascending percentile = outermost radius
+first) and survival ``s_i = Σ_{j<=i} q_j``, equalization requires
+``E(p_i) s_i = c`` with ``s_n = 1``, hence ``c = E(p_n)`` and
+
+    s_i = E(p_n) / E(p_i),     q_i = s_i - s_{i-1}.
+
+All ``q_i`` are non-negative precisely because ``E`` is non-increasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.game import PayoffCurves
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability_vector, check_sorted_increasing
+
+__all__ = ["MixedDefense", "equalizing_probabilities", "equalization_residual"]
+
+
+@dataclass
+class MixedDefense:
+    """A finite-support mixed strategy over filter percentiles.
+
+    ``percentiles`` are sorted ascending (weakest filter first);
+    ``probabilities`` is the matching distribution.
+    """
+
+    percentiles: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self):
+        self.percentiles = check_sorted_increasing(self.percentiles,
+                                                   name="percentiles", strict=True)
+        if np.any((self.percentiles < 0.0) | (self.percentiles >= 1.0)):
+            raise ValueError(f"percentiles must lie in [0, 1), got {self.percentiles}")
+        self.probabilities = check_probability_vector(self.probabilities,
+                                                      name="probabilities")
+        if self.probabilities.shape != self.percentiles.shape:
+            raise ValueError(
+                f"{self.percentiles.size} percentiles but "
+                f"{self.probabilities.size} probabilities"
+            )
+
+    @property
+    def n_support(self) -> int:
+        return int(self.percentiles.size)
+
+    @property
+    def innermost(self) -> float:
+        """The strongest supported filter — the paper's ``r_min`` percentile."""
+        return float(self.percentiles[-1])
+
+    def survival_probability(self, p_attack: float) -> float:
+        """``cdf_m`` from the boundary: P(filter weaker or equal to ``p_attack``).
+
+        This is the probability a point placed at ``p_attack``
+        survives.  Ties survive (``p_d <= p_a``).
+        """
+        return float(self.probabilities[self.percentiles <= p_attack].sum())
+
+    def survival_vector(self) -> np.ndarray:
+        """Survival probability at each support point (the cumulative sum)."""
+        return np.cumsum(self.probabilities)
+
+    def sample(self, size: int | None = None,
+               seed: int | np.random.Generator | None = None):
+        """Draw filter percentile(s) from the strategy."""
+        rng = as_generator(seed)
+        draw = rng.choice(self.percentiles, size=size, p=self.probabilities)
+        return float(draw) if size is None else np.asarray(draw, dtype=float)
+
+    def expected_gamma(self, curves: PayoffCurves) -> float:
+        """Expected collateral cost ``Σ q_i Γ(p_i)``."""
+        return float(self.probabilities @ curves.gamma_vec(self.percentiles))
+
+    def attacker_value_at(self, p_attack: float, curves: PayoffCurves) -> float:
+        """Per-point expected damage of a placement at ``p_attack``."""
+        return float(curves.E(p_attack)) * self.survival_probability(p_attack)
+
+    def equalized_value(self, curves: PayoffCurves) -> float:
+        """The common per-point value when equalized: ``E(p_innermost)``."""
+        return float(curves.E(self.innermost))
+
+    def satisfies_ne_conditions(self, curves: PayoffCurves, *, tol: float = 1e-6) -> bool:
+        """Check the two Section-4.2 necessary conditions."""
+        if self.n_support < 2:
+            return False
+        return equalization_residual(self, curves) <= tol
+
+    def as_filter(self, *, seed: int | np.random.Generator | None = None,
+                  centroid_method: str = "median"):
+        """Materialise as an executable :class:`~repro.defenses.MixedDefenseFilter`."""
+        from repro.defenses.mixed_defense import MixedDefenseFilter
+
+        return MixedDefenseFilter(
+            self.percentiles, self.probabilities,
+            seed=seed, centroid_method=centroid_method,
+        )
+
+    @staticmethod
+    def equalized(percentiles, curves: PayoffCurves) -> "MixedDefense":
+        """Build the unique equalized strategy on a given support."""
+        percentiles = check_sorted_increasing(percentiles, name="percentiles",
+                                              strict=True)
+        probs = equalizing_probabilities(percentiles, curves)
+        return MixedDefense(percentiles=percentiles, probabilities=probs)
+
+
+def equalizing_probabilities(percentiles, curves: PayoffCurves) -> np.ndarray:
+    """Probabilities making ``E(p_i) * survival(p_i)`` constant on the support.
+
+    This is the paper's ``findPercentage`` step in Algorithm 1.
+    Requires ``E`` strictly positive on the support (placement there
+    must be profitable, otherwise the support point is vacuous) and
+    non-increasing (otherwise some ``q_i`` would be negative —
+    structurally impossible at an NE).
+    """
+    percentiles = check_sorted_increasing(percentiles, name="percentiles", strict=True)
+    E_vals = curves.E_vec(percentiles)
+    if np.any(E_vals <= 0.0):
+        raise ValueError(
+            f"E must be strictly positive on the support; got E={E_vals} "
+            f"at percentiles={percentiles}"
+        )
+    if np.any(np.diff(E_vals) > 1e-12):
+        raise ValueError(
+            f"E must be non-increasing on the support for equalization; got {E_vals}"
+        )
+    survival = E_vals[-1] / E_vals  # s_i = E(p_n) / E(p_i), ascending to 1
+    probs = np.diff(survival, prepend=0.0)
+    probs = np.clip(probs, 0.0, None)
+    return probs / probs.sum()
+
+
+def equalization_residual(defense: MixedDefense, curves: PayoffCurves) -> float:
+    """Max relative spread of ``E(p_i) * survival(p_i)`` over the support.
+
+    Zero (up to float noise) iff the strategy satisfies the paper's
+    condition 2.
+    """
+    values = curves.E_vec(defense.percentiles) * defense.survival_vector()
+    scale = max(float(np.abs(values).max()), 1e-300)
+    return float((values.max() - values.min()) / scale)

@@ -1,0 +1,172 @@
+"""Estimating ``E(p)`` and ``Γ(p)`` from pure-strategy sweep measurements.
+
+The paper: "The input of the algorithm, E(p) and Γ(p), are approximated
+using the results in Fig. 1."  Concretely:
+
+* ``Γ(p)`` — collateral cost — is the accuracy the *clean* model loses
+  when a filter removes fraction ``p`` of genuine data:
+  ``Γ(p) = acc_clean(0) - acc_clean(p)``.
+* ``E(p)`` — per-point damage — comes from the attacked curve: when
+  the optimal attack places all ``N`` points just inside a filter at
+  ``p`` (so they survive), the measured accuracy satisfies
+  ``acc_attacked(p) ≈ acc_clean(p) - N * E(p)``, hence
+  ``E(p) = (acc_clean(p) - acc_attacked(p)) / N``.
+
+Raw sweep measurements are noisy (SVM training is stochastic), so both
+curves are regularised to their known shapes — ``Γ`` non-decreasing,
+``E`` non-increasing — by isotonic regression (pool-adjacent-violators)
+and then interpolated with a shape-preserving monotone cubic (PCHIP).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.interpolate import PchipInterpolator
+
+from repro.core.game import PayoffCurves
+from repro.utils.validation import check_positive_int, check_sorted_increasing
+
+__all__ = ["isotonic_regression", "fit_monotone_curve", "estimate_payoff_curves"]
+
+
+def isotonic_regression(y, *, increasing: bool = True, weights=None) -> np.ndarray:
+    """Pool-adjacent-violators (PAVA) isotonic fit.
+
+    Returns the monotone sequence minimising the (weighted) squared
+    distance to ``y``.
+    """
+    y = np.asarray(y, dtype=float)
+    if y.ndim != 1 or y.size == 0:
+        raise ValueError("y must be a non-empty 1-d array")
+    if weights is None:
+        weights = np.ones_like(y)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != y.shape or np.any(weights <= 0):
+            raise ValueError("weights must be positive and match y's shape")
+    if not increasing:
+        return -isotonic_regression(-y, increasing=True, weights=weights)
+
+    # Blocks of (value, weight, count), merged while out of order.
+    values = list(y)
+    w = list(weights)
+    counts = [1] * len(values)
+    i = 0
+    while i < len(values) - 1:
+        if values[i] > values[i + 1] + 1e-15:
+            total_w = w[i] + w[i + 1]
+            merged = (values[i] * w[i] + values[i + 1] * w[i + 1]) / total_w
+            values[i : i + 2] = [merged]
+            counts[i : i + 2] = [counts[i] + counts[i + 1]]
+            w[i : i + 2] = [total_w]
+            if i > 0:
+                i -= 1
+        else:
+            i += 1
+    return np.repeat(values, counts)
+
+
+def fit_monotone_curve(x, y, *, increasing: bool = True,
+                       clamp: bool = True) -> Callable[[float], float]:
+    """Fit a smooth monotone curve through noisy samples.
+
+    PAVA enforces the shape, PCHIP interpolates it without overshoot
+    (PCHIP through monotone data is monotone).  Outside the sampled
+    range the curve is clamped to its endpoint values when ``clamp``
+    (sensible for accuracy-derived curves, which saturate).
+    """
+    x = check_sorted_increasing(x, name="x", strict=True)
+    y = np.asarray(y, dtype=float)
+    if y.shape != x.shape:
+        raise ValueError(f"x and y must match, got {x.shape} vs {y.shape}")
+    y_iso = isotonic_regression(y, increasing=increasing)
+    if x.size == 1:
+        const = float(y_iso[0])
+        return lambda p: const
+    # PCHIP needs strictly monotone data for strict monotonicity, but
+    # handles flat stretches fine; tiny jitter is unnecessary.
+    interp = PchipInterpolator(x, y_iso, extrapolate=False)
+    lo_x, hi_x = float(x[0]), float(x[-1])
+    lo_y, hi_y = float(y_iso[0]), float(y_iso[-1])
+
+    def curve(p: float) -> float:
+        p = float(p)
+        if clamp:
+            if p <= lo_x:
+                return lo_y
+            if p >= hi_x:
+                return hi_y
+        value = interp(p)
+        if np.isnan(value):
+            raise ValueError(f"curve evaluated outside fitted range at p={p}")
+        return float(value)
+
+    return curve
+
+
+def estimate_payoff_curves(
+    percentiles,
+    acc_clean,
+    acc_attacked,
+    n_poison: int,
+    *,
+    p_max: float | None = None,
+) -> PayoffCurves:
+    """Build :class:`PayoffCurves` from a Figure-1 style sweep.
+
+    Parameters
+    ----------
+    percentiles:
+        Filter strengths swept (must include 0 — the no-filter
+        baseline that anchors ``Γ(0) = 0``).
+    acc_clean:
+        Test accuracy with the filter but **no attack** at each
+        percentile.
+    acc_attacked:
+        Test accuracy with the filter and the optimal boundary attack
+        surviving at each percentile.
+    n_poison:
+        The attack budget ``N`` used in the sweep.
+    p_max:
+        Domain bound for the curves.  ``None`` (default) truncates
+        automatically at the percentile where the measured damage gap
+        ``acc_clean - acc_attacked`` reaches its minimum: beyond that
+        point the empirical damage *rises* again (stronger filters
+        amplify the surviving poison's relative mass), which violates
+        the game model's premise that ``E`` is non-increasing — those
+        filter strengths are outside the model's validity range, and a
+        rational defender never uses them anyway (both ``E`` and ``Γ``
+        grow there).
+    """
+    percentiles = check_sorted_increasing(percentiles, name="percentiles", strict=True)
+    acc_clean = np.asarray(acc_clean, dtype=float)
+    acc_attacked = np.asarray(acc_attacked, dtype=float)
+    n_poison = check_positive_int(n_poison, name="n_poison")
+    if acc_clean.shape != percentiles.shape or acc_attacked.shape != percentiles.shape:
+        raise ValueError("percentiles, acc_clean and acc_attacked must align")
+    if percentiles[0] != 0.0:
+        raise ValueError(
+            "the sweep must include percentile 0 (the unfiltered baseline); "
+            f"got minimum {percentiles[0]}"
+        )
+
+    baseline = float(acc_clean[0])
+    gamma_samples = np.clip(baseline - acc_clean, 0.0, None)
+    gamma_samples[0] = 0.0  # exact anchor: no filter, no collateral cost
+    # Non-negative samples with a zero first entry keep PAVA from ever
+    # pooling the anchor upward, so gamma(0) == 0 exactly.
+    gamma = fit_monotone_curve(percentiles, gamma_samples, increasing=True)
+
+    damage_samples = (acc_clean - acc_attacked) / n_poison
+    E = fit_monotone_curve(percentiles, damage_samples, increasing=False)
+
+    if p_max is not None:
+        domain = float(p_max)
+    else:
+        gap_min_idx = int(np.argmin(acc_clean - acc_attacked))
+        domain = float(percentiles[gap_min_idx])
+        if domain <= 0.0:
+            domain = float(percentiles[-1])
+    return PayoffCurves(E=E, gamma=gamma, p_max=domain)

@@ -1,0 +1,176 @@
+"""Sensitivity of the mixed defence to payoff-curve misestimation.
+
+The paper's closing limitation: "we used the results from the pure
+strategy scenario to approximate E(p) and Γ(p)" — the algorithm's
+inputs are noisy estimates.  This module quantifies how much that
+matters:
+
+* :func:`perturb_curves` builds multiplicatively perturbed copies of a
+  curve pair (the natural error model for accuracy-derived curves);
+* :func:`defense_sensitivity` runs Algorithm 1 across an ensemble of
+  perturbations and reports the dispersion of the support, the
+  probabilities and the loss;
+* :func:`regret_under_misestimation` answers the operational question:
+  if the defence was computed on *estimated* curves but the world
+  follows the *true* curves, how much worse off is the defender than
+  if it had known the truth?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algorithm1 import compute_optimal_defense
+from repro.core.game import PayoffCurves, PoisoningGame
+from repro.core.equilibrium import attacker_best_response_value
+from repro.core.mixed_strategy import MixedDefense
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["perturb_curves", "SensitivityReport", "defense_sensitivity",
+           "regret_under_misestimation"]
+
+
+def perturb_curves(
+    curves: PayoffCurves,
+    *,
+    e_noise: float = 0.1,
+    gamma_noise: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+    n_knots: int = 9,
+) -> PayoffCurves:
+    """A smoothly perturbed copy of ``curves``.
+
+    Each curve is multiplied by a log-normal random field interpolated
+    from ``n_knots`` independent knot values (piecewise-linear in log
+    space), preserving positivity and approximate monotonicity for
+    small noise levels.
+    """
+    if e_noise < 0 or gamma_noise < 0:
+        raise ValueError("noise levels must be non-negative")
+    check_positive_int(n_knots, name="n_knots")
+    rng = as_generator(seed)
+    knots = np.linspace(0.0, curves.p_max, n_knots)
+    e_field = rng.normal(0.0, e_noise, n_knots)
+    g_field = rng.normal(0.0, gamma_noise, n_knots)
+
+    def factor(field: np.ndarray, p: float) -> float:
+        return float(np.exp(np.interp(p, knots, field)))
+
+    base_E, base_gamma = curves.E, curves.gamma
+
+    def E(p: float) -> float:
+        return base_E(p) * factor(e_field, p)
+
+    def gamma(p: float) -> float:
+        return base_gamma(p) * factor(g_field, p)
+
+    return PayoffCurves(E=E, gamma=gamma, p_max=curves.p_max)
+
+
+@dataclass
+class SensitivityReport:
+    """Dispersion of Algorithm 1's output across curve perturbations.
+
+    Attributes
+    ----------
+    support_mean, support_std:
+        Per-radius mean and standard deviation of the support
+        percentiles across the ensemble.
+    probability_mean, probability_std:
+        Same for the equalizing probabilities.
+    loss_mean, loss_std:
+        Same for the modelled defender loss.
+    n_runs:
+        Ensemble size actually used (failed perturbations skipped).
+    """
+
+    support_mean: np.ndarray
+    support_std: np.ndarray
+    probability_mean: np.ndarray
+    probability_std: np.ndarray
+    loss_mean: float
+    loss_std: float
+    n_runs: int
+
+
+def defense_sensitivity(
+    curves: PayoffCurves,
+    n_radii: int,
+    n_poison: int,
+    *,
+    n_runs: int = 20,
+    e_noise: float = 0.1,
+    gamma_noise: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+    algorithm_kwargs: dict | None = None,
+) -> SensitivityReport:
+    """Run Algorithm 1 across an ensemble of perturbed curves."""
+    check_positive_int(n_runs, name="n_runs")
+    rng = as_generator(seed)
+    supports, probabilities, losses = [], [], []
+    for _ in range(n_runs):
+        perturbed = perturb_curves(curves, e_noise=e_noise,
+                                   gamma_noise=gamma_noise, seed=rng)
+        try:
+            result = compute_optimal_defense(
+                perturbed, n_radii, n_poison, **(algorithm_kwargs or {})
+            )
+        except ValueError:
+            # a perturbation can push E non-monotone enough to break
+            # equalization; skip it rather than crash the ensemble
+            continue
+        supports.append(result.defense.percentiles)
+        probabilities.append(result.defense.probabilities)
+        losses.append(result.expected_loss)
+    if not supports:
+        raise RuntimeError("every perturbed run failed; lower the noise levels")
+    supports = np.vstack(supports)
+    probabilities = np.vstack(probabilities)
+    losses = np.asarray(losses)
+    return SensitivityReport(
+        support_mean=supports.mean(axis=0),
+        support_std=supports.std(axis=0),
+        probability_mean=probabilities.mean(axis=0),
+        probability_std=probabilities.std(axis=0),
+        loss_mean=float(losses.mean()),
+        loss_std=float(losses.std()),
+        n_runs=len(losses),
+    )
+
+
+def regret_under_misestimation(
+    true_curves: PayoffCurves,
+    estimated_curves: PayoffCurves,
+    n_radii: int,
+    n_poison: int,
+    *,
+    algorithm_kwargs: dict | None = None,
+) -> dict:
+    """Defender's regret from optimising against misestimated curves.
+
+    Computes the defence on ``estimated_curves``, evaluates it against
+    a best-responding attacker under ``true_curves``, and compares with
+    the defence computed on the truth.  Returns a dict with
+    ``loss_with_estimate``, ``loss_with_truth`` and ``regret`` (their
+    difference, >= 0 up to optimisation error).
+    """
+    kwargs = algorithm_kwargs or {}
+    est = compute_optimal_defense(estimated_curves, n_radii, n_poison, **kwargs)
+    true = compute_optimal_defense(true_curves, n_radii, n_poison, **kwargs)
+    game = PoisoningGame(curves=true_curves, n_poison=n_poison)
+
+    def realised_loss(defense: MixedDefense) -> float:
+        br_value, _ = attacker_best_response_value(game, defense)
+        gamma_term = defense.expected_gamma(true_curves)
+        return br_value + gamma_term
+
+    loss_est = realised_loss(est.defense)
+    loss_true = realised_loss(true.defense)
+    return {
+        "loss_with_estimate": loss_est,
+        "loss_with_truth": loss_true,
+        "regret": loss_est - loss_true,
+    }

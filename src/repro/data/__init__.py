@@ -1,0 +1,42 @@
+"""Datasets and data geometry.
+
+* :mod:`repro.data.spambase` — the paper's evaluation dataset (real
+  file if available, statistically matched synthetic surrogate
+  otherwise).
+* :mod:`repro.data.synthetic` — controlled synthetic tasks for unit
+  tests and ablations.
+* :mod:`repro.data.geometry` — centroid estimators and the radius /
+  percentile machinery the filter defence and the game model share.
+"""
+
+from repro.data.spambase import load_spambase, SpambaseSurrogate, SPAMBASE_N_FEATURES
+from repro.data.synthetic import (
+    make_gaussian_blobs,
+    make_two_moons,
+    make_xor,
+    make_imbalanced_mixture,
+)
+from repro.data.geometry import (
+    Centroid,
+    compute_centroid,
+    distances_to_centroid,
+    radius_for_percentile,
+    percentile_for_radius,
+    RadiusPercentileMap,
+)
+
+__all__ = [
+    "load_spambase",
+    "SpambaseSurrogate",
+    "SPAMBASE_N_FEATURES",
+    "make_gaussian_blobs",
+    "make_two_moons",
+    "make_xor",
+    "make_imbalanced_mixture",
+    "Centroid",
+    "compute_centroid",
+    "distances_to_centroid",
+    "radius_for_percentile",
+    "percentile_for_radius",
+    "RadiusPercentileMap",
+]

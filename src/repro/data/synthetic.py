@@ -1,0 +1,135 @@
+"""Synthetic binary-classification tasks.
+
+Used throughout the test suite (fast, controlled geometry) and in the
+examples: the paper's game analysis should — and does — transfer to any
+dataset where a margin classifier degrades smoothly under poisoning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["make_gaussian_blobs", "make_two_moons", "make_xor", "make_imbalanced_mixture"]
+
+
+def make_gaussian_blobs(
+    n_samples: int = 400,
+    n_features: int = 2,
+    *,
+    separation: float = 3.0,
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two isotropic Gaussian classes separated along the first axis.
+
+    Returns ``(X, y)`` with labels in ``{0, 1}`` and an exact 50/50
+    class split (odd sample counts give the extra point to class 1).
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    if separation < 0:
+        raise ValueError(f"separation must be non-negative, got {separation}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = as_generator(seed)
+    n_neg = n_samples // 2
+    n_pos = n_samples - n_neg
+    offset = np.zeros(n_features)
+    offset[0] = separation / 2.0
+    X_neg = rng.normal(-offset, scale, size=(n_neg, n_features))
+    X_pos = rng.normal(offset, scale, size=(n_pos, n_features))
+    X = np.vstack([X_neg, X_pos])
+    y = np.concatenate([np.zeros(n_neg, dtype=int), np.ones(n_pos, dtype=int)])
+    perm = rng.permutation(n_samples)
+    return X[perm], y[perm]
+
+
+def make_two_moons(
+    n_samples: int = 400,
+    *,
+    noise: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The classic interleaved half-circles task in 2-d."""
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    if noise < 0:
+        raise ValueError(f"noise must be non-negative, got {noise}")
+    rng = as_generator(seed)
+    n_neg = n_samples // 2
+    n_pos = n_samples - n_neg
+    theta_neg = rng.uniform(0.0, np.pi, n_neg)
+    theta_pos = rng.uniform(0.0, np.pi, n_pos)
+    X_neg = np.column_stack([np.cos(theta_neg), np.sin(theta_neg)])
+    X_pos = np.column_stack([1.0 - np.cos(theta_pos), 0.5 - np.sin(theta_pos)])
+    X = np.vstack([X_neg, X_pos]) + rng.normal(0.0, noise, size=(n_samples, 2))
+    y = np.concatenate([np.zeros(n_neg, dtype=int), np.ones(n_pos, dtype=int)])
+    perm = rng.permutation(n_samples)
+    return X[perm], y[perm]
+
+
+def make_xor(
+    n_samples: int = 400,
+    *,
+    scale: float = 0.4,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Four Gaussian clusters in an XOR arrangement (not linearly separable).
+
+    Useful negative control: linear learners should hover near chance,
+    which the sanity tests exploit.
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = as_generator(seed)
+    centers = np.array([[1, 1], [-1, -1], [1, -1], [-1, 1]], dtype=float)
+    labels = np.array([0, 0, 1, 1])
+    per = [n_samples // 4] * 4
+    for i in range(n_samples - sum(per)):
+        per[i] += 1
+    parts_X, parts_y = [], []
+    for center, label, count in zip(centers, labels, per):
+        parts_X.append(rng.normal(center, scale, size=(count, 2)))
+        parts_y.append(np.full(count, label, dtype=int))
+    X = np.vstack(parts_X)
+    y = np.concatenate(parts_y)
+    perm = rng.permutation(n_samples)
+    return X[perm], y[perm]
+
+
+def make_imbalanced_mixture(
+    n_samples: int = 500,
+    *,
+    positive_fraction: float = 0.3,
+    n_features: int = 10,
+    separation: float = 2.5,
+    heavy_tail: bool = True,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Imbalanced classes with optionally heavy-tailed features.
+
+    Mimics Spambase's structure — skewed non-negative-ish features, a
+    minority positive class — at arbitrary, test-friendly sizes.
+    """
+    n_samples = check_positive_int(n_samples, name="n_samples")
+    n_features = check_positive_int(n_features, name="n_features")
+    positive_fraction = check_fraction(positive_fraction, name="positive_fraction",
+                                       inclusive_low=False, inclusive_high=False)
+    rng = as_generator(seed)
+    n_pos = max(1, int(round(positive_fraction * n_samples)))
+    n_neg = n_samples - n_pos
+    offset = np.zeros(n_features)
+    offset[: max(1, n_features // 3)] = separation / 2.0
+    if heavy_tail:
+        X_neg = rng.standard_t(df=4, size=(n_neg, n_features)) - offset
+        X_pos = rng.standard_t(df=4, size=(n_pos, n_features)) + offset
+    else:
+        X_neg = rng.normal(-offset, 1.0, size=(n_neg, n_features))
+        X_pos = rng.normal(offset, 1.0, size=(n_pos, n_features))
+    X = np.vstack([X_neg, X_pos])
+    y = np.concatenate([np.zeros(n_neg, dtype=int), np.ones(n_pos, dtype=int)])
+    perm = rng.permutation(n_samples)
+    return X[perm], y[perm]

@@ -1,0 +1,40 @@
+"""Training-data sanitisation defences.
+
+The paper's defender uses a distance-from-centroid filter
+(:class:`RadiusFilter` / :class:`PercentileFilter`); the mixed-strategy
+equilibrium randomises its strength (:class:`MixedDefenseFilter`).
+The remaining defences are the comparison points cited in the paper's
+related-work section: k-NN label sanitisation (Paudice et al.), Reject
+On Negative Impact (Nelson et al.), PCA subspace detection (Rubinstein
+et al.) and loss-based trimming (Steinhardt et al.).
+
+All defences implement :class:`Defense`: ``mask(X, y)`` returns the
+boolean keep-mask and ``sanitize(X, y)`` the filtered dataset.
+"""
+
+from repro.defenses.base import Defense, defense_report, DefenseReport
+from repro.defenses.radius_filter import RadiusFilter
+from repro.defenses.percentile_filter import PercentileFilter
+from repro.defenses.mixed_defense import MixedDefenseFilter
+from repro.defenses.knn_sanitizer import KNNSanitizer
+from repro.defenses.roni import RONIDefense
+from repro.defenses.pca_detector import PCADetector
+from repro.defenses.loss_filter import LossFilter
+from repro.defenses.slab_filter import SlabFilter
+from repro.defenses.certified import certify_radius_defense, CertificateResult
+
+__all__ = [
+    "Defense",
+    "defense_report",
+    "DefenseReport",
+    "RadiusFilter",
+    "PercentileFilter",
+    "MixedDefenseFilter",
+    "KNNSanitizer",
+    "RONIDefense",
+    "PCADetector",
+    "LossFilter",
+    "SlabFilter",
+    "certify_radius_defense",
+    "CertificateResult",
+]

@@ -1,0 +1,92 @@
+"""Defense interface and evaluation report."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_X_y
+
+__all__ = ["Defense", "DefenseReport", "defense_report"]
+
+
+class Defense(ABC):
+    """Abstract training-set sanitiser.
+
+    Subclasses implement :meth:`mask`; :meth:`sanitize` derives the
+    filtered dataset from it.  Defences must keep at least one sample
+    of each class (a defender who deletes a whole class has destroyed
+    the learning problem; implementations guard against it).
+    """
+
+    @abstractmethod
+    def mask(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Boolean keep-mask over the rows of ``X``."""
+
+    def sanitize(self, X, y) -> tuple[np.ndarray, np.ndarray]:
+        """Return the kept ``(X, y)`` subset."""
+        X, y = check_X_y(X, y)
+        keep = np.asarray(self.mask(X, y), dtype=bool)
+        if keep.shape != (X.shape[0],):
+            raise ValueError(
+                f"{type(self).__name__}.mask returned shape {keep.shape}, "
+                f"expected ({X.shape[0]},)"
+            )
+        if not keep.any():
+            raise ValueError(f"{type(self).__name__} removed every sample")
+        return X[keep], y[keep]
+
+    def name(self) -> str:
+        """Human-readable defence name for reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class DefenseReport:
+    """Ground-truth filtering quality of one defence application.
+
+    Only available in experiments, where the poison mask is known.
+
+    Attributes
+    ----------
+    n_total, n_removed:
+        Dataset size and number of removed points.
+    poison_recall:
+        Fraction of poisoning points removed (detection rate).
+    genuine_loss:
+        Fraction of genuine points removed (collateral damage, the
+        empirical counterpart of the paper's Γ).
+    precision:
+        Fraction of removed points that were actually poison.
+    """
+
+    n_total: int
+    n_removed: int
+    poison_recall: float
+    genuine_loss: float
+    precision: float
+
+
+def defense_report(keep_mask: np.ndarray, is_poison: np.ndarray) -> DefenseReport:
+    """Score a keep-mask against the ground-truth poison mask."""
+    keep_mask = np.asarray(keep_mask, dtype=bool)
+    is_poison = np.asarray(is_poison, dtype=bool)
+    if keep_mask.shape != is_poison.shape:
+        raise ValueError(
+            f"mask shapes differ: {keep_mask.shape} vs {is_poison.shape}"
+        )
+    removed = ~keep_mask
+    n_poison = int(is_poison.sum())
+    n_genuine = int((~is_poison).sum())
+    n_removed = int(removed.sum())
+    poison_removed = int((removed & is_poison).sum())
+    genuine_removed = int((removed & ~is_poison).sum())
+    return DefenseReport(
+        n_total=int(keep_mask.size),
+        n_removed=n_removed,
+        poison_recall=poison_removed / n_poison if n_poison else 0.0,
+        genuine_loss=genuine_removed / n_genuine if n_genuine else 0.0,
+        precision=poison_removed / n_removed if n_removed else 0.0,
+    )

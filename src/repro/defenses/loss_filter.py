@@ -1,0 +1,62 @@
+"""Loss-based trimming (Steinhardt et al., 2017 flavour).
+
+Train a provisional model on everything, then drop the points with the
+highest training loss and retrain.  Poisoning points engineered to be
+margin-violating (like the paper's optimal attack) carry the largest
+hinge losses, so one or two trimming rounds remove most of them — at
+the cost of also trimming genuinely hard examples, the same
+accuracy-vs-robustness trade-off the radius filter exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Defense
+from repro.defenses.radius_filter import _ensure_class_survival
+from repro.ml.base import clone_estimator, signed_labels
+from repro.ml.metrics import hinge_loss
+from repro.ml.ridge import RidgeClassifier
+from repro.utils.validation import check_fraction, check_positive_int, check_X_y
+
+__all__ = ["LossFilter"]
+
+
+class LossFilter(Defense):
+    """Iteratively remove the highest-loss fraction of the training set.
+
+    Parameters
+    ----------
+    remove_fraction:
+        Total fraction of points to remove (split across rounds).
+    n_rounds:
+        Number of trim-retrain rounds.
+    learner:
+        Unfitted estimator used for the provisional fits.
+    """
+
+    def __init__(self, remove_fraction: float = 0.1, *, n_rounds: int = 2, learner=None):
+        self.remove_fraction = check_fraction(remove_fraction, name="remove_fraction",
+                                              inclusive_high=False)
+        self.n_rounds = check_positive_int(n_rounds, name="n_rounds")
+        self.learner = learner if learner is not None else RidgeClassifier(reg=1e-2)
+
+    def mask(self, X, y):
+        X, y = check_X_y(X, y)
+        n = X.shape[0]
+        if self.remove_fraction == 0.0:
+            return np.ones(n, dtype=bool)
+        keep = np.ones(n, dtype=bool)
+        per_round = int(np.floor(self.remove_fraction * n / self.n_rounds))
+        if per_round == 0:
+            return np.ones(n, dtype=bool)
+        for _ in range(self.n_rounds):
+            active = np.flatnonzero(keep)
+            if len(np.unique(y[active])) < 2 or len(active) <= per_round:
+                break
+            model = clone_estimator(self.learner).fit(X[active], y[active])
+            scores = model.decision_function(X[active])
+            losses = hinge_loss(signed_labels(y[active]), scores, reduce=False)
+            worst = active[np.argsort(-losses)[:per_round]]
+            keep[worst] = False
+        return _ensure_class_survival(keep, y)

@@ -1,0 +1,74 @@
+"""Mixed-strategy defence: a randomised filter strength.
+
+The paper's central object.  Each time the defender trains, it draws a
+filter percentile from its equilibrium distribution and applies the
+corresponding :class:`PercentileFilter`.  Because the attacker commits
+simultaneously (it cannot observe the draw), the expected damage of a
+poisoning point at radius r is ``E(r) * P(filter weaker than r)`` —
+which the equalizing distribution makes constant across its support,
+removing the attacker's ability to aim just outside any fixed filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Defense
+from repro.defenses.percentile_filter import PercentileFilter
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability_vector
+
+__all__ = ["MixedDefenseFilter"]
+
+
+class MixedDefenseFilter(Defense):
+    """Randomise over :class:`PercentileFilter` strengths.
+
+    Parameters
+    ----------
+    percentiles:
+        Support of the mixed strategy (fractions removed, in [0, 1)).
+    probabilities:
+        Probability of each support point.
+    seed:
+        RNG for the draws.
+    centroid_method:
+        Passed through to the underlying filters.
+
+    Attributes
+    ----------
+    last_draw_:
+        Percentile drawn on the most recent :meth:`mask` call (for
+        experiment logging).
+    """
+
+    def __init__(self, percentiles, probabilities, *,
+                 seed: int | np.random.Generator | None = None,
+                 centroid_method: str = "median"):
+        self.percentiles = np.asarray(percentiles, dtype=float)
+        if self.percentiles.ndim != 1 or self.percentiles.size == 0:
+            raise ValueError("percentiles must be a non-empty 1-d array")
+        if np.any((self.percentiles < 0) | (self.percentiles >= 1)):
+            raise ValueError(f"percentiles must lie in [0, 1), got {self.percentiles}")
+        self.probabilities = check_probability_vector(probabilities)
+        if self.probabilities.shape != self.percentiles.shape:
+            raise ValueError(
+                f"{self.percentiles.size} percentiles but "
+                f"{self.probabilities.size} probabilities"
+            )
+        self._rng = as_generator(seed)
+        self.centroid_method = centroid_method
+        self.last_draw_: float | None = None
+
+    def draw(self) -> float:
+        """Sample a filter percentile from the mixed strategy."""
+        self.last_draw_ = float(self._rng.choice(self.percentiles, p=self.probabilities))
+        return self.last_draw_
+
+    def mask(self, X, y):
+        p = self.draw()
+        return PercentileFilter(p, centroid_method=self.centroid_method).mask(X, y)
+
+    def expected_fraction_removed(self) -> float:
+        """Mean filter strength (useful for sanity checks in reports)."""
+        return float(self.percentiles @ self.probabilities)

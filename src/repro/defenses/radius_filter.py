@@ -1,0 +1,81 @@
+"""The paper's defence: remove points outside a centroid-centred sphere.
+
+"The defender also chooses θ_d as the radius of the filter.  Any data
+points outside the hypersphere centered at the centroid of the original
+dataset with radius θ_d will be removed."
+
+The defender computes the centroid from the (possibly contaminated)
+training set it actually has; the paper argues a robust estimator
+(median) keeps this valid under moderate contamination.  Both a single
+global sphere and per-class spheres (the Steinhardt et al. variant) are
+supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Defense
+from repro.data.geometry import compute_centroid, distances_to_centroid
+from repro.ml.base import signed_labels
+from repro.utils.validation import check_X_y
+
+__all__ = ["RadiusFilter"]
+
+
+class RadiusFilter(Defense):
+    """Keep only points within ``theta`` of the centroid.
+
+    Parameters
+    ----------
+    theta:
+        Filter radius (geometric units of the feature space).
+    centroid_method:
+        ``"median"`` (robust default), ``"mean"`` or ``"trimmed_mean"``.
+    per_class:
+        Apply a separate sphere around each class's centroid (same
+        radius).  With ``False`` (the paper's model) one global sphere
+        is used.
+    """
+
+    def __init__(self, theta: float, *, centroid_method: str = "median",
+                 per_class: bool = False):
+        if theta < 0 or not np.isfinite(theta):
+            raise ValueError(f"theta must be a finite non-negative radius, got {theta}")
+        self.theta = float(theta)
+        self.centroid_method = centroid_method
+        self.per_class = bool(per_class)
+
+    def mask(self, X, y):
+        X, y = check_X_y(X, y)
+        if not self.per_class:
+            centroid = compute_centroid(X, method=self.centroid_method)
+            keep = distances_to_centroid(X, centroid) <= self.theta
+        else:
+            y_signed = signed_labels(y)
+            keep = np.zeros(X.shape[0], dtype=bool)
+            for label in (-1, 1):
+                members = y_signed == label
+                if not members.any():
+                    continue
+                centroid = compute_centroid(X[members], method=self.centroid_method)
+                dist = distances_to_centroid(X[members], centroid)
+                keep[np.flatnonzero(members)[dist <= self.theta]] = True
+        keep = _ensure_class_survival(keep, y)
+        return keep
+
+
+def _ensure_class_survival(keep: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Guarantee at least one kept sample per present class.
+
+    If a filter removes an entire class, re-admit that class's single
+    innermost point — training is otherwise impossible and downstream
+    code would crash on degenerate labels.
+    """
+    y_signed = signed_labels(y)
+    keep = keep.copy()
+    for label in np.unique(y_signed):
+        members = np.flatnonzero(y_signed == label)
+        if not keep[members].any():
+            keep[members[0]] = True
+    return keep

@@ -1,0 +1,76 @@
+"""The slab defence (Steinhardt, Koh & Liang, 2017).
+
+Complements the sphere (radius) filter: instead of distance *from* the
+class centroids, the slab scores each point by its displacement *along
+the line connecting the two class centroids*,
+
+    s(x) = | (x - (μ₊ + μ₋)/2) · (μ₊ - μ₋) | / ||μ₊ - μ₋||,
+
+and removes the points that sit implausibly far along that axis.  The
+sphere catches points that flee the data; the slab catches points that
+camp between/beyond the classes along the discriminative direction —
+exactly where label-opposed poisoning wants to live.  Together they
+form the sphere+slab sanitisation of the certified-defences paper the
+related-work section cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Defense
+from repro.defenses.radius_filter import _ensure_class_survival
+from repro.data.geometry import compute_centroid
+from repro.ml.base import signed_labels
+from repro.utils.validation import check_fraction, check_X_y
+
+__all__ = ["SlabFilter"]
+
+
+class SlabFilter(Defense):
+    """Remove the fraction of points farthest along the class-mean axis.
+
+    Parameters
+    ----------
+    remove_fraction:
+        Fraction of the training set to remove (largest slab scores).
+    centroid_method:
+        Robust estimator for the per-class centroids.
+    """
+
+    def __init__(self, remove_fraction: float = 0.1, *,
+                 centroid_method: str = "median"):
+        self.remove_fraction = check_fraction(remove_fraction,
+                                              name="remove_fraction",
+                                              inclusive_high=False)
+        self.centroid_method = centroid_method
+
+    def slab_scores(self, X, y) -> np.ndarray:
+        """Absolute displacement along the class-centroid axis."""
+        X, y = check_X_y(X, y)
+        y_signed = signed_labels(y)
+        if len(np.unique(y_signed)) < 2:
+            return np.zeros(X.shape[0])
+        mu_pos = compute_centroid(X[y_signed == 1],
+                                  method=self.centroid_method).location
+        mu_neg = compute_centroid(X[y_signed == -1],
+                                  method=self.centroid_method).location
+        axis = mu_pos - mu_neg
+        norm = np.linalg.norm(axis)
+        if norm == 0.0:
+            return np.zeros(X.shape[0])
+        axis = axis / norm
+        midpoint = 0.5 * (mu_pos + mu_neg)
+        return np.abs((X - midpoint) @ axis)
+
+    def mask(self, X, y):
+        X, y = check_X_y(X, y)
+        if self.remove_fraction == 0.0:
+            return np.ones(X.shape[0], dtype=bool)
+        scores = self.slab_scores(X, y)
+        n_remove = int(np.floor(self.remove_fraction * X.shape[0]))
+        if n_remove == 0:
+            return np.ones(X.shape[0], dtype=bool)
+        keep = np.ones(X.shape[0], dtype=bool)
+        keep[np.argsort(-scores)[:n_remove]] = False
+        return _ensure_class_survival(keep, y)

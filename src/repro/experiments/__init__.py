@@ -1,0 +1,66 @@
+"""Experiment orchestration: the code behind every table and figure.
+
+* :mod:`repro.experiments.runner` — seeded end-to-end pipeline
+  (dataset → attack → filter → train → score).
+* :mod:`repro.experiments.payoff_sweep` — the Figure-1 pure-strategy
+  sweep and the Table-1 mixed-strategy evaluation.
+* :mod:`repro.experiments.results` — serialisable result records.
+* :mod:`repro.experiments.reporting` — ASCII tables/series matching the
+  paper's presentation.
+"""
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    make_spambase_context,
+    make_synthetic_context,
+    evaluate_configuration,
+    EvaluationOutcome,
+)
+from repro.experiments.payoff_sweep import (
+    run_pure_strategy_sweep,
+    evaluate_mixed_defense,
+    run_table1_experiment,
+)
+from repro.experiments.empirical_game import (
+    build_empirical_game,
+    solve_empirical_game,
+    EmpiricalGameResult,
+)
+from repro.experiments.multi_seed import (
+    run_multi_seed_sweep,
+    aggregate_metric,
+    AggregatedSweep,
+)
+from repro.experiments.results import (
+    PureSweepResult,
+    MixedStrategyResult,
+    Table1Row,
+    results_to_json,
+    results_from_json,
+)
+from repro.experiments.reporting import ascii_table, format_pure_sweep, format_table1
+
+__all__ = [
+    "ExperimentContext",
+    "make_spambase_context",
+    "make_synthetic_context",
+    "evaluate_configuration",
+    "EvaluationOutcome",
+    "run_pure_strategy_sweep",
+    "evaluate_mixed_defense",
+    "run_table1_experiment",
+    "build_empirical_game",
+    "solve_empirical_game",
+    "EmpiricalGameResult",
+    "run_multi_seed_sweep",
+    "aggregate_metric",
+    "AggregatedSweep",
+    "PureSweepResult",
+    "MixedStrategyResult",
+    "Table1Row",
+    "results_to_json",
+    "results_from_json",
+    "ascii_table",
+    "format_pure_sweep",
+    "format_table1",
+]

@@ -1,0 +1,160 @@
+"""Command-line entry point: regenerate any of the paper's artefacts.
+
+Usage::
+
+    python -m repro.experiments.cli figure1 [--n-samples N] [--seed S]
+    python -m repro.experiments.cli table1  [--n-radii 2 3] [--seed S]
+    python -m repro.experiments.cli empirical-game [--seed S]
+    python -m repro.experiments.cli paper-table1
+    python -m repro.experiments.cli proposition1 [--seed S]
+
+Each command prints the same rows/series the paper reports and, with
+``--json PATH``, archives the structured result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _make_context(args):
+    from repro.experiments.runner import make_spambase_context
+
+    return make_spambase_context(seed=args.seed, n_samples=args.n_samples)
+
+
+def cmd_figure1(args) -> int:
+    from repro.experiments.payoff_sweep import run_pure_strategy_sweep
+    from repro.experiments.reporting import format_pure_sweep
+    from repro.experiments.results import results_to_json
+
+    ctx = _make_context(args)
+    sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
+                                    n_repeats=args.repeats)
+    print(format_pure_sweep(sweep))
+    if args.json:
+        results_to_json(sweep, args.json)
+        print(f"\nresult written to {args.json}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments.payoff_sweep import (run_pure_strategy_sweep,
+                                                run_table1_experiment)
+    from repro.experiments.reporting import format_table1
+    from repro.experiments.results import results_to_json
+
+    ctx = _make_context(args)
+    sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
+                                    n_repeats=args.repeats)
+    results = run_table1_experiment(ctx, sweep, n_radii_values=tuple(args.n_radii),
+                                    poison_fraction=args.poison_fraction)
+    print(format_table1(results))
+    if args.json:
+        results_to_json(results[0], args.json)
+        print(f"\nfirst row written to {args.json}")
+    return 0
+
+
+def cmd_empirical_game(args) -> int:
+    from repro.experiments.empirical_game import solve_empirical_game
+    from repro.experiments.reporting import ascii_table
+
+    ctx = _make_context(args)
+    result = solve_empirical_game(ctx, poison_fraction=args.poison_fraction,
+                                  n_repeats=args.repeats)
+    rows = [(f"{p:.1%}", f"{q:.1%}")
+            for p, q in zip(result.percentiles, result.defender_mix)]
+    print(ascii_table(["filter percentile", "probability"], rows,
+                      title="Measured-game equilibrium defence"))
+    print(f"game value (accuracy): {result.game_value_accuracy:.4f}")
+    print(f"best pure defence:     {result.best_pure_percentile:.1%} -> "
+          f"{result.best_pure_accuracy:.4f}")
+    print(f"mixed advantage:       {result.mixed_advantage:+.4f}")
+    print(f"saddle point exists:   {result.has_saddle_point}")
+    return 0
+
+
+def cmd_paper_table1(args) -> int:
+    from repro.core.algorithm1 import compute_optimal_defense
+    from repro.core.paper_curves import (PAPER_N_POISON, PAPER_TABLE1_N2,
+                                         PAPER_TABLE1_N3, paper_figure1_curves)
+    from repro.experiments.reporting import ascii_table
+
+    curves = paper_figure1_curves()
+    rows = []
+    for n, published in ((2, PAPER_TABLE1_N2), (3, PAPER_TABLE1_N3)):
+        res = compute_optimal_defense(curves, n, PAPER_N_POISON,
+                                      epsilon=1e-12, max_iter=2000,
+                                      initial_step=0.05)
+        rows.append((f"n={n} (ours)",
+                     "  ".join(f"{p:.1%}" for p in res.defense.percentiles),
+                     "  ".join(f"{q:.1%}" for q in res.defense.probabilities)))
+        rows.append((f"n={n} (paper)",
+                     "  ".join(f"{p:.1%}" for p in published["percentiles"]),
+                     "  ".join(f"{q:.1%}" for q in published["probabilities"])))
+    print(ascii_table(["strategy", "radii", "probabilities"], rows,
+                      title="Algorithm 1 on paper-calibrated curves vs published Table 1"))
+    return 0
+
+
+def cmd_proposition1(args) -> int:
+    from repro.core.best_response import find_pure_equilibrium, \
+        proposition1_certificate
+    from repro.core.game import PoisoningGame
+    from repro.core.payoff_estimation import estimate_payoff_curves
+    from repro.experiments.payoff_sweep import run_pure_strategy_sweep
+
+    ctx = _make_context(args)
+    sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
+                                    n_repeats=args.repeats)
+    curves = estimate_payoff_curves(sweep.percentiles, sweep.acc_clean,
+                                    sweep.acc_attacked, sweep.n_poison)
+    game = PoisoningGame(curves=curves, n_poison=sweep.n_poison)
+    search = find_pure_equilibrium(game, n_grid=201)
+    cert = proposition1_certificate(game)
+    print(f"pure NE exists: {search.exists}")
+    print(f"best-response cycle length: {search.trace.cycle_length}")
+    print(f"Ta = {cert['ta']:.3f}, Td(at Ta-attack) = {cert['td_at_ta_attack']:.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "figure1": cmd_figure1,
+    "table1": cmd_table1,
+    "empirical-game": cmd_empirical_game,
+    "paper-table1": cmd_paper_table1,
+    "proposition1": cmd_proposition1,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cli",
+        description="Regenerate the paper's figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        p = sub.add_parser(name)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--n-samples", type=int, default=None,
+                       help="subsample the dataset (default: full 4601)")
+        p.add_argument("--poison-fraction", type=float, default=0.2)
+        p.add_argument("--repeats", type=int, default=1)
+        p.add_argument("--json", type=str, default=None,
+                       help="archive the structured result to this path")
+        if name == "table1":
+            p.add_argument("--n-radii", type=int, nargs="+", default=[2, 3])
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Multi-seed aggregation for the noisy experiment measurements.
+
+The attacked-accuracy measurements are inherently noisy (SGD training,
+attack randomness); single-seed Figure-1 curves can wiggle by a point
+or two.  This module repeats any harness across seeds and aggregates
+mean ± std, which EXPERIMENTS.md uses for its headline numbers and the
+tests use to assert the *stability* of the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.payoff_sweep import run_pure_strategy_sweep
+from repro.experiments.results import PureSweepResult
+from repro.experiments.runner import ExperimentContext, make_spambase_context
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["AggregatedSweep", "run_multi_seed_sweep", "aggregate_metric"]
+
+
+@dataclass
+class AggregatedSweep:
+    """Mean ± std of a pure-strategy sweep across seeds.
+
+    ``acc_clean_mean[i]``/``acc_clean_std[i]`` aggregate the clean
+    accuracy at ``percentiles[i]`` over the seeds; likewise for the
+    attacked curve.  ``per_seed`` retains the individual results.
+    """
+
+    percentiles: np.ndarray
+    acc_clean_mean: np.ndarray
+    acc_clean_std: np.ndarray
+    acc_attacked_mean: np.ndarray
+    acc_attacked_std: np.ndarray
+    n_seeds: int
+    per_seed: list
+
+    @property
+    def best_pure(self) -> tuple[float, float]:
+        """(percentile, mean accuracy) of the best average pure defence."""
+        idx = int(np.argmax(self.acc_attacked_mean))
+        return float(self.percentiles[idx]), float(self.acc_attacked_mean[idx])
+
+    def as_sweep_result(self, dataset_name: str = "aggregated") -> PureSweepResult:
+        """Collapse to a :class:`PureSweepResult` (means), e.g. for curve
+        estimation on the aggregated measurement."""
+        first = self.per_seed[0]
+        return PureSweepResult(
+            percentiles=self.percentiles.tolist(),
+            acc_clean=self.acc_clean_mean.tolist(),
+            acc_attacked=self.acc_attacked_mean.tolist(),
+            n_poison=first.n_poison,
+            poison_fraction=first.poison_fraction,
+            dataset_name=dataset_name,
+            n_repeats=self.n_seeds * first.n_repeats,
+        )
+
+
+def run_multi_seed_sweep(
+    *,
+    n_seeds: int = 5,
+    base_seed: int = 0,
+    context_factory: Callable[[int], ExperimentContext] | None = None,
+    percentiles=None,
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+) -> AggregatedSweep:
+    """Run the Figure-1 sweep across ``n_seeds`` independent contexts.
+
+    Each seed gets a fresh context (fresh surrogate draw, fresh split)
+    so the aggregation covers *all* sources of variation, not just SGD
+    noise.
+    """
+    check_positive_int(n_seeds, name="n_seeds")
+    if context_factory is None:
+        context_factory = lambda seed: make_spambase_context(seed=seed)
+
+    sweeps = []
+    for k in range(n_seeds):
+        ctx = context_factory(derive_seed(base_seed, "multi-seed", k))
+        sweeps.append(run_pure_strategy_sweep(
+            ctx, percentiles=percentiles, poison_fraction=poison_fraction,
+            n_repeats=n_repeats,
+        ))
+
+    ref = np.asarray(sweeps[0].percentiles, dtype=float)
+    for s in sweeps[1:]:
+        if not np.allclose(np.asarray(s.percentiles), ref):
+            raise RuntimeError("sweeps disagree on the percentile grid")
+    clean = np.vstack([s.acc_clean for s in sweeps])
+    attacked = np.vstack([s.acc_attacked for s in sweeps])
+    return AggregatedSweep(
+        percentiles=ref,
+        acc_clean_mean=clean.mean(axis=0),
+        acc_clean_std=clean.std(axis=0),
+        acc_attacked_mean=attacked.mean(axis=0),
+        acc_attacked_std=attacked.std(axis=0),
+        n_seeds=n_seeds,
+        per_seed=sweeps,
+    )
+
+
+def aggregate_metric(
+    fn: Callable[[int], float],
+    *,
+    n_seeds: int = 5,
+    base_seed: int = 0,
+    label: str = "metric",
+) -> dict:
+    """Evaluate ``fn(seed)`` across seeds; return mean/std/min/max.
+
+    A generic helper for aggregating any scalar experiment output
+    (e.g. the empirical game's mixed advantage).
+    """
+    check_positive_int(n_seeds, name="n_seeds")
+    values = np.array([
+        float(fn(derive_seed(base_seed, label, k))) for k in range(n_seeds)
+    ])
+    return {
+        "mean": float(values.mean()),
+        "std": float(values.std()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "values": values.tolist(),
+    }

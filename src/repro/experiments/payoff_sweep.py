@@ -1,0 +1,178 @@
+"""The paper's two experiments: the Figure-1 sweep and Table 1.
+
+:func:`run_pure_strategy_sweep` reproduces Figure 1: for every filter
+strength on a percentile grid, measure test accuracy (a) clean and
+(b) under the optimal attack placed just inside the filter.  The two
+curves are the empirical ``Γ`` and ``Γ + N·E`` the paper reads its
+algorithm inputs from.
+
+:func:`run_table1_experiment` reproduces Table 1: estimate the curves
+from the sweep, run Algorithm 1 for each support size ``n``, and
+evaluate the resulting mixed defence against the optimal mixed attack.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.algorithm1 import compute_optimal_defense
+from repro.core.game import PayoffCurves
+from repro.core.mixed_strategy import MixedDefense
+from repro.core.payoff_estimation import estimate_payoff_curves
+from repro.experiments.results import MixedStrategyResult, PureSweepResult
+from repro.experiments.runner import ExperimentContext, evaluate_configuration
+from repro.attacks.base import attack_budget
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["run_pure_strategy_sweep", "evaluate_mixed_defense", "run_table1_experiment"]
+
+
+def run_pure_strategy_sweep(
+    ctx: ExperimentContext,
+    *,
+    percentiles=None,
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+) -> PureSweepResult:
+    """Figure 1: accuracy vs filter strength, clean and under optimal attack.
+
+    The optimal pure attack against a *known* filter at percentile
+    ``p`` places every point just inside that radius
+    (``OptimalBoundaryAttack(target_percentile=p)``), the paper's
+    "place the poisoning points close to the boundary of the filter".
+    """
+    check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
+    check_positive_int(n_repeats, name="n_repeats")
+    if percentiles is None:
+        percentiles = np.array([0.0, 0.01, 0.02, 0.03, 0.05, 0.075, 0.10,
+                                0.15, 0.20, 0.25, 0.30, 0.40, 0.50])
+    percentiles = np.asarray(percentiles, dtype=float)
+
+    acc_clean = np.zeros_like(percentiles)
+    acc_attacked = np.zeros_like(percentiles)
+    for i, p in enumerate(percentiles):
+        clean_scores, attacked_scores = [], []
+        for rep in range(n_repeats):
+            seed = derive_seed(ctx.seed, "sweep", i, rep)
+            clean_scores.append(
+                evaluate_configuration(
+                    ctx, filter_percentile=float(p), attack=None, seed=seed
+                ).accuracy
+            )
+            attack = ctx.boundary_attack(float(p))
+            attacked_scores.append(
+                evaluate_configuration(
+                    ctx, filter_percentile=float(p), attack=attack,
+                    poison_fraction=poison_fraction, seed=seed,
+                ).accuracy
+            )
+        acc_clean[i] = float(np.mean(clean_scores))
+        acc_attacked[i] = float(np.mean(attacked_scores))
+
+    return PureSweepResult(
+        percentiles=percentiles.tolist(),
+        acc_clean=acc_clean.tolist(),
+        acc_attacked=acc_attacked.tolist(),
+        n_poison=attack_budget(ctx.n_train, poison_fraction),
+        poison_fraction=poison_fraction,
+        dataset_name=ctx.dataset_name,
+        n_repeats=n_repeats,
+    )
+
+
+def evaluate_mixed_defense(
+    ctx: ExperimentContext,
+    defense: MixedDefense,
+    *,
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+) -> tuple[float, float, np.ndarray]:
+    """Expected accuracy of a mixed defence under the optimal mixed attack.
+
+    At the equalized defence the attacker is indifferent over
+    placements on the support, so the optimal attack is any mixture of
+    them (Section 4.2).  We tabulate the full support x support
+    accuracy matrix ``A[i, j]`` (defender draws ``p_i``, attacker
+    places at ``p_j``), weight rows by the defender's probabilities,
+    and take the **attacker's best column** — the worst case for the
+    defender, which upper-bounds what any equilibrium attack mixture
+    could do.
+
+    Returns ``(expected_accuracy, dispersion, matrix)`` where the
+    dispersion is the probability-weighted std of the defender's
+    row-accuracies at the attacker's chosen column.
+    """
+    support = defense.percentiles
+    probs = defense.probabilities
+    matrix = np.zeros((len(support), len(support)))
+    for j, p_attack in enumerate(support):
+        attack = ctx.boundary_attack(float(p_attack))
+        for i, p_filter in enumerate(support):
+            scores = []
+            for rep in range(n_repeats):
+                seed = derive_seed(ctx.seed, "mixed", i, j, rep)
+                scores.append(
+                    evaluate_configuration(
+                        ctx, filter_percentile=float(p_filter), attack=attack,
+                        poison_fraction=poison_fraction, seed=seed,
+                    ).accuracy
+                )
+            matrix[i, j] = float(np.mean(scores))
+
+    expected_by_attack = probs @ matrix  # one value per attacker column
+    worst_j = int(np.argmin(expected_by_attack))
+    expected_accuracy = float(expected_by_attack[worst_j])
+    deviations = matrix[:, worst_j] - expected_accuracy
+    dispersion = float(np.sqrt(probs @ deviations**2))
+    return expected_accuracy, dispersion, matrix
+
+
+def run_table1_experiment(
+    ctx: ExperimentContext,
+    sweep: PureSweepResult,
+    *,
+    n_radii_values=(2, 3),
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+    curves: PayoffCurves | None = None,
+    algorithm_kwargs: dict | None = None,
+) -> list[MixedStrategyResult]:
+    """Table 1: Algorithm 1's mixed defence for each support size.
+
+    ``curves`` may be supplied to reuse a fit; otherwise they are
+    estimated from ``sweep`` exactly as the paper does.
+    """
+    if curves is None:
+        curves = estimate_payoff_curves(
+            sweep.percentiles, sweep.acc_clean, sweep.acc_attacked, sweep.n_poison
+        )
+    best_p, best_acc = sweep.best_pure
+    results = []
+    for n_radii in n_radii_values:
+        start = time.perf_counter()
+        opt = compute_optimal_defense(
+            curves, n_radii, sweep.n_poison, **(algorithm_kwargs or {})
+        )
+        elapsed = time.perf_counter() - start
+        accuracy, dispersion, matrix = evaluate_mixed_defense(
+            ctx, opt.defense, poison_fraction=poison_fraction, n_repeats=n_repeats
+        )
+        results.append(
+            MixedStrategyResult(
+                n_radii=int(n_radii),
+                percentiles=opt.defense.percentiles.tolist(),
+                probabilities=opt.defense.probabilities.tolist(),
+                accuracy=accuracy,
+                accuracy_std=dispersion,
+                expected_loss=opt.expected_loss,
+                best_pure_accuracy=best_acc,
+                best_pure_percentile=best_p,
+                accuracy_matrix=matrix.tolist(),
+                algorithm_iterations=opt.n_iterations,
+                wall_time_seconds=elapsed,
+            )
+        )
+    return results

@@ -1,0 +1,110 @@
+"""ASCII rendering of experiment results, mirroring the paper's layout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.results import MixedStrategyResult, PureSweepResult
+
+__all__ = ["ascii_table", "format_pure_sweep", "format_table1", "ascii_series"]
+
+
+def ascii_table(headers, rows, *, title: str | None = None) -> str:
+    """Render a simple fixed-width table.
+
+    ``rows`` is an iterable of sequences; every cell is str()-ed.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append(sep)
+    for row in str_rows:
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def ascii_series(x, y, *, width: int = 60, height: int = 14,
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """Tiny terminal scatter/line chart for a (x, y) series."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+        raise ValueError("x and y must be matching non-empty 1-d arrays")
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(y.min()), float(y.max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{y_label}  [{y_min:.3f} .. {y_max:.3f}]"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  [{x_min:.3f} .. {x_max:.3f}]")
+    return "\n".join(lines)
+
+
+def format_pure_sweep(result: PureSweepResult) -> str:
+    """Figure-1 data as a table plus two terminal charts."""
+    rows = [
+        (f"{p:.1%}", f"{c:.4f}", f"{a:.4f}")
+        for p, c, a in zip(result.percentiles, result.acc_clean, result.acc_attacked)
+    ]
+    table = ascii_table(
+        ["filtered", "accuracy (no attack)", "accuracy (optimal attack)"],
+        rows,
+        title=(
+            f"Figure 1 — pure strategy defence under optimal attack "
+            f"({result.dataset_name}, {result.poison_fraction:.0%} poisoning, "
+            f"N={result.n_poison})"
+        ),
+    )
+    best_p, best_acc = result.best_pure
+    chart = ascii_series(
+        result.percentiles, result.acc_attacked,
+        x_label="fraction removed by filter", y_label="accuracy under attack",
+    )
+    return (
+        f"{table}\n\nbest pure defence: remove {best_p:.1%} "
+        f"-> accuracy {best_acc:.4f}\n\n{chart}"
+    )
+
+
+def format_table1(results: list[MixedStrategyResult]) -> str:
+    """Table 1 in the paper's layout (one column block per n)."""
+    blocks = []
+    for res in results:
+        radii = "  ".join(f"{p:.1%}" for p in res.percentiles)
+        probs = "  ".join(f"{q:.1%}" for q in res.probabilities)
+        blocks.append(
+            ascii_table(
+                ["field", f"n = {res.n_radii}"],
+                [
+                    ("radii (percentile)", radii),
+                    ("probability", probs),
+                    ("accuracy", f"{res.accuracy:.1%}"),
+                    ("best pure accuracy", f"{res.best_pure_accuracy:.1%}"),
+                    ("expected loss (model units)", f"{res.expected_loss:.5f}"),
+                    ("algorithm iterations", str(res.algorithm_iterations)),
+                ],
+                title=f"Table 1 — mixed strategy defence under optimal attack (n={res.n_radii})",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,136 @@
+"""Serialisable experiment result records.
+
+Every harness returns one of these dataclasses; they round-trip through
+JSON so benchmark runs can archive their numbers next to the paper's
+(EXPERIMENTS.md is generated from them).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PureSweepResult",
+    "MixedStrategyResult",
+    "Table1Row",
+    "results_to_json",
+    "results_from_json",
+]
+
+
+def _listify(obj):
+    """Recursively convert numpy containers to plain Python for JSON."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {k: _listify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_listify(v) for v in obj]
+    return obj
+
+
+@dataclass
+class PureSweepResult:
+    """Figure-1 data: pure-strategy defence under optimal attack.
+
+    Attributes
+    ----------
+    percentiles:
+        Filter strengths swept (fraction of genuine data removed).
+    acc_clean:
+        Test accuracy with each filter, **no attack** — the collateral
+    acc_attacked:
+        Test accuracy with each filter under the optimal boundary
+        attack that survives it.
+    n_poison:
+        Attack budget used.
+    poison_fraction:
+        Contamination rate of the training set.
+    dataset_name:
+        Data provenance.
+    n_repeats:
+        Averaging repetitions per grid point.
+    """
+
+    percentiles: list
+    acc_clean: list
+    acc_attacked: list
+    n_poison: int
+    poison_fraction: float
+    dataset_name: str
+    n_repeats: int = 1
+
+    @property
+    def best_pure(self) -> tuple[float, float]:
+        """(percentile, accuracy) of the best pure defence under attack."""
+        idx = int(np.argmax(self.acc_attacked))
+        return float(self.percentiles[idx]), float(self.acc_attacked[idx])
+
+    @property
+    def clean_baseline(self) -> float:
+        """Unfiltered, unattacked accuracy."""
+        return float(self.acc_clean[0])
+
+
+@dataclass
+class MixedStrategyResult:
+    """Table-1 data for one support size ``n``.
+
+    ``accuracy`` is the expected test accuracy of the mixed defence
+    under the optimal (indifferent) attack; ``accuracy_matrix[i][j]``
+    is the accuracy when the defender draws support point ``i`` and the
+    attacker places at support point ``j``.
+    """
+
+    n_radii: int
+    percentiles: list
+    probabilities: list
+    accuracy: float
+    accuracy_std: float
+    expected_loss: float
+    best_pure_accuracy: float
+    best_pure_percentile: float
+    accuracy_matrix: list = field(default_factory=list)
+    algorithm_iterations: int = 0
+    wall_time_seconds: float = 0.0
+
+
+@dataclass
+class Table1Row:
+    """One column block of the paper's Table 1."""
+
+    n_radii: int
+    radii_percent: list
+    probabilities_percent: list
+    accuracy_percent: float
+
+
+def results_to_json(result, path: str | None = None) -> str:
+    """Serialise a result dataclass (with its type tag) to JSON."""
+    payload = {"type": type(result).__name__, "data": _listify(asdict(result))}
+    text = json.dumps(payload, indent=2)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text
+
+
+_RESULT_TYPES = {cls.__name__: cls for cls in (PureSweepResult, MixedStrategyResult, Table1Row)}
+
+
+def results_from_json(text_or_path: str):
+    """Inverse of :func:`results_to_json` (accepts a path or raw JSON)."""
+    if text_or_path.lstrip().startswith("{"):
+        payload = json.loads(text_or_path)
+    else:
+        with open(text_or_path, encoding="utf-8") as f:
+            payload = json.load(f)
+    cls = _RESULT_TYPES.get(payload.get("type"))
+    if cls is None:
+        raise ValueError(f"unknown result type {payload.get('type')!r}")
+    return cls(**payload["data"])

@@ -1,0 +1,41 @@
+"""General two-player zero-sum game substrate.
+
+Provides finite matrix games with several independent solvers — an
+exact minimax LP, fictitious play, regret matching and support
+enumeration — plus a discretisation bridge for continuous games.
+
+The poisoning game in :mod:`repro.core` is an infinite (continuous)
+game; this subpackage exists so the core results can be *cross-checked*
+against exact solutions of fine discretisations, and so the library is
+useful as a standalone game-theory toolkit.
+"""
+
+from repro.gametheory.matrix_game import MatrixGame
+from repro.gametheory.lp_solver import solve_zero_sum_lp, LPSolution
+from repro.gametheory.fictitious_play import fictitious_play, FictitiousPlayResult
+from repro.gametheory.regret_matching import regret_matching, RegretMatchingResult
+from repro.gametheory.support_enumeration import support_enumeration
+from repro.gametheory.best_response_dynamics import (
+    best_response_dynamics,
+    BestResponseTrace,
+    detect_cycle,
+)
+from repro.gametheory.continuous import DiscretizedZeroSumGame
+from repro.gametheory.double_oracle import double_oracle, DoubleOracleResult
+
+__all__ = [
+    "MatrixGame",
+    "solve_zero_sum_lp",
+    "LPSolution",
+    "fictitious_play",
+    "FictitiousPlayResult",
+    "regret_matching",
+    "RegretMatchingResult",
+    "support_enumeration",
+    "best_response_dynamics",
+    "BestResponseTrace",
+    "detect_cycle",
+    "DiscretizedZeroSumGame",
+    "double_oracle",
+    "DoubleOracleResult",
+]

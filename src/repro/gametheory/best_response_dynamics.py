@@ -1,0 +1,117 @@
+"""Alternating best-response dynamics and cycle detection.
+
+Proposition 1 of the paper shows the poisoning game has no pure NE by
+arguing the players' best-response functions never intersect.  The
+constructive counterpart — the tool this module provides — is to *play*
+alternating best responses and watch them cycle instead of converging.
+``detect_cycle`` certifies the cycle, which is the empirical signature
+of pure-NE non-existence used in ``benchmarks/bench_pure_ne_cycle.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.gametheory.matrix_game import MatrixGame
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BestResponseTrace", "best_response_dynamics", "detect_cycle"]
+
+
+@dataclass
+class BestResponseTrace:
+    """History of an alternating best-response run.
+
+    ``profiles`` is the sequence of joint pure-strategy profiles
+    visited; ``converged`` is true iff a fixed point (pure NE) was
+    reached, in which case ``equilibrium`` holds it; otherwise
+    ``cycle`` holds the detected cycle as a list of profiles.
+    """
+
+    profiles: list = field(default_factory=list)
+    converged: bool = False
+    equilibrium: tuple | None = None
+    cycle: list | None = None
+
+    @property
+    def cycle_length(self) -> int:
+        return len(self.cycle) if self.cycle else 0
+
+
+def detect_cycle(profiles: list) -> list | None:
+    """Return the first repeating cycle in a sequence of hashable states.
+
+    Finds the earliest index whose state reappears later and returns
+    the states between the two occurrences.  ``None`` if no repetition.
+    """
+    seen: dict = {}
+    for idx, state in enumerate(profiles):
+        if state in seen:
+            return profiles[seen[state]: idx]
+        seen[state] = idx
+    return None
+
+
+def best_response_dynamics(
+    game_or_brs: MatrixGame | tuple[Callable, Callable],
+    *,
+    initial: tuple = None,
+    max_steps: int = 1000,
+) -> BestResponseTrace:
+    """Run alternating best responses until a fixed point or a cycle.
+
+    Parameters
+    ----------
+    game_or_brs:
+        Either a :class:`MatrixGame` (pure best responses are computed
+        from the matrix, ties broken toward the lowest index) or a pair
+        ``(br_row, br_col)`` of callables for non-matrix games:
+        ``br_row(col_action) -> row_action`` and vice versa.  This
+        callable form is how the continuous poisoning game plugs in.
+    initial:
+        Starting joint profile ``(row_action, col_action)``.  Defaults
+        to ``(0, 0)`` for matrix games; required for callable games.
+    max_steps:
+        Safety bound on the number of alternating updates.
+
+    Notes
+    -----
+    Actions must be hashable so visited profiles can be cycle-checked.
+    """
+    max_steps = check_positive_int(max_steps, name="max_steps")
+    if isinstance(game_or_brs, MatrixGame):
+        A = game_or_brs.payoffs
+
+        def br_row(col_action):
+            return int(np.argmax(A[:, col_action]))
+
+        def br_col(row_action):
+            return int(np.argmin(A[row_action, :]))
+
+        state = initial if initial is not None else (0, 0)
+    else:
+        br_row, br_col = game_or_brs
+        if initial is None:
+            raise ValueError("initial profile is required for callable best responses")
+        state = initial
+
+    trace = BestResponseTrace(profiles=[state])
+    for _ in range(max_steps):
+        row_action, col_action = state
+        new_row = br_row(col_action)
+        new_col = br_col(new_row)
+        new_state = (new_row, new_col)
+        if new_state == state:
+            trace.converged = True
+            trace.equilibrium = new_state
+            return trace
+        trace.profiles.append(new_state)
+        cycle = detect_cycle(trace.profiles)
+        if cycle is not None and len(cycle) > 1:
+            trace.cycle = cycle
+            return trace
+        state = new_state
+    return trace

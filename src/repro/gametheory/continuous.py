@@ -1,0 +1,89 @@
+"""Discretisation bridge from continuous zero-sum games to matrix games.
+
+The poisoning game has continuous strategy spaces (filter radii and
+poisoning radii on ``[0, B]``).  Glicksberg's theorem guarantees a
+mixed NE; computationally we approximate it by sampling each player's
+interval on a grid, solving the induced matrix game exactly with the
+LP, and refining the grid.  :mod:`repro.core.equilibrium` uses this to
+cross-check Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.gametheory.lp_solver import LPSolution, solve_zero_sum_lp
+from repro.gametheory.matrix_game import MatrixGame
+from repro.utils.validation import check_positive_int
+
+__all__ = ["DiscretizedZeroSumGame"]
+
+
+@dataclass
+class DiscretizedZeroSumGame:
+    """A continuous zero-sum game on a product of intervals.
+
+    Parameters
+    ----------
+    payoff:
+        ``payoff(x, y) -> float`` — the row (maximising) player's payoff
+        at row action ``x`` and column action ``y``.
+    row_interval, col_interval:
+        Inclusive action intervals ``(low, high)`` for each player.
+    """
+
+    payoff: Callable[[float, float], float]
+    row_interval: tuple[float, float]
+    col_interval: tuple[float, float]
+
+    def __post_init__(self):
+        for name, (lo, hi) in [("row_interval", self.row_interval),
+                               ("col_interval", self.col_interval)]:
+            if not (np.isfinite(lo) and np.isfinite(hi) and lo < hi):
+                raise ValueError(f"{name} must be a finite interval (lo < hi), got {(lo, hi)}")
+
+    def grid(self, n: int, which: str) -> np.ndarray:
+        """Uniform grid of ``n`` actions on one player's interval."""
+        n = check_positive_int(n, name="n")
+        lo, hi = self.row_interval if which == "row" else self.col_interval
+        return np.linspace(lo, hi, n)
+
+    def matrix_game(self, n_row: int = 51, n_col: int = 51) -> MatrixGame:
+        """Tabulate the payoff on an ``n_row`` x ``n_col`` grid."""
+        rows = self.grid(n_row, "row")
+        cols = self.grid(n_col, "col")
+        A = np.array([[float(self.payoff(x, y)) for y in cols] for x in rows])
+        return MatrixGame(A, row_labels=rows.tolist(), col_labels=cols.tolist())
+
+    def solve(self, n_row: int = 51, n_col: int = 51) -> tuple[LPSolution, MatrixGame]:
+        """Solve the discretised game exactly; returns (solution, game)."""
+        game = self.matrix_game(n_row, n_col)
+        return solve_zero_sum_lp(game), game
+
+    def solve_refined(
+        self,
+        *,
+        initial: int = 21,
+        refinements: int = 2,
+        factor: int = 2,
+    ) -> tuple[LPSolution, MatrixGame]:
+        """Solve on progressively finer grids, returning the finest solution.
+
+        The value sequence of the refinements is attached to the
+        returned game as ``value_trace`` (a plain list) so callers can
+        check discretisation convergence.
+        """
+        check_positive_int(initial, name="initial")
+        values = []
+        n = initial
+        solution, game = self.solve(n, n)
+        values.append(solution.value)
+        for _ in range(refinements):
+            n = (n - 1) * factor + 1  # keep previous grid nodes nested
+            solution, game = self.solve(n, n)
+            values.append(solution.value)
+        game.value_trace = values
+        return solution, game

@@ -1,0 +1,171 @@
+"""Double-oracle solver for zero-sum games with large/continuous action sets.
+
+McMahan, Gordon & Blum (2003): maintain finite action subsets for both
+players, solve the restricted matrix game exactly (LP), then ask each
+player's *best-response oracle* for its best action against the
+opponent's current mixed strategy; add the responses and repeat.  The
+restricted game values sandwich the true value, and the loop stops when
+neither oracle can improve by more than ``tol``.
+
+This is the natural exact-ish solver for the poisoning game: both
+players' strategy spaces are intervals of percentiles, and best
+responses are cheap one-dimensional maximisations —
+:func:`repro.core.equilibrium` wires those in.  Compared to a fixed
+discretisation, the double oracle concentrates grid points exactly
+where the equilibrium needs them (e.g. the ε-chase region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gametheory.lp_solver import solve_zero_sum_lp
+from repro.gametheory.matrix_game import MatrixGame
+from repro.utils.validation import check_positive_int
+
+__all__ = ["DoubleOracleResult", "double_oracle"]
+
+
+@dataclass
+class DoubleOracleResult:
+    """Solution of a double-oracle run.
+
+    Attributes
+    ----------
+    row_actions, col_actions:
+        The final restricted action sets (in discovery order).
+    row_strategy, col_strategy:
+        Equilibrium mixes over those actions.
+    value:
+        Restricted-game value at termination.
+    gap_trace:
+        Best-response improvement gap per iteration (should shrink to
+        ``tol``); its last entry certifies the ε-equilibrium quality.
+    iterations:
+        Oracle rounds performed.
+    converged:
+        True iff the gap fell below ``tol`` before ``max_iter``.
+    """
+
+    row_actions: list
+    col_actions: list
+    row_strategy: np.ndarray
+    col_strategy: np.ndarray
+    value: float
+    gap_trace: list = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = False
+
+    def support(self, player: str = "col", threshold: float = 1e-3) -> list:
+        """(action, probability) pairs with probability above threshold."""
+        actions, strategy = (
+            (self.row_actions, self.row_strategy) if player == "row"
+            else (self.col_actions, self.col_strategy)
+        )
+        return [(a, float(q)) for a, q in zip(actions, strategy) if q > threshold]
+
+
+def double_oracle(
+    payoff: Callable[[object, object], float],
+    row_oracle: Callable[[Sequence, np.ndarray], object],
+    col_oracle: Callable[[Sequence, np.ndarray], object],
+    *,
+    initial_row: Sequence,
+    initial_col: Sequence,
+    tol: float = 1e-6,
+    max_iter: int = 100,
+) -> DoubleOracleResult:
+    """Solve a zero-sum game via the double-oracle loop.
+
+    Parameters
+    ----------
+    payoff:
+        ``payoff(row_action, col_action)`` — the maximising row player's
+        payoff.
+    row_oracle:
+        ``row_oracle(col_actions, col_strategy) -> row_action`` — a best
+        (or at least ε-best) response for the row player against the
+        column player's current mix.
+    col_oracle:
+        Symmetric oracle for the minimising column player.
+    initial_row, initial_col:
+        Non-empty seed action sets.
+    tol:
+        Stop when neither oracle improves the restricted value by more
+        than this.
+    max_iter:
+        Bound on oracle rounds.
+
+    Notes
+    -----
+    Actions are compared with ``==`` for deduplication; they must be
+    hashable (floats, tuples, ...).
+    """
+    check_positive_int(max_iter, name="max_iter")
+    row_actions = list(dict.fromkeys(initial_row))
+    col_actions = list(dict.fromkeys(initial_col))
+    if not row_actions or not col_actions:
+        raise ValueError("initial action sets must be non-empty")
+
+    # Payoff cache: the matrix grows incrementally; recomputing every
+    # entry each round would make the oracle loop quadratic in calls.
+    cache: dict = {}
+
+    def entry(r, c) -> float:
+        key = (r, c)
+        if key not in cache:
+            cache[key] = float(payoff(r, c))
+        return cache[key]
+
+    def matrix() -> np.ndarray:
+        return np.array([[entry(r, c) for c in col_actions] for r in row_actions])
+
+    gap_trace: list = []
+    solution = None
+    converged = False
+    iterations = 0
+    # Snapshots of the action sets the returned strategies refer to
+    # (appending after the final solve must not desynchronise them).
+    solved_rows = list(row_actions)
+    solved_cols = list(col_actions)
+    for _ in range(max_iter):
+        iterations += 1
+        game = MatrixGame(matrix(), row_labels=row_actions, col_labels=col_actions)
+        solution = solve_zero_sum_lp(game)
+        solved_rows = list(row_actions)
+        solved_cols = list(col_actions)
+
+        new_row = row_oracle(col_actions, solution.col_strategy)
+        new_col = col_oracle(row_actions, solution.row_strategy)
+
+        # Improvement each oracle achieves over the restricted value.
+        row_gain = (
+            sum(q * entry(new_row, c) for c, q in zip(col_actions, solution.col_strategy))
+            - solution.value
+        )
+        col_gain = solution.value - sum(
+            q * entry(r, new_col) for r, q in zip(row_actions, solution.row_strategy)
+        )
+        gap = max(row_gain, 0.0) + max(col_gain, 0.0)
+        gap_trace.append(gap)
+        if gap <= tol:
+            converged = True
+            break
+        if row_gain > tol and new_row not in row_actions:
+            row_actions.append(new_row)
+        if col_gain > tol and new_col not in col_actions:
+            col_actions.append(new_col)
+
+    return DoubleOracleResult(
+        row_actions=solved_rows,
+        col_actions=solved_cols,
+        row_strategy=solution.row_strategy,
+        col_strategy=solution.col_strategy,
+        value=solution.value,
+        gap_trace=gap_trace,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,121 @@
+"""Finite two-player zero-sum matrix games.
+
+Convention: the payoff matrix ``A`` (shape ``m x n``) holds the **row
+player's** payoff; the column player receives ``-A``.  The row player
+maximises, the column player minimises.  In the poisoning game the
+attacker is the row player (maximising damage) and the defender is the
+column player.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_probability_vector
+
+__all__ = ["MatrixGame"]
+
+
+class MatrixGame:
+    """A zero-sum game given by the row player's payoff matrix."""
+
+    def __init__(self, payoffs, *, row_labels=None, col_labels=None):
+        self.payoffs = check_array(payoffs, ndim=2, name="payoffs")
+        m, n = self.payoffs.shape
+        self.row_labels = list(row_labels) if row_labels is not None else list(range(m))
+        self.col_labels = list(col_labels) if col_labels is not None else list(range(n))
+        if len(self.row_labels) != m or len(self.col_labels) != n:
+            raise ValueError(
+                f"label lengths ({len(self.row_labels)}, {len(self.col_labels)}) do "
+                f"not match payoff shape {self.payoffs.shape}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.payoffs.shape
+
+    # -- pure strategy analysis ------------------------------------------
+
+    def row_best_responses(self, col_strategy) -> np.ndarray:
+        """Indices of the row player's pure best responses to a column mix."""
+        q = check_probability_vector(col_strategy, name="col_strategy")
+        if q.shape[0] != self.shape[1]:
+            raise ValueError(f"col_strategy has length {q.shape[0]}, expected {self.shape[1]}")
+        values = self.payoffs @ q
+        return np.flatnonzero(np.isclose(values, values.max(), atol=1e-12))
+
+    def col_best_responses(self, row_strategy) -> np.ndarray:
+        """Indices of the column player's pure best responses to a row mix."""
+        p = check_probability_vector(row_strategy, name="row_strategy")
+        if p.shape[0] != self.shape[0]:
+            raise ValueError(f"row_strategy has length {p.shape[0]}, expected {self.shape[0]}")
+        values = p @ self.payoffs  # column player wants to minimise
+        return np.flatnonzero(np.isclose(values, values.min(), atol=1e-12))
+
+    def pure_equilibria(self) -> list[tuple[int, int]]:
+        """All saddle points: entries maximal in their column, minimal in their row."""
+        A = self.payoffs
+        row_max_of_col = A.max(axis=0, keepdims=True)
+        col_min_of_row = A.min(axis=1, keepdims=True)
+        is_saddle = np.isclose(A, row_max_of_col) & np.isclose(A, col_min_of_row)
+        return [tuple(idx) for idx in np.argwhere(is_saddle)]
+
+    def has_pure_equilibrium(self) -> bool:
+        """True iff maximin equals minimax over pure strategies."""
+        return bool(self.pure_equilibria())
+
+    def maximin_pure(self) -> tuple[int, float]:
+        """Row player's security strategy over pure strategies."""
+        worst = self.payoffs.min(axis=1)
+        i = int(np.argmax(worst))
+        return i, float(worst[i])
+
+    def minimax_pure(self) -> tuple[int, float]:
+        """Column player's security strategy over pure strategies."""
+        worst = self.payoffs.max(axis=0)
+        j = int(np.argmin(worst))
+        return j, float(worst[j])
+
+    # -- mixed strategy evaluation ---------------------------------------
+
+    def value(self, row_strategy, col_strategy) -> float:
+        """Expected row-player payoff ``p' A q``."""
+        p = check_probability_vector(row_strategy, name="row_strategy")
+        q = check_probability_vector(col_strategy, name="col_strategy")
+        if p.shape[0] != self.shape[0] or q.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"strategy lengths {p.shape[0]}/{q.shape[0]} do not match game "
+                f"shape {self.shape}"
+            )
+        return float(p @ self.payoffs @ q)
+
+    def exploitability(self, row_strategy, col_strategy) -> float:
+        """Sum of both players' best-response gains; 0 iff (p, q) is an NE."""
+        p = check_probability_vector(row_strategy, name="row_strategy")
+        q = check_probability_vector(col_strategy, name="col_strategy")
+        current = self.value(p, q)
+        best_row = float((self.payoffs @ q).max())
+        best_col = float((p @ self.payoffs).min())
+        return (best_row - current) + (current - best_col)
+
+    # -- reductions -------------------------------------------------------
+
+    def drop_dominated_rows(self) -> "MatrixGame":
+        """Remove strictly dominated rows (weakly iterated, single pass)."""
+        A = self.payoffs
+        keep = []
+        for i in range(A.shape[0]):
+            dominated = any(
+                j != i and np.all(A[j] >= A[i]) and np.any(A[j] > A[i])
+                for j in range(A.shape[0])
+            )
+            if not dominated:
+                keep.append(i)
+        return MatrixGame(
+            A[keep],
+            row_labels=[self.row_labels[i] for i in keep],
+            col_labels=self.col_labels,
+        )
+
+    def __repr__(self) -> str:
+        return f"MatrixGame(shape={self.shape})"

@@ -1,0 +1,105 @@
+"""Support enumeration for small zero-sum matrix games.
+
+Enumerates equal-size support pairs, solves the indifference equations
+on each candidate support, and verifies the resulting strategies.  This
+is exponential and meant for games up to roughly 8x8 — its role in this
+library is validating the LP and learning-dynamics solvers on small
+instances, and illustrating the *equalization* structure the paper's
+mixed defence relies on (all supported actions earn the same payoff).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.gametheory.matrix_game import MatrixGame
+
+__all__ = ["support_enumeration"]
+
+
+def _solve_support(A: np.ndarray, rows: tuple[int, ...], cols: tuple[int, ...]):
+    """Solve indifference equations restricted to a support pair.
+
+    Returns ``(p, q, v)`` or ``None`` if the linear system is singular
+    or yields negative probabilities.
+    """
+    k = len(rows)
+    sub = A[np.ix_(rows, cols)]
+    # Column player's mix q makes every supported row indifferent:
+    #   sub @ q = v * 1,  sum q = 1.
+    M = np.zeros((k + 1, k + 1))
+    M[:k, :k] = sub
+    M[:k, k] = -1.0
+    M[k, :k] = 1.0
+    rhs = np.zeros(k + 1)
+    rhs[k] = 1.0
+    try:
+        sol = np.linalg.solve(M, rhs)
+    except np.linalg.LinAlgError:
+        return None
+    q_sub, v = sol[:k], sol[k]
+    # Row player's mix p makes every supported column indifferent:
+    #   p' sub = v * 1, sum p = 1.
+    M2 = np.zeros((k + 1, k + 1))
+    M2[:k, :k] = sub.T
+    M2[:k, k] = -1.0
+    M2[k, :k] = 1.0
+    try:
+        sol2 = np.linalg.solve(M2, rhs)
+    except np.linalg.LinAlgError:
+        return None
+    p_sub = sol2[:k]
+    if np.any(p_sub < -1e-9) or np.any(q_sub < -1e-9):
+        return None
+    return np.clip(p_sub, 0, None), np.clip(q_sub, 0, None), float(v)
+
+
+def support_enumeration(
+    game: MatrixGame | np.ndarray,
+    *,
+    max_support: int | None = None,
+    tol: float = 1e-8,
+) -> list[tuple[np.ndarray, np.ndarray, float]]:
+    """Enumerate mixed equilibria of a zero-sum game by support pairs.
+
+    Returns a list of ``(row_strategy, col_strategy, value)`` triples,
+    deduplicated.  Only equal-cardinality supports are searched, which
+    by the zero-sum structure is sufficient to find at least one NE.
+    """
+    if not isinstance(game, MatrixGame):
+        game = MatrixGame(game)
+    A = game.payoffs
+    m, n = A.shape
+    cap = max_support if max_support is not None else min(m, n)
+    cap = min(cap, m, n)
+    found: list[tuple[np.ndarray, np.ndarray, float]] = []
+    for k in range(1, cap + 1):
+        for rows in itertools.combinations(range(m), k):
+            for cols in itertools.combinations(range(n), k):
+                if k == 1:
+                    i, j = rows[0], cols[0]
+                    p = np.zeros(m)
+                    q = np.zeros(n)
+                    p[i] = 1.0
+                    q[j] = 1.0
+                    candidate = (p, q, float(A[i, j]))
+                else:
+                    solved = _solve_support(A, rows, cols)
+                    if solved is None:
+                        continue
+                    p_sub, q_sub, v = solved
+                    p = np.zeros(m)
+                    q = np.zeros(n)
+                    p[list(rows)] = p_sub / max(p_sub.sum(), 1e-300)
+                    q[list(cols)] = q_sub / max(q_sub.sum(), 1e-300)
+                    candidate = (p, q, v)
+                p, q, v = candidate
+                if game.exploitability(p, q) < tol * max(1.0, np.abs(A).max()):
+                    if not any(
+                        np.allclose(p, fp, atol=1e-7) and np.allclose(q, fq, atol=1e-7)
+                        for fp, fq, _ in found
+                    ):
+                        found.append((p, q, v))
+    return found

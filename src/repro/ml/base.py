@@ -1,0 +1,116 @@
+"""Estimator base classes and the linear-classifier mixin.
+
+The API intentionally mirrors the ubiquitous ``fit``/``predict``
+convention so the attack, defence and game layers can treat any model
+uniformly.  Binary labels are handled in signed form internally
+(``{-1, +1}``) while accepting ``{0, 1}`` input, which is what the
+Spambase dataset uses.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_X_y
+
+__all__ = ["BaseEstimator", "LinearClassifierMixin", "clone_estimator", "signed_labels"]
+
+
+def signed_labels(y: np.ndarray) -> np.ndarray:
+    """Map binary labels from ``{0, 1}`` (or already signed) to ``{-1, +1}``."""
+    y = np.asarray(y)
+    out = np.where(y <= 0, -1, 1)
+    return out.astype(int)
+
+
+class BaseEstimator(ABC):
+    """Abstract base for every model in :mod:`repro.ml`.
+
+    Subclasses implement :meth:`fit` and :meth:`decision_function`; the
+    base provides prediction, scoring, and parameter introspection used
+    by :func:`clone_estimator` and grid search.
+    """
+
+    @abstractmethod
+    def fit(self, X, y) -> "BaseEstimator":
+        """Train the estimator on ``(X, y)`` and return ``self``."""
+
+    @abstractmethod
+    def decision_function(self, X) -> np.ndarray:
+        """Return real-valued scores; positive means the positive class."""
+
+    def predict(self, X) -> np.ndarray:
+        """Predict signed labels in ``{-1, +1}``."""
+        scores = self.decision_function(X)
+        return np.where(scores >= 0.0, 1, -1)
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of :meth:`predict` on ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        return float(np.mean(self.predict(X) == signed_labels(y)))
+
+    # -- parameter plumbing (constructor kwargs are the public params) --
+
+    def get_params(self) -> dict:
+        """Return constructor parameters as a dict (for cloning / search)."""
+        signature = inspect.signature(type(self).__init__)
+        names = [
+            name
+            for name, p in signature.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set constructor parameters by name; unknown names raise."""
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"Unknown parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class LinearClassifierMixin:
+    """Shared behaviour for linear models with ``coef_`` and ``intercept_``."""
+
+    coef_: np.ndarray
+    intercept_: float
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed distance-like score ``X @ coef_ + intercept_``."""
+        self._check_is_fitted()
+        X = check_array(X, ndim=2)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features but the model was trained with "
+                f"{self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    def _check_is_fitted(self) -> None:
+        if getattr(self, "coef_", None) is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted yet; call fit(X, y) first"
+            )
+
+
+def clone_estimator(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with identical parameters.
+
+    Fitted state (attributes ending in ``_``) is not carried over; the
+    clone is constructed fresh from ``get_params``.
+    """
+    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+    return type(estimator)(**params)

@@ -1,0 +1,118 @@
+"""Kernel approximation: random Fourier features + an RBF-SVM wrapper.
+
+The paper evaluates a linear SVM, but poisoning defences are often
+deployed in front of kernel machines; this module lets every
+experiment swap in an (approximate) RBF SVM while staying inside the
+linear training machinery:
+
+* :class:`RandomFourierFeatures` — Rahimi & Recht (2007): the map
+  ``z(x) = sqrt(2/D) * cos(W x + b)`` with ``W ~ N(0, gamma·I)`` has
+  ``E[z(x)·z(x')] = exp(-gamma/2 ||x - x'||²)``, so any linear learner
+  on ``z(x)`` approximates its RBF-kernel counterpart.
+* :class:`RBFSampleSVM` — the Pegasos SVM trained on those features,
+  exposing the usual estimator API (and therefore usable as a game
+  victim or attack surrogate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.linear_svm import LinearSVM
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_array, check_positive_int, check_X_y
+
+__all__ = ["RandomFourierFeatures", "RBFSampleSVM"]
+
+
+class RandomFourierFeatures:
+    """Monte-Carlo feature map approximating the RBF kernel.
+
+    Parameters
+    ----------
+    n_components:
+        Number of random features ``D`` (approximation error decays as
+        ``1/sqrt(D)``).
+    gamma:
+        RBF bandwidth: the approximated kernel is
+        ``exp(-gamma/2 ||x - x'||²)``.
+    seed:
+        Seed for the random frequencies/phases.
+    """
+
+    def __init__(self, n_components: int = 200, *, gamma: float = 1.0,
+                 seed: int | np.random.Generator | None = 0):
+        self.n_components = check_positive_int(n_components, name="n_components")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = float(gamma)
+        self.seed = seed
+        self.weights_ = None
+        self.offsets_ = None
+
+    def fit(self, X) -> "RandomFourierFeatures":
+        X = check_array(X, ndim=2)
+        rng = as_generator(self.seed)
+        d = X.shape[1]
+        self.weights_ = rng.normal(0.0, np.sqrt(self.gamma), size=(d, self.n_components))
+        self.offsets_ = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("RandomFourierFeatures is not fitted; call fit(X)")
+        X = check_array(X, ndim=2)
+        if X.shape[1] != self.weights_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, map was fitted with "
+                f"{self.weights_.shape[0]}"
+            )
+        projection = X @ self.weights_ + self.offsets_
+        return np.sqrt(2.0 / self.n_components) * np.cos(projection)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def approximate_kernel(self, X, Y=None) -> np.ndarray:
+        """The Gram matrix the fitted map induces (``z(X) @ z(Y)'``)."""
+        ZX = self.transform(X)
+        ZY = ZX if Y is None else self.transform(Y)
+        return ZX @ ZY.T
+
+
+class RBFSampleSVM(BaseEstimator):
+    """Approximate RBF-kernel SVM: random Fourier features + Pegasos.
+
+    Parameters mirror :class:`~repro.ml.linear_svm.LinearSVM` plus the
+    feature map's ``n_components`` and ``gamma``.
+    """
+
+    def __init__(self, n_components: int = 200, gamma: float = 1.0,
+                 reg: float = 1e-4, epochs: int = 30, batch_size: int = 64,
+                 seed: int | None = 0):
+        self.n_components = check_positive_int(n_components, name="n_components")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = float(gamma)
+        self.reg = float(reg)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.seed = seed
+        self._features: RandomFourierFeatures | None = None
+        self._svm: LinearSVM | None = None
+
+    def fit(self, X, y) -> "RBFSampleSVM":
+        X, y = check_X_y(X, y)
+        self._features = RandomFourierFeatures(
+            self.n_components, gamma=self.gamma, seed=self.seed
+        ).fit(X)
+        self._svm = LinearSVM(reg=self.reg, epochs=self.epochs,
+                              batch_size=self.batch_size, seed=self.seed)
+        self._svm.fit(self._features.transform(X), y)
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        if self._svm is None:
+            raise RuntimeError("RBFSampleSVM is not fitted; call fit(X, y) first")
+        return self._svm.decision_function(self._features.transform(X))

@@ -1,0 +1,153 @@
+"""Hinge-loss linear SVM trained by Pegasos-style subgradient descent.
+
+This is the model the paper evaluates ("Support Vector Machine (SVM)
+with hinge loss ... trained for 5000 epoch in every iteration").  The
+primal objective is
+
+    min_w  (lambda/2) ||w||^2 + (1/n) sum_i max(0, 1 - y_i (w.x_i + b))
+
+solved with mini-batch subgradient steps on the classic ``1/(lambda t)``
+Pegasos schedule (Shalev-Shwartz et al., 2011).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, LinearClassifierMixin, signed_labels
+from repro.ml.metrics import hinge_loss
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_X_y
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM(LinearClassifierMixin, BaseEstimator):
+    """Primal linear SVM with hinge loss.
+
+    Parameters
+    ----------
+    reg:
+        L2 regularisation strength ``lambda`` (must be positive).
+    epochs:
+        Number of passes over the training data.  The paper uses 5000;
+        the default here is smaller because the Pegasos schedule
+        converges to useful accuracy far sooner on standardised data,
+        and experiments override it where fidelity matters.
+    batch_size:
+        Mini-batch size for each subgradient step.
+    fit_intercept:
+        Learn an unregularised bias term.
+    seed:
+        RNG seed used to shuffle the data each epoch.
+    average:
+        If true, return the tail-averaged iterate (averaging the last
+        half of the trajectory), which markedly stabilises accuracy
+        measurements — important because the game experiments compare
+        accuracies that differ by a point or two.
+    tol:
+        Optional early-stopping tolerance on the epoch-to-epoch change
+        of the objective; ``None`` disables early stopping.
+
+    Attributes
+    ----------
+    coef_, intercept_:
+        Learned weights and bias.
+    objective_trace_:
+        Regularised objective value after each epoch (useful for tests
+        asserting that training actually descends).
+    """
+
+    def __init__(
+        self,
+        reg: float = 1e-4,
+        epochs: int = 60,
+        batch_size: int = 64,
+        fit_intercept: bool = True,
+        seed: int | None = 0,
+        average: bool = True,
+        tol: float | None = None,
+    ):
+        if reg <= 0:
+            raise ValueError(f"reg must be positive, got {reg}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.reg = float(reg)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.fit_intercept = bool(fit_intercept)
+        self.seed = seed
+        self.average = bool(average)
+        self.tol = tol
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y) -> "LinearSVM":
+        X, y = check_X_y(X, y)
+        y_signed = signed_labels(y).astype(float)
+        n, d = X.shape
+        rng = as_generator(self.seed)
+
+        w = np.zeros(d)
+        b = 0.0
+        w_sum = np.zeros(d)
+        b_sum = 0.0
+        n_averaged = 0
+        self.objective_trace_ = []
+
+        t = 0
+        prev_obj = np.inf
+        averaging_starts = max(1, self.epochs // 2)
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                t += 1
+                batch = order[start : start + self.batch_size]
+                Xb, yb = X[batch], y_signed[batch]
+                margins = yb * (Xb @ w + b)
+                active = margins < 1.0
+                eta = 1.0 / (self.reg * t)
+                # Subgradient of the regularised objective on the batch.
+                grad_w = self.reg * w
+                if np.any(active):
+                    grad_w = grad_w - (yb[active, None] * Xb[active]).sum(axis=0) / len(batch)
+                w = w - eta * grad_w
+                if self.fit_intercept and np.any(active):
+                    b = b + eta * yb[active].sum() / len(batch)
+                # Pegasos projection onto the ball of radius 1/sqrt(reg).
+                norm = np.linalg.norm(w)
+                radius = 1.0 / np.sqrt(self.reg)
+                if norm > radius:
+                    w = w * (radius / norm)
+                if self.average and epoch >= averaging_starts:
+                    w_sum += w
+                    b_sum += b
+                    n_averaged += 1
+
+            obj = self._objective(X, y_signed, w, b)
+            self.objective_trace_.append(obj)
+            if self.tol is not None and abs(prev_obj - obj) < self.tol:
+                break
+            prev_obj = obj
+
+        if self.average and n_averaged > 0:
+            self.coef_ = w_sum / n_averaged
+            self.intercept_ = float(b_sum / n_averaged)
+        else:
+            self.coef_ = w
+            self.intercept_ = float(b)
+        return self
+
+    def _objective(self, X: np.ndarray, y_signed: np.ndarray, w: np.ndarray,
+                   b: float) -> float:
+        scores = X @ w + b
+        return 0.5 * self.reg * float(w @ w) + hinge_loss(y_signed, scores)
+
+    def objective(self, X, y) -> float:
+        """Regularised hinge objective of the fitted model on ``(X, y)``."""
+        self._check_is_fitted()
+        X, y = check_X_y(X, y)
+        return self._objective(X, signed_labels(y).astype(float), self.coef_,
+                               self.intercept_)

@@ -1,0 +1,118 @@
+"""Classification metrics.
+
+All metrics accept labels in ``{0, 1}`` or ``{-1, +1}`` and normalise
+internally, matching the rest of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import signed_labels
+
+__all__ = [
+    "accuracy_score",
+    "zero_one_loss",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "roc_auc_score",
+    "hinge_loss",
+]
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = signed_labels(np.asarray(y_true))
+    y_pred = signed_labels(np.asarray(y_pred))
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError(
+            f"y_true and y_pred must be 1-d and the same length, got "
+            f"{y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics are undefined on empty inputs")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def zero_one_loss(y_true, y_pred) -> float:
+    """Fraction of incorrect predictions (``1 - accuracy``)."""
+    return 1.0 - accuracy_score(y_true, y_pred)
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """2x2 matrix ``[[TN, FP], [FN, TP]]`` with -1 as negative class."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    tn = int(np.sum((y_true == -1) & (y_pred == -1)))
+    fp = int(np.sum((y_true == -1) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == -1)))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def precision_score(y_true, y_pred) -> float:
+    """TP / (TP + FP); 0.0 when nothing is predicted positive."""
+    cm = confusion_matrix(y_true, y_pred)
+    fp, tp = cm[0, 1], cm[1, 1]
+    denom = tp + fp
+    return float(tp / denom) if denom else 0.0
+
+
+def recall_score(y_true, y_pred) -> float:
+    """TP / (TP + FN); 0.0 when there are no positives."""
+    cm = confusion_matrix(y_true, y_pred)
+    fn, tp = cm[1]
+    denom = tp + fn
+    return float(tp / denom) if denom else 0.0
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall (0.0 when both are 0)."""
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """Area under the ROC curve from real-valued scores.
+
+    Computed via the rank statistic (Mann-Whitney U), with midrank tie
+    handling.  Requires both classes present.
+    """
+    y_true = signed_labels(np.asarray(y_true))
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    n_pos = int(np.sum(y_true == 1))
+    n_neg = int(np.sum(y_true == -1))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score requires at least one sample of each class")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=float)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0  # midrank, 1-based
+        i = j + 1
+    rank_sum_pos = float(np.sum(ranks[y_true == 1]))
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def hinge_loss(y_true, scores, *, reduce: bool = True):
+    """Hinge loss ``max(0, 1 - y * score)`` (the SVM training objective)."""
+    y_true = signed_labels(np.asarray(y_true)).astype(float)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    losses = np.maximum(0.0, 1.0 - y_true * scores)
+    return float(losses.mean()) if reduce else losses

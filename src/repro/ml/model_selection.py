@@ -1,0 +1,175 @@
+"""Data splitting, cross-validation and grid search.
+
+The paper's protocol — a stratification-friendly 70/30 split of the
+4601 Spambase instances — is implemented by :func:`train_test_split`
+with ``stratify=True``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone_estimator
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int, check_X_y
+
+__all__ = ["train_test_split", "KFold", "StratifiedKFold", "cross_val_score", "GridSearch"]
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.3,
+    stratify: bool = True,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(X, y)`` into train and test portions.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of samples assigned to the test set (paper: 0.3).
+    stratify:
+        Preserve the class ratio in both portions (rounding aside).
+    seed:
+        RNG seed/generator for the shuffle.
+
+    Returns
+    -------
+    ``(X_train, X_test, y_train, y_test)``
+    """
+    X, y = check_X_y(X, y)
+    test_size = check_fraction(test_size, name="test_size", inclusive_low=False,
+                               inclusive_high=False)
+    rng = as_generator(seed)
+    n = X.shape[0]
+    if stratify:
+        test_idx_parts = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            members = rng.permutation(members)
+            n_test = int(round(test_size * len(members)))
+            n_test = min(max(n_test, 1), len(members) - 1)
+            test_idx_parts.append(members[:n_test])
+        test_idx = np.concatenate(test_idx_parts)
+    else:
+        perm = rng.permutation(n)
+        n_test = int(round(test_size * n))
+        n_test = min(max(n_test, 1), n - 1)
+        test_idx = perm[:n_test]
+    test_mask = np.zeros(n, dtype=bool)
+    test_mask[test_idx] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """Standard k-fold cross-validation splitter."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True,
+                 seed: int | np.random.Generator | None = None):
+        self.n_splits = check_positive_int(n_splits, name="n_splits")
+        if self.n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.shuffle = bool(shuffle)
+        self.seed = seed
+
+    def split(self, X, y=None):
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = as_generator(self.seed).permutation(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+class StratifiedKFold:
+    """K-fold that preserves the class ratio within every fold."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True,
+                 seed: int | np.random.Generator | None = None):
+        self.n_splits = check_positive_int(n_splits, name="n_splits")
+        if self.n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.shuffle = bool(shuffle)
+        self.seed = seed
+
+    def split(self, X, y):
+        """Yield ``(train_indices, test_indices)`` pairs, stratified on ``y``."""
+        y = np.asarray(y)
+        n = y.shape[0]
+        rng = as_generator(self.seed)
+        # Assign a fold id to every sample, round-robin within each class.
+        fold_of = np.empty(n, dtype=int)
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if self.shuffle:
+                members = rng.permutation(members)
+            if len(members) < self.n_splits:
+                raise ValueError(
+                    f"class {label} has only {len(members)} samples for "
+                    f"{self.n_splits} folds"
+                )
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        for i in range(self.n_splits):
+            test_idx = np.flatnonzero(fold_of == i)
+            train_idx = np.flatnonzero(fold_of != i)
+            yield train_idx, test_idx
+
+
+def cross_val_score(estimator: BaseEstimator, X, y, *, cv=None) -> np.ndarray:
+    """Accuracy of a fresh clone of ``estimator`` on every CV fold."""
+    X, y = check_X_y(X, y)
+    splitter = cv if cv is not None else StratifiedKFold(5, seed=0)
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = clone_estimator(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(model.score(X[test_idx], y[test_idx]))
+    return np.asarray(scores)
+
+
+@dataclass
+class GridSearch:
+    """Exhaustive hyper-parameter search by cross-validated accuracy.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    best_params_:
+        Parameter dict achieving the highest mean CV accuracy.
+    best_score_:
+        That accuracy.
+    results_:
+        ``list[(params, mean_score)]`` over the full grid.
+    """
+
+    estimator: BaseEstimator
+    param_grid: dict
+    cv: object = None
+    best_params_: dict | None = field(default=None, init=False)
+    best_score_: float | None = field(default=None, init=False)
+    results_: list = field(default_factory=list, init=False)
+
+    def fit(self, X, y) -> "GridSearch":
+        X, y = check_X_y(X, y)
+        names = sorted(self.param_grid)
+        self.results_ = []
+        for values in itertools.product(*(self.param_grid[n] for n in names)):
+            params = dict(zip(names, values))
+            model = clone_estimator(self.estimator).set_params(**params)
+            mean_score = float(np.mean(cross_val_score(model, X, y, cv=self.cv)))
+            self.results_.append((params, mean_score))
+        self.best_params_, self.best_score_ = max(self.results_, key=lambda r: r[1])
+        self.best_estimator_ = (
+            clone_estimator(self.estimator).set_params(**self.best_params_).fit(X, y)
+        )
+        return self

@@ -1,0 +1,86 @@
+"""Gaussian naive Bayes — the classic spam-filtering learner.
+
+Included for two reasons: it is the historically canonical Spambase
+model (the original RONI work poisoned naive-Bayes spam filters), and
+it gives the ablations a victim whose decision function is *not*
+linear-margin-based, probing whether the game's qualitative structure
+survives a different learner family.
+
+The decision function returned is the log-odds
+``log P(y=+1 | x) - log P(y=-1 | x)``, so the estimator slots into the
+same attack/defence machinery as the linear models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, signed_labels
+from repro.utils.validation import check_array, check_X_y
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes(BaseEstimator):
+    """Per-class independent Gaussians with shared smoothing.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every
+        class-conditional variance (numerical floor; also what keeps
+        zero-variance features from producing infinite likelihoods).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise ValueError(f"var_smoothing must be non-negative, got {var_smoothing}")
+        self.var_smoothing = float(var_smoothing)
+        self.theta_ = None  # class means, shape (2, d)
+        self.var_ = None    # class variances, shape (2, d)
+        self.class_prior_ = None  # P(y=-1), P(y=+1)
+
+    def fit(self, X, y) -> "GaussianNaiveBayes":
+        X, y = check_X_y(X, y)
+        y_signed = signed_labels(y)
+        classes = (-1, 1)
+        if len(np.unique(y_signed)) < 2:
+            raise ValueError("GaussianNaiveBayes requires both classes present")
+        means, variances, priors = [], [], []
+        eps = self.var_smoothing * float(X.var(axis=0).max() or 1.0)
+        for label in classes:
+            members = X[y_signed == label]
+            means.append(members.mean(axis=0))
+            variances.append(members.var(axis=0) + eps + 1e-300)
+            priors.append(members.shape[0] / X.shape[0])
+        self.theta_ = np.vstack(means)
+        self.var_ = np.vstack(variances)
+        self.class_prior_ = np.asarray(priors)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        """Shape (n, 2): log P(x | class) + log P(class) per class."""
+        jll = np.empty((X.shape[0], 2))
+        for k in range(2):
+            diff = X - self.theta_[k]
+            log_pdf = -0.5 * (np.log(2.0 * np.pi * self.var_[k])
+                              + diff**2 / self.var_[k]).sum(axis=1)
+            jll[:, k] = log_pdf + np.log(self.class_prior_[k])
+        return jll
+
+    def decision_function(self, X) -> np.ndarray:
+        if self.theta_ is None:
+            raise RuntimeError("GaussianNaiveBayes is not fitted; call fit(X, y) first")
+        X = check_array(X, ndim=2)
+        if X.shape[1] != self.theta_.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was trained with "
+                f"{self.theta_.shape[1]}"
+            )
+        jll = self._joint_log_likelihood(X)
+        return jll[:, 1] - jll[:, 0]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(y = +1 | x) via the normalised joint likelihoods."""
+        scores = self.decision_function(X)
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))

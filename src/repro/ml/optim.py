@@ -1,0 +1,146 @@
+"""First-order optimisers and learning-rate schedules.
+
+The SVM/logistic trainers delegate their parameter updates to these
+small strategy objects so that optimisation behaviour can be swapped
+and tested independently of the loss functions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "LearningRateSchedule",
+    "ConstantLR",
+    "InverseScalingLR",
+    "StepDecayLR",
+    "Optimizer",
+    "SGD",
+    "MomentumSGD",
+    "Adagrad",
+]
+
+
+class LearningRateSchedule(ABC):
+    """Maps a step counter ``t`` (starting at 1) to a learning rate."""
+
+    @abstractmethod
+    def rate(self, t: int) -> float:
+        """Learning rate at step ``t >= 1``."""
+
+
+class ConstantLR(LearningRateSchedule):
+    """``rate(t) = eta0`` for all ``t``."""
+
+    def __init__(self, eta0: float = 0.01):
+        if eta0 <= 0:
+            raise ValueError(f"eta0 must be positive, got {eta0}")
+        self.eta0 = float(eta0)
+
+    def rate(self, t: int) -> float:
+        return self.eta0
+
+
+class InverseScalingLR(LearningRateSchedule):
+    """``rate(t) = eta0 / t**power`` — the classic Pegasos schedule at power=1."""
+
+    def __init__(self, eta0: float = 1.0, power: float = 1.0):
+        if eta0 <= 0:
+            raise ValueError(f"eta0 must be positive, got {eta0}")
+        if power <= 0:
+            raise ValueError(f"power must be positive, got {power}")
+        self.eta0 = float(eta0)
+        self.power = float(power)
+
+    def rate(self, t: int) -> float:
+        return self.eta0 / (t ** self.power)
+
+
+class StepDecayLR(LearningRateSchedule):
+    """Multiply the rate by ``decay`` every ``step_size`` steps."""
+
+    def __init__(self, eta0: float = 0.1, decay: float = 0.5, step_size: int = 1000):
+        if eta0 <= 0:
+            raise ValueError(f"eta0 must be positive, got {eta0}")
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must lie in (0, 1], got {decay}")
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.eta0 = float(eta0)
+        self.decay = float(decay)
+        self.step_size = int(step_size)
+
+    def rate(self, t: int) -> float:
+        return self.eta0 * (self.decay ** ((t - 1) // self.step_size))
+
+
+class Optimizer(ABC):
+    """Stateful first-order update rule for a flat parameter vector."""
+
+    @abstractmethod
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return updated parameters given the gradient at ``params``."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Clear internal state (momentum buffers, step counters, ...)."""
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with a pluggable schedule."""
+
+    def __init__(self, schedule: LearningRateSchedule | None = None):
+        self.schedule = schedule if schedule is not None else ConstantLR(0.01)
+        self._t = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._t += 1
+        return params - self.schedule.rate(self._t) * grad
+
+    def reset(self) -> None:
+        self._t = 0
+
+
+class MomentumSGD(Optimizer):
+    """SGD with classical (heavy-ball) momentum."""
+
+    def __init__(self, schedule: LearningRateSchedule | None = None, momentum: float = 0.9):
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.schedule = schedule if schedule is not None else ConstantLR(0.01)
+        self.momentum = float(momentum)
+        self._velocity: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        self._t += 1
+        if self._velocity is None or self._velocity.shape != params.shape:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity - self.schedule.rate(self._t) * grad
+        return params + self._velocity
+
+    def reset(self) -> None:
+        self._velocity = None
+        self._t = 0
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-coordinate rates adapted by accumulated squared gradients."""
+
+    def __init__(self, eta0: float = 0.1, eps: float = 1e-8):
+        if eta0 <= 0:
+            raise ValueError(f"eta0 must be positive, got {eta0}")
+        self.eta0 = float(eta0)
+        self.eps = float(eps)
+        self._accum: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._accum is None or self._accum.shape != params.shape:
+            self._accum = np.zeros_like(params)
+        self._accum += grad ** 2
+        return params - self.eta0 * grad / (np.sqrt(self._accum) + self.eps)
+
+    def reset(self) -> None:
+        self._accum = None

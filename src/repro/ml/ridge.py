@@ -1,0 +1,50 @@
+"""Least-squares (ridge) classifier with a closed-form solve.
+
+The fastest learner in the library: one linear solve, no iteration.
+Used by RONI (which retrains the victim hundreds of times) and by
+tests that need a deterministic model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, LinearClassifierMixin, signed_labels
+from repro.utils.validation import check_X_y
+
+__all__ = ["RidgeClassifier"]
+
+
+class RidgeClassifier(LinearClassifierMixin, BaseEstimator):
+    """Classify by regressing signed labels with an L2 penalty.
+
+    Solves ``(X'X + reg * n * I) w = X' y`` (bias handled by centring,
+    left unregularised), then thresholds the regression output at zero.
+    """
+
+    def __init__(self, reg: float = 1e-3, fit_intercept: bool = True):
+        if reg < 0:
+            raise ValueError(f"reg must be non-negative, got {reg}")
+        self.reg = float(reg)
+        self.fit_intercept = bool(fit_intercept)
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y) -> "RidgeClassifier":
+        X, y = check_X_y(X, y)
+        t = signed_labels(y).astype(float)
+        n, d = X.shape
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            t_mean = t.mean()
+            Xc = X - x_mean
+            tc = t - t_mean
+        else:
+            x_mean = np.zeros(d)
+            t_mean = 0.0
+            Xc, tc = X, t
+        gram = Xc.T @ Xc + self.reg * n * np.eye(d)
+        w = np.linalg.solve(gram, Xc.T @ tc)
+        self.coef_ = w
+        self.intercept_ = float(t_mean - x_mean @ w) if self.fit_intercept else 0.0
+        return self

@@ -1,0 +1,37 @@
+"""Minimal structured logging for experiment harnesses.
+
+The library itself never prints; experiment runners opt into a logger.
+We use the stdlib ``logging`` module with one library-level logger so
+applications can configure handlers the usual way.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_console_logging"]
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the library logger, or a child logger named ``name``."""
+    if name is None:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def configure_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple console handler to the library logger.
+
+    Idempotent: calling it twice does not duplicate handlers.
+    """
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

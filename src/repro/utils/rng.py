@@ -1,0 +1,63 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in this library accepts either an integer
+seed, ``None`` (fresh entropy), or an existing
+:class:`numpy.random.Generator`.  :func:`as_generator` normalises all
+three into a ``Generator`` so downstream code never touches the legacy
+``numpy.random`` global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators", "derive_seed"]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream,
+        or an existing ``Generator`` which is returned unchanged (so a
+        caller can thread one generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator; got {type(seed).__name__}"
+    )
+
+
+def spawn_generators(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Children are derived through :meth:`numpy.random.Generator.spawn`
+    so that parallel experiment arms never share a stream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return as_generator(seed).spawn(n)
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Deterministically derive a 63-bit seed from a base seed and labels.
+
+    Used by the experiment runner to give every (experiment, repetition,
+    arm) combination a reproducible but distinct seed:
+
+    >>> derive_seed(7, "figure1", 0) == derive_seed(7, "figure1", 0)
+    True
+    >>> derive_seed(7, "figure1", 0) != derive_seed(7, "figure1", 1)
+    True
+    """
+    digest = hashlib.sha256(
+        ("|".join([str(base_seed), *map(str, labels)])).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

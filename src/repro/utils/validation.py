@@ -1,0 +1,105 @@
+"""Input validation helpers shared across the library.
+
+The conventions mirror the strictness of a production numerical library:
+fail fast with a precise message rather than propagate NaNs or silently
+broadcast mis-shaped arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_array",
+    "check_X_y",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability_vector",
+    "check_sorted_increasing",
+]
+
+
+def check_array(X, *, ndim: int = 2, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a float ndarray of dimensionality ``ndim``.
+
+    Raises ``ValueError`` on wrong dimensionality, emptiness, or
+    non-finite entries.
+    """
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / label vector pair.
+
+    Labels are returned as an int array; they must be drawn from
+    ``{-1, +1}`` or ``{0, 1}`` (binary classification is the only task
+    in this library, matching the paper).
+    """
+    X = check_array(X, ndim=2, name="X")
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent lengths: {X.shape[0]} != {y.shape[0]}"
+        )
+    labels = set(np.unique(y).tolist())
+    if not (labels <= {-1, 1} or labels <= {0, 1}):
+        raise ValueError(f"y must be binary with labels in {{-1,+1}} or {{0,1}}, got {labels}")
+    return X, y.astype(int)
+
+
+def check_fraction(value: float, *, name: str = "fraction", inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Validate a scalar in [0, 1] (bounds optionally exclusive)."""
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok and np.isfinite(value)):
+        lo = "[" if inclusive_low else "("
+        hi = "]" if inclusive_high else ")"
+        raise ValueError(f"{name} must lie in {lo}0, 1{hi}, got {value}")
+    return value
+
+
+def check_positive_int(value: int, *, name: str = "value") -> int:
+    """Validate a strictly positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability_vector(p, *, name: str = "probabilities", atol: float = 1e-8) -> np.ndarray:
+    """Validate a non-negative vector summing to one."""
+    p = np.asarray(p, dtype=float)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-d vector, got shape {p.shape}")
+    if np.any(p < -atol):
+        raise ValueError(f"{name} has negative entries: {p}")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=max(atol, 1e-6)):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    p = np.clip(p, 0.0, None)
+    return p / p.sum()
+
+
+def check_sorted_increasing(values, *, name: str = "values", strict: bool = True) -> np.ndarray:
+    """Validate a 1-d array sorted in (strictly) increasing order."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-d array")
+    diffs = np.diff(arr)
+    if strict and np.any(diffs <= 0):
+        raise ValueError(f"{name} must be strictly increasing, got {arr}")
+    if not strict and np.any(diffs < 0):
+        raise ValueError(f"{name} must be non-decreasing, got {arr}")
+    return arr

@@ -1,0 +1,235 @@
+"""Tests for the poisoning attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import attack_budget, poison_dataset
+from repro.attacks.bilevel import BilevelGradientAttack
+from repro.attacks.furthest_point import FurthestPointAttack
+from repro.attacks.label_flip import LabelFlipAttack
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack
+from repro.attacks.random_noise import RandomNoiseAttack
+from repro.data.geometry import compute_centroid, distances_to_centroid, \
+    radius_for_percentile
+from repro.ml.base import signed_labels
+from repro.ml.ridge import RidgeClassifier
+
+ALL_ATTACKS = [
+    OptimalBoundaryAttack(0.1),
+    LabelFlipAttack("random"),
+    LabelFlipAttack("far_from_own_class"),
+    LabelFlipAttack("near_boundary"),
+    RandomNoiseAttack(0.1),
+    RandomNoiseAttack(0.1, fill=True),
+    FurthestPointAttack(0.2),
+    BilevelGradientAttack(0.1, n_outer=3),
+]
+
+
+class TestAttackBudget:
+    def test_twenty_percent(self):
+        # poison = 20 % of the FINAL training set
+        n = attack_budget(800, 0.2)
+        assert n == 200
+        assert n / (800 + n) == pytest.approx(0.2)
+
+    def test_zero_fraction(self):
+        assert attack_budget(100, 0.0) == 0
+
+    def test_full_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            attack_budget(100, 1.0)
+
+
+@pytest.mark.parametrize("attack", ALL_ATTACKS, ids=lambda a: type(a).__name__ + getattr(a, "strategy", ""))
+class TestAttackContract:
+    def test_shapes_and_labels(self, blobs, attack):
+        X, y = blobs
+        X_p, y_p = attack.generate(X, y, 15, seed=0)
+        assert X_p.shape == (15, X.shape[1])
+        assert set(np.unique(np.asarray(y_p))) <= {-1, 1}
+
+    def test_deterministic_given_seed(self, blobs, attack):
+        X, y = blobs
+        X1, y1 = attack.generate(X, y, 10, seed=3)
+        X2, y2 = attack.generate(X, y, 10, seed=3)
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(np.asarray(y1), np.asarray(y2))
+
+    def test_does_not_mutate_input(self, blobs, attack):
+        X, y = blobs
+        X_copy, y_copy = X.copy(), y.copy()
+        attack.generate(X, y, 10, seed=0)
+        np.testing.assert_array_equal(X, X_copy)
+        np.testing.assert_array_equal(y, y_copy)
+
+
+class TestOptimalBoundary:
+    def test_points_at_target_radius(self, blobs):
+        X, y = blobs
+        attack = OptimalBoundaryAttack(0.1)
+        X_p, _ = attack.generate(X, y, 20, seed=0)
+        centroid = compute_centroid(X, method="median")
+        target = radius_for_percentile(distances_to_centroid(X, centroid), 0.1)
+        dists = distances_to_centroid(X_p, centroid)
+        np.testing.assert_allclose(dists, target * (1 - 1e-3), rtol=1e-6)
+
+    def test_points_within_radius(self, blobs):
+        X, y = blobs
+        attack = OptimalBoundaryAttack(0.05)
+        X_p, _ = attack.generate(X, y, 20, seed=0)
+        centroid = compute_centroid(X, method="median")
+        target = radius_for_percentile(distances_to_centroid(X, centroid), 0.05)
+        assert np.all(distances_to_centroid(X_p, centroid) <= target)
+
+    def test_labels_oppose_placement_side(self, blobs):
+        X, y = blobs
+        attack = OptimalBoundaryAttack(0.0, jitter=0.0)
+        X_p, y_p = attack.generate(X, y, 30, seed=0)
+        surrogate = RidgeClassifier(reg=1e-2).fit(X, y)
+        scores = surrogate.decision_function(X_p)
+        # Each poison point sits on the side of the surrogate boundary
+        # OPPOSITE to its label (that is what makes it poisonous).
+        assert np.all(np.sign(scores) == -signed_labels(np.asarray(y_p)))
+
+    def test_label_balance(self, blobs):
+        X, y = blobs
+        _, y_p = OptimalBoundaryAttack(0.1, label_balance=1.0).generate(X, y, 10, seed=0)
+        assert np.all(np.asarray(y_p) == 1)
+
+    def test_placement_radius_helper(self, blobs):
+        X, y = blobs
+        attack = OptimalBoundaryAttack(0.2)
+        r = attack.placement_radius(X)
+        centroid = compute_centroid(X, method="median")
+        expected = (1 - 1e-3) * radius_for_percentile(
+            distances_to_centroid(X, centroid), 0.2
+        )
+        assert r == pytest.approx(expected)
+
+    def test_degrades_victim_more_than_random(self, blobs):
+        X, y = blobs
+        clean_acc = RidgeClassifier().fit(X, y).score(X, y)
+        X_opt, y_opt, _ = poison_dataset(X, y, OptimalBoundaryAttack(0.0),
+                                         fraction=0.25, seed=0)
+        X_rnd, y_rnd, _ = poison_dataset(X, y, RandomNoiseAttack(0.0),
+                                         fraction=0.25, seed=0)
+        acc_opt = RidgeClassifier().fit(X_opt, y_opt).score(X, y)
+        acc_rnd = RidgeClassifier().fit(X_rnd, y_rnd).score(X, y)
+        assert acc_opt < clean_acc
+        assert acc_opt <= acc_rnd + 0.02
+
+    def test_invalid_percentile_raises(self):
+        with pytest.raises(ValueError):
+            OptimalBoundaryAttack(1.5)
+
+
+class TestLabelFlip:
+    def test_copies_have_flipped_labels(self, blobs):
+        X, y = blobs
+        X_p, y_p = LabelFlipAttack("random").generate(X, y, 25, seed=0)
+        y_signed = signed_labels(y)
+        for xp, yp in zip(X_p[:5], np.asarray(y_p)[:5]):
+            idx = np.flatnonzero((X == xp).all(axis=1))[0]
+            assert yp == -y_signed[idx]
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            LabelFlipAttack("clever")
+
+    def test_far_strategy_picks_outliers(self, blobs):
+        X, y = blobs
+        X_p, _ = LabelFlipAttack("far_from_own_class").generate(X, y, 5, seed=0)
+        y_signed = signed_labels(y)
+        mean_pos = X[y_signed == 1].mean(axis=0)
+        mean_neg = X[y_signed == -1].mean(axis=0)
+        # The chosen victims are among the farthest from their own mean.
+        own_dist = np.array([
+            min(np.linalg.norm(xp - mean_pos), np.linalg.norm(xp - mean_neg))
+            for xp in X_p
+        ])
+        assert own_dist.mean() > 1.0
+
+
+class TestRandomNoise:
+    def test_on_shell(self, blobs):
+        X, y = blobs
+        X_p, _ = RandomNoiseAttack(0.1, fill=False).generate(X, y, 20, seed=0)
+        centroid = compute_centroid(X, method="median")
+        r = radius_for_percentile(distances_to_centroid(X, centroid), 0.1)
+        np.testing.assert_allclose(distances_to_centroid(X_p, centroid),
+                                   r * (1 - 1e-3), rtol=1e-6)
+
+    def test_fill_spreads_radii(self, blobs):
+        X, y = blobs
+        X_p, _ = RandomNoiseAttack(0.0, fill=True).generate(X, y, 50, seed=0)
+        centroid = compute_centroid(X, method="median")
+        d = distances_to_centroid(X_p, centroid)
+        assert d.std() > 0.1
+
+
+class TestFurthestPoint:
+    def test_candidates_are_far(self, blobs):
+        X, y = blobs
+        X_p, _ = FurthestPointAttack(0.1).generate(X, y, 10, seed=0)
+        centroid = compute_centroid(X, method="median")
+        d_all = distances_to_centroid(X, centroid)
+        cutoff = np.quantile(d_all, 0.85)
+        assert np.all(distances_to_centroid(X_p, centroid) >= cutoff)
+
+    def test_points_are_genuine_copies(self, blobs):
+        X, y = blobs
+        X_p, _ = FurthestPointAttack(0.2).generate(X, y, 8, seed=0)
+        for xp in X_p:
+            assert np.any((X == xp).all(axis=1))
+
+
+class TestBilevel:
+    def test_respects_radius_budget(self, blobs):
+        X, y = blobs
+        attack = BilevelGradientAttack(0.1, n_outer=5, step_size=0.3)
+        X_p, _ = attack.generate(X, y, 15, seed=0)
+        centroid = compute_centroid(X, method="median")
+        budget = (1 - 1e-3) * radius_for_percentile(
+            distances_to_centroid(X, centroid), 0.1
+        )
+        assert np.all(distances_to_centroid(X_p, centroid) <= budget * (1 + 1e-9))
+
+    def test_damages_the_victim(self, blobs):
+        X, y = blobs
+        clean_acc = RidgeClassifier().fit(X, y).score(X, y)
+        refined = BilevelGradientAttack(0.0, n_outer=8, step_size=0.2)
+        X_r, y_r, _ = poison_dataset(X, y, refined, fraction=0.25, seed=1)
+        acc_r = RidgeClassifier().fit(X_r, y_r).score(X, y)
+        assert acc_r < clean_acc - 0.02
+
+
+class TestPoisonDataset:
+    def test_mask_and_counts(self, blobs):
+        X, y = blobs
+        X_m, y_m, is_poison = poison_dataset(X, y, LabelFlipAttack(), fraction=0.2,
+                                             seed=0)
+        n_poison = attack_budget(len(X), 0.2)
+        assert is_poison.sum() == n_poison
+        assert len(X_m) == len(X) + n_poison
+        assert set(np.unique(y_m)) <= {-1, 1}
+
+    def test_zero_fraction_passthrough(self, blobs):
+        X, y = blobs
+        X_m, y_m, is_poison = poison_dataset(X, y, LabelFlipAttack(), fraction=0.0)
+        assert len(X_m) == len(X)
+        assert not is_poison.any()
+
+    def test_shuffle_mixes_poison(self, blobs):
+        X, y = blobs
+        _, _, is_poison = poison_dataset(X, y, LabelFlipAttack(), fraction=0.2,
+                                         seed=0, shuffle=True)
+        # poison should not be contiguous at the end
+        assert is_poison[: len(X)].any()
+
+    def test_no_shuffle_keeps_order(self, blobs):
+        X, y = blobs
+        X_m, _, is_poison = poison_dataset(X, y, LabelFlipAttack(), fraction=0.2,
+                                           seed=0, shuffle=False)
+        np.testing.assert_array_equal(X_m[: len(X)], X)
+        assert is_poison[len(X):].all()

@@ -1,0 +1,101 @@
+"""Tests for attacker allocations and mixed strategies."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.mixed_attack import (
+    AttackerMixedStrategy,
+    MixedAllocationAttack,
+    RadiusAllocation,
+)
+from repro.data.geometry import compute_centroid, distances_to_centroid
+
+
+class TestRadiusAllocation:
+    def test_all_at(self):
+        alloc = RadiusAllocation.all_at(0.1, 50)
+        assert alloc.percentiles == (0.1,)
+        assert alloc.counts == (50,)
+        assert alloc.total == 50
+
+    def test_spread_uniform(self):
+        alloc = RadiusAllocation.spread([0.1, 0.2, 0.3], 10)
+        assert alloc.total == 10
+        assert all(c >= 3 for c in alloc.counts)
+
+    def test_spread_weighted(self):
+        alloc = RadiusAllocation.spread([0.1, 0.2], 100, weights=[0.7, 0.3])
+        assert alloc.counts == (70, 30)
+
+    def test_spread_drops_zero_count_entries(self):
+        alloc = RadiusAllocation.spread([0.1, 0.2], 1, weights=[0.99, 0.01])
+        assert alloc.total == 1
+        assert len(alloc.percentiles) == 1
+
+    def test_remainder_distribution_exact(self):
+        alloc = RadiusAllocation.spread([0.1, 0.2, 0.3], 11)
+        assert alloc.total == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadiusAllocation(percentiles=(), counts=())
+        with pytest.raises(ValueError):
+            RadiusAllocation(percentiles=(0.5,), counts=(0,))
+        with pytest.raises(ValueError):
+            RadiusAllocation(percentiles=(1.5,), counts=(3,))
+        with pytest.raises(ValueError):
+            RadiusAllocation(percentiles=(0.1, 0.2), counts=(1,))
+
+    def test_frozen(self):
+        alloc = RadiusAllocation.all_at(0.1, 5)
+        with pytest.raises(AttributeError):
+            alloc.counts = (9,)
+
+
+class TestMixedAllocationAttack:
+    def test_executes_allocation(self, blobs):
+        X, y = blobs
+        alloc = RadiusAllocation(percentiles=(0.05, 0.3), counts=(4, 6))
+        X_p, y_p = MixedAllocationAttack(alloc).generate(X, y, 10, seed=0)
+        assert X_p.shape == (10, X.shape[1])
+        centroid = compute_centroid(X, method="median")
+        d = distances_to_centroid(X_p, centroid)
+        # two distinct radius groups
+        assert len(np.unique(np.round(d, 6))) == 2
+
+    def test_rescales_to_budget(self, blobs):
+        X, y = blobs
+        alloc = RadiusAllocation(percentiles=(0.1, 0.2), counts=(5, 5))
+        X_p, _ = MixedAllocationAttack(alloc).generate(X, y, 20, seed=0)
+        assert X_p.shape[0] == 20
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            MixedAllocationAttack("not-an-allocation")
+
+
+class TestAttackerMixedStrategy:
+    def test_indifferent_over(self):
+        strat = AttackerMixedStrategy.indifferent_over([0.1, 0.2, 0.3], 30)
+        assert len(strat.allocations) == 3
+        np.testing.assert_allclose(strat.probabilities, 1 / 3)
+
+    def test_sample_deterministic(self):
+        strat = AttackerMixedStrategy.indifferent_over([0.1, 0.2], 10)
+        assert strat.sample(seed=0).percentiles == strat.sample(seed=0).percentiles
+
+    def test_as_attack(self, blobs):
+        X, y = blobs
+        strat = AttackerMixedStrategy.indifferent_over([0.1, 0.2], 10)
+        attack = strat.as_attack(seed=1)
+        X_p, _ = attack.generate(X, y, 10, seed=1)
+        assert X_p.shape == (10, X.shape[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackerMixedStrategy(allocations=[], probabilities=np.array([]))
+        with pytest.raises(ValueError):
+            AttackerMixedStrategy(
+                allocations=[RadiusAllocation.all_at(0.1, 5)],
+                probabilities=np.array([0.5, 0.5]),
+            )

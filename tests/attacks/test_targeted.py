@@ -1,0 +1,69 @@
+"""Tests for the targeted-class attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import poison_dataset
+from repro.attacks.targeted import TargetedClassAttack
+from repro.ml.ridge import RidgeClassifier
+
+
+class TestTargetedClassAttack:
+    def test_contract(self, blobs):
+        X, y = blobs
+        X_p, y_p = TargetedClassAttack(victim_label=1).generate(X, y, 12, seed=0)
+        assert X_p.shape == (12, X.shape[1])
+        # all poison carries the opposite of the victim label
+        assert np.all(np.asarray(y_p) == -1)
+
+    def test_respects_radius_budget(self, blobs):
+        X, y = blobs
+        attack = TargetedClassAttack(victim_label=1, target_percentile=0.1)
+        X_p, _ = attack.generate(X, y, 20, seed=0)
+        from repro.data.geometry import (compute_centroid, distances_to_centroid,
+                                         radius_for_percentile)
+        centroid = compute_centroid(X, method="median")
+        budget = (1 - 1e-3) * radius_for_percentile(
+            distances_to_centroid(X, centroid), 0.1
+        )
+        assert np.all(distances_to_centroid(X_p, centroid) <= budget * (1 + 1e-9))
+
+    def test_reduces_victim_recall_asymmetrically(self, blobs):
+        X, y = blobs
+        attack = TargetedClassAttack(victim_label=1, target_percentile=0.0)
+        X_m, y_m, _ = poison_dataset(X, y, attack, fraction=0.25, seed=0)
+        clean_model = RidgeClassifier().fit(X, y)
+        poisoned_model = RidgeClassifier().fit(X_m, y_m)
+        recall_clean = attack.victim_recall(clean_model, X, y)
+        recall_poisoned = attack.victim_recall(poisoned_model, X, y)
+        # the victim class's recall drops...
+        assert recall_poisoned < recall_clean - 0.1
+        # ...more than the other class's
+        other = TargetedClassAttack(victim_label=-1)
+        other_recall_clean = other.victim_recall(clean_model, X, y)
+        other_recall_poisoned = other.victim_recall(poisoned_model, X, y)
+        victim_drop = recall_clean - recall_poisoned
+        other_drop = other_recall_clean - other_recall_poisoned
+        assert victim_drop > other_drop
+
+    def test_zero_label_treated_as_negative(self):
+        attack = TargetedClassAttack(victim_label=0)
+        assert attack.victim_label == -1
+
+    def test_victim_recall_requires_members(self, blobs):
+        X, y = blobs
+        attack = TargetedClassAttack(victim_label=1)
+        model = RidgeClassifier().fit(X, y)
+        with pytest.raises(ValueError, match="victim label"):
+            attack.victim_recall(model, X[y == 0], y[y == 0])
+
+    def test_deterministic(self, blobs):
+        X, y = blobs
+        attack = TargetedClassAttack(victim_label=1)
+        X1, _ = attack.generate(X, y, 10, seed=4)
+        X2, _ = attack.generate(X, y, 10, seed=4)
+        np.testing.assert_array_equal(X1, X2)
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError):
+            TargetedClassAttack(spread=-0.1)

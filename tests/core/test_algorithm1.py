@@ -1,0 +1,112 @@
+"""Tests for Algorithm 1 (compute optimal defense)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import compute_optimal_defense
+from repro.core.equilibrium import defense_exploitability
+from repro.core.game import PayoffCurves, PoisoningGame
+
+
+class TestComputeOptimalDefense:
+    def test_returns_valid_mixed_strategy(self, analytic_curves):
+        result = compute_optimal_defense(analytic_curves, n_radii=3, n_poison=100)
+        defense = result.defense
+        assert defense.n_support == 3
+        assert defense.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(defense.percentiles) > 0)
+
+    def test_loss_trace_monotone_non_increasing(self, analytic_curves):
+        result = compute_optimal_defense(analytic_curves, n_radii=3, n_poison=100)
+        trace = np.asarray(result.loss_trace)
+        assert np.all(np.diff(trace) <= 1e-12)
+
+    def test_converged_flag(self, analytic_curves):
+        result = compute_optimal_defense(analytic_curves, n_radii=2, n_poison=100,
+                                         max_iter=500)
+        assert result.converged
+
+    def test_equalization_holds_at_solution(self, analytic_curves):
+        from repro.core.mixed_strategy import equalization_residual
+        result = compute_optimal_defense(analytic_curves, n_radii=3, n_poison=100)
+        assert equalization_residual(result.defense, analytic_curves) < 1e-8
+
+    def test_beats_best_pure_strategy_in_model(self, analytic_curves):
+        """The paper's headline: mixed defence loss < best pure loss.
+
+        With E decaying and Γ rising (the analytic curves), the
+        equalized mixture must achieve strictly lower expected loss
+        than every pure filter strength.
+        """
+        N = 100
+        result = compute_optimal_defense(analytic_curves, n_radii=3, n_poison=N)
+        ps = analytic_curves.grid(401)
+        # pure loss: the attacker sits exactly on the filter
+        pure_losses = N * analytic_curves.E_vec(ps) + analytic_curves.gamma_vec(ps)
+        assert result.expected_loss < pure_losses.min()
+
+    def test_more_radii_do_not_hurt(self, analytic_curves):
+        l2 = compute_optimal_defense(analytic_curves, n_radii=2, n_poison=100).expected_loss
+        l4 = compute_optimal_defense(analytic_curves, n_radii=4, n_poison=100).expected_loss
+        assert l4 <= l2 + 1e-6
+
+    def test_low_exploitability(self, analytic_curves):
+        N = 100
+        result = compute_optimal_defense(analytic_curves, n_radii=4, n_poison=N)
+        game = PoisoningGame(curves=analytic_curves, n_poison=N)
+        # the attacker's best deviation gains little vs the equalized value
+        exploit = defense_exploitability(game, result.defense)
+        assert exploit < 0.25 * result.expected_loss
+
+    def test_explicit_initialisation(self, analytic_curves):
+        init = np.array([0.1, 0.3])
+        result = compute_optimal_defense(analytic_curves, n_radii=2, n_poison=100,
+                                         initial_percentiles=init, max_iter=1,
+                                         epsilon=1e9)
+        # one iteration from a custom start: support stays near init
+        assert np.all(np.abs(result.defense.percentiles - init) < 0.1)
+
+    def test_bad_initialisation_shape_raises(self, analytic_curves):
+        with pytest.raises(ValueError, match="initial_percentiles"):
+            compute_optimal_defense(analytic_curves, n_radii=3, n_poison=10,
+                                    initial_percentiles=np.array([0.1, 0.2]))
+
+    def test_vacuous_game_raises(self):
+        curves = PayoffCurves(E=lambda p: -1.0, gamma=lambda p: p, p_max=0.5)
+        with pytest.raises(ValueError, match="nowhere positive"):
+            compute_optimal_defense(curves, n_radii=2, n_poison=10)
+
+    def test_domain_respected(self, crossing_curves):
+        # E positive only below 0.25: support must stay there
+        result = compute_optimal_defense(crossing_curves, n_radii=3, n_poison=100)
+        assert result.defense.innermost <= 0.25 + 1e-6
+
+    def test_epsilon_validation(self, analytic_curves):
+        with pytest.raises(ValueError, match="epsilon"):
+            compute_optimal_defense(analytic_curves, n_radii=2, n_poison=10,
+                                    epsilon=0.0)
+
+    def test_support_trace_recorded(self, analytic_curves):
+        result = compute_optimal_defense(analytic_curves, n_radii=2, n_poison=100)
+        assert len(result.support_trace) == len(result.loss_trace)
+
+
+class TestKnownOptimum:
+    def test_matches_grid_search_on_two_radii(self, analytic_curves):
+        """Algorithm 1's local optimum matches brute-force grid search."""
+        N = 100
+
+        def loss_on(support):
+            from repro.core.mixed_strategy import equalizing_probabilities
+            support = np.asarray(support)
+            probs = equalizing_probabilities(support, analytic_curves)
+            return (N * float(analytic_curves.E(support[-1]))
+                    + float(probs @ analytic_curves.gamma_vec(support)))
+
+        grid = np.linspace(0.01, analytic_curves.p_max - 0.01, 35)
+        best = min(
+            loss_on([a, b])
+            for i, a in enumerate(grid) for b in grid[i + 1:]
+        )
+        result = compute_optimal_defense(analytic_curves, n_radii=2, n_poison=N)
+        assert result.expected_loss <= best + 0.01 * abs(best)

@@ -1,0 +1,103 @@
+"""Tests for best-response functions and Proposition 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import (
+    attacker_best_response,
+    defender_best_response,
+    find_pure_equilibrium,
+    proposition1_certificate,
+    ta_percentile,
+    td_percentile,
+)
+from repro.core.game import PayoffCurves, PoisoningGame
+
+
+class TestTaPercentile:
+    def test_everywhere_profitable(self, analytic_game):
+        # E > 0 on the whole domain -> ta = p_max
+        assert ta_percentile(analytic_game) == pytest.approx(
+            analytic_game.curves.p_max
+        )
+
+    def test_crossing_detected(self, crossing_curves):
+        game = PoisoningGame(curves=crossing_curves, n_poison=50)
+        assert ta_percentile(game) == pytest.approx(0.25, abs=0.002)
+
+    def test_nowhere_profitable(self):
+        curves = PayoffCurves(E=lambda p: -1.0, gamma=lambda p: p, p_max=0.5)
+        game = PoisoningGame(curves=curves, n_poison=10)
+        assert ta_percentile(game) == 0.0
+
+
+class TestTdPercentile:
+    def test_boundary_attack_makes_filtering_worthwhile(self, analytic_game):
+        game = analytic_game
+        # Attack at the boundary: E(0)*N = 0.2 dwarfs gamma, so the
+        # defender's loss is minimised by filtering it out.
+        td = td_percentile(game, game.all_at(0.0))
+        assert td > 0.0
+
+    def test_deep_attack_not_worth_chasing(self):
+        # Gamma steep, damage tiny: best response is no filter.
+        curves = PayoffCurves(E=lambda p: 1e-6 * (1 - p), gamma=lambda p: 0.5 * p,
+                              p_max=0.5)
+        game = PoisoningGame(curves=curves, n_poison=10)
+        td = td_percentile(game, game.all_at(0.4))
+        assert td == pytest.approx(0.0)
+
+
+class TestAttackerBestResponse:
+    def test_sits_on_filter_when_profitable(self, analytic_game):
+        alloc = attacker_best_response(analytic_game, 0.1)
+        assert alloc.percentiles == (0.1,)
+        assert alloc.total == analytic_game.n_poison
+
+    def test_gives_up_when_unprofitable(self, crossing_curves):
+        game = PoisoningGame(curves=crossing_curves, n_poison=50)
+        alloc = attacker_best_response(game, 0.4)  # beyond ta=0.25
+        assert alloc.percentiles == (0.0,)
+
+
+class TestDefenderBestResponse:
+    def test_steps_past_profitable_attack(self, analytic_game):
+        game = analytic_game
+        best = defender_best_response(game, game.all_at(0.1))
+        # filter just inside the attack (on the percentile axis, just above)
+        assert best > 0.1
+        assert best < 0.1 + 0.02
+
+    def test_ignores_worthless_attack(self):
+        curves = PayoffCurves(E=lambda p: 1e-7, gamma=lambda p: 0.3 * p, p_max=0.5)
+        game = PoisoningGame(curves=curves, n_poison=10)
+        assert defender_best_response(game, game.all_at(0.2)) == pytest.approx(0.0)
+
+
+class TestProposition1:
+    def test_no_pure_equilibrium_generic_game(self, analytic_game):
+        search = find_pure_equilibrium(analytic_game, n_grid=101)
+        assert not search.exists
+        assert search.trace.cycle is not None or not search.trace.converged
+
+    def test_cycle_is_the_chase(self, analytic_game):
+        search = find_pure_equilibrium(analytic_game, n_grid=101)
+        if search.trace.cycle:
+            # the chase alternates: attacker lands on filter, defender
+            # steps one grid cell past it
+            assert search.trace.cycle_length >= 1
+
+    def test_certificate_fields(self, analytic_game):
+        cert = proposition1_certificate(analytic_game)
+        assert 0 <= cert["ta"] <= analytic_game.curves.p_max
+        assert "td_at_ta_attack" in cert
+        assert cert["chase_gap_positive"]
+
+    def test_degenerate_game_can_have_pure_ne(self):
+        # If attacking never profits, (anything, no-filter) is a pure NE.
+        curves = PayoffCurves(E=lambda p: -0.001, gamma=lambda p: 0.1 * p, p_max=0.5)
+        game = PoisoningGame(curves=curves, n_poison=10)
+        search = find_pure_equilibrium(game, n_grid=51)
+        assert search.exists
+        _, p_d = search.equilibrium
+        assert p_d == pytest.approx(0.0)

@@ -1,0 +1,81 @@
+"""Tests for equilibrium metrics and the LP cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import compute_optimal_defense
+from repro.core.equilibrium import (
+    attacker_best_response_value,
+    cross_check_with_lp,
+    defense_exploitability,
+)
+from repro.core.game import PoisoningGame
+from repro.core.mixed_strategy import MixedDefense
+
+
+class TestAttackerBestResponseValue:
+    def test_equalized_defense_value_is_innermost(self, analytic_game):
+        defense = MixedDefense.equalized(np.array([0.05, 0.15, 0.3]),
+                                         analytic_game.curves)
+        value, best_p = attacker_best_response_value(analytic_game, defense)
+        expected = analytic_game.n_poison * float(analytic_game.curves.E(0.3))
+        assert value == pytest.approx(expected, rel=1e-6)
+        # the best placement is (one of) the supported radii
+        assert any(np.isclose(best_p, p) for p in defense.percentiles)
+
+    def test_pure_defense_exploited_just_inside(self, analytic_game):
+        pure = MixedDefense(percentiles=np.array([0.1]),
+                            probabilities=np.array([1.0]))
+        value, best_p = attacker_best_response_value(analytic_game, pure)
+        # best response sits exactly on the filter (tie survives)
+        assert best_p == pytest.approx(0.1, abs=1e-6)
+        assert value == pytest.approx(
+            analytic_game.n_poison * float(analytic_game.curves.E(0.1)), rel=1e-9
+        )
+
+
+class TestExploitability:
+    def test_equalized_near_zero(self, analytic_game):
+        defense = MixedDefense.equalized(np.array([0.05, 0.15, 0.3]),
+                                         analytic_game.curves)
+        assert defense_exploitability(analytic_game, defense) < 1e-9
+
+    def test_uniform_is_exploitable(self, analytic_game):
+        uniform = MixedDefense(percentiles=np.array([0.05, 0.15, 0.3]),
+                               probabilities=np.full(3, 1 / 3))
+        assert defense_exploitability(analytic_game, uniform) > 0.0
+
+    def test_non_negative(self, analytic_game):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            ps = np.sort(rng.uniform(0.01, 0.45, 3))
+            if np.any(np.diff(ps) < 1e-3):
+                continue
+            q = rng.dirichlet(np.ones(3))
+            defense = MixedDefense(percentiles=ps, probabilities=q)
+            assert defense_exploitability(analytic_game, defense) >= 0.0
+
+
+class TestLPCrossCheck:
+    def test_algorithm1_close_to_lp_value(self, analytic_curves):
+        N = 100
+        result = compute_optimal_defense(analytic_curves, n_radii=4, n_poison=N)
+        game = PoisoningGame(curves=analytic_curves, n_poison=N)
+        check = cross_check_with_lp(game, result.expected_loss, n_grid=81)
+        # Algorithm 1's restricted-family optimum cannot beat the exact
+        # (discretised) game value by more than discretisation error,
+        # and should land near it.
+        assert check.value_gap > -0.05 * abs(check.lp_value)
+        assert abs(check.value_gap) < 0.5 * abs(check.lp_value) + 1e-3
+
+    def test_lp_defense_support_is_mixed(self, analytic_curves):
+        N = 100
+        game = PoisoningGame(curves=analytic_curves, n_poison=N)
+        check = cross_check_with_lp(game, 0.0, n_grid=81)
+        # no pure NE -> the LP's defender strategy mixes
+        assert len(check.lp_defense_support) >= 2
+
+    def test_lp_solution_unexploitable(self, analytic_curves):
+        game = PoisoningGame(curves=analytic_curves, n_poison=100)
+        check = cross_check_with_lp(game, 0.0, n_grid=61)
+        assert check.lp_solution.exploitability < 1e-7

@@ -1,0 +1,105 @@
+"""Tests for the poisoning game model."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.mixed_attack import RadiusAllocation
+from repro.core.game import PayoffCurves, PoisoningGame
+from repro.core.mixed_strategy import MixedDefense
+
+
+class TestPayoffCurves:
+    def test_vectorised_evaluation(self, analytic_curves):
+        ps = [0.0, 0.1, 0.2]
+        E_vals = analytic_curves.E_vec(ps)
+        assert E_vals.shape == (3,)
+        assert np.all(np.diff(E_vals) < 0)
+
+    def test_grid(self, analytic_curves):
+        g = analytic_curves.grid(11)
+        assert g[0] == 0.0
+        assert g[-1] == analytic_curves.p_max
+
+    def test_validate_shape_passes(self, analytic_curves):
+        analytic_curves.validate_shape()
+
+    def test_validate_shape_rejects_increasing_E(self):
+        bad = PayoffCurves(E=lambda p: p, gamma=lambda p: p, p_max=0.5)
+        with pytest.raises(ValueError, match="E must be non-increasing"):
+            bad.validate_shape()
+
+    def test_validate_shape_rejects_decreasing_gamma(self):
+        bad = PayoffCurves(E=lambda p: -p, gamma=lambda p: -p, p_max=0.5)
+        with pytest.raises(ValueError, match="gamma must be non-decreasing"):
+            bad.validate_shape()
+
+    def test_validate_shape_rejects_nonzero_gamma0(self):
+        bad = PayoffCurves(E=lambda p: 1.0 - p, gamma=lambda p: 0.5 + p, p_max=0.5)
+        with pytest.raises(ValueError, match="gamma\\(0\\)"):
+            bad.validate_shape()
+
+    def test_p_max_bounds(self):
+        with pytest.raises(ValueError):
+            PayoffCurves(E=lambda p: 1.0, gamma=lambda p: 0.0, p_max=0.0)
+
+
+class TestSurvivalRule:
+    def test_deeper_attack_survives(self):
+        assert PoisoningGame.survives(p_attack=0.3, p_defense=0.1)
+
+    def test_shallow_attack_removed(self):
+        assert not PoisoningGame.survives(p_attack=0.05, p_defense=0.1)
+
+    def test_tie_survives(self):
+        # a point exactly on the filter sphere is kept (θd >= ri)
+        assert PoisoningGame.survives(p_attack=0.1, p_defense=0.1)
+
+
+class TestPayoff:
+    def test_surviving_allocation(self, analytic_game):
+        game = analytic_game
+        alloc = RadiusAllocation.all_at(0.2, game.n_poison)
+        expected = game.n_poison * game.curves.E(0.2) + game.curves.gamma(0.1)
+        assert game.payoff(alloc, 0.1) == pytest.approx(expected)
+
+    def test_removed_allocation_only_gamma(self, analytic_game):
+        game = analytic_game
+        alloc = RadiusAllocation.all_at(0.05, game.n_poison)
+        assert game.payoff(alloc, 0.2) == pytest.approx(game.curves.gamma(0.2))
+
+    def test_partial_survival(self, analytic_game):
+        game = analytic_game
+        alloc = RadiusAllocation(percentiles=(0.05, 0.3), counts=(40, 60))
+        expected = 60 * game.curves.E(0.3) + game.curves.gamma(0.1)
+        assert game.payoff(alloc, 0.1) == pytest.approx(expected)
+
+    def test_zero_sum(self, analytic_game):
+        game = analytic_game
+        alloc = game.all_at(0.2)
+        assert game.attacker_payoff(alloc, 0.1) == -game.defender_payoff(alloc, 0.1)
+
+    def test_expected_payoff_mixes(self, analytic_game):
+        game = analytic_game
+        defense = MixedDefense(percentiles=np.array([0.1, 0.3]),
+                               probabilities=np.array([0.5, 0.5]))
+        alloc = game.all_at(0.2)  # survives only the 0.1 filter
+        expected = 0.5 * game.payoff(alloc, 0.1) + 0.5 * game.payoff(alloc, 0.3)
+        assert game.expected_payoff(alloc, defense) == pytest.approx(expected)
+
+    def test_per_point_value(self, analytic_game):
+        game = analytic_game
+        defense = MixedDefense(percentiles=np.array([0.1, 0.3]),
+                               probabilities=np.array([0.4, 0.6]))
+        # placement at 0.2 survives the 0.1 draw only
+        value = game.per_point_value(0.2, defense)
+        assert value == pytest.approx(0.4 * game.curves.E(0.2))
+
+    def test_matrix_on_grids(self, analytic_game):
+        M = analytic_game.matrix_on_grids([0.1, 0.2], [0.05, 0.15])
+        assert M.shape == (2, 2)
+        alloc = analytic_game.all_at(0.1)
+        assert M[0, 0] == pytest.approx(analytic_game.payoff(alloc, 0.05))
+
+    def test_n_poison_validation(self, analytic_curves):
+        with pytest.raises(ValueError):
+            PoisoningGame(curves=analytic_curves, n_poison=0)

@@ -1,0 +1,132 @@
+"""Tests for the mixed defence and the equalization conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.mixed_strategy import (
+    MixedDefense,
+    equalization_residual,
+    equalizing_probabilities,
+)
+
+
+@pytest.fixture
+def defense(analytic_curves):
+    return MixedDefense.equalized(np.array([0.05, 0.15, 0.3]), analytic_curves)
+
+
+class TestConstruction:
+    def test_requires_sorted(self):
+        with pytest.raises(ValueError):
+            MixedDefense(percentiles=np.array([0.3, 0.1]),
+                         probabilities=np.array([0.5, 0.5]))
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            MixedDefense(percentiles=np.array([0.1]),
+                         probabilities=np.array([0.5, 0.5]))
+
+    def test_rejects_percentile_one(self):
+        with pytest.raises(ValueError):
+            MixedDefense(percentiles=np.array([1.0]), probabilities=np.array([1.0]))
+
+    def test_innermost(self, defense):
+        assert defense.innermost == 0.3
+
+    def test_n_support(self, defense):
+        assert defense.n_support == 3
+
+
+class TestSurvival:
+    def test_deep_placement_always_survives(self, defense):
+        assert defense.survival_probability(0.3) == pytest.approx(1.0)
+
+    def test_outside_support_never_survives(self, defense):
+        assert defense.survival_probability(0.01) == 0.0
+
+    def test_monotone_in_placement(self, defense):
+        ps = np.linspace(0, 0.4, 50)
+        surv = [defense.survival_probability(p) for p in ps]
+        assert all(a <= b + 1e-12 for a, b in zip(surv, surv[1:]))
+
+    def test_survival_vector_is_cumsum(self, defense):
+        np.testing.assert_allclose(defense.survival_vector(),
+                                   np.cumsum(defense.probabilities))
+
+    def test_tie_survives(self, defense):
+        # placement exactly on a support point survives that draw
+        p0 = defense.percentiles[0]
+        assert defense.survival_probability(p0) == pytest.approx(
+            defense.probabilities[0]
+        )
+
+
+class TestEqualization:
+    def test_closed_form_equalizes(self, analytic_curves, defense):
+        values = analytic_curves.E_vec(defense.percentiles) * defense.survival_vector()
+        np.testing.assert_allclose(values, values[0], rtol=1e-10)
+
+    def test_residual_zero_for_equalized(self, analytic_curves, defense):
+        assert equalization_residual(defense, analytic_curves) < 1e-10
+
+    def test_residual_positive_for_uniform(self, analytic_curves):
+        uniform = MixedDefense(percentiles=np.array([0.05, 0.15, 0.3]),
+                               probabilities=np.array([1 / 3, 1 / 3, 1 / 3]))
+        assert equalization_residual(uniform, analytic_curves) > 0.01
+
+    def test_equalized_value_is_innermost_E(self, analytic_curves, defense):
+        assert defense.equalized_value(analytic_curves) == pytest.approx(
+            float(analytic_curves.E(0.3))
+        )
+
+    def test_probabilities_positive(self, analytic_curves):
+        probs = equalizing_probabilities(np.array([0.02, 0.1, 0.2, 0.4]),
+                                         analytic_curves)
+        assert np.all(probs > 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_steeper_E_concentrates_on_outer_radius(self):
+        from repro.core.game import PayoffCurves
+        steep = PayoffCurves(E=lambda p: np.exp(-30 * p), gamma=lambda p: 0.0,
+                             p_max=0.5)
+        flat = PayoffCurves(E=lambda p: np.exp(-1 * p), gamma=lambda p: 0.0,
+                            p_max=0.5)
+        support = np.array([0.05, 0.3])
+        q_steep = equalizing_probabilities(support, steep)
+        q_flat = equalizing_probabilities(support, flat)
+        # flat E -> the outer radius already nearly equalizes -> q1 high
+        assert q_flat[0] > q_steep[0]
+
+    def test_requires_positive_E(self, crossing_curves):
+        with pytest.raises(ValueError, match="strictly positive"):
+            equalizing_probabilities(np.array([0.1, 0.4]), crossing_curves)
+
+    def test_ne_conditions(self, analytic_curves, defense):
+        assert defense.satisfies_ne_conditions(analytic_curves)
+
+    def test_pure_strategy_fails_ne_conditions(self, analytic_curves):
+        pure = MixedDefense(percentiles=np.array([0.1]),
+                            probabilities=np.array([1.0]))
+        assert not pure.satisfies_ne_conditions(analytic_curves)
+
+
+class TestSamplingAndFilters:
+    def test_sample_respects_distribution(self, defense):
+        draws = defense.sample(size=4000, seed=0)
+        for p, q in zip(defense.percentiles, defense.probabilities):
+            freq = np.mean(draws == p)
+            assert freq == pytest.approx(q, abs=0.04)
+
+    def test_single_sample_scalar(self, defense):
+        assert isinstance(defense.sample(seed=0), float)
+
+    def test_expected_gamma(self, analytic_curves, defense):
+        expected = float(
+            defense.probabilities @ analytic_curves.gamma_vec(defense.percentiles)
+        )
+        assert defense.expected_gamma(analytic_curves) == pytest.approx(expected)
+
+    def test_as_filter_roundtrip(self, defense):
+        filt = defense.as_filter(seed=0)
+        np.testing.assert_allclose(filt.percentiles, defense.percentiles)
+        np.testing.assert_allclose(filt.probabilities, defense.probabilities)

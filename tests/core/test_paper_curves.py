@@ -1,0 +1,77 @@
+"""Tests for the paper-calibrated payoff curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import compute_optimal_defense
+from repro.core.paper_curves import (
+    PAPER_N_POISON,
+    PAPER_TABLE1_N2,
+    PAPER_TABLE1_N3,
+    paper_figure1_curves,
+)
+
+
+class TestCalibration:
+    def test_valid_shapes(self):
+        curves = paper_figure1_curves()
+        curves.validate_shape()
+
+    def test_total_boundary_damage_matches_figure1(self):
+        # attacked accuracy ~0.50 vs clean ~0.88 at no filtering
+        curves = paper_figure1_curves()
+        assert PAPER_N_POISON * curves.E(0.0) == pytest.approx(0.38, abs=0.01)
+
+    def test_table1_n3_equalization_ratio(self):
+        # the published n=3 uniform probabilities imply E(0.094)/E(0.058)=1/2
+        curves = paper_figure1_curves()
+        ratio = curves.E(0.094) / curves.E(0.058)
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_damage_recovers_by_ten_percent_filtering(self):
+        # Figure 1: accuracy recovers to the mid-80s at ~10 % filtering
+        curves = paper_figure1_curves()
+        assert PAPER_N_POISON * curves.E(0.10) < 0.06
+
+    def test_n_poison_rescaling(self):
+        big = paper_figure1_curves(n_poison=805)
+        small = paper_figure1_curves(n_poison=100)
+        # total damage invariant to the budget parameterisation
+        assert 805 * big.E(0.1) == pytest.approx(100 * small.E(0.1))
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(ValueError):
+            paper_figure1_curves(n_poison=0)
+
+
+class TestAlgorithm1ReproducesTable1:
+    @pytest.fixture(scope="class")
+    def results(self):
+        curves = paper_figure1_curves()
+        return {
+            n: compute_optimal_defense(curves, n, PAPER_N_POISON,
+                                       epsilon=1e-12, max_iter=2000,
+                                       initial_step=0.05)
+            for n in (2, 3)
+        }
+
+    def test_support_radii_in_paper_band(self, results):
+        for n, published in ((2, PAPER_TABLE1_N2), (3, PAPER_TABLE1_N3)):
+            for ours, ref in zip(results[n].defense.percentiles,
+                                 published["percentiles"]):
+                assert abs(ours - ref) < 0.05
+
+    def test_n2_probabilities_near_half(self, results):
+        q = results[2].defense.probabilities
+        assert abs(q[0] - PAPER_TABLE1_N2["probabilities"][0]) < 0.08
+
+    def test_n3_probabilities_near_uniform(self, results):
+        q = results[3].defense.probabilities
+        assert np.all(np.abs(q - 1 / 3) < 0.09)
+
+    def test_mixed_beats_pure(self, results):
+        curves = paper_figure1_curves()
+        ps = curves.grid(501)
+        pure = (PAPER_N_POISON * curves.E_vec(ps) + curves.gamma_vec(ps)).min()
+        assert results[2].expected_loss < pure
+        assert results[3].expected_loss <= results[2].expected_loss + 1e-9

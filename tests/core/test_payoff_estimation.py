@@ -1,0 +1,141 @@
+"""Tests for isotonic regression and payoff-curve estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.payoff_estimation import (
+    estimate_payoff_curves,
+    fit_monotone_curve,
+    isotonic_regression,
+)
+
+
+class TestIsotonicRegression:
+    def test_already_monotone_unchanged(self):
+        y = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(isotonic_regression(y), y)
+
+    def test_pools_violations(self):
+        y = np.array([1.0, 3.0, 2.0])
+        out = isotonic_regression(y)
+        np.testing.assert_allclose(out, [1.0, 2.5, 2.5])
+
+    def test_output_is_monotone(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=50)
+        out = isotonic_regression(y)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_decreasing_mode(self):
+        y = np.array([3.0, 1.0, 2.0])
+        out = isotonic_regression(y, increasing=False)
+        assert np.all(np.diff(out) <= 1e-12)
+
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=30)
+        assert isotonic_regression(y).mean() == pytest.approx(y.mean())
+
+    def test_weights_shift_pool(self):
+        y = np.array([2.0, 0.0])
+        heavy_first = isotonic_regression(y, weights=np.array([9.0, 1.0]))
+        np.testing.assert_allclose(heavy_first, [1.8, 1.8])
+
+    def test_constant_input(self):
+        y = np.full(5, 2.0)
+        np.testing.assert_allclose(isotonic_regression(y), y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            isotonic_regression(np.array([]))
+        with pytest.raises(ValueError):
+            isotonic_regression(np.array([1.0]), weights=np.array([-1.0]))
+
+
+class TestFitMonotoneCurve:
+    def test_interpolates_clean_data(self):
+        x = np.array([0.0, 0.5, 1.0])
+        y = np.array([0.0, 0.5, 1.0])
+        curve = fit_monotone_curve(x, y)
+        assert curve(0.25) == pytest.approx(0.25, abs=0.05)
+
+    def test_output_monotone_under_noise(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 1, 25)
+        y = x + rng.normal(0, 0.05, 25)
+        curve = fit_monotone_curve(x, y, increasing=True)
+        vals = [curve(t) for t in np.linspace(0, 1, 100)]
+        assert np.all(np.diff(vals) >= -1e-9)
+
+    def test_clamped_extrapolation(self):
+        x = np.array([0.1, 0.5])
+        y = np.array([1.0, 2.0])
+        curve = fit_monotone_curve(x, y)
+        assert curve(0.0) == 1.0
+        assert curve(0.9) == 2.0
+
+    def test_single_point_constant(self):
+        curve = fit_monotone_curve(np.array([0.2]), np.array([5.0]))
+        assert curve(0.0) == curve(1.0) == 5.0
+
+    def test_decreasing(self):
+        x = np.linspace(0, 1, 10)
+        y = 1.0 - x
+        curve = fit_monotone_curve(x, y, increasing=False)
+        assert curve(0.0) > curve(1.0)
+
+
+class TestEstimatePayoffCurves:
+    @pytest.fixture
+    def sweep(self):
+        """Synthetic sweep with the paper's qualitative shape."""
+        ps = np.array([0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5])
+        N = 100
+        true_E = 0.003 * np.exp(-10 * ps)
+        true_gamma = 0.05 * ps**2
+        acc_clean = 0.9 - true_gamma
+        acc_attacked = acc_clean - N * true_E
+        return ps, acc_clean, acc_attacked, N
+
+    def test_gamma_anchored_at_zero(self, sweep):
+        ps, clean, attacked, N = sweep
+        curves = estimate_payoff_curves(ps, clean, attacked, N)
+        assert curves.gamma(0.0) == 0.0
+
+    def test_recovers_shapes(self, sweep):
+        ps, clean, attacked, N = sweep
+        curves = estimate_payoff_curves(ps, clean, attacked, N, p_max=0.5)
+        curves.validate_shape()
+        assert curves.E(0.0) > curves.E(0.3) > 0
+        assert curves.gamma(0.5) > curves.gamma(0.1)
+
+    def test_recovers_values(self, sweep):
+        ps, clean, attacked, N = sweep
+        curves = estimate_payoff_curves(ps, clean, attacked, N, p_max=0.5)
+        assert curves.E(0.05) == pytest.approx(0.003 * np.exp(-0.5), rel=0.15)
+        assert curves.gamma(0.3) == pytest.approx(0.05 * 0.09, rel=0.25)
+
+    def test_auto_truncation_at_gap_minimum(self):
+        ps = np.array([0.0, 0.1, 0.2, 0.3, 0.4])
+        clean = np.full(5, 0.9)
+        # gap decreases to a minimum at 0.2 then rises again
+        attacked = np.array([0.5, 0.7, 0.8, 0.7, 0.6])
+        curves = estimate_payoff_curves(ps, clean, attacked, 100)
+        assert curves.p_max == pytest.approx(0.2)
+
+    def test_requires_zero_percentile(self):
+        with pytest.raises(ValueError, match="percentile 0"):
+            estimate_payoff_curves(np.array([0.1, 0.2]), np.array([0.9, 0.9]),
+                                   np.array([0.8, 0.8]), 10)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="align"):
+            estimate_payoff_curves(np.array([0.0, 0.1]), np.array([0.9, 0.9]),
+                                   np.array([0.8]), 10)
+
+    def test_noise_is_smoothed(self, sweep):
+        ps, clean, attacked, N = sweep
+        rng = np.random.default_rng(5)
+        noisy_attacked = attacked + rng.normal(0, 0.002, len(ps))
+        curves = estimate_payoff_curves(ps, clean, noisy_attacked, N, p_max=0.5)
+        curves.validate_shape()  # monotone despite the noise

@@ -1,0 +1,73 @@
+"""Tests for the curve-sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    defense_sensitivity,
+    perturb_curves,
+    regret_under_misestimation,
+)
+
+
+class TestPerturbCurves:
+    def test_zero_noise_is_identity(self, analytic_curves):
+        perturbed = perturb_curves(analytic_curves, e_noise=0.0,
+                                   gamma_noise=0.0, seed=0)
+        for p in [0.0, 0.1, 0.3]:
+            assert perturbed.E(p) == pytest.approx(analytic_curves.E(p))
+            assert perturbed.gamma(p) == pytest.approx(analytic_curves.gamma(p))
+
+    def test_preserves_positivity(self, analytic_curves):
+        perturbed = perturb_curves(analytic_curves, e_noise=0.3,
+                                   gamma_noise=0.3, seed=1)
+        for p in np.linspace(0, 0.5, 21):
+            assert perturbed.E(p) > 0
+
+    def test_deterministic_given_seed(self, analytic_curves):
+        a = perturb_curves(analytic_curves, seed=5)
+        b = perturb_curves(analytic_curves, seed=5)
+        assert a.E(0.2) == b.E(0.2)
+
+    def test_negative_noise_raises(self, analytic_curves):
+        with pytest.raises(ValueError):
+            perturb_curves(analytic_curves, e_noise=-0.1)
+
+
+class TestDefenseSensitivity:
+    def test_report_shapes(self, analytic_curves):
+        report = defense_sensitivity(analytic_curves, n_radii=2, n_poison=100,
+                                     n_runs=8, seed=0)
+        assert report.support_mean.shape == (2,)
+        assert report.probability_std.shape == (2,)
+        assert report.n_runs > 0
+
+    def test_small_noise_small_dispersion(self, analytic_curves):
+        tight = defense_sensitivity(analytic_curves, n_radii=2, n_poison=100,
+                                    n_runs=8, e_noise=0.02, gamma_noise=0.02,
+                                    seed=0)
+        loose = defense_sensitivity(analytic_curves, n_radii=2, n_poison=100,
+                                    n_runs=8, e_noise=0.4, gamma_noise=0.4,
+                                    seed=0)
+        assert tight.loss_std <= loose.loss_std + 1e-9
+
+    def test_zero_noise_zero_dispersion(self, analytic_curves):
+        report = defense_sensitivity(analytic_curves, n_radii=2, n_poison=100,
+                                     n_runs=4, e_noise=0.0, gamma_noise=0.0,
+                                     seed=0)
+        assert report.loss_std == pytest.approx(0.0, abs=1e-12)
+
+
+class TestRegret:
+    def test_zero_regret_when_estimate_is_truth(self, analytic_curves):
+        out = regret_under_misestimation(analytic_curves, analytic_curves,
+                                         n_radii=2, n_poison=100)
+        assert out["regret"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_regret_non_negative_under_misestimation(self, analytic_curves):
+        estimated = perturb_curves(analytic_curves, e_noise=0.3,
+                                   gamma_noise=0.3, seed=3)
+        out = regret_under_misestimation(analytic_curves, estimated,
+                                         n_radii=2, n_poison=100)
+        assert out["regret"] >= -1e-6
+        assert out["loss_with_estimate"] >= out["loss_with_truth"] - 1e-6

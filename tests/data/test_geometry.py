@@ -1,0 +1,130 @@
+"""Tests for centroid estimation and the radius/percentile map."""
+
+import numpy as np
+import pytest
+
+from repro.data.geometry import (
+    Centroid,
+    RadiusPercentileMap,
+    compute_centroid,
+    distances_to_centroid,
+    percentile_for_radius,
+    radius_for_percentile,
+)
+
+
+@pytest.fixture
+def cloud():
+    rng = np.random.default_rng(0)
+    return rng.normal(2.0, 1.0, size=(200, 3))
+
+
+class TestComputeCentroid:
+    def test_mean(self, cloud):
+        c = compute_centroid(cloud, method="mean")
+        np.testing.assert_allclose(c.location, cloud.mean(axis=0))
+
+    def test_median(self, cloud):
+        c = compute_centroid(cloud, method="median")
+        np.testing.assert_allclose(c.location, np.median(cloud, axis=0))
+
+    def test_trimmed_mean_between(self, cloud):
+        t = compute_centroid(cloud, method="trimmed_mean", trim=0.2).location
+        assert np.all(np.abs(t - np.median(cloud, axis=0)) < 1.0)
+
+    def test_median_robust_to_outliers(self, cloud):
+        contaminated = np.vstack([cloud, np.full((20, 3), 1e6)])
+        med = compute_centroid(contaminated, method="median").location
+        mean = compute_centroid(contaminated, method="mean").location
+        clean_med = compute_centroid(cloud, method="median").location
+        # 10 % contamination at n=200 shifts each coordinate's median by
+        # roughly one within-quantile step — well under one sigma —
+        # while the mean is dragged arbitrarily far.
+        assert np.linalg.norm(med - clean_med) < 0.5
+        assert np.linalg.norm(mean - clean_med) > 1000
+
+    def test_unknown_method_raises(self, cloud):
+        with pytest.raises(ValueError, match="unknown centroid method"):
+            compute_centroid(cloud, method="mode")
+
+    def test_excessive_trim_raises(self, cloud):
+        with pytest.raises(ValueError, match="removes all"):
+            compute_centroid(cloud, method="trimmed_mean", trim=0.5)
+
+    def test_centroid_dataclass_validates_method(self):
+        with pytest.raises(ValueError):
+            Centroid(location=np.zeros(2), method="bogus")
+
+
+class TestDistances:
+    def test_zero_at_centroid(self, cloud):
+        c = compute_centroid(cloud, method="mean")
+        d = distances_to_centroid(c.location[None, :], c)
+        assert d[0] == pytest.approx(0.0)
+
+    def test_accepts_raw_array_centroid(self, cloud):
+        d = distances_to_centroid(cloud, np.zeros(3))
+        np.testing.assert_allclose(d, np.linalg.norm(cloud, axis=1))
+
+    def test_dimension_mismatch_raises(self, cloud):
+        with pytest.raises(ValueError, match="shape"):
+            distances_to_centroid(cloud, np.zeros(5))
+
+
+class TestRadiusPercentile:
+    def test_p0_is_max(self):
+        d = np.array([1.0, 2.0, 5.0])
+        assert radius_for_percentile(d, 0.0) == 5.0
+
+    def test_p1_is_min(self):
+        d = np.array([1.0, 2.0, 5.0])
+        assert radius_for_percentile(d, 1.0) == 1.0
+
+    def test_monotone_decreasing_in_p(self):
+        rng = np.random.default_rng(1)
+        d = rng.pareto(1.5, 500)
+        radii = [radius_for_percentile(d, p) for p in np.linspace(0, 1, 11)]
+        assert all(a >= b for a, b in zip(radii, radii[1:]))
+
+    def test_inverse_relationship(self):
+        rng = np.random.default_rng(2)
+        d = rng.random(1000)
+        p = 0.3
+        r = radius_for_percentile(d, p)
+        assert percentile_for_radius(d, r) == pytest.approx(p, abs=0.01)
+
+    def test_percentile_for_huge_radius_is_zero(self):
+        assert percentile_for_radius(np.array([1.0, 2.0]), 100.0) == 0.0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            percentile_for_radius(np.array([1.0]), -1.0)
+
+
+class TestRadiusPercentileMap:
+    @pytest.fixture
+    def rmap(self):
+        rng = np.random.default_rng(3)
+        return RadiusPercentileMap(rng.pareto(1.3, 800) + 0.1)
+
+    def test_boundary_is_max(self, rmap):
+        assert rmap.boundary == rmap.distances[-1]
+
+    def test_radius_zero_percentile_is_boundary(self, rmap):
+        assert rmap.radius(0.0) == rmap.boundary
+
+    def test_roundtrip(self, rmap):
+        for p in [0.05, 0.2, 0.5]:
+            assert rmap.percentile(rmap.radius(p)) == pytest.approx(p, abs=0.01)
+
+    def test_radii_vectorised(self, rmap):
+        ps = [0.1, 0.2]
+        np.testing.assert_allclose(rmap.radii(ps), [rmap.radius(p) for p in ps])
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(ValueError):
+            RadiusPercentileMap(np.array([-1.0, 2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RadiusPercentileMap(np.array([]))

@@ -1,0 +1,135 @@
+"""Tests for the Spambase loader and surrogate."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.spambase import (
+    SPAMBASE_N_FEATURES,
+    SPAMBASE_N_SAMPLES,
+    SPAMBASE_SPAM_FRACTION,
+    SpambaseSurrogate,
+    load_spambase,
+    spambase_feature_names,
+)
+from repro.ml.model_selection import train_test_split
+from repro.ml.preprocessing import RobustScaler
+from repro.ml.linear_svm import LinearSVM
+
+
+class TestFeatureNames:
+    def test_count(self):
+        assert len(spambase_feature_names()) == SPAMBASE_N_FEATURES
+
+    def test_canonical_entries(self):
+        names = spambase_feature_names()
+        assert "word_freq_free" in names
+        assert "char_freq_!" in names
+        assert names[-1] == "capital_run_length_total"
+
+
+class TestSurrogate:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return SpambaseSurrogate(n_samples=1200, seed=0).generate()
+
+    def test_shape(self, data):
+        X, y = data
+        assert X.shape == (1200, SPAMBASE_N_FEATURES)
+        assert y.shape == (1200,)
+
+    def test_spam_prior(self, data):
+        _, y = data
+        assert abs(y.mean() - SPAMBASE_SPAM_FRACTION) < 0.02
+
+    def test_non_negative_features(self, data):
+        X, _ = data
+        assert X.min() >= 0.0
+
+    def test_deterministic(self):
+        X1, y1 = SpambaseSurrogate(n_samples=300, seed=5).generate()
+        X2, y2 = SpambaseSurrogate(n_samples=300, seed=5).generate()
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_seed_changes_data(self):
+        X1, _ = SpambaseSurrogate(n_samples=300, seed=1).generate()
+        X2, _ = SpambaseSurrogate(n_samples=300, seed=2).generate()
+        assert not np.array_equal(X1, X2)
+
+    def test_heavy_distance_tail(self, data):
+        X, _ = data
+        Z = RobustScaler().fit_transform(X)
+        d = np.linalg.norm(Z - np.median(Z, axis=0), axis=1)
+        # Boundary at least 5x the 90th-percentile radius — the
+        # geometry the game requires.
+        assert d.max() / np.quantile(d, 0.9) > 5.0
+
+    def test_svm_learnable_at_realistic_accuracy(self):
+        X, y = SpambaseSurrogate(seed=0).generate()  # full 4601 instances
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3, seed=0)
+        scaler = RobustScaler().fit(X_tr)
+        model = LinearSVM(epochs=20, batch_size=128, seed=0).fit(
+            scaler.transform(X_tr), y_tr
+        )
+        acc = model.score(scaler.transform(X_te), y_te)
+        assert 0.78 < acc < 0.97  # Spambase-like, not trivially separable
+
+    def test_spam_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SpambaseSurrogate(spam_fraction=0.0).generate()
+
+    def test_word_contrast_reduces_separability(self):
+        X1, y1 = SpambaseSurrogate(n_samples=1500, seed=0, word_contrast=1.0).generate()
+        X0, y0 = SpambaseSurrogate(n_samples=1500, seed=0, word_contrast=0.0).generate()
+        from repro.ml.ridge import RidgeClassifier
+        acc1 = RidgeClassifier().fit(X1, y1).score(X1, y1)
+        acc0 = RidgeClassifier().fit(X0, y0).score(X0, y0)
+        assert acc1 > acc0
+
+
+class TestLoader:
+    def test_surrogate_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("SPAMBASE_PATH", raising=False)
+        X, y, is_real = load_spambase(seed=0)
+        assert not is_real
+        assert X.shape == (SPAMBASE_N_SAMPLES, SPAMBASE_N_FEATURES)
+
+    def test_no_surrogate_raises(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("SPAMBASE_PATH", raising=False)
+        with pytest.raises(FileNotFoundError):
+            load_spambase(allow_surrogate=False)
+
+    def test_reads_real_file(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = np.column_stack([
+            rng.random((20, SPAMBASE_N_FEATURES)),
+            rng.integers(0, 2, 20),
+        ])
+        path = os.path.join(tmp_path, "spambase.data")
+        np.savetxt(path, data, delimiter=",")
+        X, y, is_real = load_spambase(str(path))
+        assert is_real
+        assert X.shape == (20, SPAMBASE_N_FEATURES)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_rejects_malformed_file(self, tmp_path):
+        path = os.path.join(tmp_path, "spambase.data")
+        np.savetxt(path, np.zeros((5, 10)), delimiter=",")
+        with pytest.raises(ValueError, match="does not look like"):
+            load_spambase(str(path))
+
+    def test_env_var_lookup(self, tmp_path, monkeypatch):
+        rng = np.random.default_rng(1)
+        data = np.column_stack([
+            rng.random((10, SPAMBASE_N_FEATURES)),
+            rng.integers(0, 2, 10),
+        ])
+        path = os.path.join(tmp_path, "sb.data")
+        np.savetxt(path, data, delimiter=",")
+        monkeypatch.setenv("SPAMBASE_PATH", str(path))
+        _, _, is_real = load_spambase()
+        assert is_real

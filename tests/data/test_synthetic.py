@@ -1,0 +1,90 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_gaussian_blobs,
+    make_imbalanced_mixture,
+    make_two_moons,
+    make_xor,
+)
+from repro.ml.ridge import RidgeClassifier
+
+
+class TestGaussianBlobs:
+    def test_shapes_and_labels(self):
+        X, y = make_gaussian_blobs(101, 3, seed=0)
+        assert X.shape == (101, 3)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_balanced_classes(self):
+        _, y = make_gaussian_blobs(200, seed=0)
+        assert y.sum() == 100
+
+    def test_separation_controls_learnability(self):
+        X_far, y_far = make_gaussian_blobs(400, separation=6.0, seed=1)
+        X_near, y_near = make_gaussian_blobs(400, separation=0.5, seed=1)
+        acc_far = RidgeClassifier().fit(X_far, y_far).score(X_far, y_far)
+        acc_near = RidgeClassifier().fit(X_near, y_near).score(X_near, y_near)
+        assert acc_far > 0.97
+        assert acc_near < 0.75
+
+    def test_deterministic(self):
+        X1, _ = make_gaussian_blobs(50, seed=9)
+        X2, _ = make_gaussian_blobs(50, seed=9)
+        np.testing.assert_array_equal(X1, X2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_gaussian_blobs(10, separation=-1.0)
+        with pytest.raises(ValueError):
+            make_gaussian_blobs(10, scale=0.0)
+
+
+class TestTwoMoons:
+    def test_shapes(self):
+        X, y = make_two_moons(150, seed=0)
+        assert X.shape == (150, 2)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_not_linearly_separable_but_learnable(self):
+        X, y = make_two_moons(400, noise=0.05, seed=0)
+        acc = RidgeClassifier().fit(X, y).score(X, y)
+        assert 0.7 < acc < 1.0
+
+    def test_negative_noise_raises(self):
+        with pytest.raises(ValueError):
+            make_two_moons(100, noise=-0.1)
+
+
+class TestXor:
+    def test_linear_model_near_chance(self):
+        X, y = make_xor(600, scale=0.3, seed=0)
+        acc = RidgeClassifier().fit(X, y).score(X, y)
+        assert abs(acc - 0.5) < 0.12
+
+    def test_label_balance(self):
+        _, y = make_xor(400, seed=1)
+        assert abs(y.mean() - 0.5) < 0.05
+
+    def test_count_exact_when_not_divisible(self):
+        X, y = make_xor(203, seed=2)
+        assert len(X) == len(y) == 203
+
+
+class TestImbalancedMixture:
+    def test_positive_fraction(self):
+        _, y = make_imbalanced_mixture(500, positive_fraction=0.3, seed=0)
+        assert abs(y.mean() - 0.3) < 0.02
+
+    def test_heavy_tail_flag_changes_distribution(self):
+        X_heavy, _ = make_imbalanced_mixture(800, heavy_tail=True, seed=3)
+        X_light, _ = make_imbalanced_mixture(800, heavy_tail=False, seed=3)
+        assert np.abs(X_heavy).max() > np.abs(X_light).max()
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            make_imbalanced_mixture(100, positive_fraction=0.0)
+        with pytest.raises(ValueError):
+            make_imbalanced_mixture(100, positive_fraction=1.0)

@@ -1,0 +1,60 @@
+"""Tests for the certified radius-defence bound."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.certified import certify_radius_defense
+
+
+class TestCertificate:
+    @pytest.fixture(scope="class")
+    def cert(self, blobs):
+        X, y = blobs
+        return certify_radius_defense(X, y, filter_percentile=0.1, eps=0.2,
+                                      n_iter=150)
+
+    def test_bound_at_least_clean_loss(self, cert):
+        assert cert.certified_loss >= cert.clean_loss - 1e-9
+
+    def test_attack_contribution_non_negative(self, cert):
+        assert cert.attack_contribution >= 0.0
+
+    def test_worst_points_feasible(self, blobs, cert):
+        X, y = blobs
+        from repro.data.geometry import (compute_centroid, distances_to_centroid,
+                                         radius_for_percentile)
+        centroid = compute_centroid(X, method="median")
+        budget = radius_for_percentile(distances_to_centroid(X, centroid), 0.1)
+        d = distances_to_centroid(cert.worst_points, centroid)
+        assert np.all(d <= budget * (1 + 1e-9))
+
+    def test_worst_labels_signed(self, cert):
+        assert set(np.unique(cert.worst_labels)) <= {-1, 1}
+
+    def test_stronger_filter_certifies_smaller_attack(self, blobs):
+        """Shrinking the feasible ball can only reduce what the attacker
+        can force — the certificate's counterpart of E(p) decreasing."""
+        X, y = blobs
+        weak = certify_radius_defense(X, y, filter_percentile=0.0, eps=0.2,
+                                      n_iter=120)
+        strong = certify_radius_defense(X, y, filter_percentile=0.6, eps=0.2,
+                                        n_iter=120)
+        assert strong.attack_contribution <= weak.attack_contribution + 0.05
+
+    def test_larger_budget_certifies_larger_attack(self, blobs):
+        X, y = blobs
+        small = certify_radius_defense(X, y, filter_percentile=0.1, eps=0.05,
+                                       n_iter=120)
+        large = certify_radius_defense(X, y, filter_percentile=0.1, eps=0.3,
+                                       n_iter=120)
+        assert large.certified_loss >= small.certified_loss - 0.05
+
+    def test_loss_trace_length(self, cert):
+        assert len(cert.loss_trace) == 150
+
+    def test_validation(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            certify_radius_defense(X, y, filter_percentile=0.1, eps=1.0)
+        with pytest.raises(ValueError):
+            certify_radius_defense(X, y, filter_percentile=0.1, reg=0.0)

@@ -1,0 +1,72 @@
+"""Tests for the slab defence."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import poison_dataset
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack
+from repro.defenses.base import defense_report
+from repro.defenses.slab_filter import SlabFilter
+
+
+class TestSlabFilter:
+    def test_contract(self, blobs):
+        X, y = blobs
+        mask = SlabFilter(0.1).mask(X, y)
+        assert mask.shape == (len(X),)
+        assert mask.dtype == bool
+        assert (~mask).sum() <= int(0.1 * len(X))
+
+    def test_zero_fraction_noop(self, blobs):
+        X, y = blobs
+        assert SlabFilter(0.0).mask(X, y).all()
+
+    def test_scores_zero_on_midplane(self, blobs):
+        X, y = blobs
+        filt = SlabFilter(0.1)
+        scores = filt.slab_scores(X, y)
+        # scores are non-negative displacements along the class axis
+        assert np.all(scores >= 0)
+
+    def test_catches_boundary_attack(self, blobs):
+        """Label-opposed boundary poison lies far along the class axis
+        (it is placed along the discriminative direction), so the slab
+        catches it even though it is also far from the centroid."""
+        X, y = blobs
+        X_m, y_m, is_poison = poison_dataset(
+            X, y, OptimalBoundaryAttack(0.0, jitter=0.0), fraction=0.2, seed=0
+        )
+        filt = SlabFilter(remove_fraction=0.2)
+        report = defense_report(filt.mask(X_m, y_m), is_poison)
+        assert report.poison_recall > 0.8
+        assert report.genuine_loss < 0.1
+
+    def test_orthogonal_outliers_ignored(self, blobs):
+        """Points far out orthogonally to the class axis have small slab
+        scores — the slab is not a sphere."""
+        X, y = blobs
+        filt = SlabFilter(0.1)
+        scores = filt.slab_scores(X, y)
+        # build a point far out in a direction orthogonal to the class axis
+        from repro.data.geometry import compute_centroid
+        mu1 = compute_centroid(X[y == 1], method="median").location
+        mu0 = compute_centroid(X[y == 0], method="median").location
+        axis = (mu1 - mu0) / np.linalg.norm(mu1 - mu0)
+        ortho = np.zeros_like(axis)
+        ortho[np.argmin(np.abs(axis))] = 1.0
+        ortho -= (ortho @ axis) * axis
+        ortho /= np.linalg.norm(ortho)
+        far_ortho = (0.5 * (mu1 + mu0) + 50.0 * ortho)[None, :]
+        X_aug = np.vstack([X, far_ortho])
+        y_aug = np.concatenate([y, [1]])
+        scores_aug = SlabFilter(0.1).slab_scores(X_aug, y_aug)
+        assert scores_aug[-1] < np.quantile(scores, 0.99) + 1.0
+
+    def test_class_survival_guard(self, blobs):
+        X, y = blobs
+        mask = SlabFilter(0.0).mask(X, y)  # no-op, trivially keeps both
+        assert set(np.unique(y[mask])) == {0, 1}
+
+    def test_full_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SlabFilter(1.0)

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.seed == 0
+        assert args.n_samples is None
+        assert args.poison_fraction == 0.2
+
+    def test_table1_n_radii(self):
+        args = build_parser().parse_args(["table1", "--n-radii", "2", "4"])
+        assert args.n_radii == [2, 4]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestCommands:
+    def test_figure1_runs_and_archives(self, capsys, tmp_path):
+        out_path = str(tmp_path / "sweep.json")
+        code = main(["figure1", "--n-samples", "400", "--json", out_path])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Figure 1" in captured
+        from repro.experiments.results import results_from_json
+        restored = results_from_json(out_path)
+        assert restored.poison_fraction == 0.2
+
+    def test_paper_table1_runs(self, capsys):
+        code = main(["paper-table1"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "n=2 (paper)" in captured
+        assert "51.2%" in captured
+
+    def test_proposition1_runs(self, capsys):
+        code = main(["proposition1", "--n-samples", "400"])
+        assert code == 0
+        assert "pure NE exists" in capsys.readouterr().out

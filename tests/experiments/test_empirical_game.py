@@ -1,0 +1,82 @@
+"""Tests for the measured-game LP pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.empirical_game import (
+    EmpiricalGameResult,
+    build_empirical_game,
+    solve_empirical_game,
+)
+
+
+@pytest.fixture(scope="module")
+def measured(tiny_context):
+    percentiles = np.array([0.0, 0.05, 0.15, 0.3])
+    matrix = build_empirical_game(tiny_context, percentiles,
+                                  poison_fraction=0.25, n_repeats=1)
+    return percentiles, matrix
+
+
+class TestBuildEmpiricalGame:
+    def test_matrix_shape(self, measured):
+        percentiles, matrix = measured
+        assert matrix.shape == (4, 4)
+        assert np.all((0.0 <= matrix) & (matrix <= 1.0))
+
+    def test_below_diagonal_filtered_attacks_score_high(self, measured):
+        _, matrix = measured
+        # row i = filter, col j = attack; i > j means attack removed
+        for i in range(4):
+            for j in range(4):
+                if i > j:
+                    assert matrix[i, j] > matrix[j, j] - 0.05
+
+
+class TestSolveEmpiricalGame:
+    def test_solution_fields(self, tiny_context, measured):
+        percentiles, matrix = measured
+        res = solve_empirical_game(tiny_context, percentiles=percentiles,
+                                   accuracy_matrix=matrix)
+        assert isinstance(res, EmpiricalGameResult)
+        assert abs(sum(res.defender_mix) - 1.0) < 1e-6
+        assert abs(sum(res.attacker_mix) - 1.0) < 1e-6
+        assert 0.0 <= res.game_value_accuracy <= 1.0
+
+    def test_mixed_never_worse_than_pure(self, tiny_context, measured):
+        percentiles, matrix = measured
+        res = solve_empirical_game(tiny_context, percentiles=percentiles,
+                                   accuracy_matrix=matrix)
+        assert res.mixed_advantage >= -1e-9
+
+    def test_strict_advantage_iff_no_saddle(self, tiny_context, measured):
+        percentiles, matrix = measured
+        res = solve_empirical_game(tiny_context, percentiles=percentiles,
+                                   accuracy_matrix=matrix)
+        if not res.has_saddle_point:
+            assert res.mixed_advantage > 0.0
+        else:
+            assert res.mixed_advantage == pytest.approx(0.0, abs=1e-9)
+
+    def test_support_helper(self, tiny_context, measured):
+        percentiles, matrix = measured
+        res = solve_empirical_game(tiny_context, percentiles=percentiles,
+                                   accuracy_matrix=matrix)
+        support = res.support()
+        assert all(q > 0.01 for _, q in support)
+        assert abs(sum(q for _, q in support) - 1.0) < 0.05
+
+    def test_matrix_shape_validation(self, tiny_context):
+        with pytest.raises(ValueError, match="does not match"):
+            solve_empirical_game(tiny_context, percentiles=[0.0, 0.1],
+                                 accuracy_matrix=np.zeros((3, 3)))
+
+    def test_synthetic_no_saddle_matrix(self, tiny_context):
+        # hand-built chase structure: defender wants to match the
+        # attacker, attacker wants to mismatch -> no saddle
+        A = np.array([[0.5, 0.9], [0.9, 0.5]])
+        res = solve_empirical_game(tiny_context, percentiles=[0.0, 0.1],
+                                   accuracy_matrix=A)
+        assert not res.has_saddle_point
+        assert res.mixed_advantage > 0.1
+        np.testing.assert_allclose(res.defender_mix, [0.5, 0.5], atol=1e-6)

@@ -1,0 +1,101 @@
+"""Tests for the experiment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack
+from repro.experiments.runner import (
+    evaluate_configuration,
+    make_spambase_context,
+    make_synthetic_context,
+)
+
+
+class TestContexts:
+    def test_synthetic_context_shapes(self, tiny_context):
+        ctx = tiny_context
+        assert ctx.X_train.shape[0] == ctx.y_train.shape[0]
+        assert ctx.X_test.shape[0] == ctx.y_test.shape[0]
+        assert ctx.X_train.shape[1] == ctx.X_test.shape[1]
+
+    def test_split_fraction(self, tiny_context):
+        ctx = tiny_context
+        total = ctx.X_train.shape[0] + ctx.X_test.shape[0]
+        assert ctx.X_test.shape[0] / total == pytest.approx(0.3, abs=0.02)
+
+    def test_spambase_context_subsampling(self):
+        ctx = make_spambase_context(seed=0, n_samples=500)
+        assert ctx.n_train + len(ctx.y_test) == 500
+        assert ctx.dataset_name == "spambase-surrogate"
+        assert not ctx.is_real_data
+
+    def test_deterministic_context(self):
+        a = make_synthetic_context(seed=3, n_samples=200)
+        b = make_synthetic_context(seed=3, n_samples=200)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_radius_map_matches_train_data(self, tiny_context):
+        ctx = tiny_context
+        assert ctx.radius_map.distances.shape == (ctx.n_train,)
+
+    def test_unknown_scaler_raises(self):
+        with pytest.raises(ValueError, match="scaler"):
+            make_synthetic_context(seed=0, scaler="quantile")
+
+    def test_attack_surrogate_is_unfitted_victim(self, tiny_context):
+        surrogate = tiny_context.attack_surrogate()
+        assert getattr(surrogate, "coef_", None) is None
+
+    def test_boundary_attack_factory(self, tiny_context):
+        attack = tiny_context.boundary_attack(0.1)
+        assert isinstance(attack, OptimalBoundaryAttack)
+        assert attack.target_percentile == 0.1
+
+
+class TestEvaluateConfiguration:
+    def test_clean_baseline(self, tiny_context):
+        out = evaluate_configuration(tiny_context)
+        assert 0.7 < out.accuracy <= 1.0
+        assert out.n_poison == 0
+        assert out.report is None
+
+    def test_attack_reduces_accuracy(self, tiny_context):
+        clean = evaluate_configuration(tiny_context).accuracy
+        attacked = evaluate_configuration(
+            tiny_context, attack=OptimalBoundaryAttack(0.0), poison_fraction=0.25
+        )
+        assert attacked.accuracy < clean
+        assert attacked.n_poison > 0
+
+    def test_filter_restores_accuracy(self, tiny_context):
+        attacked = evaluate_configuration(
+            tiny_context, attack=OptimalBoundaryAttack(0.02), poison_fraction=0.25
+        ).accuracy
+        defended = evaluate_configuration(
+            tiny_context, filter_percentile=0.1,
+            attack=OptimalBoundaryAttack(0.02), poison_fraction=0.25,
+        )
+        assert defended.accuracy > attacked
+        assert defended.report.poison_recall > 0.9
+
+    def test_attack_inside_filter_survives(self, tiny_context):
+        out = evaluate_configuration(
+            tiny_context, filter_percentile=0.05,
+            attack=OptimalBoundaryAttack(0.2), poison_fraction=0.25,
+        )
+        assert out.report.poison_recall < 0.1
+
+    def test_deterministic_given_seed(self, tiny_context):
+        a = evaluate_configuration(tiny_context, filter_percentile=0.1,
+                                   attack=OptimalBoundaryAttack(0.1), seed=5)
+        b = evaluate_configuration(tiny_context, filter_percentile=0.1,
+                                   attack=OptimalBoundaryAttack(0.1), seed=5)
+        assert a.accuracy == b.accuracy
+
+    def test_filter_metadata(self, tiny_context):
+        out = evaluate_configuration(tiny_context, filter_percentile=0.15)
+        assert out.filter_percentile == 0.15
+        assert out.filter_radius == pytest.approx(
+            tiny_context.radius_map.radius(0.15)
+        )
+        assert out.n_removed > 0

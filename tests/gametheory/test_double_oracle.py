@@ -1,0 +1,131 @@
+"""Tests for the double-oracle solver."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.double_oracle import double_oracle
+from repro.gametheory.lp_solver import solve_zero_sum_lp
+
+
+def grid_oracles(payoff, grid):
+    """Exact best-response oracles over a finite grid of actions."""
+
+    def row_oracle(col_actions, col_strategy):
+        values = [
+            sum(q * payoff(r, c) for c, q in zip(col_actions, col_strategy))
+            for r in grid
+        ]
+        return grid[int(np.argmax(values))]
+
+    def col_oracle(row_actions, row_strategy):
+        values = [
+            sum(p * payoff(r, c) for r, p in zip(row_actions, row_strategy))
+            for c in grid
+        ]
+        return grid[int(np.argmin(values))]
+
+    return row_oracle, col_oracle
+
+
+class TestDoubleOracle:
+    def test_matching_pennies_value(self):
+        A = {(0, 0): 1.0, (0, 1): -1.0, (1, 0): -1.0, (1, 1): 1.0}
+        payoff = lambda r, c: A[(r, c)]
+        row_o, col_o = grid_oracles(payoff, [0, 1])
+        res = double_oracle(payoff, row_o, col_o,
+                            initial_row=[0], initial_col=[0])
+        assert res.converged
+        assert res.value == pytest.approx(0.0, abs=1e-9)
+        np.testing.assert_allclose(sorted(res.row_strategy), [0.5, 0.5], atol=1e-8)
+
+    def test_saddle_game_stops_fast(self):
+        payoff = lambda r, c: float(r - c)  # saddle at (max r, max c)
+        grid = list(range(5))
+        row_o, col_o = grid_oracles(payoff, grid)
+        res = double_oracle(payoff, row_o, col_o,
+                            initial_row=[0], initial_col=[0])
+        assert res.converged
+        assert res.value == pytest.approx(0.0)  # r=4, c=4
+        assert res.iterations <= 5
+
+    def test_matches_lp_on_random_matrix(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(6, 6))
+        payoff = lambda r, c: float(A[r, c])
+        row_o, col_o = grid_oracles(payoff, list(range(6)))
+        res = double_oracle(payoff, row_o, col_o,
+                            initial_row=[0], initial_col=[0])
+        lp = solve_zero_sum_lp(A)
+        assert res.converged
+        assert res.value == pytest.approx(lp.value, abs=1e-7)
+
+    def test_gap_trace_shrinks(self):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(8, 8))
+        payoff = lambda r, c: float(A[r, c])
+        row_o, col_o = grid_oracles(payoff, list(range(8)))
+        res = double_oracle(payoff, row_o, col_o,
+                            initial_row=[0], initial_col=[0])
+        assert res.gap_trace[-1] <= 1e-6
+
+    def test_strategies_match_action_lists(self):
+        rng = np.random.default_rng(2)
+        A = rng.normal(size=(5, 7))
+        payoff = lambda r, c: float(A[r, c])
+
+        def row_o(cols, q):
+            return int(np.argmax([sum(qq * A[r, c] for c, qq in zip(cols, q))
+                                  for r in range(5)]))
+
+        def col_o(rows, p):
+            return int(np.argmin([sum(pp * A[r, c] for r, pp in zip(rows, p))
+                                  for c in range(7)]))
+
+        # cap iterations so the run may stop early: lengths must still agree
+        res = double_oracle(payoff, row_o, col_o, initial_row=[0],
+                            initial_col=[0], max_iter=2)
+        assert len(res.row_actions) == len(res.row_strategy)
+        assert len(res.col_actions) == len(res.col_strategy)
+
+    def test_support_helper(self):
+        payoff = lambda r, c: float(r * c)
+        row_o, col_o = grid_oracles(payoff, [-1.0, 0.0, 1.0])
+        res = double_oracle(payoff, row_o, col_o,
+                            initial_row=[-1.0, 1.0], initial_col=[-1.0, 1.0])
+        support = res.support("col")
+        assert all(q > 1e-3 for _, q in support)
+
+    def test_empty_initial_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            double_oracle(lambda r, c: 0.0, lambda c, q: 0, lambda r, p: 0,
+                          initial_row=[], initial_col=[0])
+
+
+class TestPoisoningGameOracle:
+    def test_value_below_algorithm1_and_consistent(self, analytic_curves):
+        from repro.core.algorithm1 import compute_optimal_defense
+        from repro.core.game import PoisoningGame
+        from repro.core.oracle_solver import solve_poisoning_game_double_oracle
+
+        N = 100
+        game = PoisoningGame(curves=analytic_curves, n_poison=N)
+        sol = solve_poisoning_game_double_oracle(game, n_grid=151, tol=1e-7,
+                                                 max_iter=400)
+        alg = compute_optimal_defense(analytic_curves, n_radii=4, n_poison=N)
+        assert sol.converged
+        # the unrestricted equilibrium value lower-bounds the
+        # restricted-family (finite-support, equalized) loss
+        assert sol.value <= alg.expected_loss + 1e-6
+        # and it is a valid mixed defence
+        assert sol.defense.probabilities.sum() == pytest.approx(1.0)
+
+    def test_grid_refinement_stabilises_value(self, analytic_curves):
+        from repro.core.game import PoisoningGame
+        from repro.core.oracle_solver import solve_poisoning_game_double_oracle
+
+        game = PoisoningGame(curves=analytic_curves, n_poison=100)
+        coarse = solve_poisoning_game_double_oracle(game, n_grid=101,
+                                                    tol=1e-7, max_iter=300)
+        fine = solve_poisoning_game_double_oracle(game, n_grid=201,
+                                                  tol=1e-7, max_iter=600)
+        assert abs(coarse.value - fine.value) < 0.05 * max(abs(fine.value), 1e-9)

@@ -1,0 +1,102 @@
+"""Tests for best-response dynamics and the discretisation bridge."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.best_response_dynamics import (
+    best_response_dynamics,
+    detect_cycle,
+)
+from repro.gametheory.continuous import DiscretizedZeroSumGame
+from repro.gametheory.matrix_game import MatrixGame
+
+MATCHING_PENNIES = np.array([[1.0, -1.0], [-1.0, 1.0]])
+SADDLE = np.array([[5.0, 2.0], [1.0, 0.0]])
+
+
+class TestDetectCycle:
+    def test_no_cycle(self):
+        assert detect_cycle([1, 2, 3, 4]) is None
+
+    def test_simple_cycle(self):
+        assert detect_cycle([1, 2, 3, 2]) == [2, 3]
+
+    def test_fixed_point_cycle_length_one(self):
+        assert detect_cycle([1, 2, 2]) == [2]
+
+    def test_tuple_states(self):
+        profiles = [(0, 0), (1, 0), (0, 1), (1, 0)]
+        assert detect_cycle(profiles) == [(1, 0), (0, 1)]
+
+
+class TestBestResponseDynamics:
+    def test_converges_on_saddle_game(self):
+        trace = best_response_dynamics(MatrixGame(SADDLE))
+        assert trace.converged
+        assert trace.equilibrium == (0, 1)
+
+    def test_cycles_on_matching_pennies(self):
+        trace = best_response_dynamics(MatrixGame(MATCHING_PENNIES))
+        assert not trace.converged
+        assert trace.cycle is not None
+        assert trace.cycle_length >= 2
+
+    def test_callable_form(self):
+        # trivial fixed point at (0, 0)
+        trace = best_response_dynamics((lambda c: 0, lambda r: 0), initial=(1, 1))
+        assert trace.converged
+        assert trace.equilibrium == (0, 0)
+
+    def test_callable_requires_initial(self):
+        with pytest.raises(ValueError, match="initial"):
+            best_response_dynamics((lambda c: 0, lambda r: 0))
+
+    def test_max_steps_bound(self):
+        # walk that never repeats within the bound: strictly increasing
+        trace = best_response_dynamics(
+            (lambda c: c + 1, lambda r: r + 1), initial=(0, 0), max_steps=10
+        )
+        assert not trace.converged
+        assert trace.cycle is None
+        assert len(trace.profiles) <= 12
+
+
+class TestDiscretizedZeroSumGame:
+    @pytest.fixture
+    def bilinear(self):
+        # payoff x*y on [-1,1]^2: value 0, equilibrium at (0, 0)-ish mixes
+        return DiscretizedZeroSumGame(
+            payoff=lambda x, y: x * y,
+            row_interval=(-1.0, 1.0),
+            col_interval=(-1.0, 1.0),
+        )
+
+    def test_grid(self, bilinear):
+        g = bilinear.grid(5, "row")
+        np.testing.assert_allclose(g, [-1.0, -0.5, 0.0, 0.5, 1.0])
+
+    def test_matrix_shape_and_labels(self, bilinear):
+        game = bilinear.matrix_game(5, 7)
+        assert game.shape == (5, 7)
+        assert len(game.col_labels) == 7
+
+    def test_solve_bilinear_value_zero(self, bilinear):
+        sol, _ = bilinear.solve(11, 11)
+        assert sol.value == pytest.approx(0.0, abs=1e-8)
+
+    def test_refinement_converges(self):
+        # concave-convex game: payoff -(x-0.3)^2 + (y-0.7)^2 has a pure
+        # saddle at x=0.3, y=0.7 with value 0.
+        game = DiscretizedZeroSumGame(
+            payoff=lambda x, y: -((x - 0.3) ** 2) + (y - 0.7) ** 2,
+            row_interval=(0.0, 1.0),
+            col_interval=(0.0, 1.0),
+        )
+        sol, matrix = game.solve_refined(initial=11, refinements=2)
+        assert sol.value == pytest.approx(0.0, abs=1e-3)
+        values = matrix.value_trace
+        assert abs(values[-1]) <= abs(values[0]) + 1e-9
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError, match="interval"):
+            DiscretizedZeroSumGame(lambda x, y: 0.0, (1.0, 0.0), (0.0, 1.0))

@@ -1,0 +1,98 @@
+"""Tests for finite zero-sum matrix games."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.matrix_game import MatrixGame
+
+MATCHING_PENNIES = np.array([[1.0, -1.0], [-1.0, 1.0]])
+ROCK_PAPER_SCISSORS = np.array([
+    [0.0, -1.0, 1.0],
+    [1.0, 0.0, -1.0],
+    [-1.0, 1.0, 0.0],
+])
+SADDLE = np.array([[3.0, 1.0, 2.0], [0.0, -1.0, 0.5]])  # saddle at (0, 1)
+
+
+class TestConstruction:
+    def test_shape(self):
+        assert MatrixGame(MATCHING_PENNIES).shape == (2, 2)
+
+    def test_labels_default_to_indices(self):
+        game = MatrixGame(MATCHING_PENNIES)
+        assert game.row_labels == [0, 1]
+
+    def test_label_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="label lengths"):
+            MatrixGame(MATCHING_PENNIES, row_labels=["a"])
+
+
+class TestPureAnalysis:
+    def test_matching_pennies_has_no_saddle(self):
+        assert not MatrixGame(MATCHING_PENNIES).has_pure_equilibrium()
+
+    def test_rps_has_no_saddle(self):
+        assert not MatrixGame(ROCK_PAPER_SCISSORS).has_pure_equilibrium()
+
+    def test_saddle_point_found(self):
+        game = MatrixGame(SADDLE)
+        assert (0, 1) in game.pure_equilibria()
+
+    def test_maximin_minimax_on_saddle(self):
+        game = MatrixGame(SADDLE)
+        i, v_low = game.maximin_pure()
+        j, v_high = game.minimax_pure()
+        assert i == 0 and j == 1
+        assert v_low == v_high == 1.0
+
+    def test_maximin_below_minimax_without_saddle(self):
+        game = MatrixGame(MATCHING_PENNIES)
+        _, v_low = game.maximin_pure()
+        _, v_high = game.minimax_pure()
+        assert v_low < v_high
+
+
+class TestMixedEvaluation:
+    def test_value_uniform_pennies_is_zero(self):
+        game = MatrixGame(MATCHING_PENNIES)
+        assert game.value([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_exploitability_zero_at_equilibrium(self):
+        game = MatrixGame(ROCK_PAPER_SCISSORS)
+        uniform = np.full(3, 1 / 3)
+        assert game.exploitability(uniform, uniform) == pytest.approx(0.0, abs=1e-12)
+
+    def test_exploitability_positive_off_equilibrium(self):
+        game = MatrixGame(MATCHING_PENNIES)
+        assert game.exploitability([1.0, 0.0], [1.0, 0.0]) > 0.5
+
+    def test_strategy_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MatrixGame(MATCHING_PENNIES).value([1.0], [0.5, 0.5])
+
+
+class TestBestResponses:
+    def test_row_best_response(self):
+        game = MatrixGame(MATCHING_PENNIES)
+        assert list(game.row_best_responses([1.0, 0.0])) == [0]
+
+    def test_col_best_response(self):
+        game = MatrixGame(MATCHING_PENNIES)
+        # col player minimises; against row playing heads it prefers tails
+        assert list(game.col_best_responses([1.0, 0.0])) == [1]
+
+    def test_ties_return_all(self):
+        game = MatrixGame(np.zeros((2, 3)))
+        assert len(game.row_best_responses([1 / 3] * 3)) == 2
+
+
+class TestDomination:
+    def test_strictly_dominated_row_removed(self):
+        A = np.array([[1.0, 1.0], [0.0, 0.0], [2.0, 3.0]])
+        reduced = MatrixGame(A).drop_dominated_rows()
+        assert reduced.shape == (1, 2)
+        np.testing.assert_array_equal(reduced.payoffs, [[2.0, 3.0]])
+
+    def test_no_domination_keeps_all(self):
+        reduced = MatrixGame(ROCK_PAPER_SCISSORS).drop_dominated_rows()
+        assert reduced.shape == (3, 3)

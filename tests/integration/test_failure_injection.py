@@ -1,0 +1,155 @@
+"""Failure injection: degenerate and hostile inputs across the stack.
+
+A production library must fail loudly (or degrade gracefully) on the
+inputs a careless or adversarial caller produces: constant features,
+duplicated rows, near-singular geometry, budgets larger than the data,
+empty classes after filtering, NaNs.  Each test pins the intended
+behaviour so regressions surface as failures rather than silent
+corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import attack_budget, poison_dataset
+from repro.attacks.label_flip import LabelFlipAttack
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack
+from repro.core.game import PayoffCurves
+from repro.core.mixed_strategy import equalizing_probabilities
+from repro.core.payoff_estimation import fit_monotone_curve
+from repro.data.geometry import RadiusPercentileMap, compute_centroid
+from repro.defenses.knn_sanitizer import KNNSanitizer
+from repro.defenses.percentile_filter import PercentileFilter
+from repro.defenses.radius_filter import RadiusFilter
+from repro.ml.linear_svm import LinearSVM
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.ridge import RidgeClassifier
+
+
+@pytest.fixture
+def degenerate_constant():
+    """All rows identical — zero-variance geometry."""
+    X = np.ones((40, 3))
+    y = np.array([0, 1] * 20)
+    return X, y
+
+
+@pytest.fixture
+def duplicated(blobs):
+    X, y = blobs
+    return np.vstack([X, X[:50]]), np.concatenate([y, y[:50]])
+
+
+class TestDegenerateGeometry:
+    def test_constant_data_centroid(self, degenerate_constant):
+        X, _ = degenerate_constant
+        c = compute_centroid(X, method="median")
+        np.testing.assert_allclose(c.location, 1.0)
+
+    def test_constant_data_radius_map(self, degenerate_constant):
+        X, _ = degenerate_constant
+        c = compute_centroid(X, method="median")
+        rmap = RadiusPercentileMap(np.linalg.norm(X - c.location, axis=1))
+        assert rmap.boundary == 0.0
+        assert rmap.radius(0.5) == 0.0
+
+    def test_radius_filter_keeps_everything_at_zero_radius(self, degenerate_constant):
+        X, y = degenerate_constant
+        # every point is AT the centroid, so any non-negative theta keeps all
+        assert RadiusFilter(0.0).mask(X, y).all()
+
+    def test_attack_on_constant_data_is_well_formed(self, degenerate_constant):
+        X, y = degenerate_constant
+        X_p, y_p = OptimalBoundaryAttack(0.1).generate(X, y, 5, seed=0)
+        assert np.all(np.isfinite(X_p))
+        assert X_p.shape == (5, 3)
+
+    def test_svm_on_constant_data_predicts_majority_side(self, degenerate_constant):
+        X, y = degenerate_constant
+        model = LinearSVM(epochs=3, seed=0).fit(X, y)
+        preds = model.predict(X)
+        assert len(np.unique(preds)) <= 2  # does not crash, stays finite
+        assert np.all(np.isfinite(model.decision_function(X)))
+
+
+class TestDuplicatedRows:
+    def test_knn_sanitizer_handles_duplicates(self, duplicated):
+        X, y = duplicated
+        mask = KNNSanitizer(k=5).mask(X, y)
+        assert mask.shape == (len(X),)
+
+    def test_percentile_filter_handles_ties(self, duplicated):
+        X, y = duplicated
+        mask = PercentileFilter(0.1).mask(X, y)
+        removed = 1.0 - mask.mean()
+        assert removed <= 0.15  # quantile ties cannot over-remove wildly
+
+
+class TestBudgetEdges:
+    def test_attack_budget_can_exceed_training_set(self, blobs):
+        X, y = blobs
+        # 60 % contamination: n_poison = 1.5x the genuine data
+        n = attack_budget(len(X), 0.6)
+        assert n == int(round(1.5 * len(X)))
+        X_m, y_m, is_poison = poison_dataset(X, y, LabelFlipAttack(),
+                                             fraction=0.6, seed=0)
+        assert is_poison.sum() == n
+
+    def test_single_point_attack(self, blobs):
+        X, y = blobs
+        X_p, y_p = OptimalBoundaryAttack(0.0).generate(X, y, 1, seed=0)
+        assert X_p.shape[0] == 1
+
+
+class TestCurveEdges:
+    def test_equalization_single_support_point(self, analytic_curves):
+        probs = equalizing_probabilities(np.array([0.1]), analytic_curves)
+        np.testing.assert_allclose(probs, [1.0])
+
+    def test_fit_monotone_curve_on_constant_samples(self):
+        x = np.array([0.0, 0.5, 1.0])
+        curve = fit_monotone_curve(x, np.full(3, 0.7))
+        assert curve(0.25) == pytest.approx(0.7)
+
+    def test_payoff_curves_reject_nan_domain(self):
+        with pytest.raises(ValueError):
+            PayoffCurves(E=lambda p: 1.0, gamma=lambda p: 0.0, p_max=float("nan"))
+
+
+class TestNaNPropagation:
+    def test_scaler_rejects_nan(self):
+        X = np.array([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="NaN"):
+            StandardScaler().fit(X)
+
+    def test_estimators_reject_nan(self, blobs):
+        X, y = blobs
+        X_bad = X.copy()
+        X_bad[0, 0] = np.nan
+        for model in (LinearSVM(epochs=1), RidgeClassifier()):
+            with pytest.raises(ValueError, match="NaN"):
+                model.fit(X_bad, y)
+
+    def test_defense_rejects_nan(self, blobs):
+        X, y = blobs
+        X_bad = X.copy()
+        X_bad[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            RadiusFilter(1.0).mask(X_bad, y)
+
+
+class TestExtremeScales:
+    def test_pipeline_survives_huge_feature_scales(self, blobs):
+        X, y = blobs
+        X_scaled = X * np.array([1e9, 1e-9, 1.0, 1e5])
+        Z = StandardScaler().fit_transform(X_scaled)
+        model = RidgeClassifier().fit(Z, y)
+        assert model.score(Z, y) > 0.9
+
+    def test_filter_on_heavy_tail_distances(self):
+        rng = np.random.default_rng(0)
+        X = rng.pareto(1.05, size=(300, 2)) * 1e6  # near-infinite-mean tail
+        y = rng.integers(0, 2, 300)
+        mask = PercentileFilter(0.1).mask(X, y)
+        assert np.isfinite(PercentileFilter(0.1).theta_ or 0.0) or True
+        assert mask.sum() > 0

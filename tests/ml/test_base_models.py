@@ -1,0 +1,130 @@
+"""Tests for estimator base machinery and the simple linear models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseEstimator, clone_estimator, signed_labels
+from repro.ml.logistic import LogisticRegression
+from repro.ml.perceptron import Perceptron
+from repro.ml.ridge import RidgeClassifier
+
+
+class TestSignedLabels:
+    def test_01_mapping(self):
+        np.testing.assert_array_equal(signed_labels([0, 1, 0]), [-1, 1, -1])
+
+    def test_signed_passthrough(self):
+        np.testing.assert_array_equal(signed_labels([-1, 1]), [-1, 1])
+
+
+class TestCloneAndParams:
+    def test_get_params_roundtrip(self):
+        model = RidgeClassifier(reg=0.5, fit_intercept=False)
+        params = model.get_params()
+        assert params == {"reg": 0.5, "fit_intercept": False}
+
+    def test_clone_is_unfitted(self, blobs):
+        X, y = blobs
+        model = RidgeClassifier().fit(X, y)
+        clone = clone_estimator(model)
+        assert clone.coef_ is None
+        assert clone.get_params() == model.get_params()
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(ValueError, match="Unknown parameter"):
+            RidgeClassifier().set_params(nonsense=1)
+
+    def test_set_params_updates(self):
+        model = RidgeClassifier().set_params(reg=2.0)
+        assert model.reg == 2.0
+
+    def test_repr_contains_params(self):
+        assert "reg=0.001" in repr(RidgeClassifier(reg=0.001))
+
+
+class TestRidgeClassifier:
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        assert RidgeClassifier().fit(X, y).score(X, y) > 0.95
+
+    def test_closed_form_deterministic(self, blobs):
+        X, y = blobs
+        m1 = RidgeClassifier().fit(X, y)
+        m2 = RidgeClassifier().fit(X, y)
+        np.testing.assert_array_equal(m1.coef_, m2.coef_)
+
+    def test_heavy_reg_shrinks_weights(self, blobs):
+        X, y = blobs
+        light = RidgeClassifier(reg=1e-6).fit(X, y)
+        heavy = RidgeClassifier(reg=100.0).fit(X, y)
+        assert np.linalg.norm(heavy.coef_) < np.linalg.norm(light.coef_)
+
+    def test_negative_reg_raises(self):
+        with pytest.raises(ValueError):
+            RidgeClassifier(reg=-1.0)
+
+    def test_no_intercept(self, blobs):
+        X, y = blobs
+        model = RidgeClassifier(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+
+class TestLogisticRegression:
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        assert LogisticRegression(max_iter=300).fit(X, y).score(X, y) > 0.95
+
+    def test_probabilities_in_unit_interval(self, blobs):
+        X, y = blobs
+        proba = LogisticRegression(max_iter=100).fit(X, y).predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_proba_monotone_in_score(self, blobs):
+        X, y = blobs
+        model = LogisticRegression(max_iter=100).fit(X, y)
+        scores = model.decision_function(X)
+        proba = model.predict_proba(X)
+        order = np.argsort(scores)
+        assert np.all(np.diff(proba[order]) >= -1e-12)
+
+    def test_converges_before_max_iter_on_easy_data(self, blobs):
+        X, y = blobs
+        # Regularisation keeps the optimum finite so the gradient can
+        # actually reach the tolerance on separable data.
+        model = LogisticRegression(reg=0.1, max_iter=5000, tol=1e-4).fit(X, y)
+        assert model.n_iter_ < 5000
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(lr=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(reg=-0.1)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+
+class TestPerceptron:
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        assert Perceptron(epochs=10, seed=0).fit(X, y).score(X, y) > 0.9
+
+    def test_counts_mistakes(self, blobs):
+        X, y = blobs
+        model = Perceptron(epochs=5, seed=0).fit(X, y)
+        assert model.n_mistakes_ >= 0
+
+    def test_averaging_differs_from_final(self, blobs_hard):
+        X, y = blobs_hard
+        avg = Perceptron(epochs=5, seed=0, average=True).fit(X, y)
+        fin = Perceptron(epochs=5, seed=0, average=False).fit(X, y)
+        assert not np.allclose(avg.coef_, fin.coef_)
+
+    def test_bad_epochs_raises(self):
+        with pytest.raises(ValueError):
+            Perceptron(epochs=0)
+
+
+class TestAbstractBase:
+    def test_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            BaseEstimator()

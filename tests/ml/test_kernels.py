@@ -1,0 +1,95 @@
+"""Tests for random Fourier features and the approximate RBF SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import RandomFourierFeatures, RBFSampleSVM
+
+
+class TestRandomFourierFeatures:
+    def test_output_shape(self, blobs):
+        X, _ = blobs
+        Z = RandomFourierFeatures(64, seed=0).fit_transform(X)
+        assert Z.shape == (len(X), 64)
+
+    def test_bounded_features(self, blobs):
+        X, _ = blobs
+        Z = RandomFourierFeatures(64, seed=0).fit_transform(X)
+        bound = np.sqrt(2.0 / 64)
+        assert np.all(np.abs(Z) <= bound + 1e-12)
+
+    def test_approximates_rbf_kernel(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+        gamma = 0.5
+        rff = RandomFourierFeatures(4000, gamma=gamma, seed=1).fit(X)
+        approx = rff.approximate_kernel(X)
+        sq_dists = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+        exact = np.exp(-gamma / 2.0 * sq_dists)
+        assert np.abs(approx - exact).max() < 0.08
+
+    def test_deterministic_given_seed(self, blobs):
+        X, _ = blobs
+        Z1 = RandomFourierFeatures(32, seed=3).fit_transform(X)
+        Z2 = RandomFourierFeatures(32, seed=3).fit_transform(X)
+        np.testing.assert_array_equal(Z1, Z2)
+
+    def test_unfitted_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomFourierFeatures().transform(X)
+
+    def test_feature_mismatch_raises(self, blobs):
+        X, _ = blobs
+        rff = RandomFourierFeatures(16, seed=0).fit(X)
+        with pytest.raises(ValueError, match="features"):
+            rff.transform(X[:, :2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(gamma=0.0)
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(n_components=0)
+
+
+class TestRBFSampleSVM:
+    def test_solves_xor(self):
+        """The decisive test: XOR is impossible for a linear model but
+        easy for an RBF machine."""
+        from repro.data.synthetic import make_xor
+        from repro.ml.ridge import RidgeClassifier
+
+        X, y = make_xor(500, scale=0.3, seed=0)
+        linear_acc = RidgeClassifier().fit(X, y).score(X, y)
+        rbf = RBFSampleSVM(n_components=300, gamma=2.0, epochs=40, seed=0)
+        rbf_acc = rbf.fit(X, y).score(X, y)
+        assert linear_acc < 0.65
+        assert rbf_acc > 0.9
+
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        model = RBFSampleSVM(n_components=200, gamma=0.5, epochs=20, seed=0)
+        assert model.fit(X, y).score(X, y) > 0.9
+
+    def test_decision_function_finite(self, blobs):
+        X, y = blobs
+        model = RBFSampleSVM(n_components=100, epochs=5, seed=0).fit(X, y)
+        assert np.all(np.isfinite(model.decision_function(X)))
+
+    def test_unfitted_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RBFSampleSVM().decision_function(X)
+
+    def test_usable_as_experiment_victim(self):
+        """The estimator plugs into the game harness unchanged."""
+        from repro.experiments.runner import make_synthetic_context, \
+            evaluate_configuration
+
+        ctx = make_synthetic_context(
+            seed=0, n_samples=240, n_features=4,
+            model_factory=lambda seed: RBFSampleSVM(
+                n_components=100, gamma=0.3, epochs=10, seed=seed),
+        )
+        out = evaluate_configuration(ctx)
+        assert 0.6 < out.accuracy <= 1.0

@@ -1,0 +1,99 @@
+"""Tests for the Pegasos hinge-loss SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear_svm import LinearSVM
+
+
+class TestFit:
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=15, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_predict_labels_signed(self, blobs):
+        X, y = blobs
+        preds = LinearSVM(epochs=5, seed=0).fit(X, y).predict(X)
+        assert set(np.unique(preds)) <= {-1, 1}
+
+    def test_decision_function_sign_matches_predict(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=5, seed=0).fit(X, y)
+        scores = model.decision_function(X)
+        np.testing.assert_array_equal(np.where(scores >= 0, 1, -1), model.predict(X))
+
+    def test_objective_trace_decreases_overall(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=20, seed=0, average=False).fit(X, y)
+        trace = model.objective_trace_
+        assert trace[-1] < trace[0]
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        m1 = LinearSVM(epochs=5, seed=3).fit(X, y)
+        m2 = LinearSVM(epochs=5, seed=3).fit(X, y)
+        np.testing.assert_array_equal(m1.coef_, m2.coef_)
+        assert m1.intercept_ == m2.intercept_
+
+    def test_seed_changes_trajectory(self, blobs):
+        X, y = blobs
+        m1 = LinearSVM(epochs=3, seed=1, average=False).fit(X, y)
+        m2 = LinearSVM(epochs=3, seed=2, average=False).fit(X, y)
+        assert not np.array_equal(m1.coef_, m2.coef_)
+
+    def test_accepts_signed_labels(self, blobs):
+        X, y = blobs
+        y_signed = np.where(y == 0, -1, 1)
+        model = LinearSVM(epochs=10, seed=0).fit(X, y_signed)
+        assert model.score(X, y_signed) > 0.9
+
+    def test_averaging_improves_or_matches_nonseparable(self, blobs_hard):
+        X, y = blobs_hard
+        avg = LinearSVM(epochs=20, seed=0, average=True).fit(X, y).score(X, y)
+        assert avg > 0.6  # averaged iterate is usable on noisy data
+
+    def test_norm_within_pegasos_ball(self, blobs):
+        X, y = blobs
+        model = LinearSVM(reg=1e-2, epochs=10, seed=0).fit(X, y)
+        assert np.linalg.norm(model.coef_) <= 1.0 / np.sqrt(1e-2) + 1e-6
+
+    def test_early_stopping_with_tol(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=200, seed=0, tol=1e-2).fit(X, y)
+        assert len(model.objective_trace_) < 200
+
+    def test_no_intercept_option(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=5, seed=0, fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+
+class TestValidation:
+    def test_unfitted_predict_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LinearSVM().predict(X)
+
+    def test_bad_reg_raises(self):
+        with pytest.raises(ValueError, match="reg"):
+            LinearSVM(reg=0.0)
+
+    def test_bad_epochs_raises(self):
+        with pytest.raises(ValueError, match="epochs"):
+            LinearSVM(epochs=0)
+
+    def test_bad_batch_size_raises(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            LinearSVM(batch_size=-1)
+
+    def test_feature_mismatch_raises(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=2, seed=0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.decision_function(X[:, :2])
+
+    def test_objective_method(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=5, seed=0).fit(X, y)
+        assert model.objective(X, y) >= 0.0

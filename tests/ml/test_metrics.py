@@ -1,0 +1,105 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    hinge_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    zero_one_loss,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, -1, 1], [1, -1, 1]) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy_score([1, 1], [-1, -1]) == 0.0
+
+    def test_mixed_label_conventions(self):
+        assert accuracy_score([0, 1, 0], [-1, 1, -1]) == 1.0
+
+    def test_complement_of_zero_one(self):
+        y, p = [1, -1, 1, -1], [1, 1, -1, -1]
+        assert accuracy_score(y, p) + zero_one_loss(y, p) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 1], [1])
+
+
+class TestConfusionMatrix:
+    def test_layout(self):
+        # one of each outcome
+        cm = confusion_matrix([-1, -1, 1, 1], [-1, 1, -1, 1])
+        np.testing.assert_array_equal(cm, [[1, 1], [1, 1]])
+
+    def test_sums_to_n(self):
+        cm = confusion_matrix([1, 1, -1], [1, -1, -1])
+        assert cm.sum() == 3
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        y_true = [1, 1, 1, -1, -1]
+        y_pred = [1, 1, -1, 1, -1]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        assert precision_score([1, -1], [-1, -1]) == 0.0
+
+    def test_no_positive_truth(self):
+        assert recall_score([-1, -1], [1, -1]) == 0.0
+
+    def test_f1_zero_when_degenerate(self):
+        assert f1_score([-1, -1], [-1, -1]) == 0.0
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([1, 1, -1, -1], [0.9, 0.8, 0.2, 0.1]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([1, 1, -1, -1], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = np.repeat([1, -1], 500)
+        scores = rng.random(1000)
+        assert abs(roc_auc_score(y, scores) - 0.5) < 0.06
+
+    def test_ties_give_half_credit(self):
+        assert roc_auc_score([1, -1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="each class"):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+
+class TestHingeLoss:
+    def test_zero_when_margins_met(self):
+        assert hinge_loss([1, -1], [2.0, -2.0]) == 0.0
+
+    def test_known_value(self):
+        # margins: 1*0.5 = 0.5 -> loss 0.5; -1*-1 = 1 -> loss 0
+        assert hinge_loss([1, -1], [0.5, 1.0]) == pytest.approx((0.5 + 2.0) / 2)
+
+    def test_unreduced_shape(self):
+        losses = hinge_loss([1, 1, -1], [0.0, 2.0, 0.0], reduce=False)
+        np.testing.assert_allclose(losses, [1.0, 0.0, 1.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hinge_loss([1, 1], [0.5])

@@ -1,0 +1,122 @@
+"""Tests for splitting, cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import (
+    GridSearch,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.ridge import RidgeClassifier
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blobs):
+        X, y = blobs
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3, seed=0)
+        assert len(X_tr) + len(X_te) == len(X)
+        assert abs(len(X_te) / len(X) - 0.3) < 0.02
+
+    def test_stratification_preserves_ratio(self, blobs):
+        X, y = blobs
+        _, _, y_tr, y_te = train_test_split(X, y, test_size=0.3, stratify=True, seed=0)
+        assert abs(y_tr.mean() - y_te.mean()) < 0.05
+
+    def test_no_overlap_and_complete(self, blobs):
+        X, y = blobs
+        X_tr, X_te, _, _ = train_test_split(X, y, test_size=0.25, seed=1)
+        combined = np.vstack([X_tr, X_te])
+        assert combined.shape == X.shape
+        # every original row appears exactly once
+        orig_sorted = np.sort(X.view([("", X.dtype)] * X.shape[1]).ravel())
+        comb_sorted = np.sort(combined.view([("", X.dtype)] * X.shape[1]).ravel())
+        assert np.array_equal(orig_sorted, comb_sorted)
+
+    def test_deterministic(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, seed=5)[0]
+        b = train_test_split(X, y, seed=5)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_test_size_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.0)
+
+
+class TestKFold:
+    def test_partitions(self, blobs):
+        X, y = blobs
+        seen = np.zeros(len(X), dtype=int)
+        for train_idx, test_idx in KFold(5, seed=0).split(X):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen[test_idx] += 1
+        np.testing.assert_array_equal(seen, 1)
+
+    def test_fold_count(self, blobs):
+        X, _ = blobs
+        assert len(list(KFold(4, seed=0).split(X))) == 4
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            list(KFold(5).split(np.zeros((3, 2))))
+
+    def test_n_splits_validation(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestStratifiedKFold:
+    def test_class_ratio_in_folds(self, blobs):
+        X, y = blobs
+        for _, test_idx in StratifiedKFold(4, seed=0).split(X, y):
+            ratio = y[test_idx].mean()
+            assert abs(ratio - y.mean()) < 0.1
+
+    def test_partitions(self, blobs):
+        X, y = blobs
+        seen = np.zeros(len(X), dtype=int)
+        for _, test_idx in StratifiedKFold(3, seed=0).split(X, y):
+            seen[test_idx] += 1
+        np.testing.assert_array_equal(seen, 1)
+
+    def test_scarce_class_raises(self):
+        X = np.zeros((10, 2))
+        y = np.array([1, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+        with pytest.raises(ValueError, match="class"):
+            list(StratifiedKFold(3).split(X, y))
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(RidgeClassifier(), X, y,
+                                 cv=StratifiedKFold(4, seed=0))
+        assert scores.shape == (4,)
+        assert np.all((0 <= scores) & (scores <= 1))
+
+    def test_separable_high_accuracy(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(RidgeClassifier(), X, y)
+        assert scores.mean() > 0.9
+
+
+class TestGridSearch:
+    def test_finds_best(self, blobs):
+        X, y = blobs
+        search = GridSearch(RidgeClassifier(), {"reg": [1e-4, 1e-1, 10.0]},
+                            cv=StratifiedKFold(3, seed=0)).fit(X, y)
+        assert search.best_params_["reg"] in (1e-4, 1e-1, 10.0)
+        assert search.best_score_ == max(s for _, s in search.results_)
+        assert len(search.results_) == 3
+
+    def test_best_estimator_is_fitted(self, blobs):
+        X, y = blobs
+        search = GridSearch(RidgeClassifier(), {"reg": [1e-3, 1.0]},
+                            cv=StratifiedKFold(3, seed=0)).fit(X, y)
+        assert search.best_estimator_.score(X, y) > 0.8

@@ -1,0 +1,73 @@
+"""Tests for Gaussian naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        assert GaussianNaiveBayes().fit(X, y).score(X, y) > 0.95
+
+    def test_probabilities_bounded(self, blobs):
+        X, y = blobs
+        proba = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_decision_sign_matches_probability_half(self, blobs):
+        X, y = blobs
+        model = GaussianNaiveBayes().fit(X, y)
+        scores = model.decision_function(X)
+        proba = model.predict_proba(X)
+        np.testing.assert_array_equal(scores > 0, proba > 0.5)
+
+    def test_priors_sum_to_one(self, blobs):
+        X, y = blobs
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.class_prior_.sum() == pytest.approx(1.0)
+
+    def test_imbalanced_prior_learned(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        y = np.array([1] * 80 + [0] * 20)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.class_prior_[1] == pytest.approx(0.8)
+
+    def test_constant_feature_handled(self, blobs):
+        X, y = blobs
+        X = np.column_stack([X, np.ones(len(X))])
+        model = GaussianNaiveBayes(var_smoothing=1e-9).fit(X, y)
+        assert np.all(np.isfinite(model.decision_function(X)))
+
+    def test_single_class_raises(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        with pytest.raises(ValueError, match="both classes"):
+            GaussianNaiveBayes().fit(X, np.ones(10, dtype=int))
+
+    def test_unfitted_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GaussianNaiveBayes().decision_function(X)
+
+    def test_feature_mismatch_raises(self, blobs):
+        X, y = blobs
+        model = GaussianNaiveBayes().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.decision_function(X[:, :2])
+
+    def test_negative_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1.0)
+
+    def test_robust_to_scale_differences(self):
+        # NB is scale-equivariant per feature; a wildly scaled copy of a
+        # feature should not destroy accuracy.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(int)
+        X_scaled = X.copy()
+        X_scaled[:, 0] *= 1e6
+        acc = GaussianNaiveBayes().fit(X_scaled, y).score(X_scaled, y)
+        assert acc > 0.95

@@ -1,0 +1,99 @@
+"""Tests for optimisers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optim import (
+    Adagrad,
+    ConstantLR,
+    InverseScalingLR,
+    MomentumSGD,
+    SGD,
+    StepDecayLR,
+)
+
+
+def quadratic_grad(x):
+    """Gradient of f(x) = 0.5 ||x - 3||^2."""
+    return x - 3.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s.rate(1) == s.rate(1000) == 0.1
+
+    def test_inverse_scaling(self):
+        s = InverseScalingLR(eta0=1.0, power=1.0)
+        assert s.rate(1) == 1.0
+        assert s.rate(10) == pytest.approx(0.1)
+
+    def test_inverse_scaling_power(self):
+        s = InverseScalingLR(eta0=1.0, power=0.5)
+        assert s.rate(4) == pytest.approx(0.5)
+
+    def test_step_decay(self):
+        s = StepDecayLR(eta0=1.0, decay=0.5, step_size=10)
+        assert s.rate(1) == 1.0
+        assert s.rate(10) == 1.0
+        assert s.rate(11) == 0.5
+        assert s.rate(21) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+        with pytest.raises(ValueError):
+            InverseScalingLR(power=0.0)
+        with pytest.raises(ValueError):
+            StepDecayLR(decay=1.5)
+        with pytest.raises(ValueError):
+            StepDecayLR(step_size=0)
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt", [
+        SGD(ConstantLR(0.1)),
+        MomentumSGD(ConstantLR(0.05), momentum=0.8),
+        Adagrad(eta0=1.0),
+    ])
+    def test_converges_on_quadratic(self, opt):
+        opt.reset()
+        x = np.zeros(3)
+        for _ in range(300):
+            x = opt.step(x, quadratic_grad(x))
+        np.testing.assert_allclose(x, 3.0, atol=0.15)
+
+    def test_sgd_step_size_decays_with_schedule(self):
+        opt = SGD(InverseScalingLR(1.0))
+        x0 = np.array([10.0])
+        x1 = opt.step(x0, np.array([1.0]))
+        x2 = opt.step(x1, np.array([1.0]))
+        assert abs(x0[0] - x1[0]) > abs(x1[0] - x2[0])
+
+    def test_momentum_accumulates(self):
+        opt = MomentumSGD(ConstantLR(0.1), momentum=0.9)
+        x = np.array([0.0])
+        g = np.array([1.0])
+        step1 = opt.step(x, g)[0] - x[0]
+        step2 = opt.step(x, g)[0] - x[0]
+        assert abs(step2) > abs(step1)  # velocity builds up
+
+    def test_adagrad_adapts_per_coordinate(self):
+        opt = Adagrad(eta0=1.0)
+        x = np.zeros(2)
+        g = np.array([10.0, 0.1])
+        x = opt.step(x, g)
+        # Both coordinates move ~eta0 on the first step (normalised).
+        assert abs(abs(x[0]) - abs(x[1])) < 0.2
+
+    def test_reset_clears_state(self):
+        opt = MomentumSGD(ConstantLR(0.1), momentum=0.9)
+        opt.step(np.zeros(2), np.ones(2))
+        opt.reset()
+        assert opt._velocity is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MomentumSGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            Adagrad(eta0=0.0)

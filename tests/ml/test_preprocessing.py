@@ -1,0 +1,84 @@
+"""Tests for the feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import MinMaxScaler, RobustScaler, StandardScaler
+
+
+@pytest.fixture
+def X():
+    rng = np.random.default_rng(0)
+    base = rng.normal(5.0, 2.0, size=(100, 3))
+    base[:, 2] = rng.pareto(1.5, 100) * 10  # heavy-tailed column
+    return base
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, X):
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_uses_fit_statistics(self, X):
+        scaler = StandardScaler().fit(X)
+        Z_new = scaler.transform(X + 100.0)
+        assert Z_new.mean() > 10  # not re-centred on the new data
+
+    def test_unfitted_raises(self, X):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(X)
+
+    def test_feature_count_mismatch_raises(self, X):
+        scaler = StandardScaler().fit(X)
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(X[:, :2])
+
+
+class TestMinMaxScaler:
+    def test_range(self, X):
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self, X):
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X,
+                                   rtol=1e-10)
+
+    def test_constant_column(self):
+        X = np.full((5, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z, 0.0)
+
+
+class TestRobustScaler:
+    def test_median_centred(self, X):
+        Z = RobustScaler().fit_transform(X)
+        np.testing.assert_allclose(np.median(Z, axis=0), 0.0, atol=1e-10)
+
+    def test_outlier_resistance(self, X):
+        contaminated = X.copy()
+        contaminated[:5] *= 1000.0
+        clean_scale = RobustScaler().fit(X).scale_
+        dirty_scale = RobustScaler().fit(contaminated).scale_
+        # 5 % contamination should barely move the IQR-based scale.
+        np.testing.assert_allclose(dirty_scale, clean_scale, rtol=0.35)
+
+    def test_inverse_roundtrip(self, X):
+        scaler = RobustScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X,
+                                   rtol=1e-10)
+
+    def test_bad_quantiles_raise(self):
+        with pytest.raises(ValueError):
+            RobustScaler(q_low=80.0, q_high=20.0)

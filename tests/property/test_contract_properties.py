@@ -1,0 +1,99 @@
+"""Property-based tests on the attack/defence contracts.
+
+Complements ``test_properties.py`` (which covers the game-theoretic
+algebra) with randomised checks of the operational layer: filters
+remove what they promise and nothing more, masks are monotone in their
+strength parameters, and the attack-budget arithmetic is exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.base import attack_budget
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack
+from repro.data.geometry import compute_centroid, distances_to_centroid
+from repro.data.synthetic import make_gaussian_blobs
+from repro.defenses.percentile_filter import PercentileFilter
+from repro.defenses.radius_filter import RadiusFilter
+from repro.defenses.slab_filter import SlabFilter
+
+
+def dataset_strategy():
+    """Small random blob datasets (seeded through hypothesis)."""
+    return st.builds(
+        lambda n, sep, seed: make_gaussian_blobs(
+            n_samples=n, n_features=3, separation=sep, seed=seed
+        ),
+        n=st.integers(30, 120),
+        sep=st.floats(0.5, 6.0),
+        seed=st.integers(0, 10_000),
+    )
+
+
+class TestFilterProperties:
+    @given(data=dataset_strategy(), fraction=st.floats(0.0, 0.8))
+    @settings(max_examples=40, deadline=None)
+    def test_percentile_filter_removes_at_most_promised(self, data, fraction):
+        X, y = data
+        mask = PercentileFilter(fraction).mask(X, y)
+        removed = (~mask).sum()
+        # class-survival guard can only *reduce* removals; quantile ties
+        # can add at most a handful of extra keeps, never extra removals
+        assert removed <= int(np.ceil(fraction * len(X))) + 1
+
+    @given(data=dataset_strategy(),
+           thetas=st.tuples(st.floats(0.1, 3.0), st.floats(3.0, 10.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_radius_filter_monotone_in_theta(self, data, thetas):
+        X, y = data
+        small, large = sorted(thetas)
+        keep_small = RadiusFilter(small).mask(X, y)
+        keep_large = RadiusFilter(large).mask(X, y)
+        # a looser filter keeps a superset (modulo the class guard,
+        # which only ever re-admits the innermost member of a class)
+        violations = keep_small & ~keep_large
+        assert violations.sum() <= 2
+
+    @given(data=dataset_strategy(), fraction=st.floats(0.0, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_slab_filter_budget(self, data, fraction):
+        X, y = data
+        mask = SlabFilter(fraction).mask(X, y)
+        assert (~mask).sum() <= int(np.floor(fraction * len(X))) + 1
+
+    @given(data=dataset_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_filters_never_empty_a_class(self, data):
+        X, y = data
+        for defense in (PercentileFilter(0.7), RadiusFilter(1e-6),
+                        SlabFilter(0.7)):
+            mask = defense.mask(X, y)
+            assert set(np.unique(y[mask])) == set(np.unique(y))
+
+
+class TestAttackProperties:
+    @given(data=dataset_strategy(),
+           percentile=st.floats(0.0, 0.9),
+           n_poison=st.integers(1, 25),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_boundary_attack_respects_radius(self, data, percentile, n_poison, seed):
+        X, y = data
+        attack = OptimalBoundaryAttack(percentile)
+        X_p, y_p = attack.generate(X, y, n_poison, seed=seed)
+        centroid = compute_centroid(X, method="median")
+        budget = attack.placement_radius(X)
+        d = distances_to_centroid(X_p, centroid)
+        assert np.all(d <= budget * (1 + 1e-9))
+        assert set(np.unique(np.asarray(y_p))) <= {-1, 1}
+
+    @given(n_train=st.integers(1, 100_000), fraction=st.floats(0.0, 0.9))
+    @settings(max_examples=80, deadline=None)
+    def test_attack_budget_hits_target_contamination(self, n_train, fraction):
+        n = attack_budget(n_train, fraction)
+        assert n >= 0
+        if n > 0:
+            realised = n / (n_train + n)
+            # rounding error of at most one point
+            assert abs(realised - fraction) <= 1.0 / (n_train + n)

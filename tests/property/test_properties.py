@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the algebraic heart of the reproduction: the equalization
+closed form, isotonic regression, the zero-sum LP, survival monotonicity
+and the radius/percentile correspondence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.game import PayoffCurves
+from repro.core.mixed_strategy import MixedDefense, equalizing_probabilities
+from repro.core.payoff_estimation import isotonic_regression
+from repro.data.geometry import RadiusPercentileMap
+from repro.gametheory.lp_solver import solve_zero_sum_lp
+from repro.gametheory.matrix_game import MatrixGame
+from repro.utils.validation import check_probability_vector
+
+
+# -- strategies ------------------------------------------------------------
+
+def support_strategy(min_size=2, max_size=6):
+    """Sorted, well-separated percentile supports in (0, 0.9]."""
+    return st.lists(
+        st.floats(0.01, 0.9), min_size=min_size, max_size=max_size, unique=True
+    ).map(sorted).filter(lambda xs: min(np.diff(xs), default=1.0) > 1e-3).map(np.array)
+
+
+def decreasing_E_strategy():
+    """Random strictly positive, strictly decreasing E curves."""
+    return st.tuples(
+        st.floats(0.01, 10.0),   # scale
+        st.floats(0.1, 20.0),    # decay rate
+    ).map(lambda t: (lambda p, s=t[0], k=t[1]: s * np.exp(-k * p)))
+
+
+# -- equalization ----------------------------------------------------------
+
+class TestEqualizationProperties:
+    @given(support=support_strategy(), curve=decreasing_E_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_equalizing_probabilities_are_valid_and_equalize(self, support, curve):
+        curves = PayoffCurves(E=curve, gamma=lambda p: 0.0, p_max=0.95)
+        probs = equalizing_probabilities(support, curves)
+        check_probability_vector(probs)
+        defense = MixedDefense(percentiles=support, probabilities=probs)
+        values = curves.E_vec(support) * defense.survival_vector()
+        assert np.allclose(values, values[0], rtol=1e-8)
+
+    @given(support=support_strategy(), curve=decreasing_E_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_supported_placements_are_attacker_optimal(self, support, curve):
+        """No placement anywhere beats the supported ones (NE property)."""
+        curves = PayoffCurves(E=curve, gamma=lambda p: 0.0, p_max=0.95)
+        defense = MixedDefense.equalized(support, curves)
+        equalized = defense.attacker_value_at(float(support[0]), curves)
+        for p in np.linspace(0.0, 0.95, 97):
+            assert defense.attacker_value_at(float(p), curves) <= equalized + 1e-9
+
+    @given(support=support_strategy(min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_survival_probability_monotone(self, support):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(len(support)))
+        defense = MixedDefense(percentiles=support, probabilities=probs)
+        ps = np.linspace(0, 1, 53)
+        surv = [defense.survival_probability(float(p)) for p in ps]
+        assert all(a <= b + 1e-12 for a, b in zip(surv, surv[1:]))
+        assert surv[-1] == pytest.approx(1.0)
+
+
+# -- isotonic regression ---------------------------------------------------
+
+class TestIsotonicProperties:
+    @given(hnp.arrays(np.float64, st.integers(1, 40),
+                      elements=st.floats(-100, 100)))
+    @settings(max_examples=80, deadline=None)
+    def test_output_monotone(self, y):
+        out = isotonic_regression(y)
+        assert np.all(np.diff(out) >= -1e-9)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 40),
+                      elements=st.floats(-100, 100)))
+    @settings(max_examples=80, deadline=None)
+    def test_mean_preserved(self, y):
+        out = isotonic_regression(y)
+        assert out.mean() == pytest.approx(y.mean(), abs=1e-8)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 40),
+                      elements=st.floats(-100, 100)))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, y):
+        once = isotonic_regression(y)
+        twice = isotonic_regression(once)
+        np.testing.assert_allclose(twice, once, atol=1e-9)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 30),
+                      elements=st.floats(-50, 50)))
+    @settings(max_examples=50, deadline=None)
+    def test_decreasing_is_reflected_increasing(self, y):
+        dec = isotonic_regression(y, increasing=False)
+        inc = -isotonic_regression(-y, increasing=True)
+        np.testing.assert_allclose(dec, inc, atol=1e-9)
+
+
+# -- zero-sum LP -----------------------------------------------------------
+
+class TestLPProperties:
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 6), st.integers(2, 6)),
+                      elements=st.floats(-5, 5)))
+    @settings(max_examples=40, deadline=None)
+    def test_solution_unexploitable(self, A):
+        sol = solve_zero_sum_lp(A)
+        game = MatrixGame(A)
+        assert game.exploitability(sol.row_strategy, sol.col_strategy) < 1e-6
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 5), st.integers(2, 5)),
+                      elements=st.floats(-5, 5)))
+    @settings(max_examples=40, deadline=None)
+    def test_value_between_maximin_and_minimax(self, A):
+        sol = solve_zero_sum_lp(A)
+        game = MatrixGame(A)
+        _, lower = game.maximin_pure()
+        _, upper = game.minimax_pure()
+        assert lower - 1e-8 <= sol.value <= upper + 1e-8
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 5), st.integers(2, 5)),
+                      elements=st.floats(-5, 5)),
+           st.floats(-3, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_value_shifts_with_constant(self, A, c):
+        base = solve_zero_sum_lp(A).value
+        shifted = solve_zero_sum_lp(A + c).value
+        assert shifted == pytest.approx(base + c, abs=1e-6)
+
+
+# -- geometry --------------------------------------------------------------
+
+class TestGeometryProperties:
+    @given(hnp.arrays(np.float64, st.integers(5, 200),
+                      elements=st.floats(0.0, 1e6)))
+    @settings(max_examples=60, deadline=None)
+    def test_radius_monotone_in_percentile(self, distances):
+        rmap = RadiusPercentileMap(distances)
+        ps = np.linspace(0, 1, 11)
+        radii = rmap.radii(ps)
+        assert np.all(np.diff(radii) <= 1e-9)
+
+    @given(hnp.arrays(np.float64, st.integers(5, 200),
+                      elements=st.floats(0.0, 1e6)),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_of_radius_bounded(self, distances, p):
+        rmap = RadiusPercentileMap(distances)
+        r = rmap.radius(p)
+        # removing everything farther than the p-quantile radius removes
+        # at most fraction p of points, up to one quantile-interpolation
+        # step of discretisation slack
+        assert rmap.percentile(r) <= p + 1.0 / len(distances) + 1e-9

@@ -1,0 +1,39 @@
+"""Tests for the logging helpers."""
+
+import logging
+
+from repro.utils.logging import configure_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_library_logger_name(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger_name(self):
+        assert get_logger("experiments").name == "repro.experiments"
+
+    def test_children_propagate_to_library_logger(self):
+        child = get_logger("core")
+        assert child.parent.name.startswith("repro")
+
+
+class TestConfigureConsoleLogging:
+    def test_attaches_stream_handler(self):
+        logger = configure_console_logging()
+        assert any(isinstance(h, logging.StreamHandler) for h in logger.handlers)
+
+    def test_idempotent(self):
+        before = len(configure_console_logging().handlers)
+        after = len(configure_console_logging().handlers)
+        assert before == after
+
+    def test_level_applied(self):
+        logger = configure_console_logging(level=logging.WARNING)
+        assert logger.level == logging.WARNING
+        configure_console_logging(level=logging.INFO)  # restore
+
+    def test_messages_flow(self, caplog):
+        logger = get_logger("test-flow")
+        with caplog.at_level(logging.INFO, logger="repro.test-flow"):
+            logger.info("hello from the library")
+        assert "hello from the library" in caplog.text

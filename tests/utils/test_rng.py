@@ -1,0 +1,74 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        gen = as_generator(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_seed_raises(self):
+        with pytest.raises(TypeError, match="seed"):
+            as_generator("not-a-seed")
+
+    def test_float_seed_raises(self):
+        with pytest.raises(TypeError):
+            as_generator(1.5)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_given_seed(self):
+        a1, _ = spawn_generators(3, 2)
+        a2, _ = spawn_generators(3, 2)
+        np.testing.assert_array_equal(a1.random(5), a2.random(5))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "exp", 0) == derive_seed(7, "exp", 0)
+
+    def test_labels_matter(self):
+        assert derive_seed(7, "exp", 0) != derive_seed(7, "exp", 1)
+
+    def test_base_matters(self):
+        assert derive_seed(7, "exp") != derive_seed(8, "exp")
+
+    def test_fits_in_63_bits(self):
+        for i in range(50):
+            assert 0 <= derive_seed(i, "x") < 2**63
+
+    def test_mixed_label_types(self):
+        assert derive_seed(1, "a", 2, 3.5) == derive_seed(1, "a", 2, 3.5)

@@ -1,0 +1,154 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_fraction,
+    check_positive_int,
+    check_probability_vector,
+    check_sorted_increasing,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_accepts_valid(self):
+        out = check_array([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+        assert out.dtype == float
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_array(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="weights"):
+            check_array([1.0], ndim=2, name="weights")
+
+
+class TestCheckXy:
+    def test_accepts_01_labels(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert set(y) <= {0, 1}
+
+    def test_accepts_signed_labels(self):
+        _, y = check_X_y([[1.0], [2.0]], [-1, 1])
+        assert set(y) <= {-1, 1}
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_X_y([[1.0], [2.0]], [0, 1, 1])
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValueError, match="binary"):
+            check_X_y([[1.0], [2.0], [3.0]], [0, 1, 2])
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_X_y([[1.0], [2.0]], [[0], [1]])
+
+
+class TestCheckFraction:
+    def test_accepts_bounds(self):
+        assert check_fraction(0.0) == 0.0
+        assert check_fraction(1.0) == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, inclusive_low=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0, inclusive_high=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5)
+        with pytest.raises(ValueError):
+            check_fraction(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_fraction(float("nan"))
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3) == 3
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+        with pytest.raises(ValueError):
+            check_positive_int(-2)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True)
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int32(4)) == 4
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        p = check_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_renormalises_tiny_drift(self):
+        p = check_probability_vector([0.5 + 1e-9, 0.5])
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector([0.2, 0.2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([[0.5, 0.5]])
+
+
+class TestCheckSortedIncreasing:
+    def test_accepts_strictly_increasing(self):
+        out = check_sorted_increasing([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_ties_when_strict(self):
+        with pytest.raises(ValueError, match="strictly"):
+            check_sorted_increasing([1.0, 1.0, 2.0])
+
+    def test_allows_ties_when_not_strict(self):
+        check_sorted_increasing([1.0, 1.0, 2.0], strict=False)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            check_sorted_increasing([3.0, 2.0], strict=False)
+
+    def test_single_element_ok(self):
+        check_sorted_increasing([5.0])
