@@ -27,6 +27,9 @@ Subpackages
     Spambase (real or surrogate), synthetic tasks, data geometry.
 ``repro.attacks`` / ``repro.defenses``
     Poisoning attacks and sanitisation defences.
+``repro.engine``
+    Batched evaluation engine: pluggable serial/process backends plus
+    a content-keyed result cache shared by all experiments.
 ``repro.experiments``
     Seeded harnesses behind every figure and table.
 """
@@ -38,6 +41,12 @@ from repro.core import (
     compute_optimal_defense,
     estimate_payoff_curves,
     find_pure_equilibrium,
+)
+from repro.engine import (
+    AttackSpec,
+    EvaluationEngine,
+    RoundSpec,
+    set_default_engine,
 )
 from repro.experiments import (
     make_spambase_context,
@@ -56,6 +65,10 @@ __all__ = [
     "compute_optimal_defense",
     "estimate_payoff_curves",
     "find_pure_equilibrium",
+    "AttackSpec",
+    "EvaluationEngine",
+    "RoundSpec",
+    "set_default_engine",
     "make_spambase_context",
     "make_synthetic_context",
     "run_pure_strategy_sweep",

@@ -37,6 +37,27 @@ from repro.utils.validation import check_fraction, check_positive_int
 __all__ = ["PayoffCurves", "PoisoningGame"]
 
 
+def _evaluate_curve(curve: Callable, ps: np.ndarray) -> np.ndarray:
+    """Evaluate a payoff curve on a grid, vectorised when possible.
+
+    Dispatch order: a fitted :class:`~repro.core.payoff_estimation.
+    MonotoneCurve` exposes ``evaluate`` and is called once on the whole
+    grid; an arbitrary callable is probed with the array (NumPy-native
+    lambdas broadcast correctly and the result shape confirms it);
+    anything else falls back to the legacy per-element loop.
+    """
+    evaluate = getattr(curve, "evaluate", None)
+    if callable(evaluate):
+        return np.asarray(evaluate(ps), dtype=float).reshape(ps.shape)
+    try:
+        out = np.asarray(curve(ps), dtype=float)
+        if out.shape == ps.shape:
+            return out
+    except Exception:
+        pass
+    return np.array([float(curve(float(p))) for p in ps])
+
+
 @dataclass
 class PayoffCurves:
     """The game's primitive curves ``E(p)`` and ``Γ(p)``.
@@ -64,12 +85,12 @@ class PayoffCurves:
         self.p_max = check_fraction(self.p_max, name="p_max", inclusive_low=False)
 
     def E_vec(self, ps) -> np.ndarray:
-        """Vectorised ``E``."""
-        return np.array([float(self.E(float(p))) for p in np.atleast_1d(np.asarray(ps, float))])
+        """Vectorised ``E`` (one interpolant call for fitted curves)."""
+        return _evaluate_curve(self.E, np.atleast_1d(np.asarray(ps, float)))
 
     def gamma_vec(self, ps) -> np.ndarray:
-        """Vectorised ``Γ``."""
-        return np.array([float(self.gamma(float(p))) for p in np.atleast_1d(np.asarray(ps, float))])
+        """Vectorised ``Γ`` (one interpolant call for fitted curves)."""
+        return _evaluate_curve(self.gamma, np.atleast_1d(np.asarray(ps, float)))
 
     def grid(self, n: int = 201) -> np.ndarray:
         """Uniform percentile grid over the domain ``[0, p_max]``."""
@@ -173,10 +194,22 @@ class PoisoningGame:
         return RadiusAllocation.all_at(check_fraction(p, name="p"), self.n_poison)
 
     def matrix_on_grids(self, attacker_ps, defender_ps) -> np.ndarray:
-        """Payoff matrix ``U`` tabulated on percentile grids (attacker rows)."""
-        attacker_ps = np.asarray(attacker_ps, dtype=float)
-        defender_ps = np.asarray(defender_ps, dtype=float)
-        return np.array([
-            [self.payoff(self.all_at(float(pa)), float(pd)) for pd in defender_ps]
-            for pa in attacker_ps
-        ])
+        """Payoff matrix ``U`` tabulated on percentile grids (attacker rows).
+
+        Built by broadcasting: the survival rule ``p_a >= p_d`` is an
+        outer comparison, the attack term ``N·E(p_a)`` a row vector and
+        the collateral term ``Γ(p_d)`` a column vector — entrywise
+        identical to looping :meth:`payoff` over the canonical pure
+        attack :meth:`all_at`, but two curve calls instead of
+        ``O(|A|·|D|)`` Python-level payoff evaluations.
+        """
+        attacker_ps = np.atleast_1d(np.asarray(attacker_ps, dtype=float))
+        defender_ps = np.atleast_1d(np.asarray(defender_ps, dtype=float))
+        for name, grid in (("attacker_ps", attacker_ps),
+                           ("defender_ps", defender_ps)):
+            if grid.size and (grid.min() < 0.0 or grid.max() > 1.0):
+                raise ValueError(f"{name} must lie within [0, 1]")
+        attack_term = self.n_poison * self.curves.E_vec(attacker_ps)
+        gamma_term = self.curves.gamma_vec(defender_ps)
+        survives = attacker_ps[:, None] >= defender_ps[None, :]
+        return np.where(survives, attack_term[:, None], 0.0) + gamma_term[None, :]

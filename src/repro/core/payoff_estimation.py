@@ -28,7 +28,8 @@ from scipy.interpolate import PchipInterpolator
 from repro.core.game import PayoffCurves
 from repro.utils.validation import check_positive_int, check_sorted_increasing
 
-__all__ = ["isotonic_regression", "fit_monotone_curve", "estimate_payoff_curves"]
+__all__ = ["MonotoneCurve", "isotonic_regression", "fit_monotone_curve",
+           "estimate_payoff_curves"]
 
 
 def isotonic_regression(y, *, increasing: bool = True, weights=None) -> np.ndarray:
@@ -68,42 +69,81 @@ def isotonic_regression(y, *, increasing: bool = True, weights=None) -> np.ndarr
     return np.repeat(values, counts)
 
 
+class MonotoneCurve:
+    """A fitted monotone curve, callable on scalars *and* arrays.
+
+    Wraps PCHIP through already-monotone knots (PCHIP through monotone
+    data is monotone) with endpoint clamping.  Three properties the
+    payoff layer relies on:
+
+    * ``curve(p)`` keeps the legacy scalar ``float -> float`` contract;
+    * ``curve.evaluate(ps)`` evaluates a whole grid in one vectorised
+      interpolant call (``PayoffCurves.E_vec``/``gamma_vec`` dispatch
+      on this method), elementwise-identical to the scalar path;
+    * instances pickle by their knots, so curves ride along with
+      experiment contexts and round batches across process boundaries.
+    """
+
+    def __init__(self, x, y, clamp: bool = True):
+        self.x = np.asarray(x, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+        if self.x.ndim != 1 or self.x.size == 0 or self.y.shape != self.x.shape:
+            raise ValueError(
+                f"knots must be matching 1-d arrays, got {self.x.shape} vs "
+                f"{self.y.shape}"
+            )
+        self.clamp = bool(clamp)
+        # PCHIP needs strictly increasing x but handles flat stretches
+        # in y fine; a single knot degenerates to a constant curve.
+        self._interp = (PchipInterpolator(self.x, self.y, extrapolate=False)
+                        if self.x.size > 1 else None)
+
+    def __reduce__(self):
+        return (type(self), (self.x, self.y, self.clamp))
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.x.size} knots on "
+                f"[{self.x[0]:g}, {self.x[-1]:g}], clamp={self.clamp})")
+
+    def evaluate(self, ps) -> np.ndarray | float:
+        """Vectorised evaluation; scalar in, scalar out."""
+        ps = np.asarray(ps, dtype=float)
+        scalar = ps.ndim == 0
+        grid = np.atleast_1d(ps)
+        if self._interp is None:
+            out = np.full(grid.shape, float(self.y[0]))
+        else:
+            out = np.asarray(self._interp(grid), dtype=float)
+            if self.clamp:
+                out = np.where(grid <= self.x[0], self.y[0], out)
+                out = np.where(grid >= self.x[-1], self.y[-1], out)
+            nan = np.isnan(out)
+            if nan.any():
+                raise ValueError(
+                    f"curve evaluated outside fitted range at p={grid[nan][0]}"
+                )
+        return float(out[0]) if scalar else out
+
+    def __call__(self, p: float) -> float:
+        return float(self.evaluate(float(p)))
+
+
 def fit_monotone_curve(x, y, *, increasing: bool = True,
-                       clamp: bool = True) -> Callable[[float], float]:
+                       clamp: bool = True) -> MonotoneCurve:
     """Fit a smooth monotone curve through noisy samples.
 
-    PAVA enforces the shape, PCHIP interpolates it without overshoot
-    (PCHIP through monotone data is monotone).  Outside the sampled
-    range the curve is clamped to its endpoint values when ``clamp``
-    (sensible for accuracy-derived curves, which saturate).
+    PAVA enforces the shape, PCHIP interpolates it without overshoot.
+    Outside the sampled range the curve is clamped to its endpoint
+    values when ``clamp`` (sensible for accuracy-derived curves, which
+    saturate).  Returns a :class:`MonotoneCurve` — callable like the
+    plain function it used to be, but vectorisation-aware.
     """
     x = check_sorted_increasing(x, name="x", strict=True)
     y = np.asarray(y, dtype=float)
     if y.shape != x.shape:
         raise ValueError(f"x and y must match, got {x.shape} vs {y.shape}")
     y_iso = isotonic_regression(y, increasing=increasing)
-    if x.size == 1:
-        const = float(y_iso[0])
-        return lambda p: const
-    # PCHIP needs strictly monotone data for strict monotonicity, but
-    # handles flat stretches fine; tiny jitter is unnecessary.
-    interp = PchipInterpolator(x, y_iso, extrapolate=False)
-    lo_x, hi_x = float(x[0]), float(x[-1])
-    lo_y, hi_y = float(y_iso[0]), float(y_iso[-1])
-
-    def curve(p: float) -> float:
-        p = float(p)
-        if clamp:
-            if p <= lo_x:
-                return lo_y
-            if p >= hi_x:
-                return hi_y
-        value = interp(p)
-        if np.isnan(value):
-            raise ValueError(f"curve evaluated outside fitted range at p={p}")
-        return float(value)
-
-    return curve
+    return MonotoneCurve(x, y_iso, clamp=clamp)
 
 
 def estimate_payoff_curves(

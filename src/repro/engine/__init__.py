@@ -1,0 +1,57 @@
+"""Parallel, cached evaluation engine.
+
+The layer between the core game model and the experiment drivers:
+experiments *declare* their rounds as :class:`RoundSpec` batches; the
+:class:`EvaluationEngine` decides how they run (serial loop or process
+pool today, sharded/async backends tomorrow) and which of them need
+running at all (content-keyed :class:`ResultCache`).
+
+See ``ARCHITECTURE.md`` at the repository root for how this layer fits
+the overall system and how to add a backend.
+"""
+
+from repro.engine.spec import (
+    AttackSpec,
+    RoundSpec,
+    register_attack_builder,
+    materialize_attack,
+)
+from repro.engine.cache import CacheStats, ResultCache, round_key
+from repro.engine.backends import (
+    EvaluationBackend,
+    SerialBackend,
+    ProcessPoolBackend,
+    execute_round,
+    register_backend,
+    make_backend,
+    available_backends,
+)
+from repro.engine.core import (
+    EvaluationEngine,
+    default_engine,
+    set_default_engine,
+    engine_from_env,
+    resolve_engine,
+)
+
+__all__ = [
+    "AttackSpec",
+    "RoundSpec",
+    "register_attack_builder",
+    "materialize_attack",
+    "CacheStats",
+    "ResultCache",
+    "round_key",
+    "EvaluationBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "execute_round",
+    "register_backend",
+    "make_backend",
+    "available_backends",
+    "EvaluationEngine",
+    "default_engine",
+    "set_default_engine",
+    "engine_from_env",
+    "resolve_engine",
+]

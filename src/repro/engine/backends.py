@@ -1,0 +1,172 @@
+"""Execution backends: how a batch of round specs actually runs.
+
+Determinism contract: every round's randomness derives solely from the
+round's own seed (via ``derive_seed`` inside ``evaluate_configuration``),
+never from shared generator state or execution order.  Backends may
+therefore run rounds in any order, on any number of workers, and must
+return outcomes **bit-identical** to the serial backend, ordered like
+the input specs.  This is the property that makes future sharded or
+async backends drop-in safe.
+
+Built-ins:
+
+* ``serial`` — in-process loop; zero overhead, the reference semantics.
+* ``process`` — ``concurrent.futures.ProcessPoolExecutor`` fan-out.
+  The context is shipped once per worker (pool initializer), specs
+  travel individually; everything involved is plain
+  dataclasses/NumPy arrays, so pickling is cheap.
+
+New backends register with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+__all__ = [
+    "EvaluationBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "execute_round",
+    "register_backend",
+    "make_backend",
+    "available_backends",
+]
+
+
+def execute_round(ctx, spec):
+    """Run one :class:`~repro.engine.spec.RoundSpec` in ``ctx``.
+
+    This is *the* semantics of a round — every backend funnels through
+    it, in this process or another.
+    """
+    # Imported lazily: the engine package must stay importable without
+    # dragging in (or circularly importing) the experiments layer.
+    from repro.engine.spec import materialize_attack
+    from repro.experiments.runner import evaluate_configuration
+
+    attack = None
+    if spec.attack is not None:
+        attack = materialize_attack(ctx, spec.attack)
+    return evaluate_configuration(
+        ctx,
+        filter_percentile=spec.filter_percentile,
+        attack=attack,
+        poison_fraction=spec.poison_fraction,
+        seed=spec.seed,
+    )
+
+
+class EvaluationBackend(ABC):
+    """Executes batches of rounds; see the module determinism contract."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, ctx, specs) -> list:
+        """Evaluate ``specs`` in ``ctx``; outcomes in input order."""
+
+
+class SerialBackend(EvaluationBackend):
+    """The reference backend: a plain in-process loop."""
+
+    name = "serial"
+
+    def __init__(self, jobs: int | None = None):
+        pass  # accepts (and ignores) jobs so all backends share a signature
+
+    def run(self, ctx, specs) -> list:
+        return [execute_round(ctx, spec) for spec in specs]
+
+
+# -- process-pool workers (module-level: must be picklable) ----------------
+
+_WORKER_CTX = None
+
+
+def _worker_init(ctx_blob: bytes) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = pickle.loads(ctx_blob)
+
+
+def _worker_run(spec):
+    return execute_round(_WORKER_CTX, spec)
+
+
+class ProcessPoolBackend(EvaluationBackend):
+    """Fan rounds out over a ``ProcessPoolExecutor``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` uses ``os.cpu_count()``.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = None):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def run(self, ctx, specs) -> list:
+        specs = list(specs)
+        if not specs:
+            return []
+        try:
+            # The context is pickled exactly once, here, and shipped to
+            # each worker through the initializer; this also surfaces
+            # unpicklable contexts (e.g. a lambda model_factory) as one
+            # clear error instead of a broken pool.
+            ctx_blob = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise TypeError(
+                "the experiment context cannot be pickled for the process "
+                "backend (a lambda/closure model_factory is the usual "
+                "culprit — use a picklable callable class such as "
+                "repro.experiments.runner.SVMVictimFactory, or the serial "
+                f"backend): {exc}"
+            ) from exc
+        workers = max(1, min(self.jobs, len(specs)))
+        chunksize = max(1, len(specs) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init, initargs=(ctx_blob,)
+        ) as pool:
+            return list(pool.map(_worker_run, specs, chunksize=chunksize))
+
+
+# -- registry --------------------------------------------------------------
+
+_BACKENDS: dict[str, Callable[[int | None], EvaluationBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[int | None], EvaluationBackend]) -> None:
+    """Register ``factory(jobs) -> EvaluationBackend`` under ``name``."""
+    _BACKENDS[str(name)] = factory
+
+
+def available_backends() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(name: str, jobs: int | None = None) -> EvaluationBackend:
+    """Instantiate a backend by registry name."""
+    if isinstance(name, EvaluationBackend):
+        return name
+    try:
+        factory = _BACKENDS[str(name)]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+    return factory(jobs)
+
+
+register_backend("serial", SerialBackend)
+register_backend("process", ProcessPoolBackend)
+register_backend("process-pool", ProcessPoolBackend)  # alias

@@ -1,0 +1,168 @@
+"""Content-keyed result cache for evaluation rounds.
+
+Keys are SHA-256 digests over ``(context fingerprint, canonical round
+spec)`` — see :meth:`repro.experiments.runner.ExperimentContext.fingerprint`
+and :meth:`repro.engine.spec.RoundSpec.canonical` — so a cache entry is
+valid exactly as long as the data, preprocessing, victim factory and
+round parameters it was computed from are unchanged.  There is no
+time-based invalidation: content keys cannot go stale.
+
+Two tiers:
+
+* an **in-memory** dict (always on) — serves repeat rounds within a
+  process, e.g. the clean baselines shared by every sweep;
+* an optional **on-disk JSON store** (one file per key, atomic
+  writes) — persists results across processes and runs, which is what
+  makes an equal-seed experiment rerun almost free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "round_key",
+    "outcome_to_dict",
+    "outcome_from_dict",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def round_key(context_fingerprint: str, spec) -> str:
+    """Deterministic cache key for one round in one context."""
+    payload = json.dumps(
+        [_SCHEMA_VERSION, str(context_fingerprint), spec.canonical()],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def outcome_to_dict(outcome) -> dict:
+    """JSON-serialisable form of an ``EvaluationOutcome``."""
+    d = asdict(outcome)
+    d["schema_version"] = _SCHEMA_VERSION
+    return d
+
+
+def outcome_from_dict(d: dict):
+    """Rebuild an ``EvaluationOutcome`` (inverse of :func:`outcome_to_dict`)."""
+    from repro.defenses.base import DefenseReport
+    from repro.experiments.runner import EvaluationOutcome
+
+    d = dict(d)
+    d.pop("schema_version", None)
+    report = d.pop("report", None)
+    return EvaluationOutcome(
+        report=DefenseReport(**report) if report is not None else None, **d
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting (exposed for tests and benchmarks)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """In-memory (plus optional on-disk) store of round outcomes.
+
+    Parameters
+    ----------
+    disk_dir:
+        Directory for the persistent JSON tier (created on demand);
+        ``None`` keeps the cache memory-only.
+    """
+
+    def __init__(self, disk_dir: str | os.PathLike | None = None):
+        self._memory: dict[str, dict] = {}
+        self._disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- internal disk tier ----------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self._disk_dir, f"{key}.json")
+
+    def _disk_get(self, key: str) -> dict | None:
+        if self._disk_dir is None:
+            return None
+        try:
+            with open(self._disk_path(key), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if entry.get("schema_version") != _SCHEMA_VERSION:
+            return None
+        return entry
+
+    def _disk_put(self, key: str, entry: dict) -> None:
+        if self._disk_dir is None:
+            return
+        os.makedirs(self._disk_dir, exist_ok=True)
+        # Atomic publish: concurrent writers of the same key race
+        # harmlessly (identical content), readers never see a torn file.
+        fd, tmp = tempfile.mkstemp(dir=self._disk_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, self._disk_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- public API -------------------------------------------------------
+
+    def get(self, key: str):
+        """Return the cached ``EvaluationOutcome`` or ``None``."""
+        entry = self._memory.get(key)
+        if entry is None:
+            entry = self._disk_get(key)
+            if entry is not None:
+                self._memory[key] = entry  # promote for next time
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return outcome_from_dict(entry)
+
+    def put(self, key: str, outcome) -> None:
+        """Store one outcome under its content key (both tiers)."""
+        entry = outcome_to_dict(outcome)
+        self._memory[key] = entry
+        self._disk_put(key, entry)
+        self.stats.stores += 1
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory tier (and optionally the disk tier)."""
+        self._memory.clear()
+        if disk and self._disk_dir is not None and os.path.isdir(self._disk_dir):
+            for name in os.listdir(self._disk_dir):
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(self._disk_dir, name))
+                    except OSError:
+                        pass

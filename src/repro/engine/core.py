@@ -1,0 +1,180 @@
+"""The :class:`EvaluationEngine`: batched, cached, backend-agnostic rounds.
+
+Every experiment driver (Figure-1 sweep, Table 1, empirical game,
+multi-seed aggregation) expresses its work as a **batch** of
+:class:`~repro.engine.spec.RoundSpec`\\ s and hands it to one engine
+call.  The engine then
+
+1. keys every spec by content (context fingerprint + canonical spec),
+2. collapses duplicates within the batch,
+3. serves whatever the :class:`~repro.engine.cache.ResultCache`
+   already holds,
+4. runs the remainder on the configured
+   :class:`~repro.engine.backends.EvaluationBackend`, and
+5. returns outcomes aligned with the input order.
+
+Because per-round seeds are pre-derived by the drivers, results are
+bit-identical across backends, worker counts and cache states.
+
+A process-wide default engine (configurable via ``REPRO_BACKEND``,
+``REPRO_JOBS``, ``REPRO_CACHE``, ``REPRO_CACHE_DIR``) backs drivers
+that are not handed an explicit engine, so existing call sites gain
+caching transparently.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.backends import EvaluationBackend, make_backend
+from repro.engine.cache import ResultCache, round_key
+
+__all__ = [
+    "EvaluationEngine",
+    "default_engine",
+    "set_default_engine",
+    "engine_from_env",
+    "resolve_engine",
+]
+
+
+class EvaluationEngine:
+    """Executes round batches through a backend, behind a result cache.
+
+    Parameters
+    ----------
+    backend:
+        Registry name (``"serial"``, ``"process"``) or a ready
+        :class:`EvaluationBackend` instance.
+    jobs:
+        Worker count for parallel backends (ignored by ``serial``).
+    cache:
+        ``True`` (default) for a fresh :class:`ResultCache`, ``False``
+        to disable caching entirely, or an existing :class:`ResultCache`
+        to share one across engines.
+    cache_dir:
+        Optional directory for the cache's persistent JSON tier (only
+        used when ``cache`` is ``True``).
+    """
+
+    def __init__(
+        self,
+        backend: str | EvaluationBackend = "serial",
+        *,
+        jobs: int | None = None,
+        cache: bool | ResultCache = True,
+        cache_dir: str | None = None,
+    ):
+        self.backend = make_backend(backend, jobs)
+        if isinstance(cache, ResultCache):
+            self.cache = cache
+        elif cache:
+            self.cache = ResultCache(disk_dir=cache_dir)
+        else:
+            self.cache = None
+        self.rounds_computed = 0
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, ctx, spec):
+        """Evaluate a single round (batch of one)."""
+        return self.evaluate_batch(ctx, [spec])[0]
+
+    def evaluate_batch(self, ctx, specs) -> list:
+        """Evaluate a batch of rounds; outcomes align with ``specs``.
+
+        Identical rounds — within the batch or across all previous
+        batches — are computed exactly once.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        fingerprint = ctx.fingerprint()
+        keys = [round_key(fingerprint, spec) for spec in specs]
+
+        unique: dict[str, object] = {}
+        for key, spec in zip(keys, specs):
+            unique.setdefault(key, spec)
+
+        results: dict[str, object] = {}
+        to_run = []
+        for key, spec in unique.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is None:
+                to_run.append((key, spec))
+            else:
+                results[key] = cached
+
+        if to_run:
+            outcomes = self.backend.run(ctx, [spec for _, spec in to_run])
+            self.rounds_computed += len(outcomes)
+            for (key, _), outcome in zip(to_run, outcomes):
+                if self.cache is not None:
+                    self.cache.put(key, outcome)
+                results[key] = outcome
+
+        return [results[key] for key in keys]
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Lifetime counters: computed rounds plus cache hit/miss tallies."""
+        out = {
+            "backend": self.backend.name,
+            "rounds_computed": self.rounds_computed,
+        }
+        if self.cache is not None:
+            out.update(
+                cache_hits=self.cache.stats.hits,
+                cache_misses=self.cache.stats.misses,
+                cache_entries=len(self.cache),
+                cache_hit_rate=self.cache.stats.hit_rate,
+            )
+        return out
+
+    def __repr__(self) -> str:
+        cache = "off" if self.cache is None else f"{len(self.cache)} entries"
+        return (f"{type(self).__name__}(backend={self.backend.name!r}, "
+                f"cache={cache}, rounds_computed={self.rounds_computed})")
+
+
+# -- process-wide default ---------------------------------------------------
+
+_TRUTHY_OFF = {"0", "false", "off", "no"}
+_default: EvaluationEngine | None = None
+
+
+def engine_from_env() -> EvaluationEngine:
+    """Build an engine from ``REPRO_*`` environment variables.
+
+    * ``REPRO_BACKEND`` — backend name (default ``serial``);
+    * ``REPRO_JOBS`` — worker count for parallel backends;
+    * ``REPRO_CACHE`` — set to ``0``/``false`` to disable caching;
+    * ``REPRO_CACHE_DIR`` — enable the persistent on-disk cache tier.
+    """
+    backend = os.environ.get("REPRO_BACKEND", "serial")
+    jobs_raw = os.environ.get("REPRO_JOBS")
+    jobs = int(jobs_raw) if jobs_raw else None
+    cache_on = os.environ.get("REPRO_CACHE", "1").strip().lower() not in _TRUTHY_OFF
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return EvaluationEngine(backend, jobs=jobs, cache=cache_on, cache_dir=cache_dir)
+
+
+def default_engine() -> EvaluationEngine:
+    """The process-wide engine used when a driver gets ``engine=None``."""
+    global _default
+    if _default is None:
+        _default = engine_from_env()
+    return _default
+
+
+def set_default_engine(engine: EvaluationEngine | None) -> None:
+    """Replace the process-wide default (``None`` re-reads the env)."""
+    global _default
+    _default = engine
+
+
+def resolve_engine(engine: EvaluationEngine | None) -> EvaluationEngine:
+    """``engine`` itself, or the process-wide default."""
+    return engine if engine is not None else default_engine()

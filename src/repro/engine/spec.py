@@ -1,0 +1,147 @@
+"""Declarative round specifications — the engine's unit of work.
+
+A :class:`RoundSpec` names one attack/filter/train/score round of the
+game *by content* rather than by code path: which filter percentile,
+which attack (as a declarative :class:`AttackSpec`, not a live object),
+what contamination rate, which seed.  Two properties follow:
+
+* **cacheability** — a spec plus a context fingerprint is a complete,
+  stable identity for the round's result, so identical rounds are
+  never recomputed (see :mod:`repro.engine.cache`);
+* **portability** — specs are tiny frozen dataclasses that pickle
+  cheaply, so any backend (in-process, process pool, and future
+  sharded/async executors) can run them (see
+  :mod:`repro.engine.backends`).
+
+Attack materialisation is a registry keyed by ``AttackSpec.kind`` so
+new attack families plug in without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "AttackSpec",
+    "RoundSpec",
+    "register_attack_builder",
+    "materialize_attack",
+]
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """Declarative attack identity.
+
+    Parameters
+    ----------
+    kind:
+        Registry key naming the attack family.  The built-in kind is
+        ``"boundary"`` — the paper's optimal radius-targeted attack
+        with the context's matched surrogate
+        (:meth:`ExperimentContext.boundary_attack`).
+    percentile:
+        The attack's placement percentile on the shared axis.
+    """
+
+    kind: str = "boundary"
+    percentile: float = 0.0
+
+    def __post_init__(self):
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ValueError(f"kind must be a non-empty string, got {self.kind!r}")
+        object.__setattr__(
+            self, "percentile",
+            check_fraction(self.percentile, name="percentile"),
+        )
+
+    def canonical(self) -> tuple:
+        """Stable identity tuple used in cache keys."""
+        return (self.kind, float(self.percentile))
+
+
+@dataclass(frozen=True)
+class RoundSpec:
+    """One round of the game: (filter, attack, contamination, seed).
+
+    ``filter_percentile`` of ``None`` (or ``0``) disables filtering;
+    ``attack`` of ``None`` is the clean baseline.  ``seed`` is the
+    round seed from which attack randomness, dataset shuffling and
+    victim training are all derived (see
+    :func:`repro.experiments.runner.evaluate_configuration`).
+    """
+
+    filter_percentile: float | None = None
+    attack: AttackSpec | None = None
+    poison_fraction: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.filter_percentile is not None:
+            object.__setattr__(
+                self, "filter_percentile",
+                check_fraction(self.filter_percentile, name="filter_percentile"),
+            )
+        if self.attack is not None:
+            check_fraction(self.poison_fraction, name="poison_fraction",
+                           inclusive_high=False)
+        if not isinstance(self.seed, int):
+            object.__setattr__(self, "seed", int(self.seed))
+
+    def canonical(self) -> tuple:
+        """Normalised identity tuple used in cache keys.
+
+        Normalisations mirror ``evaluate_configuration`` exactly:
+
+        * a filter percentile of ``0`` behaves identically to no
+          filter, so both map to ``None``;
+        * with no attack the contamination rate is never consulted, so
+          clean baselines share one key across ``poison_fraction``
+          values (this is what lets e.g. two sweeps at different
+          contamination rates reuse each other's clean curves).
+        """
+        p = self.filter_percentile
+        filt = None if p is None or p <= 0.0 else float(p)
+        if self.attack is None:
+            return (filt, None, None, int(self.seed))
+        return (filt, self.attack.canonical(), float(self.poison_fraction),
+                int(self.seed))
+
+
+# -- attack registry -------------------------------------------------------
+
+_ATTACK_BUILDERS: dict[str, Callable] = {}
+
+
+def register_attack_builder(kind: str, builder: Callable) -> None:
+    """Register ``builder(ctx, spec) -> PoisoningAttack`` for a kind.
+
+    Builders receive the :class:`ExperimentContext` so attacks can use
+    context-matched surrogates; they must be deterministic functions of
+    ``(ctx, spec)`` — any randomness belongs to the round seed.
+    """
+    if not callable(builder):
+        raise TypeError(f"builder for {kind!r} must be callable")
+    _ATTACK_BUILDERS[str(kind)] = builder
+
+
+def materialize_attack(ctx, spec: AttackSpec):
+    """Build the live attack object a spec names, in context ``ctx``."""
+    try:
+        builder = _ATTACK_BUILDERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown attack kind {spec.kind!r}; registered kinds: "
+            f"{sorted(_ATTACK_BUILDERS)}"
+        ) from None
+    return builder(ctx, spec)
+
+
+def _build_boundary(ctx, spec: AttackSpec):
+    return ctx.boundary_attack(float(spec.percentile))
+
+
+register_attack_builder("boundary", _build_boundary)

@@ -11,6 +11,7 @@
 
 from repro.experiments.runner import (
     ExperimentContext,
+    SVMVictimFactory,
     make_spambase_context,
     make_synthetic_context,
     evaluate_configuration,
@@ -42,6 +43,7 @@ from repro.experiments.reporting import ascii_table, format_pure_sweep, format_t
 
 __all__ = [
     "ExperimentContext",
+    "SVMVictimFactory",
     "make_spambase_context",
     "make_synthetic_context",
     "evaluate_configuration",

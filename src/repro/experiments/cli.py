@@ -10,6 +10,12 @@ Usage::
 
 Each command prints the same rows/series the paper reports and, with
 ``--json PATH``, archives the structured result.
+
+Execution is controlled by the engine flags shared across commands:
+``--backend serial|process`` and ``--jobs N`` choose how rounds run,
+``--cache-dir DIR`` persists results on disk (an equal-seed rerun is
+then served from cache), ``--no-cache`` disables caching.  Results are
+bit-identical whatever the backend.
 """
 
 from __future__ import annotations
@@ -26,6 +32,20 @@ def _make_context(args):
     return make_spambase_context(seed=args.seed, n_samples=args.n_samples)
 
 
+def _make_engine(args):
+    from repro.engine import EvaluationEngine
+
+    try:
+        return EvaluationEngine(
+            args.backend,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as exc:  # unknown backend, --jobs 0, ...
+        raise SystemExit(str(exc))
+
+
 def cmd_figure1(args) -> int:
     from repro.experiments.payoff_sweep import run_pure_strategy_sweep
     from repro.experiments.reporting import format_pure_sweep
@@ -33,7 +53,8 @@ def cmd_figure1(args) -> int:
 
     ctx = _make_context(args)
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats)
+                                    n_repeats=args.repeats,
+                                    engine=_make_engine(args))
     print(format_pure_sweep(sweep))
     if args.json:
         results_to_json(sweep, args.json)
@@ -48,10 +69,12 @@ def cmd_table1(args) -> int:
     from repro.experiments.results import results_to_json
 
     ctx = _make_context(args)
+    engine = _make_engine(args)
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats)
+                                    n_repeats=args.repeats, engine=engine)
     results = run_table1_experiment(ctx, sweep, n_radii_values=tuple(args.n_radii),
-                                    poison_fraction=args.poison_fraction)
+                                    poison_fraction=args.poison_fraction,
+                                    engine=engine)
     print(format_table1(results))
     if args.json:
         results_to_json(results[0], args.json)
@@ -65,7 +88,8 @@ def cmd_empirical_game(args) -> int:
 
     ctx = _make_context(args)
     result = solve_empirical_game(ctx, poison_fraction=args.poison_fraction,
-                                  n_repeats=args.repeats)
+                                  n_repeats=args.repeats,
+                                  engine=_make_engine(args))
     rows = [(f"{p:.1%}", f"{q:.1%}")
             for p, q in zip(result.percentiles, result.defender_mix)]
     print(ascii_table(["filter percentile", "probability"], rows,
@@ -110,7 +134,8 @@ def cmd_proposition1(args) -> int:
 
     ctx = _make_context(args)
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats)
+                                    n_repeats=args.repeats,
+                                    engine=_make_engine(args))
     curves = estimate_payoff_curves(sweep.percentiles, sweep.acc_clean,
                                     sweep.acc_attacked, sweep.n_poison)
     game = PoisoningGame(curves=curves, n_poison=sweep.n_poison)
@@ -146,6 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--repeats", type=int, default=1)
         p.add_argument("--json", type=str, default=None,
                        help="archive the structured result to this path")
+        p.add_argument("--backend", type=str, default="serial",
+                       help="evaluation backend: serial (default) or process")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker count for parallel backends "
+                            "(default: all cores)")
+        p.add_argument("--cache-dir", type=str, default=None,
+                       help="persist round results as JSON under this "
+                            "directory (reruns become cache hits)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the engine's result cache")
         if name == "table1":
             p.add_argument("--n-radii", type=int, nargs="+", default=[2, 3])
     return parser

@@ -23,10 +23,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.experiments.runner import ExperimentContext, evaluate_configuration
+from repro.engine import EvaluationEngine, resolve_engine
+from repro.experiments.payoff_sweep import support_accuracy_matrix
+from repro.experiments.runner import ExperimentContext
 from repro.gametheory.lp_solver import solve_zero_sum_lp
 from repro.gametheory.matrix_game import MatrixGame
-from repro.utils.rng import derive_seed
 from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = ["EmpiricalGameResult", "build_empirical_game", "solve_empirical_game"]
@@ -89,34 +90,23 @@ def build_empirical_game(
     *,
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
+    engine: EvaluationEngine | None = None,
 ) -> np.ndarray:
     """Measure the accuracy matrix ``A[filter, attack]`` on a grid.
 
     The attacker's pure strategy ``p_j`` is the optimal boundary attack
     placing the whole budget at that percentile; the defender's is the
     radius filter at ``p_i``.  Entries are averaged over ``n_repeats``
-    seeded rounds.
+    seeded rounds.  The full grid is one engine batch — ``k² ·
+    n_repeats`` independent rounds, cached and parallelised like every
+    other experiment.
     """
     check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
     check_positive_int(n_repeats, name="n_repeats")
-    percentiles = np.asarray(percentiles, dtype=float)
-    k = percentiles.size
-    matrix = np.zeros((k, k))
-    for j, p_attack in enumerate(percentiles):
-        attack = ctx.boundary_attack(float(p_attack))
-        for i, p_filter in enumerate(percentiles):
-            scores = [
-                evaluate_configuration(
-                    ctx,
-                    filter_percentile=float(p_filter) if p_filter > 0 else None,
-                    attack=attack,
-                    poison_fraction=poison_fraction,
-                    seed=derive_seed(ctx.seed, "empirical", i, j, rep),
-                ).accuracy
-                for rep in range(n_repeats)
-            ]
-            matrix[i, j] = float(np.mean(scores))
-    return matrix
+    return support_accuracy_matrix(
+        ctx, percentiles, poison_fraction=poison_fraction, n_repeats=n_repeats,
+        seed_label="empirical", engine=resolve_engine(engine),
+    )
 
 
 def solve_empirical_game(
@@ -126,6 +116,7 @@ def solve_empirical_game(
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
     accuracy_matrix: np.ndarray | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> EmpiricalGameResult:
     """Measure (or accept) the accuracy matrix and solve it exactly.
 
@@ -137,7 +128,8 @@ def solve_empirical_game(
     percentiles = np.asarray(percentiles, dtype=float)
     if accuracy_matrix is None:
         accuracy_matrix = build_empirical_game(
-            ctx, percentiles, poison_fraction=poison_fraction, n_repeats=n_repeats
+            ctx, percentiles, poison_fraction=poison_fraction,
+            n_repeats=n_repeats, engine=engine,
         )
     accuracy_matrix = np.asarray(accuracy_matrix, dtype=float)
     if accuracy_matrix.shape != (percentiles.size, percentiles.size):

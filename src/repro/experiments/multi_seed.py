@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.experiments.payoff_sweep import run_pure_strategy_sweep
 from repro.experiments.results import PureSweepResult
 from repro.experiments.runner import ExperimentContext, make_spambase_context
@@ -69,14 +70,19 @@ def run_multi_seed_sweep(
     percentiles=None,
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
+    engine: EvaluationEngine | None = None,
 ) -> AggregatedSweep:
     """Run the Figure-1 sweep across ``n_seeds`` independent contexts.
 
     Each seed gets a fresh context (fresh surrogate draw, fresh split)
     so the aggregation covers *all* sources of variation, not just SGD
-    noise.
+    noise.  All per-seed sweeps share ``engine`` — distinct contexts
+    never collide in its cache (keys carry the context fingerprint),
+    but each sweep still gains the backend's parallelism and a full
+    rerun of the aggregation is served from cache.
     """
     check_positive_int(n_seeds, name="n_seeds")
+    engine = resolve_engine(engine)
     if context_factory is None:
         context_factory = lambda seed: make_spambase_context(seed=seed)
 
@@ -85,7 +91,7 @@ def run_multi_seed_sweep(
         ctx = context_factory(derive_seed(base_seed, "multi-seed", k))
         sweeps.append(run_pure_strategy_sweep(
             ctx, percentiles=percentiles, poison_fraction=poison_fraction,
-            n_repeats=n_repeats,
+            n_repeats=n_repeats, engine=engine,
         ))
 
     ref = np.asarray(sweeps[0].percentiles, dtype=float)

@@ -9,6 +9,15 @@ algorithm inputs from.
 :func:`run_table1_experiment` reproduces Table 1: estimate the curves
 from the sweep, run Algorithm 1 for each support size ``n``, and
 evaluate the resulting mixed defence against the optimal mixed attack.
+
+All three drivers declare their rounds as
+:class:`~repro.engine.RoundSpec` batches and hand them to an
+:class:`~repro.engine.EvaluationEngine` (the process-wide default when
+``engine`` is ``None``), which dedups them against its content-keyed
+cache and fans the remainder out on the configured backend.  Per-round
+seeds are pre-derived with :func:`~repro.utils.rng.derive_seed`, so
+results are bit-identical across backends and cache states — and
+identical to the historical nested-loop implementations.
 """
 
 from __future__ import annotations
@@ -21,13 +30,53 @@ from repro.core.algorithm1 import compute_optimal_defense
 from repro.core.game import PayoffCurves
 from repro.core.mixed_strategy import MixedDefense
 from repro.core.payoff_estimation import estimate_payoff_curves
+from repro.engine import AttackSpec, EvaluationEngine, RoundSpec, resolve_engine
 from repro.experiments.results import MixedStrategyResult, PureSweepResult
-from repro.experiments.runner import ExperimentContext, evaluate_configuration
+from repro.experiments.runner import ExperimentContext
 from repro.attacks.base import attack_budget
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_fraction, check_positive_int
 
-__all__ = ["run_pure_strategy_sweep", "evaluate_mixed_defense", "run_table1_experiment"]
+__all__ = ["run_pure_strategy_sweep", "evaluate_mixed_defense",
+           "run_table1_experiment", "support_accuracy_matrix"]
+
+
+def support_accuracy_matrix(
+    ctx: ExperimentContext,
+    support,
+    *,
+    poison_fraction: float,
+    n_repeats: int,
+    seed_label: str,
+    engine: EvaluationEngine,
+) -> np.ndarray:
+    """Measured accuracy matrix ``A[filter i, attack j]`` over a support.
+
+    The shared core of :func:`evaluate_mixed_defense` and the empirical
+    game: for every (attack percentile ``p_j``, filter percentile
+    ``p_i``, repeat) cell, one boundary-attack round seeded
+    ``derive_seed(ctx.seed, seed_label, i, j, rep)``, run as a single
+    engine batch and averaged over repeats.
+    """
+    support = np.asarray(support, dtype=float)
+    k = support.size
+    specs = [
+        RoundSpec(
+            # Percentile 0 and None are the same (no) filter; normalise
+            # here so both callers share cache entries for it.
+            filter_percentile=float(p_filter) if p_filter > 0 else None,
+            attack=AttackSpec("boundary", float(p_attack)),
+            poison_fraction=poison_fraction,
+            seed=derive_seed(ctx.seed, seed_label, i, j, rep),
+        )
+        for j, p_attack in enumerate(support)
+        for i, p_filter in enumerate(support)
+        for rep in range(n_repeats)
+    ]
+    outcomes = engine.evaluate_batch(ctx, specs)
+    accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
+    # Batch layout (attack j, filter i, repeat) -> matrix[i, j].
+    return accuracies.reshape(k, k, n_repeats).mean(axis=2).T
 
 
 def run_pure_strategy_sweep(
@@ -36,6 +85,7 @@ def run_pure_strategy_sweep(
     percentiles=None,
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
+    engine: EvaluationEngine | None = None,
 ) -> PureSweepResult:
     """Figure 1: accuracy vs filter strength, clean and under optimal attack.
 
@@ -43,6 +93,11 @@ def run_pure_strategy_sweep(
     ``p`` places every point just inside that radius
     (``OptimalBoundaryAttack(target_percentile=p)``), the paper's
     "place the poisoning points close to the boundary of the filter".
+
+    One engine batch covers the whole grid: per percentile and repeat,
+    a clean round and an attacked round sharing a seed.  Clean rounds
+    never consult the contamination rate, so their cache entries are
+    shared by sweeps at any ``poison_fraction``.
     """
     check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
     check_positive_int(n_repeats, name="n_repeats")
@@ -50,27 +105,28 @@ def run_pure_strategy_sweep(
         percentiles = np.array([0.0, 0.01, 0.02, 0.03, 0.05, 0.075, 0.10,
                                 0.15, 0.20, 0.25, 0.30, 0.40, 0.50])
     percentiles = np.asarray(percentiles, dtype=float)
+    engine = resolve_engine(engine)
 
-    acc_clean = np.zeros_like(percentiles)
-    acc_attacked = np.zeros_like(percentiles)
+    specs = []
     for i, p in enumerate(percentiles):
-        clean_scores, attacked_scores = [], []
         for rep in range(n_repeats):
             seed = derive_seed(ctx.seed, "sweep", i, rep)
-            clean_scores.append(
-                evaluate_configuration(
-                    ctx, filter_percentile=float(p), attack=None, seed=seed
-                ).accuracy
-            )
-            attack = ctx.boundary_attack(float(p))
-            attacked_scores.append(
-                evaluate_configuration(
-                    ctx, filter_percentile=float(p), attack=attack,
-                    poison_fraction=poison_fraction, seed=seed,
-                ).accuracy
-            )
-        acc_clean[i] = float(np.mean(clean_scores))
-        acc_attacked[i] = float(np.mean(attacked_scores))
+            specs.append(RoundSpec(
+                filter_percentile=float(p), attack=None,
+                poison_fraction=poison_fraction, seed=seed,
+            ))
+            specs.append(RoundSpec(
+                filter_percentile=float(p),
+                attack=AttackSpec("boundary", float(p)),
+                poison_fraction=poison_fraction, seed=seed,
+            ))
+    outcomes = engine.evaluate_batch(ctx, specs)
+
+    # Batch layout: (percentile, repeat, [clean, attacked]).
+    accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
+    accuracies = accuracies.reshape(percentiles.size, n_repeats, 2)
+    acc_clean = accuracies[:, :, 0].mean(axis=1)
+    acc_attacked = accuracies[:, :, 1].mean(axis=1)
 
     return PureSweepResult(
         percentiles=percentiles.tolist(),
@@ -89,6 +145,7 @@ def evaluate_mixed_defense(
     *,
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[float, float, np.ndarray]:
     """Expected accuracy of a mixed defence under the optimal mixed attack.
 
@@ -107,20 +164,10 @@ def evaluate_mixed_defense(
     """
     support = defense.percentiles
     probs = defense.probabilities
-    matrix = np.zeros((len(support), len(support)))
-    for j, p_attack in enumerate(support):
-        attack = ctx.boundary_attack(float(p_attack))
-        for i, p_filter in enumerate(support):
-            scores = []
-            for rep in range(n_repeats):
-                seed = derive_seed(ctx.seed, "mixed", i, j, rep)
-                scores.append(
-                    evaluate_configuration(
-                        ctx, filter_percentile=float(p_filter), attack=attack,
-                        poison_fraction=poison_fraction, seed=seed,
-                    ).accuracy
-                )
-            matrix[i, j] = float(np.mean(scores))
+    matrix = support_accuracy_matrix(
+        ctx, support, poison_fraction=poison_fraction, n_repeats=n_repeats,
+        seed_label="mixed", engine=resolve_engine(engine),
+    )
 
     expected_by_attack = probs @ matrix  # one value per attacker column
     worst_j = int(np.argmin(expected_by_attack))
@@ -139,12 +186,16 @@ def run_table1_experiment(
     n_repeats: int = 1,
     curves: PayoffCurves | None = None,
     algorithm_kwargs: dict | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> list[MixedStrategyResult]:
     """Table 1: Algorithm 1's mixed defence for each support size.
 
     ``curves`` may be supplied to reuse a fit; otherwise they are
-    estimated from ``sweep`` exactly as the paper does.
+    estimated from ``sweep`` exactly as the paper does.  ``engine``
+    is threaded into every mixed-defence evaluation, so an equal-seed
+    rerun of the whole experiment is served from the engine's cache.
     """
+    engine = resolve_engine(engine)
     if curves is None:
         curves = estimate_payoff_curves(
             sweep.percentiles, sweep.acc_clean, sweep.acc_attacked, sweep.n_poison
@@ -158,7 +209,8 @@ def run_table1_experiment(
         )
         elapsed = time.perf_counter() - start
         accuracy, dispersion, matrix = evaluate_mixed_defense(
-            ctx, opt.defense, poison_fraction=poison_fraction, n_repeats=n_repeats
+            ctx, opt.defense, poison_fraction=poison_fraction,
+            n_repeats=n_repeats, engine=engine,
         )
         results.append(
             MixedStrategyResult(

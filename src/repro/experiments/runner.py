@@ -18,6 +18,8 @@ ablation benchmarks.
 
 from __future__ import annotations
 
+import hashlib
+import uuid
 from dataclasses import dataclass
 from typing import Callable
 
@@ -38,11 +40,31 @@ from repro.utils.validation import check_fraction
 
 __all__ = [
     "ExperimentContext",
+    "SVMVictimFactory",
     "make_spambase_context",
     "make_synthetic_context",
     "evaluate_configuration",
     "EvaluationOutcome",
 ]
+
+
+@dataclass(frozen=True)
+class SVMVictimFactory:
+    """Picklable ``factory(seed) -> LinearSVM`` victim builder.
+
+    A plain dataclass (rather than a closure) so experiment contexts
+    can cross process boundaries for the engine's parallel backends,
+    and so the factory has a stable repr to fold into the context's
+    content fingerprint.
+    """
+
+    reg: float = 1e-4
+    epochs: int = 120
+    batch_size: int = 128
+
+    def __call__(self, seed: int) -> BaseEstimator:
+        return LinearSVM(reg=self.reg, epochs=self.epochs,
+                         batch_size=self.batch_size, seed=seed)
 
 
 def _default_model_factory_for(n_train: int) -> Callable[[int], BaseEstimator]:
@@ -57,11 +79,24 @@ def _default_model_factory_for(n_train: int) -> Callable[[int], BaseEstimator]:
     batch_size = 128
     steps_per_epoch = max(1, n_train // batch_size)
     epochs = int(np.clip(round(500 / steps_per_epoch), 10, 120))
+    return SVMVictimFactory(reg=1e-4, epochs=epochs, batch_size=batch_size)
 
-    def factory(seed: int) -> BaseEstimator:
-        return LinearSVM(reg=1e-4, epochs=epochs, batch_size=batch_size, seed=seed)
 
-    return factory
+def _factory_signature(factory) -> str | None:
+    """A stable textual identity for a model factory, or ``None``.
+
+    Dataclass factories (e.g. :class:`SVMVictimFactory`) expose their
+    full configuration through ``repr``.  Closures and other objects
+    whose repr embeds a memory address are *opaque*: their captured
+    hyperparameters are invisible, so no stable signature exists —
+    ``None`` tells the fingerprint to refuse any identity claim for
+    them.
+    """
+    sig = getattr(factory, "signature", None)
+    if callable(sig):
+        return str(sig())
+    r = repr(factory)
+    return None if " at 0x" in r else r
 
 
 @dataclass
@@ -100,6 +135,40 @@ class ExperimentContext:
     @property
     def n_train(self) -> int:
         return int(self.X_train.shape[0])
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this context for the engine's cache.
+
+        Covers the exact split data, the preprocessing outcome (the
+        arrays are hashed *after* scaling), the centroid convention and
+        the victim factory's configuration — everything a round's
+        result depends on besides the round spec itself.  The radius
+        map needs no separate hash: it is a deterministic function of
+        ``X_train`` and ``centroid_method``.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        h = hashlib.sha256()
+        for arr in (self.X_train, self.y_train, self.X_test, self.y_test):
+            a = np.ascontiguousarray(arr)
+            h.update(str(a.dtype).encode("utf-8"))
+            h.update(str(a.shape).encode("utf-8"))
+            h.update(a.tobytes())
+        factory_sig = _factory_signature(self.model_factory)
+        if factory_sig is None:
+            # Opaque factory (closure etc.): two contexts could differ
+            # only in captured hyperparameters we cannot see, so they
+            # must never share cache entries.  A per-instance salt keeps
+            # caching correct (and still useful *within* this context)
+            # at the deliberate cost of cross-process/disk reuse.
+            factory_sig = f"opaque:{uuid.uuid4().hex}"
+        meta = "|".join([self.dataset_name, self.centroid_method,
+                         str(self.seed), str(self.is_real_data), factory_sig])
+        h.update(meta.encode("utf-8"))
+        fp = h.hexdigest()
+        self.__dict__["_fingerprint"] = fp
+        return fp
 
     def attack_surrogate(self) -> BaseEstimator:
         """A fresh, unfitted copy of the victim model for the attacker.

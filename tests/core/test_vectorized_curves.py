@@ -1,0 +1,117 @@
+"""The vectorised payoff layer must match the scalar semantics exactly."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.game import PayoffCurves, PoisoningGame
+from repro.core.payoff_estimation import MonotoneCurve, fit_monotone_curve
+
+
+@pytest.fixture(scope="module")
+def fitted_curves():
+    ps = np.array([0.0, 0.05, 0.1, 0.2, 0.3, 0.5])
+    E = fit_monotone_curve(ps, np.array([3.0, 2.5, 2.6, 1.2, 0.8, 0.1]) * 1e-3,
+                           increasing=False)
+    gamma = fit_monotone_curve(ps, np.array([0.0, 0.01, 0.008, 0.03, 0.05, 0.09]),
+                               increasing=True)
+    return PayoffCurves(E=E, gamma=gamma, p_max=0.5)
+
+
+class TestMonotoneCurve:
+    def test_fit_returns_vectorization_aware_curve(self, fitted_curves):
+        assert isinstance(fitted_curves.E, MonotoneCurve)
+        assert isinstance(fitted_curves.gamma, MonotoneCurve)
+
+    def test_vector_matches_scalar_bitwise(self, fitted_curves):
+        grid = fitted_curves.grid(501)
+        for curve in (fitted_curves.E, fitted_curves.gamma):
+            vector = curve.evaluate(grid)
+            scalar = np.array([curve(float(p)) for p in grid])
+            assert np.array_equal(vector, scalar)
+
+    def test_scalar_call_returns_float(self, fitted_curves):
+        assert isinstance(fitted_curves.E(0.1), float)
+
+    def test_clamps_outside_range(self):
+        curve = fit_monotone_curve(np.array([0.1, 0.2]), np.array([1.0, 2.0]))
+        assert curve(0.0) == curve(0.1) == 1.0
+        assert curve(0.9) == curve(0.2) == 2.0
+        assert np.array_equal(curve.evaluate(np.array([0.0, 0.9])),
+                              np.array([1.0, 2.0]))
+
+    def test_unclamped_raises_outside_range(self):
+        curve = fit_monotone_curve(np.array([0.1, 0.2]), np.array([1.0, 2.0]),
+                                   clamp=False)
+        with pytest.raises(ValueError, match="outside fitted range"):
+            curve(0.5)
+        with pytest.raises(ValueError, match="outside fitted range"):
+            curve.evaluate(np.array([0.15, 0.5]))
+
+    def test_single_knot_is_constant(self):
+        curve = fit_monotone_curve(np.array([0.1]), np.array([0.7]))
+        assert curve(0.0) == curve(0.1) == curve(0.9) == 0.7
+        assert np.array_equal(curve.evaluate(np.array([0.0, 1.0])),
+                              np.array([0.7, 0.7]))
+
+    def test_pickle_round_trip(self, fitted_curves):
+        restored = pickle.loads(pickle.dumps(fitted_curves.E))
+        grid = np.linspace(0.0, 0.5, 101)
+        assert np.array_equal(restored.evaluate(grid),
+                              fitted_curves.E.evaluate(grid))
+
+    def test_mismatched_knots_rejected(self):
+        with pytest.raises(ValueError):
+            MonotoneCurve(np.array([0.0, 0.1]), np.array([1.0]))
+
+
+class TestVectorisedPayoffCurves:
+    def test_E_vec_uses_one_interpolant_call(self, fitted_curves):
+        grid = fitted_curves.grid(301)
+        assert np.array_equal(fitted_curves.E_vec(grid),
+                              np.array([fitted_curves.E(float(p)) for p in grid]))
+        assert np.array_equal(fitted_curves.gamma_vec(grid),
+                              np.array([fitted_curves.gamma(float(p)) for p in grid]))
+
+    def test_plain_lambda_curves_still_work(self):
+        curves = PayoffCurves(E=lambda p: 0.002 * np.exp(-8.0 * p),
+                              gamma=lambda p: 0.08 * p ** 2, p_max=0.5)
+        grid = curves.grid(101)
+        assert np.allclose(curves.E_vec(grid), 0.002 * np.exp(-8.0 * grid))
+
+    def test_branchy_scalar_lambda_falls_back(self):
+        # A curve that cannot take arrays (truth-value branching) must
+        # still evaluate through the per-element fallback.
+        curves = PayoffCurves(E=lambda p: 0.002 if p < 0.1 else 0.001,
+                              gamma=lambda p: 0.0 if p <= 0 else 0.01, p_max=0.5)
+        vals = curves.E_vec(np.array([0.05, 0.2]))
+        assert vals.tolist() == [0.002, 0.001]
+
+
+class TestMatrixOnGrids:
+    def test_matches_payoff_loop(self, fitted_curves):
+        game = PoisoningGame(curves=fitted_curves, n_poison=57)
+        pa = fitted_curves.grid(23)
+        pd = fitted_curves.grid(19)
+        fast = game.matrix_on_grids(pa, pd)
+        slow = np.array([
+            [game.payoff(game.all_at(float(a)), float(d)) for d in pd]
+            for a in pa
+        ])
+        assert np.array_equal(fast, slow)
+
+    def test_survival_ties_survive(self, fitted_curves):
+        game = PoisoningGame(curves=fitted_curves, n_poison=10)
+        grid = np.array([0.1, 0.2])
+        matrix = game.matrix_on_grids(grid, grid)
+        # Diagonal: attack exactly at the filter percentile survives.
+        expected = 10 * fitted_curves.E_vec(grid) + fitted_curves.gamma_vec(grid)
+        assert np.array_equal(np.diag(matrix), expected)
+
+    def test_out_of_range_grid_rejected(self, fitted_curves):
+        game = PoisoningGame(curves=fitted_curves, n_poison=10)
+        with pytest.raises(ValueError, match="attacker_ps"):
+            game.matrix_on_grids(np.array([-0.1]), np.array([0.1]))
+        with pytest.raises(ValueError, match="defender_ps"):
+            game.matrix_on_grids(np.array([0.1]), np.array([1.2]))

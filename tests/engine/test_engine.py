@@ -1,0 +1,185 @@
+"""EvaluationEngine: backend parity, caching, batching, configuration."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AttackSpec,
+    EvaluationEngine,
+    ProcessPoolBackend,
+    RoundSpec,
+    SerialBackend,
+    default_engine,
+    engine_from_env,
+    make_backend,
+    materialize_attack,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.experiments.payoff_sweep import (
+    evaluate_mixed_defense,
+    run_pure_strategy_sweep,
+)
+from repro.experiments.runner import make_synthetic_context
+from repro.ml.ridge import RidgeClassifier
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_synthetic_context(seed=1, n_samples=120, n_features=3)
+
+
+def batch(n_percentiles=3, n_seeds=1):
+    specs = []
+    for i, p in enumerate(np.linspace(0.0, 0.3, n_percentiles)):
+        for s in range(n_seeds):
+            specs.append(RoundSpec(filter_percentile=float(p), attack=None,
+                                   seed=100 + s))
+            specs.append(RoundSpec(filter_percentile=float(p),
+                                   attack=AttackSpec("boundary", float(p)),
+                                   poison_fraction=0.2, seed=100 + s))
+    return specs
+
+
+class TestBackendParity:
+    """The engine's core guarantee: identical outcomes on every backend."""
+
+    def test_process_pool_matches_serial(self, ctx):
+        specs = batch(n_percentiles=3, n_seeds=2)
+        serial = EvaluationEngine("serial", cache=False)
+        parallel = EvaluationEngine("process", jobs=2, cache=False)
+        assert serial.evaluate_batch(ctx, specs) == \
+            parallel.evaluate_batch(ctx, specs)
+
+    def test_cached_and_uncached_identical(self, ctx):
+        specs = batch()
+        assert EvaluationEngine(cache=False).evaluate_batch(ctx, specs) == \
+            EvaluationEngine(cache=True).evaluate_batch(ctx, specs)
+
+    def test_unpicklable_context_fails_clearly(self):
+        bad_ctx = make_synthetic_context(
+            seed=3, n_samples=80, n_features=3,
+            model_factory=lambda seed: RidgeClassifier(reg=1e-2),
+        )
+        engine = EvaluationEngine("process", jobs=2, cache=False)
+        with pytest.raises(TypeError, match="pickled"):
+            engine.evaluate_batch(bad_ctx, batch(n_percentiles=1))
+
+
+class TestCaching:
+    def test_repeat_batch_is_served_from_cache(self, ctx):
+        engine = EvaluationEngine("serial")
+        specs = batch()
+        first = engine.evaluate_batch(ctx, specs)
+        computed = engine.rounds_computed
+        second = engine.evaluate_batch(ctx, specs)
+        assert first == second
+        assert engine.rounds_computed == computed  # nothing recomputed
+        assert engine.cache.stats.hits == len(specs)
+
+    def test_in_batch_duplicates_computed_once(self, ctx):
+        engine = EvaluationEngine("serial", cache=False)
+        spec = RoundSpec(filter_percentile=0.1, attack=None, seed=9)
+        outcomes = engine.evaluate_batch(ctx, [spec, spec, spec])
+        assert engine.rounds_computed == 1
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_cache_off_recomputes(self, ctx):
+        engine = EvaluationEngine("serial", cache=False)
+        spec = RoundSpec(filter_percentile=0.1, attack=None, seed=9)
+        engine.evaluate(ctx, spec)
+        engine.evaluate(ctx, spec)
+        assert engine.rounds_computed == 2
+
+    def test_disk_cache_survives_engine_restart(self, ctx, tmp_path):
+        spec = RoundSpec(filter_percentile=0.1, attack=None, seed=9)
+        first = EvaluationEngine("serial", cache_dir=tmp_path / "cache")
+        out1 = first.evaluate(ctx, spec)
+        second = EvaluationEngine("serial", cache_dir=tmp_path / "cache")
+        out2 = second.evaluate(ctx, spec)
+        assert out1 == out2
+        assert second.rounds_computed == 0
+
+
+class TestDriverCacheReuse:
+    """Locks in the clean-baseline dedup across experiment drivers."""
+
+    PERCENTILES = np.array([0.0, 0.1, 0.3])
+
+    def test_sweep_rerun_is_fully_cached(self, ctx):
+        engine = EvaluationEngine("serial")
+        kwargs = dict(percentiles=self.PERCENTILES, poison_fraction=0.2,
+                      n_repeats=2, engine=engine)
+        first = run_pure_strategy_sweep(ctx, **kwargs)
+        computed = engine.rounds_computed
+        assert computed == 2 * 2 * self.PERCENTILES.size  # clean + attacked
+        second = run_pure_strategy_sweep(ctx, **kwargs)
+        assert engine.rounds_computed == computed
+        assert engine.cache.stats.hits == computed
+        assert second.acc_clean == first.acc_clean
+        assert second.acc_attacked == first.acc_attacked
+
+    def test_clean_baselines_shared_across_poison_fractions(self, ctx):
+        engine = EvaluationEngine("serial")
+        run_pure_strategy_sweep(ctx, percentiles=self.PERCENTILES,
+                                poison_fraction=0.2, n_repeats=2, engine=engine)
+        hits_before = engine.cache.stats.hits
+        sweep = run_pure_strategy_sweep(ctx, percentiles=self.PERCENTILES,
+                                        poison_fraction=0.3, n_repeats=2,
+                                        engine=engine)
+        # Every clean cell (percentile x repeat) is identical work at any
+        # contamination rate and must be a cache hit; only the attacked
+        # cells are new.
+        n_clean_cells = 2 * self.PERCENTILES.size
+        assert engine.cache.stats.hits - hits_before == n_clean_cells
+        assert sweep.poison_fraction == 0.3
+
+    def test_mixed_defense_rerun_is_fully_cached(self, ctx):
+        from repro.core.mixed_strategy import MixedDefense
+
+        defense = MixedDefense(percentiles=np.array([0.05, 0.2]),
+                               probabilities=np.array([0.6, 0.4]))
+        engine = EvaluationEngine("serial")
+        first = evaluate_mixed_defense(ctx, defense, n_repeats=1, engine=engine)
+        computed = engine.rounds_computed
+        second = evaluate_mixed_defense(ctx, defense, n_repeats=1, engine=engine)
+        assert engine.rounds_computed == computed
+        assert np.array_equal(first[2], second[2])
+
+
+class TestConfiguration:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("quantum")
+
+    def test_backend_instances_pass_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_engine_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        engine = engine_from_env()
+        assert isinstance(engine.backend, ProcessPoolBackend)
+        assert engine.backend.jobs == 3
+        assert engine.cache is None
+
+    def test_default_engine_resolution(self):
+        previous = default_engine()
+        try:
+            override = EvaluationEngine("serial", cache=False)
+            set_default_engine(override)
+            assert resolve_engine(None) is override
+            explicit = EvaluationEngine("serial")
+            assert resolve_engine(explicit) is explicit
+        finally:
+            set_default_engine(previous)
+
+    def test_unknown_attack_kind_rejected(self, ctx):
+        with pytest.raises(ValueError, match="unknown attack kind"):
+            materialize_attack(ctx, AttackSpec("warp", 0.1))
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(jobs=0)

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.data",
     "repro.attacks",
     "repro.defenses",
+    "repro.engine",
     "repro.experiments",
     "repro.utils",
 ]
