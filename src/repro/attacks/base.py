@@ -60,12 +60,20 @@ def poison_dataset(
     fraction: float = 0.2,
     seed: int | np.random.Generator | None = None,
     shuffle: bool = True,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return_sources: bool = False,
+) -> tuple[np.ndarray, ...]:
     """Inject an attack into ``(X, y)``.
 
     Returns ``(X_mix, y_mix, is_poison)`` where ``is_poison`` is a
     boolean mask over rows of the mixed set — ground truth that the
     defender never sees but evaluation code uses for diagnostics.
+
+    With ``return_sources=True`` a fourth array is appended:
+    ``sources[i]`` is the index of row ``i`` in the pre-shuffle stacked
+    ``[X; X_poison]`` array, so ``sources[i] < len(X)`` identifies a
+    genuine row *and* names which clean row it is.  The round kernel
+    uses this to reuse per-row quantities precomputed on the clean
+    data (see :mod:`repro.experiments.kernel`).
     """
     X, y = check_X_y(X, y)
     # Work in signed labels throughout: attacks emit {-1, +1} while
@@ -74,7 +82,10 @@ def poison_dataset(
     rng = as_generator(seed)
     n_poison = attack_budget(X.shape[0], fraction)
     if n_poison == 0:
-        return X, y, np.zeros(X.shape[0], dtype=bool)
+        is_poison = np.zeros(X.shape[0], dtype=bool)
+        if return_sources:
+            return X, y, is_poison, np.arange(X.shape[0])
+        return X, y, is_poison
     X_p, y_p = attack.generate(X, y, n_poison, seed=rng)
     X_p = np.asarray(X_p, dtype=float)
     y_p = signed_labels(np.asarray(y_p, dtype=int))
@@ -88,7 +99,11 @@ def poison_dataset(
     is_poison = np.concatenate(
         [np.zeros(X.shape[0], dtype=bool), np.ones(n_poison, dtype=bool)]
     )
+    sources = np.arange(X_mix.shape[0])
     if shuffle:
         perm = rng.permutation(X_mix.shape[0])
-        X_mix, y_mix, is_poison = X_mix[perm], y_mix[perm], is_poison[perm]
+        X_mix, y_mix, is_poison, sources = \
+            X_mix[perm], y_mix[perm], is_poison[perm], perm
+    if return_sources:
+        return X_mix, y_mix, is_poison, sources
     return X_mix, y_mix, is_poison

@@ -32,7 +32,31 @@ from repro.ml.ridge import RidgeClassifier
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_fraction, check_X_y
 
-__all__ = ["OptimalBoundaryAttack"]
+__all__ = ["OptimalBoundaryAttack", "surrogate_direction"]
+
+
+def surrogate_direction(X, y, surrogate) -> np.ndarray | None:
+    """The attack's unit direction: fitted surrogate, or fallbacks.
+
+    Deterministic in ``(X, y, surrogate params)`` — this is the
+    per-round computation that
+    :class:`~repro.experiments.kernel.ContextKernel` hoists out of the
+    hot path, so it must consume no RNG.  Returns ``None`` when both
+    the surrogate weights and the class-mean difference are zero; the
+    caller then falls back to a seeded random direction.
+    """
+    model = clone_estimator(surrogate).fit(X, y)
+    w = np.asarray(model.coef_, dtype=float)
+    norm = np.linalg.norm(w)
+    if norm == 0.0:
+        # Degenerate surrogate (e.g. constant labels after filtering);
+        # fall back to the class-mean difference direction.
+        y_signed = signed_labels(y)
+        w = X[y_signed == 1].mean(axis=0) - X[y_signed == -1].mean(axis=0)
+        norm = np.linalg.norm(w)
+        if norm == 0.0:
+            return None
+    return w / norm
 
 
 class OptimalBoundaryAttack(PoisoningAttack):
@@ -62,6 +86,16 @@ class OptimalBoundaryAttack(PoisoningAttack):
         Points are placed at ``(1 - inset) * r`` — strictly *within*
         the target radius, as the paper requires ("within r_i
         distance"), so a filter at exactly that radius keeps them.
+    precomputed:
+        Optional :class:`~repro.experiments.kernel.ContextKernel`
+        (or any object with ``describes(X)``, ``centroid``,
+        ``attack_radius(p)`` and ``direction``) carrying the clean
+        data's centroid, percentile->radius lookup and fitted surrogate
+        direction.  When it describes the ``X`` handed to
+        :meth:`generate` (an identity check), the per-round surrogate
+        refit and geometry recomputation are skipped — bit-identically.
+        For any other ``X`` the attack computes everything from
+        scratch as if ``precomputed`` were ``None``.
     """
 
     def __init__(
@@ -73,6 +107,7 @@ class OptimalBoundaryAttack(PoisoningAttack):
         label_balance: float = 0.5,
         jitter: float = 0.25,
         inset: float = 1e-3,
+        precomputed=None,
     ):
         self.target_percentile = check_fraction(target_percentile,
                                                 name="target_percentile")
@@ -83,26 +118,25 @@ class OptimalBoundaryAttack(PoisoningAttack):
             raise ValueError(f"jitter must be non-negative, got {jitter}")
         self.jitter = float(jitter)
         self.inset = check_fraction(inset, name="inset", inclusive_high=False)
+        self.precomputed = precomputed
 
     def generate(self, X, y, n_poison, *, seed=None):
         X, y = check_X_y(X, y)
         rng = as_generator(seed)
-        centroid = compute_centroid(X, method=self.centroid_method)
-        distances = distances_to_centroid(X, centroid)
-        radius = radius_for_percentile(distances, self.target_percentile)
-        model = clone_estimator(self.surrogate).fit(X, y)
-        w = np.asarray(model.coef_, dtype=float)
-        norm = np.linalg.norm(w)
-        if norm == 0.0:
-            # Degenerate surrogate (e.g. constant labels after filtering);
-            # fall back to the class-mean difference direction.
-            y_signed = signed_labels(y)
-            w = X[y_signed == 1].mean(axis=0) - X[y_signed == -1].mean(axis=0)
-            norm = np.linalg.norm(w)
-            if norm == 0.0:
-                w = rng.normal(size=X.shape[1])
-                norm = np.linalg.norm(w)
-        w_unit = w / norm
+        pre = self.precomputed
+        if pre is not None and pre.describes(X):
+            centroid = pre.centroid
+            radius = pre.attack_radius(self.target_percentile)
+            w_unit = pre.direction
+        else:
+            centroid = compute_centroid(X, method=self.centroid_method)
+            distances = distances_to_centroid(X, centroid)
+            radius = radius_for_percentile(distances, self.target_percentile)
+            w_unit = surrogate_direction(X, y, self.surrogate)
+        if w_unit is None:
+            # Fully degenerate clean data: seeded random direction.
+            w = rng.normal(size=X.shape[1])
+            w_unit = w / np.linalg.norm(w)
 
         n_pos = int(round(self.label_balance * n_poison))
         labels = np.concatenate([

@@ -20,7 +20,7 @@ from repro.data.geometry import compute_centroid, distances_to_centroid
 from repro.ml.base import signed_labels
 from repro.utils.validation import check_X_y
 
-__all__ = ["RadiusFilter"]
+__all__ = ["RadiusFilter", "ensure_class_survival"]
 
 
 class RadiusFilter(Defense):
@@ -36,20 +36,36 @@ class RadiusFilter(Defense):
         Apply a separate sphere around each class's centroid (same
         radius).  With ``False`` (the paper's model) one global sphere
         is used.
+    centroid:
+        Optional precomputed centroid (a
+        :class:`~repro.data.geometry.Centroid` or location array).
+        When given, the sphere is centred there instead of on an
+        estimate from the filtered set itself — this is how the
+        experiment pipeline realises the paper's "hypersphere centered
+        at the centroid of the *original* dataset" exactly, reusing
+        the clean-data centroid its context precomputed.  Incompatible
+        with ``per_class``.
     """
 
     def __init__(self, theta: float, *, centroid_method: str = "median",
-                 per_class: bool = False):
+                 per_class: bool = False, centroid=None):
         if theta < 0 or not np.isfinite(theta):
             raise ValueError(f"theta must be a finite non-negative radius, got {theta}")
+        if centroid is not None and per_class:
+            raise ValueError("a precomputed centroid cannot be combined with "
+                             "per_class=True (per-class centroids are "
+                             "estimated from each class's own points)")
         self.theta = float(theta)
         self.centroid_method = centroid_method
         self.per_class = bool(per_class)
+        self.centroid = centroid
 
     def mask(self, X, y):
         X, y = check_X_y(X, y)
         if not self.per_class:
-            centroid = compute_centroid(X, method=self.centroid_method)
+            centroid = self.centroid
+            if centroid is None:
+                centroid = compute_centroid(X, method=self.centroid_method)
             keep = distances_to_centroid(X, centroid) <= self.theta
         else:
             y_signed = signed_labels(y)
@@ -61,11 +77,11 @@ class RadiusFilter(Defense):
                 centroid = compute_centroid(X[members], method=self.centroid_method)
                 dist = distances_to_centroid(X[members], centroid)
                 keep[np.flatnonzero(members)[dist <= self.theta]] = True
-        keep = _ensure_class_survival(keep, y)
+        keep = ensure_class_survival(keep, y)
         return keep
 
 
-def _ensure_class_survival(keep: np.ndarray, y: np.ndarray) -> np.ndarray:
+def ensure_class_survival(keep: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Guarantee at least one kept sample per present class.
 
     If a filter removes an entire class, re-admit that class's single
@@ -79,3 +95,7 @@ def _ensure_class_survival(keep: np.ndarray, y: np.ndarray) -> np.ndarray:
         if not keep[members].any():
             keep[members[0]] = True
     return keep
+
+
+# Backwards-compatible alias (the helper predates its public name).
+_ensure_class_survival = ensure_class_survival

@@ -14,7 +14,9 @@ from repro.engine.spec import (
     AttackSpec,
     RoundSpec,
     register_attack_builder,
+    register_attack_prewarmer,
     materialize_attack,
+    prewarm_context,
 )
 from repro.engine.cache import CacheStats, ResultCache, round_key
 from repro.engine.backends import (
@@ -38,7 +40,9 @@ __all__ = [
     "AttackSpec",
     "RoundSpec",
     "register_attack_builder",
+    "register_attack_prewarmer",
     "materialize_attack",
+    "prewarm_context",
     "CacheStats",
     "ResultCache",
     "round_key",

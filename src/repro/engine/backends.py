@@ -11,10 +11,16 @@ async backends drop-in safe.
 Built-ins:
 
 * ``serial`` — in-process loop; zero overhead, the reference semantics.
-* ``process`` — ``concurrent.futures.ProcessPoolExecutor`` fan-out.
-  The context is shipped once per worker (pool initializer), specs
-  travel individually; everything involved is plain
-  dataclasses/NumPy arrays, so pickling is cheap.
+* ``process`` — ``concurrent.futures.ProcessPoolExecutor`` fan-out
+  with **zero-copy context transport**: the context's data arrays are
+  published once into a ``multiprocessing.shared_memory`` block that
+  every worker maps read-only, and only a small metadata blob (array
+  layout, scalar fields, the picklable victim factory, and the round
+  kernel's fitted attack direction) is pickled into the pool
+  initializer.  Worker start-up therefore stops copying the full
+  train/test split per process, and fan-out cost no longer grows with
+  context size.  Contexts that do not look like experiment contexts
+  fall back to whole-object pickling.
 
 New backends register with :func:`register_backend`.
 """
@@ -25,7 +31,10 @@ import os
 import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
 from typing import Callable
+
+import numpy as np
 
 __all__ = [
     "EvaluationBackend",
@@ -36,6 +45,11 @@ __all__ = [
     "make_backend",
     "available_backends",
 ]
+
+# Fields of an ExperimentContext large enough to be worth publishing in
+# shared memory instead of pickling ("map" is the radius map's sorted
+# distance vector).
+_SHARED_ARRAY_FIELDS = ("X_train", "y_train", "X_test", "y_test")
 
 
 def execute_round(ctx, spec):
@@ -83,14 +97,135 @@ class SerialBackend(EvaluationBackend):
         return [execute_round(ctx, spec) for spec in specs]
 
 
+# -- zero-copy context transport --------------------------------------------
+
+
+def _pack_context(ctx):
+    """Split ``ctx`` into (small metadata dict, shared-memory block).
+
+    The metadata is what actually gets pickled to workers; the block
+    holds the data arrays.  Returns ``(meta, shm)`` with ``shm=None``
+    for contexts that don't expose the expected array fields (those
+    travel whole, as before).  The caller owns the block and must
+    ``close()``/``unlink()`` it once the pool is done.
+    """
+    if not all(hasattr(ctx, f) for f in _SHARED_ARRAY_FIELDS + ("radius_map",)):
+        return {"mode": "pickle", "ctx": ctx}, None
+
+    arrays = {f: np.ascontiguousarray(getattr(ctx, f))
+              for f in _SHARED_ARRAY_FIELDS}
+    arrays["map_distances"] = np.ascontiguousarray(ctx.radius_map.distances)
+
+    layout = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = -(-offset // 16) * 16  # 16-byte alignment
+        layout[name] = (offset, arr.shape, arr.dtype.str)
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name, arr in arrays.items():
+        off = layout[name][0]
+        view = np.frombuffer(shm.buf, dtype=arr.dtype, count=arr.size, offset=off)
+        view[:] = arr.ravel()
+
+    state = ctx.__getstate__() if hasattr(ctx, "__getstate__") else dict(ctx.__dict__)
+    state = dict(state)
+    for f in _SHARED_ARRAY_FIELDS:
+        state.pop(f, None)
+    state.pop("radius_map", None)
+    kernel = ctx.__dict__.get("_kernel")
+    meta = {
+        "mode": "shm",
+        "shm_name": shm.name,
+        "layout": layout,
+        "cls": type(ctx),
+        "state": state,
+        "kernel_state": kernel.export_state() if kernel is not None else None,
+    }
+    return meta, shm
+
+
+def _unpack_context(meta):
+    """Rebuild a context in a worker from :func:`_pack_context` output.
+
+    Array fields become read-only views of the shared block — nothing
+    data-sized is copied.  Returns ``(ctx, shm)``; the shm handle must
+    stay referenced for the arrays' lifetime.
+    """
+    if meta["mode"] == "pickle":
+        return meta["ctx"], None
+
+    shm = shared_memory.SharedMemory(name=meta["shm_name"])
+    # The parent owns (and unlinks) the segment.  Attaching registers
+    # the name with the resource tracker again, but under the default
+    # fork start method the workers share the parent's tracker, whose
+    # per-type cache is a set — the duplicate registration collapses
+    # and the parent's single unlink() retires it cleanly.
+
+    views = {}
+    for name, (offset, shape, dtype) in meta["layout"].items():
+        count = int(np.prod(shape, dtype=np.int64))
+        arr = np.frombuffer(shm.buf, dtype=np.dtype(dtype), count=count,
+                            offset=offset).reshape(shape)
+        arr.flags.writeable = False
+        views[name] = arr
+
+    from repro.data.geometry import RadiusPercentileMap
+
+    # Bypass __post_init__: the vector was sorted (and validated) by the
+    # parent; re-sorting would copy it out of shared memory.
+    radius_map = RadiusPercentileMap.__new__(RadiusPercentileMap)
+    radius_map.distances = views["map_distances"]
+
+    ctx = meta["cls"].__new__(meta["cls"])
+    ctx.__dict__.update(meta["state"])
+    for f in _SHARED_ARRAY_FIELDS:
+        setattr(ctx, f, views[f])
+    ctx.radius_map = radius_map
+
+    kernel_state = meta.get("kernel_state")
+    if kernel_state is not None:
+        from repro.experiments.kernel import build_context_kernel
+
+        ctx.__dict__["_kernel"] = build_context_kernel(ctx, state=kernel_state)
+    return ctx, shm
+
+
 # -- process-pool workers (module-level: must be picklable) ----------------
 
 _WORKER_CTX = None
+_WORKER_SHM = None  # keeps the mapped block alive for the worker's lifetime
 
 
-def _worker_init(ctx_blob: bytes) -> None:
-    global _WORKER_CTX
-    _WORKER_CTX = pickle.loads(ctx_blob)
+def _worker_cleanup() -> None:
+    """Release the context before the shared block, in that order.
+
+    Interpreter shutdown clears module globals in arbitrary order; if
+    the block's ``__del__`` ran while the context's array views were
+    still alive it would raise ``BufferError`` into stderr.  Dropping
+    the context first (plus a GC pass for the context<->kernel cycle)
+    guarantees a silent close.
+    """
+    global _WORKER_CTX, _WORKER_SHM
+    _WORKER_CTX = None
+    if _WORKER_SHM is not None:
+        import gc
+
+        gc.collect()
+        try:
+            _WORKER_SHM.close()
+        except BufferError:  # pragma: no cover - views kept alive elsewhere
+            pass
+        _WORKER_SHM = None
+
+
+def _worker_init(meta_blob: bytes) -> None:
+    global _WORKER_CTX, _WORKER_SHM
+    import atexit
+
+    _WORKER_CTX, _WORKER_SHM = _unpack_context(pickle.loads(meta_blob))
+    if _WORKER_SHM is not None:
+        atexit.register(_worker_cleanup)
 
 
 def _worker_run(spec):
@@ -99,6 +234,13 @@ def _worker_run(spec):
 
 class ProcessPoolBackend(EvaluationBackend):
     """Fan rounds out over a ``ProcessPoolExecutor``.
+
+    The context's data arrays ride in one shared-memory block (mapped
+    read-only by every worker); the pool initializer receives only a
+    small metadata blob.  Shared state attack builders can precompute
+    once per batch (e.g. the boundary attack's surrogate direction) is
+    warmed in the parent and shipped in that blob, so workers never
+    repeat it.
 
     Parameters
     ----------
@@ -114,29 +256,44 @@ class ProcessPoolBackend(EvaluationBackend):
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
 
     def run(self, ctx, specs) -> list:
+        # Imported lazily, like execute_round: keep the engine package
+        # importable without the experiments layer.
+        from repro.engine.spec import prewarm_context
+
         specs = list(specs)
         if not specs:
             return []
+        prewarm_context(ctx, specs)
+        meta, shm = _pack_context(ctx)
         try:
-            # The context is pickled exactly once, here, and shipped to
+            # The metadata is pickled exactly once, here, and shipped to
             # each worker through the initializer; this also surfaces
             # unpicklable contexts (e.g. a lambda model_factory) as one
             # clear error instead of a broken pool.
-            ctx_blob = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as exc:
-            raise TypeError(
-                "the experiment context cannot be pickled for the process "
-                "backend (a lambda/closure model_factory is the usual "
-                "culprit — use a picklable callable class such as "
-                "repro.experiments.runner.SVMVictimFactory, or the serial "
-                f"backend): {exc}"
-            ) from exc
-        workers = max(1, min(self.jobs, len(specs)))
-        chunksize = max(1, len(specs) // (workers * 4))
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init, initargs=(ctx_blob,)
-        ) as pool:
-            return list(pool.map(_worker_run, specs, chunksize=chunksize))
+            try:
+                meta_blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                raise TypeError(
+                    "the experiment context cannot be pickled for the process "
+                    "backend (a lambda/closure model_factory is the usual "
+                    "culprit — use a picklable callable class such as "
+                    "repro.experiments.runner.SVMVictimFactory, or the serial "
+                    f"backend): {exc}"
+                ) from exc
+            workers = max(1, min(self.jobs, len(specs)))
+            chunksize = max(1, len(specs) // (workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(meta_blob,)
+            ) as pool:
+                return list(pool.map(_worker_run, specs, chunksize=chunksize))
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass  # a foreign resource tracker got there first
 
 
 # -- registry --------------------------------------------------------------

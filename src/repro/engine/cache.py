@@ -10,7 +10,10 @@ time-based invalidation: content keys cannot go stale.
 Two tiers:
 
 * an **in-memory** dict (always on) — serves repeat rounds within a
-  process, e.g. the clean baselines shared by every sweep;
+  process, e.g. the clean baselines shared by every sweep.  Optionally
+  capped (``max_entries``) with least-recently-used eviction so long
+  multi-seed sweeps stop growing memory without bound; evicted entries
+  survive on the disk tier when one is configured.
 * an optional **on-disk JSON store** (one file per key, atomic
   writes) — persists results across processes and runs, which is what
   makes an equal-seed experiment rerun almost free.
@@ -22,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
 __all__ = [
@@ -32,7 +36,10 @@ __all__ = [
     "outcome_from_dict",
 ]
 
-_SCHEMA_VERSION = 1
+# v2: the experiment filter is centred on the clean-data centroid (the
+# paper's "centroid of the original dataset") instead of re-estimating
+# it from the contaminated set, so v1 poisoned-round entries are stale.
+_SCHEMA_VERSION = 2
 
 
 def round_key(context_fingerprint: str, spec) -> str:
@@ -71,6 +78,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -89,15 +97,38 @@ class ResultCache:
     disk_dir:
         Directory for the persistent JSON tier (created on demand);
         ``None`` keeps the cache memory-only.
+    max_entries:
+        Size cap for the in-memory tier; the least recently *used*
+        entry is evicted first.  ``None`` (default) is unbounded.
+        Eviction never touches the disk tier, so capped memory plus a
+        ``disk_dir`` behaves like a small hot cache over a complete
+        persistent store.
     """
 
-    def __init__(self, disk_dir: str | os.PathLike | None = None):
-        self._memory: dict[str, dict] = {}
+    def __init__(self, disk_dir: str | os.PathLike | None = None,
+                 max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._max_entries = max_entries
         self._disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    @property
+    def max_entries(self) -> int | None:
+        return self._max_entries
+
+    def _remember(self, key: str, entry: dict) -> None:
+        """Insert/refresh ``key`` as most recently used, evicting LRU."""
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        if self._max_entries is not None:
+            while len(self._memory) > self._max_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
 
     # -- internal disk tier ----------------------------------------------
 
@@ -139,10 +170,12 @@ class ResultCache:
     def get(self, key: str):
         """Return the cached ``EvaluationOutcome`` or ``None``."""
         entry = self._memory.get(key)
-        if entry is None:
+        if entry is not None:
+            self._memory.move_to_end(key)  # refresh recency
+        else:
             entry = self._disk_get(key)
             if entry is not None:
-                self._memory[key] = entry  # promote for next time
+                self._remember(key, entry)  # promote for next time
         if entry is None:
             self.stats.misses += 1
             return None
@@ -152,7 +185,7 @@ class ResultCache:
     def put(self, key: str, outcome) -> None:
         """Store one outcome under its content key (both tiers)."""
         entry = outcome_to_dict(outcome)
-        self._memory[key] = entry
+        self._remember(key, entry)
         self._disk_put(key, entry)
         self.stats.stores += 1
 

@@ -17,9 +17,9 @@ Because per-round seeds are pre-derived by the drivers, results are
 bit-identical across backends, worker counts and cache states.
 
 A process-wide default engine (configurable via ``REPRO_BACKEND``,
-``REPRO_JOBS``, ``REPRO_CACHE``, ``REPRO_CACHE_DIR``) backs drivers
-that are not handed an explicit engine, so existing call sites gain
-caching transparently.
+``REPRO_JOBS``, ``REPRO_CACHE``, ``REPRO_CACHE_DIR``,
+``REPRO_CACHE_MAX_ENTRIES``) backs drivers that are not handed an
+explicit engine, so existing call sites gain caching transparently.
 """
 
 from __future__ import annotations
@@ -55,6 +55,9 @@ class EvaluationEngine:
     cache_dir:
         Optional directory for the cache's persistent JSON tier (only
         used when ``cache`` is ``True``).
+    cache_max_entries:
+        Optional LRU size cap for the in-memory cache tier (only used
+        when ``cache`` is ``True``); ``None`` is unbounded.
     """
 
     def __init__(
@@ -64,12 +67,14 @@ class EvaluationEngine:
         jobs: int | None = None,
         cache: bool | ResultCache = True,
         cache_dir: str | None = None,
+        cache_max_entries: int | None = None,
     ):
         self.backend = make_backend(backend, jobs)
         if isinstance(cache, ResultCache):
             self.cache = cache
         elif cache:
-            self.cache = ResultCache(disk_dir=cache_dir)
+            self.cache = ResultCache(disk_dir=cache_dir,
+                                     max_entries=cache_max_entries)
         else:
             self.cache = None
         self.rounds_computed = 0
@@ -151,14 +156,20 @@ def engine_from_env() -> EvaluationEngine:
     * ``REPRO_BACKEND`` — backend name (default ``serial``);
     * ``REPRO_JOBS`` — worker count for parallel backends;
     * ``REPRO_CACHE`` — set to ``0``/``false`` to disable caching;
-    * ``REPRO_CACHE_DIR`` — enable the persistent on-disk cache tier.
+    * ``REPRO_CACHE_DIR`` — enable the persistent on-disk cache tier;
+    * ``REPRO_CACHE_MAX_ENTRIES`` — LRU cap for the in-memory tier
+      (default unbounded).
     """
     backend = os.environ.get("REPRO_BACKEND", "serial")
     jobs_raw = os.environ.get("REPRO_JOBS")
     jobs = int(jobs_raw) if jobs_raw else None
     cache_on = os.environ.get("REPRO_CACHE", "1").strip().lower() not in _TRUTHY_OFF
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    return EvaluationEngine(backend, jobs=jobs, cache=cache_on, cache_dir=cache_dir)
+    max_raw = os.environ.get("REPRO_CACHE_MAX_ENTRIES")
+    cache_max_entries = int(max_raw) if max_raw else None
+    return EvaluationEngine(backend, jobs=jobs, cache=cache_on,
+                            cache_dir=cache_dir,
+                            cache_max_entries=cache_max_entries)
 
 
 def default_engine() -> EvaluationEngine:

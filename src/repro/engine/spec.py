@@ -28,7 +28,9 @@ __all__ = [
     "AttackSpec",
     "RoundSpec",
     "register_attack_builder",
+    "register_attack_prewarmer",
     "materialize_attack",
+    "prewarm_context",
 ]
 
 
@@ -39,16 +41,26 @@ class AttackSpec:
     Parameters
     ----------
     kind:
-        Registry key naming the attack family.  The built-in kind is
+        Registry key naming the attack family.  Built-in kinds are
         ``"boundary"`` — the paper's optimal radius-targeted attack
         with the context's matched surrogate
-        (:meth:`ExperimentContext.boundary_attack`).
+        (:meth:`ExperimentContext.boundary_attack`) — and
+        ``"label-flip"`` — genuine points re-injected with inverted
+        labels (:class:`~repro.attacks.label_flip.LabelFlipAttack`).
     percentile:
         The attack's placement percentile on the shared axis.
+        Families without a radius notion (label-flip) ignore it; keep
+        the default ``0.0`` so their rounds share cache entries.
+    params:
+        Extra family-specific parameters as a mapping or ``(key,
+        value)`` pairs (e.g. ``{"strategy": "near_boundary"}`` for
+        label-flip).  Canonicalised to a sorted tuple so equal
+        parameter sets always produce equal cache keys.
     """
 
     kind: str = "boundary"
     percentile: float = 0.0
+    params: tuple = ()
 
     def __post_init__(self):
         if not isinstance(self.kind, str) or not self.kind:
@@ -57,10 +69,24 @@ class AttackSpec:
             self, "percentile",
             check_fraction(self.percentile, name="percentile"),
         )
+        params = self.params
+        if isinstance(params, dict):
+            pairs = params.items()
+        else:
+            pairs = tuple(params)
+        try:
+            pairs = tuple(sorted((str(k), v) for k, v in pairs))
+            hash(pairs)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                "params must be a mapping (or (key, value) pairs) with "
+                f"hashable values, got {self.params!r}"
+            ) from exc
+        object.__setattr__(self, "params", pairs)
 
     def canonical(self) -> tuple:
         """Stable identity tuple used in cache keys."""
-        return (self.kind, float(self.percentile))
+        return (self.kind, float(self.percentile), self.params)
 
 
 @dataclass(frozen=True)
@@ -114,6 +140,7 @@ class RoundSpec:
 # -- attack registry -------------------------------------------------------
 
 _ATTACK_BUILDERS: dict[str, Callable] = {}
+_ATTACK_PREWARMERS: dict[str, Callable] = {}
 
 
 def register_attack_builder(kind: str, builder: Callable) -> None:
@@ -126,6 +153,29 @@ def register_attack_builder(kind: str, builder: Callable) -> None:
     if not callable(builder):
         raise TypeError(f"builder for {kind!r} must be callable")
     _ATTACK_BUILDERS[str(kind)] = builder
+
+
+def register_attack_prewarmer(kind: str, prewarmer: Callable) -> None:
+    """Register ``prewarmer(ctx)`` invoked once per batch for a kind.
+
+    Prewarmers force shared per-context state (cached on the context)
+    that every round of the family would otherwise compute for itself —
+    e.g. the boundary attack's fitted surrogate direction.  Parallel
+    backends call them in the *parent* before shipping the context, so
+    the work happens exactly once per batch instead of once per worker.
+    """
+    if not callable(prewarmer):
+        raise TypeError(f"prewarmer for {kind!r} must be callable")
+    _ATTACK_PREWARMERS[str(kind)] = prewarmer
+
+
+def prewarm_context(ctx, specs) -> None:
+    """Run each distinct attack kind's prewarmer (if any) on ``ctx``."""
+    kinds = {spec.attack.kind for spec in specs if spec.attack is not None}
+    for kind in sorted(kinds):
+        prewarmer = _ATTACK_PREWARMERS.get(kind)
+        if prewarmer is not None:
+            prewarmer(ctx)
 
 
 def materialize_attack(ctx, spec: AttackSpec):
@@ -144,4 +194,20 @@ def _build_boundary(ctx, spec: AttackSpec):
     return ctx.boundary_attack(float(spec.percentile))
 
 
+def _prewarm_boundary(ctx):
+    kernel = getattr(ctx, "kernel", None)
+    if callable(kernel):
+        kernel().direction  # forces the one surrogate fit per context
+
+
+def _build_label_flip(ctx, spec: AttackSpec):
+    # Imported lazily so the engine package stays light to import.
+    from repro.attacks.label_flip import LabelFlipAttack
+
+    params = dict(spec.params)
+    return LabelFlipAttack(strategy=params.get("strategy", "random"))
+
+
 register_attack_builder("boundary", _build_boundary)
+register_attack_prewarmer("boundary", _prewarm_boundary)
+register_attack_builder("label-flip", _build_label_flip)

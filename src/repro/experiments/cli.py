@@ -41,6 +41,7 @@ def _make_engine(args):
             jobs=args.jobs,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            cache_max_entries=args.cache_max_entries,
         )
     except ValueError as exc:  # unknown backend, --jobs 0, ...
         raise SystemExit(str(exc))
@@ -181,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory (reruns become cache hits)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the engine's result cache")
+        p.add_argument("--cache-max-entries", type=int, default=None,
+                       help="LRU cap for the in-memory cache tier "
+                            "(default: unbounded)")
         if name == "table1":
             p.add_argument("--n-radii", type=int, nargs="+", default=[2, 3])
     return parser

@@ -1,0 +1,220 @@
+"""Precomputed per-context geometry — the round kernel's constant part.
+
+Profiling one uncached attack/filter/train/score round shows most of
+its time recomputing quantities that never change within a context:
+
+* the clean-data centroid and the distance of every clean training row
+  to it (the attack recomputes both on the identical ``X_train`` every
+  round, and the filter recomputes the genuine-row distances);
+* percentile -> radius conversions (a quantile over the same distance
+  vector, once per round for the attack and once for the filter);
+* the attacker's surrogate direction (a full victim-model fit on the
+  clean data whose result is a deterministic function of the context).
+
+A :class:`ContextKernel` computes each of these once, lazily, and is
+cached on the :class:`~repro.experiments.runner.ExperimentContext`
+(``ctx.kernel()``).  ``evaluate_configuration`` threads it through the
+attack (:class:`~repro.attacks.optimal_boundary.OptimalBoundaryAttack`
+accepts it as ``precomputed=``) and the filter stage, where genuine
+rows reuse the cached clean distances and only poison rows need fresh
+distance computation.
+
+Bit-identity contract
+---------------------
+Everything the kernel serves is **bit-identical** to computing it from
+scratch: per-row distance computations are row-local (``np.linalg.norm``
+reduces each row independently), quantiles are order statistics
+(independent of input order), and the surrogate direction is a
+deterministic function of the clean split and the context seed.  The
+equivalence tests in ``tests/experiments/test_round_kernel.py`` enforce
+this against a from-scratch reference path.
+
+The kernel is deliberately *not* pickled with its context: it is
+derivable, and the engine's process backend instead ships the one
+expensive field (the fitted surrogate direction) in its tiny metadata
+blob — see :mod:`repro.engine.backends`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.data.geometry import (
+    Centroid,
+    compute_centroid,
+    distances_to_centroid,
+    radius_for_percentile,
+)
+from repro.defenses.radius_filter import ensure_class_survival
+from repro.utils.rng import derive_seed
+
+__all__ = ["ContextKernel", "build_context_kernel"]
+
+# Sentinel: "direction not computed yet" (None is a valid computed value,
+# meaning the clean data is degenerate and the attack must fall back to
+# its seeded random direction).
+_UNSET = "unset"
+
+
+@dataclass
+class ContextKernel:
+    """Cached clean-data geometry plus the fitted attack direction.
+
+    Attributes
+    ----------
+    X_train:
+        The clean training matrix this kernel describes (held by
+        reference; used for an identity check, never copied).
+    centroid:
+        Clean-data centroid under the context's ``centroid_method``.
+    clean_distances:
+        Distance of every clean training row to ``centroid``, aligned
+        with ``X_train`` rows.
+    map_distances:
+        The context's :class:`~repro.data.geometry.RadiusPercentileMap`
+        distance vector (sorted), kept so filter radii are produced by
+        exactly the same lookup as before the kernel existed.
+    """
+
+    X_train: np.ndarray
+    y_train: np.ndarray
+    centroid: Centroid
+    clean_distances: np.ndarray
+    map_distances: np.ndarray
+    surrogate_factory: object = None
+    _direction: object = _UNSET
+    _attack_radii: dict = field(default_factory=dict)
+    _filter_radii: dict = field(default_factory=dict)
+
+    # -- percentile -> radius lookups --------------------------------------
+
+    def attack_radius(self, percentile: float) -> float:
+        """Placement radius at ``percentile`` over the clean distances.
+
+        Identical to ``radius_for_percentile`` on a freshly computed
+        distance vector (quantiles are order statistics), memoised.
+        """
+        key = float(percentile)
+        r = self._attack_radii.get(key)
+        if r is None:
+            r = radius_for_percentile(self.clean_distances, key)
+            self._attack_radii[key] = r
+        return r
+
+    def filter_radius(self, percentile: float) -> float:
+        """Filter radius at ``percentile``; memoised
+        ``ctx.radius_map.radius`` (same array, same quantile)."""
+        key = float(percentile)
+        r = self._filter_radii.get(key)
+        if r is None:
+            r = radius_for_percentile(self.map_distances, key)
+            self._filter_radii[key] = r
+        return r
+
+    # -- attack direction ---------------------------------------------------
+
+    @property
+    def direction(self) -> np.ndarray | None:
+        """Unit attack direction of the surrogate fitted on clean data.
+
+        Computed on first access (one victim-model fit per context, the
+        single most expensive per-round saving) and ``None`` when the
+        clean data is degenerate — the attack then falls back to its
+        seeded random direction exactly as the from-scratch path does.
+        """
+        if isinstance(self._direction, str):
+            from repro.attacks.optimal_boundary import surrogate_direction
+
+            self._direction = surrogate_direction(
+                self.X_train, self.y_train, self.surrogate_factory()
+            )
+        return self._direction
+
+    @property
+    def direction_computed(self) -> bool:
+        """Whether :attr:`direction` has been materialised yet."""
+        return not isinstance(self._direction, str)
+
+    def describes(self, X: np.ndarray) -> bool:
+        """``True`` when ``X`` *is* the clean training matrix.
+
+        An identity (not equality) check: the attack only trusts the
+        kernel for the exact array the kernel was built from, so a
+        kernel-carrying attack applied to any other dataset silently
+        falls back to the from-scratch path.
+        """
+        return X is self.X_train
+
+    # -- filter fast path ---------------------------------------------------
+
+    def keep_mask(
+        self,
+        X_mix: np.ndarray,
+        y_mix: np.ndarray,
+        is_poison: np.ndarray,
+        sources: np.ndarray | None,
+        radius: float,
+    ) -> np.ndarray:
+        """Radius-filter keep mask reusing the cached clean distances.
+
+        ``sources`` maps each row of ``X_mix`` to its index in the
+        pre-shuffle stacked ``[X_train; X_poison]`` array (see
+        :func:`repro.attacks.base.poison_dataset`); ``None`` means
+        ``X_mix`` is exactly ``X_train``.  Genuine rows reuse
+        ``clean_distances``; only poison rows get a fresh distance
+        computation — bit-identical to computing every row's distance
+        from scratch because row norms are row-local.
+        """
+        if sources is None:
+            keep = self.clean_distances <= radius
+        else:
+            d = np.empty(X_mix.shape[0], dtype=float)
+            genuine = ~is_poison
+            d[genuine] = self.clean_distances[sources[genuine]]
+            if is_poison.any():
+                d[is_poison] = distances_to_centroid(X_mix[is_poison], self.centroid)
+            keep = d <= radius
+        return ensure_class_survival(keep, y_mix)
+
+    # -- process-backend transport -------------------------------------------
+
+    def export_state(self) -> dict:
+        """Small picklable state worth shipping to worker processes.
+
+        Only the expensive-to-recompute field travels: the fitted
+        surrogate direction (and only if it has been materialised).
+        Geometry is cheap and rebuilt per worker from the shared
+        arrays.
+        """
+        state = {}
+        if self.direction_computed:
+            state["direction"] = self._direction
+        return state
+
+
+def build_context_kernel(ctx, *, state: dict | None = None) -> ContextKernel:
+    """Build the kernel for an experiment context.
+
+    ``state`` optionally pre-fills fields shipped from another process
+    (see :meth:`ContextKernel.export_state`).
+    """
+    centroid = compute_centroid(ctx.X_train, method=ctx.centroid_method)
+    kernel = ContextKernel(
+        X_train=ctx.X_train,
+        y_train=ctx.y_train,
+        centroid=centroid,
+        clean_distances=distances_to_centroid(ctx.X_train, centroid),
+        map_distances=ctx.radius_map.distances,
+        # Same construction as ctx.attack_surrogate(), captured without
+        # a bound method: the kernel must not hold a back-reference to
+        # the context (the context caches the kernel, and a cycle would
+        # keep worker shared-memory views alive past refcount death).
+        surrogate_factory=partial(ctx.model_factory,
+                                  derive_seed(ctx.seed, "attack-surrogate")),
+    )
+    if state and "direction" in state:
+        kernel._direction = state["direction"]
+    return kernel

@@ -14,6 +14,15 @@ by the filter" with "1 - percentile of poisoning data".  The
 operational :class:`~repro.defenses.PercentileFilter` (quantile on the
 contaminated set) is compared against this idealisation in the
 ablation benchmarks.
+
+As of the round-kernel change the experiment filter is centred on the
+**clean-data** centroid — the paper's literal "hypersphere centered at
+the centroid of the original dataset" — which both players share (the
+optimal attack always measured placement from the clean centroid).
+This also lets every round reuse the genuine rows' precomputed
+distances; see :mod:`repro.experiments.kernel`.  The
+contaminated-centroid estimate remains available through
+:class:`~repro.defenses.RadiusFilter` used standalone.
 """
 
 from __future__ import annotations
@@ -170,6 +179,31 @@ class ExperimentContext:
         self.__dict__["_fingerprint"] = fp
         return fp
 
+    def kernel(self):
+        """The lazily-built, cached per-context round kernel.
+
+        Holds everything constant across rounds — clean centroid,
+        clean distance vector, percentile->radius lookups, fitted
+        attack direction — so one uncached round only pays for what
+        actually varies with its spec and seed.  See
+        :mod:`repro.experiments.kernel`.
+        """
+        k = self.__dict__.get("_kernel")
+        if k is None:
+            from repro.experiments.kernel import build_context_kernel
+
+            k = build_context_kernel(self)
+            self.__dict__["_kernel"] = k
+        return k
+
+    def __getstate__(self):
+        # The kernel is derivable; never ship it inside a pickled
+        # context.  Parallel backends forward its one expensive field
+        # separately — see ContextKernel.export_state.
+        state = dict(self.__dict__)
+        state.pop("_kernel", None)
+        return state
+
     def attack_surrogate(self) -> BaseEstimator:
         """A fresh, unfitted copy of the victim model for the attacker.
 
@@ -182,13 +216,20 @@ class ExperimentContext:
         return self.model_factory(derive_seed(self.seed, "attack-surrogate"))
 
     def boundary_attack(self, percentile: float):
-        """The optimal attack at ``percentile`` with the matched surrogate."""
+        """The optimal attack at ``percentile`` with the matched surrogate.
+
+        Carries the context's round kernel so repeated rounds skip the
+        surrogate refit and clean-geometry recomputation (the kernel is
+        only consulted for this context's own ``X_train``; on any other
+        data the attack computes from scratch).
+        """
         from repro.attacks.optimal_boundary import OptimalBoundaryAttack
 
         return OptimalBoundaryAttack(
             target_percentile=float(percentile),
             surrogate=self.attack_surrogate(),
             centroid_method=self.centroid_method,
+            precomputed=self.kernel(),
         )
 
 
@@ -305,6 +346,7 @@ def evaluate_configuration(
     attack: PoisoningAttack | None = None,
     poison_fraction: float = 0.2,
     seed: int | None = None,
+    use_kernel: bool = True,
 ) -> EvaluationOutcome:
     """Play one round of the game and return the test accuracy.
 
@@ -312,7 +354,9 @@ def evaluate_configuration(
     ----------
     filter_percentile:
         Defender's action on the genuine-percentile axis (``None`` or
-        ``0`` disables filtering).
+        ``0`` disables filtering).  The filter sphere is centred on the
+        clean-data centroid (the paper's "centroid of the original
+        dataset"), with the radius looked up in the genuine map.
     attack:
         Attacker's concrete attack (``None`` for the clean baseline).
     poison_fraction:
@@ -320,17 +364,26 @@ def evaluate_configuration(
     seed:
         Round seed (defaults to the context seed); controls attack
         randomness, dataset shuffling and SVM training.
+    use_kernel:
+        With ``True`` (default) the round reuses the context's cached
+        :class:`~repro.experiments.kernel.ContextKernel`; ``False``
+        recomputes every per-round quantity from scratch.  The two
+        paths are bit-identical — the flag exists for the equivalence
+        tests and for benchmarking the kernel's effect.
     """
     round_seed = ctx.seed if seed is None else seed
     rng = as_generator(derive_seed(round_seed, "round"))
     X_tr, y_tr = ctx.X_train, ctx.y_train
+    kernel = ctx.kernel() if use_kernel else None
 
     is_poison = np.zeros(X_tr.shape[0], dtype=bool)
+    sources = None
     n_poison = 0
     if attack is not None:
         check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
-        X_tr, y_tr, is_poison = poison_dataset(
-            ctx.X_train, ctx.y_train, attack, fraction=poison_fraction, seed=rng
+        X_tr, y_tr, is_poison, sources = poison_dataset(
+            ctx.X_train, ctx.y_train, attack, fraction=poison_fraction, seed=rng,
+            return_sources=True,
         )
         n_poison = int(is_poison.sum())
 
@@ -338,9 +391,17 @@ def evaluate_configuration(
     filter_radius = None
     n_removed = 0
     if filter_percentile is not None and filter_percentile > 0.0:
-        filter_radius = ctx.radius_map.radius(filter_percentile)
-        defense = RadiusFilter(filter_radius, centroid_method=ctx.centroid_method)
-        keep = defense.mask(X_tr, y_tr)
+        if kernel is not None:
+            filter_radius = kernel.filter_radius(filter_percentile)
+            keep = kernel.keep_mask(X_tr, y_tr, is_poison, sources, filter_radius)
+        else:
+            filter_radius = ctx.radius_map.radius(filter_percentile)
+            clean_centroid = compute_centroid(ctx.X_train,
+                                              method=ctx.centroid_method)
+            defense = RadiusFilter(filter_radius,
+                                   centroid_method=ctx.centroid_method,
+                                   centroid=clean_centroid)
+            keep = defense.mask(X_tr, y_tr)
         report = defense_report(keep, is_poison)
         n_removed = int((~keep).sum())
         X_tr, y_tr = X_tr[keep], y_tr[keep]

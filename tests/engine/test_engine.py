@@ -147,6 +147,51 @@ class TestDriverCacheReuse:
         assert np.array_equal(first[2], second[2])
 
 
+class TestLabelFlipSpec:
+    """label-flip is a batchable engine attack kind."""
+
+    def test_engine_round_matches_direct_evaluation(self, ctx):
+        from repro.attacks.label_flip import LabelFlipAttack
+        from repro.experiments.runner import evaluate_configuration
+
+        spec = RoundSpec(filter_percentile=0.1,
+                         attack=AttackSpec("label-flip",
+                                           params={"strategy": "near_boundary"}),
+                         poison_fraction=0.2, seed=21)
+        engine_out = EvaluationEngine("serial", cache=False).evaluate(ctx, spec)
+        direct = evaluate_configuration(
+            ctx, filter_percentile=0.1,
+            attack=LabelFlipAttack(strategy="near_boundary"),
+            poison_fraction=0.2, seed=21,
+        )
+        assert engine_out == direct
+
+    def test_default_strategy_is_random(self, ctx):
+        attack = materialize_attack(ctx, AttackSpec("label-flip"))
+        assert attack.strategy == "random"
+
+    def test_backend_parity(self, ctx):
+        specs = [RoundSpec(filter_percentile=0.05,
+                           attack=AttackSpec("label-flip", params={"strategy": s}),
+                           poison_fraction=0.2, seed=31)
+                 for s in ("random", "far_from_own_class", "near_boundary")]
+        serial = EvaluationEngine("serial", cache=False).evaluate_batch(ctx, specs)
+        process = EvaluationEngine("process", jobs=2, cache=False).evaluate_batch(ctx, specs)
+        assert serial == process
+
+    def test_mixed_family_batch(self, ctx):
+        """Sweeps over attack families run through one engine batch."""
+        specs = [
+            RoundSpec(filter_percentile=0.1,
+                      attack=AttackSpec("boundary", 0.05), seed=41),
+            RoundSpec(filter_percentile=0.1,
+                      attack=AttackSpec("label-flip"), seed=41),
+        ]
+        outcomes = EvaluationEngine("serial", cache=False).evaluate_batch(ctx, specs)
+        assert len(outcomes) == 2
+        assert outcomes[0] != outcomes[1]  # distinct attacks, distinct results
+
+
 class TestConfiguration:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):

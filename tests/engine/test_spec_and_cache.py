@@ -124,6 +124,80 @@ class TestOutcomeSerialisation:
         json.dumps(outcome_to_dict(outcome()))
 
 
+class TestCanonicalParams:
+    def test_params_mapping_and_pairs_equal(self):
+        a = AttackSpec("label-flip", 0.0, params={"strategy": "near_boundary"})
+        b = AttackSpec("label-flip", 0.0,
+                       params=(("strategy", "near_boundary"),))
+        assert a.canonical() == b.canonical()
+        assert a == b
+
+    def test_params_order_canonicalised(self):
+        a = AttackSpec("x", 0.0, params={"b": 2, "a": 1})
+        b = AttackSpec("x", 0.0, params={"a": 1, "b": 2})
+        assert a.canonical() == b.canonical()
+
+    def test_params_move_the_key(self, ctx):
+        base = RoundSpec(attack=AttackSpec("label-flip"), seed=3)
+        other = RoundSpec(attack=AttackSpec("label-flip",
+                                            params={"strategy": "near_boundary"}),
+                          seed=3)
+        assert round_key(ctx.fingerprint(), base) != \
+            round_key(ctx.fingerprint(), other)
+
+    def test_unhashable_params_rejected(self):
+        with pytest.raises(ValueError, match="params"):
+            AttackSpec("x", 0.0, params={"bad": [1, 2]})
+
+
+class TestLRUCap:
+    def test_oldest_entry_evicted(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", outcome(accuracy=0.1))
+        cache.put("b", outcome(accuracy=0.2))
+        cache.put("c", outcome(accuracy=0.3))
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("c").accuracy == 0.3
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", outcome(accuracy=0.1))
+        cache.put("b", outcome(accuracy=0.2))
+        assert cache.get("a") is not None  # now "b" is least recently used
+        cache.put("c", outcome(accuracy=0.3))
+        assert cache.get("b") is None
+        assert cache.get("a").accuracy == 0.1
+
+    def test_evicted_entries_survive_on_disk(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "store", max_entries=1)
+        cache.put("a", outcome(accuracy=0.1))
+        cache.put("b", outcome(accuracy=0.2))  # evicts "a" from memory
+        assert len(cache) == 1
+        restored = cache.get("a")  # re-read from the disk tier
+        assert restored is not None
+        assert restored.accuracy == 0.1
+
+    def test_unbounded_by_default(self):
+        cache = ResultCache()
+        for i in range(100):
+            cache.put(f"k{i}", outcome())
+        assert len(cache) == 100
+        assert cache.max_entries is None
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)
+
+    def test_engine_env_configuration(self, monkeypatch):
+        from repro.engine import engine_from_env
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "7")
+        engine = engine_from_env()
+        assert engine.cache.max_entries == 7
+
+
 class TestResultCache:
     def test_memory_round_trip(self):
         cache = ResultCache()

@@ -1,0 +1,189 @@
+"""Round-kernel equivalence: cached geometry must change no bits.
+
+The contract of :mod:`repro.experiments.kernel`: threading the
+precomputed context geometry (clean centroid/distances, radius lookups,
+fitted surrogate direction) through a round produces outcomes
+**bit-identical** to computing everything from scratch — across
+backends and cache states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.optimal_boundary import OptimalBoundaryAttack, surrogate_direction
+from repro.data.geometry import compute_centroid, distances_to_centroid
+from repro.defenses.radius_filter import RadiusFilter
+from repro.engine import AttackSpec, EvaluationEngine, RoundSpec
+from repro.experiments.kernel import build_context_kernel
+from repro.experiments.runner import evaluate_configuration, make_synthetic_context
+from repro.ml.linear_svm import LinearSVM
+from repro.utils.rng import derive_seed
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_synthetic_context(seed=7, n_samples=240, n_features=5)
+
+
+def reference_outcome(ctx, *, filter_percentile=None, percentile=None,
+                      poison_fraction=0.25, seed=0):
+    """One round computed entirely from scratch (no kernel anywhere)."""
+    attack = None
+    if percentile is not None:
+        attack = OptimalBoundaryAttack(
+            target_percentile=float(percentile),
+            surrogate=ctx.attack_surrogate(),
+            centroid_method=ctx.centroid_method,
+        )
+    return evaluate_configuration(
+        ctx, filter_percentile=filter_percentile, attack=attack,
+        poison_fraction=poison_fraction, seed=seed, use_kernel=False,
+    )
+
+
+def kernel_spec(filter_percentile, percentile, seed, poison_fraction=0.25):
+    attack = None if percentile is None else AttackSpec("boundary", percentile)
+    return RoundSpec(filter_percentile=filter_percentile, attack=attack,
+                     poison_fraction=poison_fraction, seed=seed)
+
+
+CASES = [
+    # (filter percentile, attack percentile)
+    (None, None),
+    (0.15, None),
+    (None, 0.05),
+    (0.1, 0.05),     # filter above the attack: poison removed
+    (0.05, 0.2),     # attack inside the filter: poison survives
+    (0.3, 0.3),
+]
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("filt,att", CASES)
+    def test_kernel_round_equals_from_scratch(self, ctx, filt, att):
+        seed = derive_seed(99, "kernel-eq", filt, att)
+        ref = reference_outcome(ctx, filter_percentile=filt, percentile=att,
+                                seed=seed)
+        engine = EvaluationEngine("serial", cache=False)
+        out = engine.evaluate(ctx, kernel_spec(filt, att, seed))
+        assert out == ref
+
+    def test_kernel_round_equals_from_scratch_process(self, ctx):
+        specs = [kernel_spec(f, a, derive_seed(99, "kernel-eq-proc", f, a))
+                 for f, a in CASES]
+        refs = [reference_outcome(ctx, filter_percentile=f, percentile=a,
+                                  seed=derive_seed(99, "kernel-eq-proc", f, a))
+                for f, a in CASES]
+        engine = EvaluationEngine("process", jobs=2, cache=False)
+        assert engine.evaluate_batch(ctx, specs) == refs
+
+    def test_cache_states_identical(self, ctx):
+        specs = [kernel_spec(f, a, derive_seed(5, "kernel-cache", f, a))
+                 for f, a in CASES]
+        cold = EvaluationEngine("serial", cache=True)
+        first = cold.evaluate_batch(ctx, specs)
+        second = cold.evaluate_batch(ctx, specs)  # all cache hits
+        uncached = EvaluationEngine("serial", cache=False).evaluate_batch(ctx, specs)
+        assert first == second == uncached
+
+
+class TestAttackPrecomputedParity:
+    def test_generate_identical_with_and_without_kernel(self, ctx):
+        n_poison = 40
+        with_kernel = ctx.boundary_attack(0.1)
+        assert with_kernel.precomputed is not None
+        without = OptimalBoundaryAttack(
+            target_percentile=0.1, surrogate=ctx.attack_surrogate(),
+            centroid_method=ctx.centroid_method,
+        )
+        Xa, ya = with_kernel.generate(ctx.X_train, ctx.y_train, n_poison, seed=3)
+        Xb, yb = without.generate(ctx.X_train, ctx.y_train, n_poison, seed=3)
+        np.testing.assert_array_equal(Xa, Xb)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_kernel_ignored_for_foreign_data(self, ctx):
+        """On any array but the context's own, the kernel must not apply."""
+        attack = ctx.boundary_attack(0.0)
+        X_other = ctx.X_train[:100] * 2.0 + 1.0
+        y_other = ctx.y_train[:100]
+        X_p, _ = attack.generate(X_other, y_other, 10, seed=0)
+        centroid = compute_centroid(X_other, method=ctx.centroid_method)
+        dist = distances_to_centroid(X_p, centroid)
+        max_r = distances_to_centroid(X_other, centroid).max()
+        # Points sit (just) inside the *foreign* data's boundary radius,
+        # which differs from the context's — proof the fallback ran.
+        assert np.all(dist <= max_r)
+        assert not np.allclose(max_r, ctx.kernel().attack_radius(0.0))
+
+    def test_direction_matches_surrogate_fit(self, ctx):
+        direction = ctx.kernel().direction
+        expected = surrogate_direction(ctx.X_train, ctx.y_train,
+                                       ctx.attack_surrogate())
+        np.testing.assert_array_equal(direction, expected)
+
+    def test_surrogate_fitted_once_per_context(self, monkeypatch):
+        fits = []
+        original = LinearSVM.fit
+
+        def counting_fit(self, X, y):
+            fits.append(X.shape)
+            return original(self, X, y)
+
+        monkeypatch.setattr(LinearSVM, "fit", counting_fit)
+        fresh = make_synthetic_context(seed=11, n_samples=160, n_features=4)
+        engine = EvaluationEngine("serial", cache=False)
+        specs = [kernel_spec(0.1, 0.05, seed) for seed in range(4)]
+        engine.evaluate_batch(fresh, specs)
+        # One surrogate fit (shared via the kernel) + one victim fit per
+        # round; the pre-kernel path needed a surrogate refit every round.
+        assert len(fits) == 1 + len(specs)
+
+
+class TestFilterFastPath:
+    def test_keep_mask_matches_radius_filter(self, ctx):
+        """Genuine-row distance reuse is bitwise equal to full recompute."""
+        kernel = build_context_kernel(ctx)
+        attack = ctx.boundary_attack(0.05)
+        from repro.attacks.base import poison_dataset
+
+        X_mix, y_mix, is_poison, sources = poison_dataset(
+            ctx.X_train, ctx.y_train, attack, fraction=0.25, seed=13,
+            return_sources=True,
+        )
+        radius = kernel.filter_radius(0.1)
+        fast = kernel.keep_mask(X_mix, y_mix, is_poison, sources, radius)
+        clean_centroid = compute_centroid(ctx.X_train,
+                                          method=ctx.centroid_method)
+        reference = RadiusFilter(radius, centroid_method=ctx.centroid_method,
+                                 centroid=clean_centroid).mask(X_mix, y_mix)
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_filter_radius_matches_radius_map(self, ctx):
+        kernel = ctx.kernel()
+        for p in (0.01, 0.1, 0.25, 0.5):
+            assert kernel.filter_radius(p) == ctx.radius_map.radius(p)
+
+    def test_precomputed_centroid_rejected_with_per_class(self):
+        with pytest.raises(ValueError, match="per_class"):
+            RadiusFilter(1.0, per_class=True, centroid=np.zeros(3))
+
+
+class TestKernelHousekeeping:
+    def test_kernel_cached_on_context(self, ctx):
+        assert ctx.kernel() is ctx.kernel()
+
+    def test_kernel_never_pickled_with_context(self, ctx):
+        import pickle
+
+        ctx.kernel()  # ensure it exists
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert "_kernel" not in clone.__dict__
+        np.testing.assert_array_equal(clone.X_train, ctx.X_train)
+
+    def test_clean_distances_alignment(self, ctx):
+        kernel = ctx.kernel()
+        assert kernel.clean_distances.shape == (ctx.n_train,)
+        centroid = compute_centroid(ctx.X_train, method=ctx.centroid_method)
+        np.testing.assert_array_equal(
+            kernel.clean_distances, distances_to_centroid(ctx.X_train, centroid)
+        )
