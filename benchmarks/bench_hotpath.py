@@ -327,6 +327,57 @@ def test_stage_timings(spambase_ctx):
     assert legacy_round_s / round_s >= ATTACKED_ROUND_FLOOR
 
 
+def test_defense_stage_timings(spambase_ctx):
+    """Every registered defence kind's mask on the paper-scale mixture.
+
+    No floors — the families span three orders of magnitude by design
+    (a quantile filter vs RONI's retrain loop); the value of this
+    section is the recorded trajectory in ``BENCH_hotpath.json``, which
+    makes a regression in any one family visible across PRs.
+    """
+    from repro.engine import (DefenseSpec, materialize_defense,
+                              registered_defense_kinds)
+    from repro.utils.rng import derive_seed as _derive
+
+    ctx = fresh(spambase_ctx)
+    attack = ctx.boundary_attack(0.1)
+    X_mix, y_mix, _, _ = poison_dataset(
+        ctx.X_train, ctx.y_train, attack, fraction=0.2, seed=123,
+        return_sources=True)
+
+    spec_overrides = {
+        # Keep the families comparable on one strength axis where one
+        # exists; parameterise the rest at their defaults.
+        "radius": DefenseSpec("radius", 0.1, params={"centroid": "clean"}),
+        "percentile_filter": DefenseSpec("percentile_filter", 0.1),
+        "slab_filter": DefenseSpec("slab_filter", 0.1),
+        "loss_filter": DefenseSpec("loss_filter", 0.1),
+        "pca_detector": DefenseSpec("pca_detector", 0.1),
+        "certified": DefenseSpec("certified", 0.1),
+        "mixed_defense": DefenseSpec(
+            "mixed_defense", params={"percentiles": (0.05, 0.2),
+                                     "probabilities": (0.5, 0.5)}),
+    }
+
+    timings = {}
+    print()
+    for kind in registered_defense_kinds():
+        dspec = spec_overrides.get(kind, DefenseSpec(kind))
+        defense = materialize_defense(ctx, dspec,
+                                      seed=_derive(123, "defense"))
+        # RONI retrains per candidate batch; one repeat is plenty.
+        repeats = 1 if kind in ("roni", "certified") else 3
+        seconds, keep = best_of(lambda: defense.mask(X_mix, y_mix),
+                                repeats=repeats)
+        timings[kind] = seconds
+        n_removed = int((~np.asarray(keep, dtype=bool)).sum())
+        print(f"{kind:>18}: {seconds * 1e3:9.2f} ms  (removed {n_removed})")
+        assert keep.shape == (X_mix.shape[0],)
+
+    path = write_results({"defense_stages": timings})
+    print(f"defense stage timings written to {path}")
+
+
 def test_uncached_sweep_speedup_and_parity(spambase_ctx):
     """An uncached pure-strategy sweep against the verbatim pre-PR
     loop (serial), with process-backend outcomes bit-identical to

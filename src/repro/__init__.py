@@ -44,6 +44,8 @@ from repro.core import (
 )
 from repro.engine import (
     AttackSpec,
+    DefenseSpec,
+    VictimSpec,
     EvaluationEngine,
     RoundSpec,
     set_default_engine,
@@ -54,6 +56,7 @@ from repro.experiments import (
     run_pure_strategy_sweep,
     run_table1_experiment,
     evaluate_configuration,
+    solve_cross_family_game,
 )
 
 __version__ = "1.0.0"
@@ -66,6 +69,8 @@ __all__ = [
     "estimate_payoff_curves",
     "find_pure_equilibrium",
     "AttackSpec",
+    "DefenseSpec",
+    "VictimSpec",
     "EvaluationEngine",
     "RoundSpec",
     "set_default_engine",
@@ -74,5 +79,6 @@ __all__ = [
     "run_pure_strategy_sweep",
     "run_table1_experiment",
     "evaluate_configuration",
+    "solve_cross_family_game",
     "__version__",
 ]

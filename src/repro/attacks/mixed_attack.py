@@ -20,7 +20,7 @@ from repro.attacks.optimal_boundary import OptimalBoundaryAttack
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability_vector, check_X_y
 
-__all__ = ["RadiusAllocation", "AttackerMixedStrategy"]
+__all__ = ["RadiusAllocation", "MixedAllocationAttack", "AttackerMixedStrategy"]
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,8 @@ from repro.defenses.roni import RONIDefense
 from repro.defenses.pca_detector import PCADetector
 from repro.defenses.loss_filter import LossFilter
 from repro.defenses.slab_filter import SlabFilter
-from repro.defenses.certified import certify_radius_defense, CertificateResult
+from repro.defenses.certified import certify_radius_defense, CertificateResult, \
+    CertifiedRadiusDefense
 
 __all__ = [
     "Defense",
@@ -37,4 +38,5 @@ __all__ = [
     "SlabFilter",
     "certify_radius_defense",
     "CertificateResult",
+    "CertifiedRadiusDefense",
 ]

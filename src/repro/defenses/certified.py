@@ -25,10 +25,12 @@ import numpy as np
 
 from repro.data.geometry import compute_centroid, distances_to_centroid, \
     radius_for_percentile
+from repro.defenses.base import Defense
 from repro.ml.base import signed_labels
 from repro.utils.validation import check_fraction, check_positive_int, check_X_y
 
-__all__ = ["CertificateResult", "certify_radius_defense"]
+__all__ = ["CertificateResult", "certify_radius_defense",
+           "CertifiedRadiusDefense"]
 
 
 @dataclass
@@ -58,6 +60,7 @@ class CertificateResult:
     worst_points: np.ndarray
     worst_labels: np.ndarray
     loss_trace: list = field(default_factory=list)
+    weights: np.ndarray | None = None
 
 
 def _hinge_grad(X, y_signed, w, reg):
@@ -113,11 +116,13 @@ def certify_radius_defense(
 
     d = X.shape[1]
     w = np.zeros(d)
+    w_sum = np.zeros(d)
     worst_points, worst_labels = [], []
     mixture_losses = []
     clean_losses = []
 
     for t in range(1, n_iter + 1):
+        w_sum += w  # the iterate whose losses this round measures
         # --- attacker's closed-form inner maximisation ----------------
         norm = np.linalg.norm(w)
         direction = w / norm if norm > 0 else np.zeros(d)
@@ -158,4 +163,71 @@ def certify_radius_defense(
         worst_points=np.vstack(worst_points),
         worst_labels=np.asarray(worst_labels),
         loss_trace=mixture_losses,
+        weights=w_sum / n_iter,
     )
+
+
+class CertifiedRadiusDefense(Defense):
+    """The certificate turned into an operational sanitiser.
+
+    The certificate analyses the radius filter at ``filter_percentile``:
+    under ``eps``-contamination confined to that filter's interior, the
+    averaged robust iterate the online game produced suffers at most
+    ``certified_loss`` (mixture mean).  This defence applies that
+    analysis to the data it receives:
+
+    * points outside the ball (radius at ``filter_percentile`` of the
+      received data's distance distribution, like the operational
+      :class:`~repro.defenses.PercentileFilter`) are removed — they sit
+      where the certificate grants the attacker nothing;
+    * of the points *inside* the ball, those whose hinge loss under the
+      certificate's averaged robust model exceeds ``certified_loss``
+      are trimmed, worst first, up to the ``eps`` contamination budget
+      the certificate assumed.  Margin-violating poison (the optimal
+      attack's signature) carries exactly such losses, while the
+      robust model — unlike the provisional fits of
+      :class:`~repro.defenses.LossFilter` — was trained *not* to bend
+      toward it; the budget cap keeps the trim inside the threat model
+      instead of eating genuinely hard examples without bound.
+
+    Deterministic (no RNG), so spec-driven rounds are bit-identical to
+    direct application.
+    """
+
+    def __init__(self, filter_percentile: float = 0.1, *, eps: float = 0.2,
+                 reg: float = 0.05, n_iter: int = 100, step: float = 0.5,
+                 centroid_method: str = "median"):
+        self.filter_percentile = check_fraction(filter_percentile,
+                                                name="filter_percentile")
+        self.eps = check_fraction(eps, name="eps", inclusive_high=False)
+        self.reg = float(reg)
+        self.n_iter = check_positive_int(n_iter, name="n_iter")
+        self.step = float(step)
+        self.centroid_method = centroid_method
+        self.theta_: float | None = None
+        self.certificate_: CertificateResult | None = None
+
+    def mask(self, X, y):
+        from repro.defenses.radius_filter import ensure_class_survival
+
+        X, y = check_X_y(X, y)
+        cert = certify_radius_defense(
+            X, y, filter_percentile=self.filter_percentile, eps=self.eps,
+            reg=self.reg, n_iter=self.n_iter, step=self.step,
+            centroid_method=self.centroid_method,
+        )
+        self.certificate_ = cert
+        centroid = compute_centroid(X, method=self.centroid_method)
+        distances = distances_to_centroid(X, centroid)
+        radius = radius_for_percentile(distances, self.filter_percentile)
+        self.theta_ = radius
+        keep = distances <= radius
+
+        w = cert.weights
+        budget = int(np.floor(self.eps * X.shape[0]))
+        if w is not None and np.linalg.norm(w) > 0.0 and budget > 0:
+            losses = np.maximum(0.0, 1.0 - signed_labels(y) * (X @ w))
+            offenders = np.flatnonzero(keep & (losses > cert.certified_loss))
+            worst = offenders[np.argsort(-losses[offenders])][:budget]
+            keep[worst] = False
+        return ensure_class_survival(keep, y)

@@ -12,13 +12,31 @@ the overall system and how to add a backend.
 
 from repro.engine.spec import (
     AttackSpec,
+    DefenseSpec,
+    VictimSpec,
     RoundSpec,
     register_attack_builder,
     register_attack_prewarmer,
+    registered_attack_kinds,
     materialize_attack,
+    register_defense_builder,
+    register_defense_prewarmer,
+    registered_defense_kinds,
+    materialize_defense,
+    register_victim_builder,
+    register_victim_prewarmer,
+    registered_victim_kinds,
+    materialize_victim,
     prewarm_context,
 )
-from repro.engine.cache import CacheStats, ResultCache, round_key
+from repro.engine.cache import (
+    CacheStats,
+    ResultCache,
+    round_key,
+    read_manifest,
+    write_manifest,
+    prune_cache_dir,
+)
 from repro.engine.backends import (
     EvaluationBackend,
     SerialBackend,
@@ -38,14 +56,28 @@ from repro.engine.core import (
 
 __all__ = [
     "AttackSpec",
+    "DefenseSpec",
+    "VictimSpec",
     "RoundSpec",
     "register_attack_builder",
     "register_attack_prewarmer",
+    "registered_attack_kinds",
     "materialize_attack",
+    "register_defense_builder",
+    "register_defense_prewarmer",
+    "registered_defense_kinds",
+    "materialize_defense",
+    "register_victim_builder",
+    "register_victim_prewarmer",
+    "registered_victim_kinds",
+    "materialize_victim",
     "prewarm_context",
     "CacheStats",
     "ResultCache",
     "round_key",
+    "read_manifest",
+    "write_manifest",
+    "prune_cache_dir",
     "EvaluationBackend",
     "SerialBackend",
     "ProcessPoolBackend",

@@ -60,18 +60,43 @@ def execute_round(ctx, spec):
     """
     # Imported lazily: the engine package must stay importable without
     # dragging in (or circularly importing) the experiments layer.
-    from repro.engine.spec import materialize_attack
+    from repro.engine.spec import (
+        materialize_attack,
+        materialize_defense,
+        materialize_victim,
+    )
     from repro.experiments.runner import evaluate_configuration
+    from repro.utils.rng import derive_seed
 
     attack = None
     if spec.attack is not None:
         attack = materialize_attack(ctx, spec.attack)
+    victim_factory = None
+    if spec.victim is not None:
+        victim_factory = materialize_victim(ctx, spec.victim)
+    dspec = spec.defense
+    if dspec is None or dspec.is_fast_radius:
+        # The paper's radius filter rides the kernel-served fast path
+        # (clean distances reused, only poison rows recomputed).
+        # spec.filter_percentile mirrors the defence's percentile and
+        # preserves the caller's 0-vs-None spelling for the outcome.
+        return evaluate_configuration(
+            ctx,
+            filter_percentile=spec.filter_percentile,
+            attack=attack,
+            poison_fraction=spec.poison_fraction,
+            seed=spec.seed,
+            victim_factory=victim_factory,
+        )
+    defense = materialize_defense(
+        ctx, dspec, seed=derive_seed(spec.seed, "defense"))
     return evaluate_configuration(
         ctx,
-        filter_percentile=spec.filter_percentile,
         attack=attack,
+        defense=defense,
         poison_fraction=spec.poison_fraction,
         seed=spec.seed,
+        victim_factory=victim_factory,
     )
 
 

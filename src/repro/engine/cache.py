@@ -34,12 +34,19 @@ __all__ = [
     "round_key",
     "outcome_to_dict",
     "outcome_from_dict",
+    "read_manifest",
+    "write_manifest",
+    "prune_cache_dir",
 ]
 
-# v2: the experiment filter is centred on the clean-data centroid (the
-# paper's "centroid of the original dataset") instead of re-estimating
-# it from the contaminated set, so v1 poisoned-round entries are stale.
-_SCHEMA_VERSION = 2
+# v3: the round identity generalised from (filter_percentile, attack,
+# fraction, seed) to (defense, attack, victim, fraction, seed) — the
+# canonical spec tuple changed shape, so v2 keys no longer name the
+# same rounds.  (v2: the experiment filter moved to the clean-data
+# centroid, staling v1 poisoned-round entries.)
+_SCHEMA_VERSION = 3
+
+_MANIFEST_NAME = "manifest.json"
 
 
 def round_key(context_fingerprint: str, spec) -> str:
@@ -69,6 +76,89 @@ def outcome_from_dict(d: dict):
     return EvaluationOutcome(
         report=DefenseReport(**report) if report is not None else None, **d
     )
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_manifest(disk_dir: str | os.PathLike) -> dict:
+    """Summarise a cache directory into its ``manifest.json``.
+
+    The manifest records the current schema version, the number of
+    entry files and their total size — enough for operators (and the
+    ``repro-cache`` CLI) to reason about a store without opening every
+    entry.  Concurrent writers race harmlessly: whoever writes last
+    scanned a directory at least as complete as the loser's.
+    """
+    disk_dir = os.fspath(disk_dir)
+    entry_count = 0
+    total_bytes = 0
+    with os.scandir(disk_dir) as it:
+        for entry in it:
+            if entry.name.endswith(".json") and entry.name != _MANIFEST_NAME:
+                entry_count += 1
+                try:
+                    total_bytes += entry.stat().st_size
+                except OSError:
+                    pass
+    manifest = {
+        "schema_version": _SCHEMA_VERSION,
+        "entry_count": entry_count,
+        "total_bytes": total_bytes,
+    }
+    _atomic_write_json(os.path.join(disk_dir, _MANIFEST_NAME), manifest)
+    return manifest
+
+
+def read_manifest(disk_dir: str | os.PathLike) -> dict | None:
+    """The cache directory's manifest, or ``None`` when absent/corrupt."""
+    path = os.path.join(os.fspath(disk_dir), _MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def prune_cache_dir(disk_dir: str | os.PathLike) -> dict:
+    """Drop entries from older schema versions; refresh the manifest.
+
+    Returns the refreshed manifest with an extra ``"removed"`` count.
+    Unreadable entries are treated as stale (they can never be served).
+    """
+    disk_dir = os.fspath(disk_dir)
+    removed = 0
+    with os.scandir(disk_dir) as it:
+        names = [e.name for e in it
+                 if e.name.endswith(".json") and e.name != _MANIFEST_NAME]
+    for name in names:
+        path = os.path.join(disk_dir, name)
+        stale = False
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                stale = json.load(fh).get("schema_version") != _SCHEMA_VERSION
+        except (OSError, json.JSONDecodeError):
+            stale = True
+        if stale:
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+    manifest = write_manifest(disk_dir)
+    return {"removed": removed, **manifest}
 
 
 @dataclass
@@ -112,6 +202,7 @@ class ResultCache:
         self._memory: OrderedDict[str, dict] = OrderedDict()
         self._max_entries = max_entries
         self._disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
+        self._manifest: dict | None = None  # incremental tally, lazy-seeded
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -151,19 +242,50 @@ class ResultCache:
         if self._disk_dir is None:
             return
         os.makedirs(self._disk_dir, exist_ok=True)
+        path = self._disk_path(key)
+        try:
+            old_size = os.path.getsize(path)
+        except OSError:
+            old_size = None
         # Atomic publish: concurrent writers of the same key race
         # harmlessly (identical content), readers never see a torn file.
-        fd, tmp = tempfile.mkstemp(dir=self._disk_dir, suffix=".tmp")
+        _atomic_write_json(path, entry)
+        self._update_manifest(path, old_size)
+
+    def _update_manifest(self, path: str, old_size: int | None) -> None:
+        """Refresh ``manifest.json`` incrementally after storing ``path``.
+
+        The tally is seeded once (from the existing manifest, else one
+        directory scan) and adjusted per store, so each write costs one
+        small-file write instead of a full-directory scan — the scan
+        per store made long sweeps quadratic in cache size.  Concurrent
+        writers may drift the advisory counts; ``repro-cache info``
+        rebuilds them exactly.
+        """
+        if self._manifest is None:
+            existing = read_manifest(self._disk_dir)
+            if existing is not None and \
+                    existing.get("schema_version") == _SCHEMA_VERSION:
+                # A pre-existing manifest already counts everything on
+                # disk except the entry just written (unless it was an
+                # overwrite) — fall through to the incremental adjust.
+                self._manifest = dict(existing)
+            else:
+                # First store into an untallied directory: one scan
+                # (which already sees the entry just written).
+                self._manifest = write_manifest(self._disk_dir)
+                return
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh)
-            os.replace(tmp, self._disk_path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            new_size = os.path.getsize(path)
+        except OSError:
+            new_size = 0
+        if old_size is None:
+            self._manifest["entry_count"] += 1
+            self._manifest["total_bytes"] += new_size
+        else:
+            self._manifest["total_bytes"] += new_size - old_size
+        _atomic_write_json(os.path.join(self._disk_dir, _MANIFEST_NAME),
+                          self._manifest)
 
     # -- public API -------------------------------------------------------
 
@@ -193,6 +315,7 @@ class ResultCache:
         """Drop the in-memory tier (and optionally the disk tier)."""
         self._memory.clear()
         if disk and self._disk_dir is not None and os.path.isdir(self._disk_dir):
+            self._manifest = None
             for name in os.listdir(self._disk_dir):
                 if name.endswith(".json"):
                     try:

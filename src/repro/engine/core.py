@@ -25,6 +25,7 @@ explicit engine, so existing call sites gain caching transparently.
 from __future__ import annotations
 
 import os
+import time
 
 from repro.engine.backends import EvaluationBackend, make_backend
 from repro.engine.cache import ResultCache, round_key
@@ -78,6 +79,7 @@ class EvaluationEngine:
         else:
             self.cache = None
         self.rounds_computed = 0
+        self.batch_log: list[dict] = []
 
     # -- evaluation -------------------------------------------------------
 
@@ -94,6 +96,7 @@ class EvaluationEngine:
         specs = list(specs)
         if not specs:
             return []
+        start = time.perf_counter()
         fingerprint = ctx.fingerprint()
         keys = [round_key(fingerprint, spec) for spec in specs]
 
@@ -118,21 +121,39 @@ class EvaluationEngine:
                     self.cache.put(key, outcome)
                 results[key] = outcome
 
+        self.batch_log.append({
+            "batch": len(self.batch_log) + 1,
+            "backend": self.backend.name,
+            "n_specs": len(specs),
+            "n_unique": len(unique),
+            "computed": len(to_run),
+            "cache_hits": len(unique) - len(to_run),
+            "seconds": time.perf_counter() - start,
+        })
         return [results[key] for key in keys]
 
     # -- introspection ----------------------------------------------------
 
     @property
     def stats(self) -> dict:
-        """Lifetime counters: computed rounds plus cache hit/miss tallies."""
+        """Lifetime counters: computed rounds plus cache hit/miss tallies.
+
+        Includes ``batches_run`` and the wall time summed over
+        ``batch_log`` (per-batch backend/timing detail lives in
+        :attr:`batch_log` itself; :func:`repro.experiments.reporting.
+        format_engine_stats` renders both).
+        """
         out = {
             "backend": self.backend.name,
             "rounds_computed": self.rounds_computed,
+            "batches_run": len(self.batch_log),
+            "batch_seconds": sum(b["seconds"] for b in self.batch_log),
         }
         if self.cache is not None:
             out.update(
                 cache_hits=self.cache.stats.hits,
                 cache_misses=self.cache.stats.misses,
+                cache_evictions=self.cache.stats.evictions,
                 cache_entries=len(self.cache),
                 cache_hit_rate=self.cache.stats.hit_rate,
             )

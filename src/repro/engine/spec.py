@@ -1,9 +1,10 @@
 """Declarative round specifications — the engine's unit of work.
 
-A :class:`RoundSpec` names one attack/filter/train/score round of the
-game *by content* rather than by code path: which filter percentile,
-which attack (as a declarative :class:`AttackSpec`, not a live object),
-what contamination rate, which seed.  Two properties follow:
+A :class:`RoundSpec` names one attack/defend/train/score round of the
+game *by content* rather than by code path: which defence (as a
+declarative :class:`DefenseSpec`), which attack (an :class:`AttackSpec`),
+which victim model (a :class:`VictimSpec`), what contamination rate,
+which seed.  Two properties follow:
 
 * **cacheability** — a spec plus a context fingerprint is a complete,
   stable identity for the round's result, so identical rounds are
@@ -13,8 +14,18 @@ what contamination rate, which seed.  Two properties follow:
   sharded/async executors) can run them (see
   :mod:`repro.engine.backends`).
 
-Attack materialisation is a registry keyed by ``AttackSpec.kind`` so
-new attack families plug in without touching the engine.
+Each axis of the scenario space is a registry keyed by the spec's
+``kind`` so new attack, defence and victim families plug in without
+touching the engine:
+
+* attacks — ``register_attack_builder`` / ``materialize_attack``;
+* defences — ``register_defense_builder`` / ``materialize_defense``;
+* victims — ``register_victim_builder`` / ``materialize_victim``.
+
+``RoundSpec.filter_percentile`` survives as a constructor convenience:
+it canonicalises to ``DefenseSpec("radius", p)``, so drivers written
+against the original (filter, attack, fraction, seed) identity keep
+working and keep their cache semantics.
 """
 
 from __future__ import annotations
@@ -22,16 +33,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.utils.validation import check_fraction
+from repro.utils.validation import check_canonical_params, check_fraction
 
 __all__ = [
     "AttackSpec",
+    "DefenseSpec",
+    "VictimSpec",
     "RoundSpec",
     "register_attack_builder",
     "register_attack_prewarmer",
+    "registered_attack_kinds",
     "materialize_attack",
+    "register_defense_builder",
+    "register_defense_prewarmer",
+    "registered_defense_kinds",
+    "materialize_defense",
+    "register_victim_builder",
+    "register_victim_prewarmer",
+    "registered_victim_kinds",
+    "materialize_victim",
     "prewarm_context",
 ]
+
+
+def _describe(kind: str, percentile: float | None, params: tuple) -> str:
+    """Shared human-readable spec label: kind[@pct][param list]."""
+    label = kind
+    if percentile:
+        label += f"@{percentile:.1%}"
+    if params:
+        label += "[" + ",".join(f"{k}={v}" for k, v in params) + "]"
+    return label
 
 
 @dataclass(frozen=True)
@@ -42,11 +74,12 @@ class AttackSpec:
     ----------
     kind:
         Registry key naming the attack family.  Built-in kinds are
-        ``"boundary"`` — the paper's optimal radius-targeted attack
-        with the context's matched surrogate
-        (:meth:`ExperimentContext.boundary_attack`) — and
-        ``"label-flip"`` — genuine points re-injected with inverted
-        labels (:class:`~repro.attacks.label_flip.LabelFlipAttack`).
+        ``"boundary"`` (the paper's optimal radius-targeted attack with
+        the context's matched surrogate), ``"label-flip"``,
+        ``"random-noise"``, ``"furthest-point"``, ``"targeted"``,
+        ``"mixed"`` (a :class:`~repro.attacks.mixed_attack.RadiusAllocation`
+        executed as boundary sub-attacks) and ``"bilevel"`` (projected
+        gradient-ascent refinement).
     percentile:
         The attack's placement percentile on the shared axis.
         Families without a radius notion (label-flip) ignore it; keep
@@ -69,47 +102,189 @@ class AttackSpec:
             self, "percentile",
             check_fraction(self.percentile, name="percentile"),
         )
-        params = self.params
-        if isinstance(params, dict):
-            pairs = params.items()
-        else:
-            pairs = tuple(params)
-        try:
-            pairs = tuple(sorted((str(k), v) for k, v in pairs))
-            hash(pairs)
-        except (TypeError, ValueError) as exc:
-            raise ValueError(
-                "params must be a mapping (or (key, value) pairs) with "
-                f"hashable values, got {self.params!r}"
-            ) from exc
-        object.__setattr__(self, "params", pairs)
+        object.__setattr__(
+            self, "params", check_canonical_params(self.params,
+                                                   name="attack params"),
+        )
 
     def canonical(self) -> tuple:
         """Stable identity tuple used in cache keys."""
         return (self.kind, float(self.percentile), self.params)
 
+    def describe(self) -> str:
+        """Short human-readable label (for game axes and reports)."""
+        return _describe(self.kind, self.percentile, self.params)
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """Declarative defence identity.
+
+    Parameters
+    ----------
+    kind:
+        Registry key naming the defence family.  Built-in kinds:
+
+        * ``"radius"`` — the paper's filter: a sphere around the
+          clean-data centroid with the radius looked up at
+          ``percentile`` in the genuine map.  With no ``params`` this
+          is the engine's kernel-served fast path; params
+          ``centroid="contaminated"`` or ``per_class=True`` select the
+          :class:`~repro.defenses.RadiusFilter` variants.
+        * ``"percentile_filter"`` — the operational quantile filter
+          computed on the (possibly contaminated) data itself.
+        * ``"slab_filter"`` — displacement along the class-centroid
+          axis; ``percentile`` is the removed fraction.
+        * ``"loss_filter"`` — iterative highest-hinge-loss trimming;
+          ``percentile`` is the removed fraction.
+        * ``"pca_detector"`` — off-subspace residual trimming;
+          ``percentile`` is the removed fraction.
+        * ``"knn_sanitizer"`` — neighbourhood label agreement
+          (strength via params ``k``/``agreement``; percentile unused).
+        * ``"roni"`` — Reject On Negative Impact (params
+          ``base_fraction``/``val_fraction``/``tolerance``/``batch_size``;
+          its calibration split derives from the round seed).
+        * ``"certified"`` — the certificate-backed radius defence
+          (:class:`~repro.defenses.CertifiedRadiusDefense`).
+        * ``"mixed_defense"`` — a randomised filter strength drawn per
+          round from params ``percentiles``/``probabilities`` (the
+          draw derives from the round seed).
+    percentile:
+        The defence's strength on the shared percentile axis (the
+        fraction of points it aims to remove / the filter percentile).
+        Families parameterised differently (knn, roni, mixed) ignore
+        it; keep the default ``0.0`` so their rounds share cache
+        entries.
+    params:
+        Extra family-specific parameters, canonicalised exactly like
+        :attr:`AttackSpec.params`.
+    """
+
+    kind: str = "radius"
+    percentile: float = 0.0
+    params: tuple = ()
+
+    def __post_init__(self):
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ValueError(f"kind must be a non-empty string, got {self.kind!r}")
+        object.__setattr__(
+            self, "percentile",
+            check_fraction(self.percentile, name="percentile"),
+        )
+        object.__setattr__(
+            self, "params", check_canonical_params(self.params,
+                                                   name="defense params"),
+        )
+
+    @property
+    def is_fast_radius(self) -> bool:
+        """Whether this is the kernel-served radius filter fast path."""
+        return self.kind == "radius" and not self.params
+
+    def canonical(self) -> tuple:
+        """Stable identity tuple used in cache keys."""
+        return (self.kind, float(self.percentile), self.params)
+
+    def describe(self) -> str:
+        """Short human-readable label (for game axes and reports)."""
+        return _describe(self.kind, self.percentile, self.params)
+
+
+@dataclass(frozen=True)
+class VictimSpec:
+    """Declarative victim-model identity.
+
+    Parameters
+    ----------
+    kind:
+        Registry key naming the victim family.  Built-in kinds:
+        ``"svm"`` (the paper's hinge-loss :class:`~repro.ml.LinearSVM`),
+        ``"logistic"``, ``"perceptron"``, ``"ridge"`` and
+        ``"naive_bayes"``.
+    params:
+        Hyperparameters for the victim's constructor (e.g.
+        ``{"reg": 1e-3, "epochs": 60}`` for the SVM), canonicalised
+        exactly like :attr:`AttackSpec.params`.  Seeded trainers
+        receive the round's derived model seed at fit time — never put
+        a seed in ``params``.
+    """
+
+    kind: str = "svm"
+    params: tuple = ()
+
+    def __post_init__(self):
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ValueError(f"kind must be a non-empty string, got {self.kind!r}")
+        object.__setattr__(
+            self, "params", check_canonical_params(self.params,
+                                                   name="victim params"),
+        )
+
+    def canonical(self) -> tuple:
+        """Stable identity tuple used in cache keys."""
+        return (self.kind, self.params)
+
+    def describe(self) -> str:
+        """Short human-readable label (for game axes and reports)."""
+        return _describe(self.kind, None, self.params)
+
 
 @dataclass(frozen=True)
 class RoundSpec:
-    """One round of the game: (filter, attack, contamination, seed).
+    """One round of the game: (defence, attack, victim, contamination, seed).
 
-    ``filter_percentile`` of ``None`` (or ``0``) disables filtering;
-    ``attack`` of ``None`` is the clean baseline.  ``seed`` is the
-    round seed from which attack randomness, dataset shuffling and
-    victim training are all derived (see
+    ``defense`` of ``None`` disables filtering; ``attack`` of ``None``
+    is the clean baseline; ``victim`` of ``None`` trains the context's
+    own victim factory.  ``seed`` is the round seed from which attack
+    randomness, dataset shuffling, defence randomness and victim
+    training are all derived (see
     :func:`repro.experiments.runner.evaluate_configuration`).
+
+    ``filter_percentile`` is kept as a constructor convenience for the
+    paper's radius filter: ``RoundSpec(filter_percentile=p, ...)``
+    canonicalises to ``defense=DefenseSpec("radius", p)`` (and a plain
+    radius defence mirrors itself back into ``filter_percentile``), so
+    pre-existing drivers and cache semantics are unchanged.
     """
 
     filter_percentile: float | None = None
     attack: AttackSpec | None = None
     poison_fraction: float = 0.2
     seed: int = 0
+    defense: DefenseSpec | None = None
+    victim: VictimSpec | None = None
 
     def __post_init__(self):
-        if self.filter_percentile is not None:
-            object.__setattr__(
-                self, "filter_percentile",
-                check_fraction(self.filter_percentile, name="filter_percentile"),
+        fp = self.filter_percentile
+        if fp is not None:
+            fp = check_fraction(fp, name="filter_percentile")
+            object.__setattr__(self, "filter_percentile", fp)
+        if self.defense is not None:
+            if not isinstance(self.defense, DefenseSpec):
+                raise TypeError(
+                    f"defense must be a DefenseSpec or None, got {self.defense!r}"
+                )
+            if fp is not None and fp > 0.0:
+                raise ValueError(
+                    "pass either filter_percentile or defense, not both"
+                )
+        elif fp is not None and fp > 0.0:
+            object.__setattr__(self, "defense", DefenseSpec("radius", fp))
+        # A radius filter at percentile 0 removes nothing: normalise to
+        # "no defence" so both spellings share one cache entry.
+        d = self.defense
+        if d is not None and d.is_fast_radius and d.percentile <= 0.0:
+            object.__setattr__(self, "defense", None)
+            d = None
+        # Mirror plain radius defences back into filter_percentile so
+        # code written against the original spec keeps reading it.
+        if d is not None and d.is_fast_radius:
+            object.__setattr__(self, "filter_percentile", float(d.percentile))
+        elif d is not None:
+            object.__setattr__(self, "filter_percentile", None)
+        if self.victim is not None and not isinstance(self.victim, VictimSpec):
+            raise TypeError(
+                f"victim must be a VictimSpec or None, got {self.victim!r}"
             )
         if self.attack is not None:
             check_fraction(self.poison_fraction, name="poison_fraction",
@@ -120,27 +295,33 @@ class RoundSpec:
     def canonical(self) -> tuple:
         """Normalised identity tuple used in cache keys.
 
-        Normalisations mirror ``evaluate_configuration`` exactly:
+        Normalisations mirror ``execute_round`` exactly:
 
-        * a filter percentile of ``0`` behaves identically to no
-          filter, so both map to ``None``;
+        * no defence (including a radius filter at percentile ``0``,
+          already normalised in ``__post_init__``) maps to ``None``;
         * with no attack the contamination rate is never consulted, so
           clean baselines share one key across ``poison_fraction``
           values (this is what lets e.g. two sweeps at different
-          contamination rates reuse each other's clean curves).
+          contamination rates reuse each other's clean curves);
+        * the context's own victim factory (``victim=None``) maps to
+          ``None`` — it is covered by the context fingerprint.
         """
-        p = self.filter_percentile
-        filt = None if p is None or p <= 0.0 else float(p)
+        defense = None if self.defense is None else self.defense.canonical()
+        victim = None if self.victim is None else self.victim.canonical()
         if self.attack is None:
-            return (filt, None, None, int(self.seed))
-        return (filt, self.attack.canonical(), float(self.poison_fraction),
-                int(self.seed))
+            return (defense, None, victim, None, int(self.seed))
+        return (defense, self.attack.canonical(), victim,
+                float(self.poison_fraction), int(self.seed))
 
 
-# -- attack registry -------------------------------------------------------
+# -- registries -------------------------------------------------------------
 
 _ATTACK_BUILDERS: dict[str, Callable] = {}
 _ATTACK_PREWARMERS: dict[str, Callable] = {}
+_DEFENSE_BUILDERS: dict[str, Callable] = {}
+_DEFENSE_PREWARMERS: dict[str, Callable] = {}
+_VICTIM_BUILDERS: dict[str, Callable] = {}
+_VICTIM_PREWARMERS: dict[str, Callable] = {}
 
 
 def register_attack_builder(kind: str, builder: Callable) -> None:
@@ -169,13 +350,76 @@ def register_attack_prewarmer(kind: str, prewarmer: Callable) -> None:
     _ATTACK_PREWARMERS[str(kind)] = prewarmer
 
 
+def register_defense_builder(kind: str, builder: Callable) -> None:
+    """Register ``builder(ctx, spec, seed) -> Defense`` for a kind.
+
+    ``seed`` is the round-derived defence seed (``None`` when the
+    caller supplies no round); builders of deterministic defences
+    ignore it.  Builders must be deterministic functions of
+    ``(ctx, spec, seed)``.
+    """
+    if not callable(builder):
+        raise TypeError(f"builder for {kind!r} must be callable")
+    _DEFENSE_BUILDERS[str(kind)] = builder
+
+
+def register_defense_prewarmer(kind: str, prewarmer: Callable) -> None:
+    """Register ``prewarmer(ctx)`` invoked once per batch for a kind."""
+    if not callable(prewarmer):
+        raise TypeError(f"prewarmer for {kind!r} must be callable")
+    _DEFENSE_PREWARMERS[str(kind)] = prewarmer
+
+
+def register_victim_builder(kind: str, builder: Callable) -> None:
+    """Register ``builder(ctx, spec) -> factory`` for a victim kind.
+
+    The returned ``factory(seed) -> BaseEstimator`` must be picklable
+    (parallel backends ship specs, and workers materialise victims
+    locally) and deterministic in ``(spec, seed)``.
+    """
+    if not callable(builder):
+        raise TypeError(f"builder for {kind!r} must be callable")
+    _VICTIM_BUILDERS[str(kind)] = builder
+
+
+def register_victim_prewarmer(kind: str, prewarmer: Callable) -> None:
+    """Register ``prewarmer(ctx)`` invoked once per batch for a kind."""
+    if not callable(prewarmer):
+        raise TypeError(f"prewarmer for {kind!r} must be callable")
+    _VICTIM_PREWARMERS[str(kind)] = prewarmer
+
+
+def registered_attack_kinds() -> list[str]:
+    """Sorted names of all registered attack families."""
+    return sorted(_ATTACK_BUILDERS)
+
+
+def registered_defense_kinds() -> list[str]:
+    """Sorted names of all registered defence families."""
+    return sorted(_DEFENSE_BUILDERS)
+
+
+def registered_victim_kinds() -> list[str]:
+    """Sorted names of all registered victim families."""
+    return sorted(_VICTIM_BUILDERS)
+
+
 def prewarm_context(ctx, specs) -> None:
-    """Run each distinct attack kind's prewarmer (if any) on ``ctx``."""
-    kinds = {spec.attack.kind for spec in specs if spec.attack is not None}
-    for kind in sorted(kinds):
-        prewarmer = _ATTACK_PREWARMERS.get(kind)
-        if prewarmer is not None:
-            prewarmer(ctx)
+    """Run each distinct kind's prewarmer (if any) on ``ctx``.
+
+    Covers all three spec axes: attack, defence and victim kinds that
+    appear anywhere in ``specs``.
+    """
+    attacks = {spec.attack.kind for spec in specs if spec.attack is not None}
+    defenses = {spec.defense.kind for spec in specs if spec.defense is not None}
+    victims = {spec.victim.kind for spec in specs if spec.victim is not None}
+    for kinds, registry in ((attacks, _ATTACK_PREWARMERS),
+                            (defenses, _DEFENSE_PREWARMERS),
+                            (victims, _VICTIM_PREWARMERS)):
+        for kind in sorted(kinds):
+            prewarmer = registry.get(kind)
+            if prewarmer is not None:
+                prewarmer(ctx)
 
 
 def materialize_attack(ctx, spec: AttackSpec):
@@ -185,9 +429,42 @@ def materialize_attack(ctx, spec: AttackSpec):
     except KeyError:
         raise ValueError(
             f"unknown attack kind {spec.kind!r}; registered kinds: "
-            f"{sorted(_ATTACK_BUILDERS)}"
+            f"{registered_attack_kinds()}"
         ) from None
     return builder(ctx, spec)
+
+
+def materialize_defense(ctx, spec: DefenseSpec, *, seed: int | None = None):
+    """Build the live defence object a spec names, in context ``ctx``.
+
+    ``seed`` is the round-derived defence seed for families with
+    internal randomness (roni's calibration split, mixed_defense's
+    draw); deterministic families ignore it.
+    """
+    try:
+        builder = _DEFENSE_BUILDERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown defense kind {spec.kind!r}; registered kinds: "
+            f"{registered_defense_kinds()}"
+        ) from None
+    return builder(ctx, spec, seed)
+
+
+def materialize_victim(ctx, spec: VictimSpec):
+    """Build the picklable victim factory a spec names."""
+    try:
+        builder = _VICTIM_BUILDERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown victim kind {spec.kind!r}; registered kinds: "
+            f"{registered_victim_kinds()}"
+        ) from None
+    return builder(ctx, spec)
+
+
+# -- built-in attack families ----------------------------------------------
+# All builders import lazily so the engine package stays light to import.
 
 
 def _build_boundary(ctx, spec: AttackSpec):
@@ -201,13 +478,252 @@ def _prewarm_boundary(ctx):
 
 
 def _build_label_flip(ctx, spec: AttackSpec):
-    # Imported lazily so the engine package stays light to import.
     from repro.attacks.label_flip import LabelFlipAttack
 
     params = dict(spec.params)
     return LabelFlipAttack(strategy=params.get("strategy", "random"))
 
 
+def _build_random_noise(ctx, spec: AttackSpec):
+    from repro.attacks.random_noise import RandomNoiseAttack
+
+    params = dict(spec.params)
+    return RandomNoiseAttack(
+        target_percentile=float(spec.percentile),
+        fill=bool(params.get("fill", False)),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+    )
+
+
+def _build_furthest_point(ctx, spec: AttackSpec):
+    from repro.attacks.furthest_point import FurthestPointAttack
+
+    params = dict(spec.params)
+    return FurthestPointAttack(
+        max_percentile=float(spec.percentile),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+    )
+
+
+def _build_targeted(ctx, spec: AttackSpec):
+    from repro.attacks.targeted import TargetedClassAttack
+
+    params = dict(spec.params)
+    kwargs = {}
+    if "spread" in params:
+        kwargs["spread"] = float(params["spread"])
+    return TargetedClassAttack(
+        victim_label=int(params.get("victim_label", 1)),
+        target_percentile=float(spec.percentile),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+        **kwargs,
+    )
+
+
+def _build_mixed(ctx, spec: AttackSpec):
+    from repro.attacks.mixed_attack import MixedAllocationAttack, RadiusAllocation
+
+    params = dict(spec.params)
+    percentiles = params.get("percentiles")
+    if percentiles is None:
+        raise ValueError(
+            'the "mixed" attack kind requires params={"percentiles": (...)} '
+            "naming the allocation's radii"
+        )
+    counts = params.get("counts")
+    if counts is not None:
+        allocation = RadiusAllocation(percentiles=tuple(percentiles),
+                                      counts=tuple(counts))
+    else:
+        # Placeholder budget: MixedAllocationAttack rescales the
+        # allocation to the actual n_poison at generate() time.
+        allocation = RadiusAllocation.spread(
+            percentiles, 100, weights=params.get("weights"))
+    return MixedAllocationAttack(
+        allocation,
+        surrogate=ctx.attack_surrogate(),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+    )
+
+
+def _build_bilevel(ctx, spec: AttackSpec):
+    from repro.attacks.bilevel import BilevelGradientAttack
+
+    params = dict(spec.params)
+    kwargs = {}
+    for name, cast in (("n_outer", int), ("step_size", float),
+                       ("val_fraction", float)):
+        if name in params:
+            kwargs[name] = cast(params[name])
+    return BilevelGradientAttack(
+        target_percentile=float(spec.percentile),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+        **kwargs,
+    )
+
+
 register_attack_builder("boundary", _build_boundary)
 register_attack_prewarmer("boundary", _prewarm_boundary)
 register_attack_builder("label-flip", _build_label_flip)
+register_attack_builder("random-noise", _build_random_noise)
+register_attack_builder("furthest-point", _build_furthest_point)
+register_attack_builder("targeted", _build_targeted)
+register_attack_builder("mixed", _build_mixed)
+register_attack_prewarmer("mixed", _prewarm_boundary)
+register_attack_builder("bilevel", _build_bilevel)
+
+
+# -- built-in defence families ----------------------------------------------
+
+
+def _build_radius(ctx, spec: DefenseSpec, seed):
+    """The paper's filter as a live object (the variant path).
+
+    Without params this constructs exactly what the engine's kernel
+    fast path computes — radius from the genuine map, sphere centred on
+    the clean-data centroid — so spec-path and object-path rounds are
+    bit-identical.  Params select the standalone variants:
+    ``centroid="contaminated"`` re-estimates the centre from the data
+    the filter receives; ``per_class=True`` uses per-class spheres.
+    """
+    from repro.data.geometry import compute_centroid
+    from repro.defenses.radius_filter import RadiusFilter
+
+    params = dict(spec.params)
+    method = params.get("centroid_method", ctx.centroid_method)
+    radius = ctx.radius_map.radius(float(spec.percentile))
+    per_class = bool(params.get("per_class", False))
+    centroid = None
+    if params.get("centroid", "clean") == "clean" and not per_class:
+        centroid = compute_centroid(ctx.X_train, method=method)
+    return RadiusFilter(radius, centroid_method=method, per_class=per_class,
+                        centroid=centroid)
+
+
+def _prewarm_radius(ctx):
+    kernel = getattr(ctx, "kernel", None)
+    if callable(kernel):
+        kernel()  # forces the clean geometry once per context
+
+
+def _build_percentile_filter(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.percentile_filter import PercentileFilter
+
+    params = dict(spec.params)
+    return PercentileFilter(
+        float(spec.percentile),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+    )
+
+
+def _build_slab_filter(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.slab_filter import SlabFilter
+
+    params = dict(spec.params)
+    return SlabFilter(
+        remove_fraction=float(spec.percentile),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+    )
+
+
+def _build_knn_sanitizer(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.knn_sanitizer import KNNSanitizer
+
+    params = dict(spec.params)
+    return KNNSanitizer(
+        k=int(params.get("k", 10)),
+        agreement=float(params.get("agreement", 0.5)),
+        chunk_size=int(params.get("chunk_size", 512)),
+    )
+
+
+def _build_roni(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.roni import RONIDefense
+
+    params = dict(spec.params)
+    kwargs = {}
+    for name, cast in (("base_fraction", float), ("val_fraction", float),
+                       ("tolerance", float), ("batch_size", int)):
+        if name in params:
+            kwargs[name] = cast(params[name])
+    return RONIDefense(seed=0 if seed is None else seed, **kwargs)
+
+
+def _build_loss_filter(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.loss_filter import LossFilter
+
+    params = dict(spec.params)
+    kwargs = {}
+    if "n_rounds" in params:
+        kwargs["n_rounds"] = int(params["n_rounds"])
+    return LossFilter(float(spec.percentile), **kwargs)
+
+
+def _build_pca_detector(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.pca_detector import PCADetector
+
+    params = dict(spec.params)
+    return PCADetector(
+        n_components=int(params.get("n_components", 5)),
+        remove_fraction=float(spec.percentile),
+        robust=bool(params.get("robust", True)),
+    )
+
+
+def _build_certified(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.certified import CertifiedRadiusDefense
+
+    params = dict(spec.params)
+    kwargs = {}
+    for name, cast in (("eps", float), ("reg", float), ("n_iter", int),
+                       ("step", float)):
+        if name in params:
+            kwargs[name] = cast(params[name])
+    return CertifiedRadiusDefense(
+        float(spec.percentile),
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+        **kwargs,
+    )
+
+
+def _build_mixed_defense(ctx, spec: DefenseSpec, seed):
+    from repro.defenses.mixed_defense import MixedDefenseFilter
+
+    params = dict(spec.params)
+    percentiles = params.get("percentiles")
+    probabilities = params.get("probabilities")
+    if percentiles is None or probabilities is None:
+        raise ValueError(
+            'the "mixed_defense" kind requires params='
+            '{"percentiles": (...), "probabilities": (...)}'
+        )
+    return MixedDefenseFilter(
+        tuple(percentiles), tuple(probabilities), seed=seed,
+        centroid_method=params.get("centroid_method", ctx.centroid_method),
+    )
+
+
+register_defense_builder("radius", _build_radius)
+register_defense_prewarmer("radius", _prewarm_radius)
+register_defense_builder("percentile_filter", _build_percentile_filter)
+register_defense_builder("slab_filter", _build_slab_filter)
+register_defense_builder("knn_sanitizer", _build_knn_sanitizer)
+register_defense_builder("roni", _build_roni)
+register_defense_builder("loss_filter", _build_loss_filter)
+register_defense_builder("pca_detector", _build_pca_detector)
+register_defense_builder("certified", _build_certified)
+register_defense_builder("mixed_defense", _build_mixed_defense)
+
+
+# -- built-in victim families ----------------------------------------------
+
+
+def _build_victim_factory(ctx, spec: VictimSpec):
+    from repro.experiments.runner import VictimFactory
+
+    return VictimFactory(spec.kind, spec.params)
+
+
+for _kind in ("svm", "logistic", "perceptron", "ridge", "naive_bayes"):
+    register_victim_builder(_kind, _build_victim_factory)
+del _kind

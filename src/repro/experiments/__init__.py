@@ -12,6 +12,7 @@
 from repro.experiments.runner import (
     ExperimentContext,
     SVMVictimFactory,
+    VictimFactory,
     make_spambase_context,
     make_synthetic_context,
     evaluate_configuration,
@@ -26,6 +27,9 @@ from repro.experiments.empirical_game import (
     build_empirical_game,
     solve_empirical_game,
     EmpiricalGameResult,
+    build_cross_family_game,
+    solve_cross_family_game,
+    CrossGameResult,
 )
 from repro.experiments.multi_seed import (
     run_multi_seed_sweep,
@@ -39,11 +43,18 @@ from repro.experiments.results import (
     results_to_json,
     results_from_json,
 )
-from repro.experiments.reporting import ascii_table, format_pure_sweep, format_table1
+from repro.experiments.reporting import (
+    ascii_table,
+    format_pure_sweep,
+    format_table1,
+    format_engine_stats,
+    format_cross_game,
+)
 
 __all__ = [
     "ExperimentContext",
     "SVMVictimFactory",
+    "VictimFactory",
     "make_spambase_context",
     "make_synthetic_context",
     "evaluate_configuration",
@@ -54,6 +65,9 @@ __all__ = [
     "build_empirical_game",
     "solve_empirical_game",
     "EmpiricalGameResult",
+    "build_cross_family_game",
+    "solve_cross_family_game",
+    "CrossGameResult",
     "run_multi_seed_sweep",
     "aggregate_metric",
     "AggregatedSweep",
@@ -65,4 +79,6 @@ __all__ = [
     "ascii_table",
     "format_pure_sweep",
     "format_table1",
+    "format_engine_stats",
+    "format_cross_game",
 ]

@@ -5,22 +5,34 @@ Usage::
     python -m repro.experiments.cli figure1 [--n-samples N] [--seed S]
     python -m repro.experiments.cli table1  [--n-radii 2 3] [--seed S]
     python -m repro.experiments.cli empirical-game [--seed S]
+    python -m repro.experiments.cli cross-game [--defenses SPEC...]
+                                               [--attacks SPEC...]
+                                               [--victim SPEC]
     python -m repro.experiments.cli paper-table1
     python -m repro.experiments.cli proposition1 [--seed S]
+    python -m repro.experiments.cli repro-cache {info,prune} --cache-dir DIR
 
 Each command prints the same rows/series the paper reports and, with
-``--json PATH``, archives the structured result.
+``--json PATH``, archives the structured result.  Experiment commands
+end with an engine-stats summary (cache hits/misses/evictions,
+per-batch backend and wall time).
 
 Execution is controlled by the engine flags shared across commands:
 ``--backend serial|process`` and ``--jobs N`` choose how rounds run,
 ``--cache-dir DIR`` persists results on disk (an equal-seed rerun is
 then served from cache), ``--no-cache`` disables caching.  Results are
 bit-identical whatever the backend.
+
+Spec strings (``cross-game``) read ``kind[:percentile][:k=v,...]``,
+e.g. ``radius:0.1``, ``slab_filter:0.15``, ``knn_sanitizer::k=7``,
+``label-flip::strategy=near_boundary``; victims read ``kind[:k=v,...]``
+such as ``logistic`` or ``svm:epochs=60``.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 
 import numpy as np
@@ -30,6 +42,97 @@ def _make_context(args):
     from repro.experiments.runner import make_spambase_context
 
     return make_spambase_context(seed=args.seed, n_samples=args.n_samples)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested inside brackets/parentheses."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_params(text: str) -> dict:
+    params = {}
+    for pair in _split_top_level(text):
+        if not pair.strip():
+            continue
+        if "=" not in pair:
+            raise SystemExit(f"bad spec params {text!r}: expected key=value")
+        key, value = pair.split("=", 1)
+        try:
+            parsed = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            parsed = value  # bare strings (e.g. strategy=near_boundary)
+        if isinstance(parsed, list):
+            parsed = tuple(parsed)
+        params[key.strip()] = parsed
+    return params
+
+
+def _parse_spec_string(text: str) -> tuple[str, float, dict]:
+    """``kind[:percentile][:k=v,...]`` -> (kind, percentile, params)."""
+    head, _, rest = text.partition(":")
+    percentile_part, _, params_part = rest.partition(":")
+    kind = head.strip()
+    if not kind:
+        raise SystemExit(f"bad spec {text!r}: empty kind")
+    percentile = 0.0
+    if percentile_part.strip():
+        try:
+            percentile = float(percentile_part)
+        except ValueError:
+            raise SystemExit(
+                f"bad spec {text!r}: percentile {percentile_part!r} "
+                "is not a number") from None
+    return kind, percentile, _parse_params(params_part)
+
+
+def _parse_defense_arg(text: str):
+    from repro.engine import DefenseSpec, registered_defense_kinds
+
+    if text.strip() == "none":
+        return None
+    kind, percentile, params = _parse_spec_string(text)
+    if kind not in registered_defense_kinds():
+        raise SystemExit(f"unknown defense kind {kind!r}; registered: "
+                         f"{registered_defense_kinds()}")
+    return DefenseSpec(kind, percentile, params)
+
+
+def _parse_attack_arg(text: str):
+    from repro.engine import AttackSpec, registered_attack_kinds
+
+    if text.strip() == "clean":
+        return None
+    kind, percentile, params = _parse_spec_string(text)
+    if kind not in registered_attack_kinds():
+        raise SystemExit(f"unknown attack kind {kind!r}; registered: "
+                         f"{registered_attack_kinds()}")
+    return AttackSpec(kind, percentile, params)
+
+
+def _parse_victim_arg(text: str | None):
+    from repro.engine import VictimSpec, registered_victim_kinds
+
+    if text is None:
+        return None
+    head, _, params_part = text.partition(":")
+    kind = head.strip()
+    if kind not in registered_victim_kinds():
+        raise SystemExit(f"unknown victim kind {kind!r}; registered: "
+                         f"{registered_victim_kinds()}")
+    return VictimSpec(kind, _parse_params(params_part))
 
 
 def _make_engine(args):
@@ -47,16 +150,26 @@ def _make_engine(args):
         raise SystemExit(str(exc))
 
 
+def _print_engine_stats(engine) -> None:
+    from repro.experiments.reporting import format_engine_stats
+
+    print()
+    print(format_engine_stats(engine))
+
+
 def cmd_figure1(args) -> int:
     from repro.experiments.payoff_sweep import run_pure_strategy_sweep
     from repro.experiments.reporting import format_pure_sweep
     from repro.experiments.results import results_to_json
 
     ctx = _make_context(args)
+    engine = _make_engine(args)
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
                                     n_repeats=args.repeats,
-                                    engine=_make_engine(args))
+                                    victim=_parse_victim_arg(args.victim),
+                                    engine=engine)
     print(format_pure_sweep(sweep))
+    _print_engine_stats(engine)
     if args.json:
         results_to_json(sweep, args.json)
         print(f"\nresult written to {args.json}")
@@ -71,12 +184,15 @@ def cmd_table1(args) -> int:
 
     ctx = _make_context(args)
     engine = _make_engine(args)
+    victim = _parse_victim_arg(args.victim)
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats, engine=engine)
+                                    n_repeats=args.repeats, engine=engine,
+                                    victim=victim)
     results = run_table1_experiment(ctx, sweep, n_radii_values=tuple(args.n_radii),
                                     poison_fraction=args.poison_fraction,
-                                    engine=engine)
+                                    engine=engine, victim=victim)
     print(format_table1(results))
+    _print_engine_stats(engine)
     if args.json:
         results_to_json(results[0], args.json)
         print(f"\nfirst row written to {args.json}")
@@ -88,9 +204,11 @@ def cmd_empirical_game(args) -> int:
     from repro.experiments.reporting import ascii_table
 
     ctx = _make_context(args)
+    engine = _make_engine(args)
     result = solve_empirical_game(ctx, poison_fraction=args.poison_fraction,
                                   n_repeats=args.repeats,
-                                  engine=_make_engine(args))
+                                  victim=_parse_victim_arg(args.victim),
+                                  engine=engine)
     rows = [(f"{p:.1%}", f"{q:.1%}")
             for p, q in zip(result.percentiles, result.defender_mix)]
     print(ascii_table(["filter percentile", "probability"], rows,
@@ -100,6 +218,55 @@ def cmd_empirical_game(args) -> int:
           f"{result.best_pure_accuracy:.4f}")
     print(f"mixed advantage:       {result.mixed_advantage:+.4f}")
     print(f"saddle point exists:   {result.has_saddle_point}")
+    _print_engine_stats(engine)
+    return 0
+
+
+def cmd_cross_game(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.experiments.empirical_game import solve_cross_family_game
+    from repro.experiments.reporting import format_cross_game
+
+    defenses = [_parse_defense_arg(d) for d in args.defenses]
+    attacks = [_parse_attack_arg(a) for a in args.attacks]
+    ctx = _make_context(args)
+    engine = _make_engine(args)
+    result = solve_cross_family_game(
+        ctx, defenses, attacks, poison_fraction=args.poison_fraction,
+        n_repeats=args.repeats, victim=_parse_victim_arg(args.victim),
+        engine=engine,
+    )
+    print(format_cross_game(result))
+    _print_engine_stats(engine)
+    if args.json:
+        payload = {"type": "CrossGameResult",
+                   "data": dataclasses.asdict(result)}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nresult written to {args.json}")
+    return 0
+
+
+def cmd_repro_cache(args) -> int:
+    import os
+
+    from repro.engine import prune_cache_dir, write_manifest
+
+    if not os.path.isdir(args.cache_dir):
+        raise SystemExit(f"no such cache directory: {args.cache_dir}")
+    if args.action == "prune":
+        summary = prune_cache_dir(args.cache_dir)
+        print(f"pruned {summary['removed']} stale entries; "
+              f"{summary['entry_count']} remain "
+              f"({summary['total_bytes']} bytes, "
+              f"schema v{summary['schema_version']})")
+    else:  # info — refresh so external writes/deletes are reflected
+        manifest = write_manifest(args.cache_dir)
+        print(f"schema version: {manifest['schema_version']}")
+        print(f"entries:        {manifest['entry_count']}")
+        print(f"total bytes:    {manifest['total_bytes']}")
     return 0
 
 
@@ -134,9 +301,10 @@ def cmd_proposition1(args) -> int:
     from repro.experiments.payoff_sweep import run_pure_strategy_sweep
 
     ctx = _make_context(args)
+    engine = _make_engine(args)
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats,
-                                    engine=_make_engine(args))
+                                    n_repeats=args.repeats, engine=engine,
+                                    victim=_parse_victim_arg(args.victim))
     curves = estimate_payoff_curves(sweep.percentiles, sweep.acc_clean,
                                     sweep.acc_attacked, sweep.n_poison)
     game = PoisoningGame(curves=curves, n_poison=sweep.n_poison)
@@ -145,6 +313,7 @@ def cmd_proposition1(args) -> int:
     print(f"pure NE exists: {search.exists}")
     print(f"best-response cycle length: {search.trace.cycle_length}")
     print(f"Ta = {cert['ta']:.3f}, Td(at Ta-attack) = {cert['td_at_ta_attack']:.3f}")
+    _print_engine_stats(engine)
     return 0
 
 
@@ -152,8 +321,10 @@ _COMMANDS = {
     "figure1": cmd_figure1,
     "table1": cmd_table1,
     "empirical-game": cmd_empirical_game,
+    "cross-game": cmd_cross_game,
     "paper-table1": cmd_paper_table1,
     "proposition1": cmd_proposition1,
+    "repro-cache": cmd_repro_cache,
 }
 
 
@@ -165,6 +336,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
         p = sub.add_parser(name)
+        if name == "repro-cache":
+            p.add_argument("action", choices=("info", "prune"),
+                           help="info: print the manifest; prune: drop "
+                                "entries from older cache schema versions")
+            p.add_argument("--cache-dir", type=str, required=True,
+                           help="the on-disk cache directory to operate on")
+            continue
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--n-samples", type=int, default=None,
                        help="subsample the dataset (default: full 4601)")
@@ -185,8 +363,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-max-entries", type=int, default=None,
                        help="LRU cap for the in-memory cache tier "
                             "(default: unbounded)")
+        if name != "paper-table1":  # runs no rounds: nothing to re-victim
+            p.add_argument("--victim", type=str, default=None,
+                           help="victim spec kind[:k=v,...], e.g. logistic "
+                                "or svm:epochs=60 (default: the context's SVM)")
         if name == "table1":
             p.add_argument("--n-radii", type=int, nargs="+", default=[2, 3])
+        if name == "cross-game":
+            p.add_argument("--defenses", type=str, nargs="+",
+                           default=["radius:0.1", "slab_filter:0.1",
+                                    "loss_filter:0.1"],
+                           help="defender strategy set: defense specs "
+                                "kind[:percentile][:k=v,...] (use 'none' "
+                                "for the undefended baseline)")
+            p.add_argument("--attacks", type=str, nargs="+",
+                           default=["boundary:0.05", "label-flip",
+                                    "random-noise:0.05"],
+                           help="attacker strategy set: attack specs "
+                                "kind[:percentile][:k=v,...] (use 'clean' "
+                                "for the no-attack baseline)")
     return parser
 
 

@@ -23,14 +23,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine import EvaluationEngine, resolve_engine
+from repro.engine import (AttackSpec, DefenseSpec, EvaluationEngine, RoundSpec,
+                          VictimSpec, resolve_engine)
 from repro.experiments.payoff_sweep import support_accuracy_matrix
 from repro.experiments.runner import ExperimentContext
 from repro.gametheory.lp_solver import solve_zero_sum_lp
 from repro.gametheory.matrix_game import MatrixGame
+from repro.utils.rng import derive_seed
 from repro.utils.validation import check_fraction, check_positive_int
 
-__all__ = ["EmpiricalGameResult", "build_empirical_game", "solve_empirical_game"]
+__all__ = [
+    "EmpiricalGameResult",
+    "build_empirical_game",
+    "solve_empirical_game",
+    "CrossGameResult",
+    "build_cross_family_game",
+    "solve_cross_family_game",
+]
 
 
 @dataclass
@@ -91,21 +100,28 @@ def build_empirical_game(
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
     engine: EvaluationEngine | None = None,
+    victim: VictimSpec | None = None,
+    defense_kind: str = "radius",
+    defense_params=(),
 ) -> np.ndarray:
     """Measure the accuracy matrix ``A[filter, attack]`` on a grid.
 
     The attacker's pure strategy ``p_j`` is the optimal boundary attack
     placing the whole budget at that percentile; the defender's is the
-    radius filter at ``p_i``.  Entries are averaged over ``n_repeats``
-    seeded rounds.  The full grid is one engine batch — ``k² ·
-    n_repeats`` independent rounds, cached and parallelised like every
-    other experiment.
+    radius filter at ``p_i`` (or another registered family via
+    ``defense_kind``/``defense_params``, its strength swept on the same
+    grid).  Entries are averaged over ``n_repeats`` seeded rounds.  The
+    full grid is one engine batch — ``k² · n_repeats`` independent
+    rounds, cached and parallelised like every other experiment.  For
+    defender strategy sets mixing defence *kinds*, see
+    :func:`build_cross_family_game`.
     """
     check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
     check_positive_int(n_repeats, name="n_repeats")
     return support_accuracy_matrix(
         ctx, percentiles, poison_fraction=poison_fraction, n_repeats=n_repeats,
-        seed_label="empirical", engine=resolve_engine(engine),
+        seed_label="empirical", engine=resolve_engine(engine), victim=victim,
+        defense_kind=defense_kind, defense_params=defense_params,
     )
 
 
@@ -117,6 +133,7 @@ def solve_empirical_game(
     n_repeats: int = 1,
     accuracy_matrix: np.ndarray | None = None,
     engine: EvaluationEngine | None = None,
+    victim: VictimSpec | None = None,
 ) -> EmpiricalGameResult:
     """Measure (or accept) the accuracy matrix and solve it exactly.
 
@@ -129,7 +146,7 @@ def solve_empirical_game(
     if accuracy_matrix is None:
         accuracy_matrix = build_empirical_game(
             ctx, percentiles, poison_fraction=poison_fraction,
-            n_repeats=n_repeats, engine=engine,
+            n_repeats=n_repeats, engine=engine, victim=victim,
         )
     accuracy_matrix = np.asarray(accuracy_matrix, dtype=float)
     if accuracy_matrix.shape != (percentiles.size, percentiles.size):
@@ -166,4 +183,152 @@ def solve_empirical_game(
             for p, q in zip(percentiles, solution.col_strategy)
             if q > 0.01
         ],
+    )
+
+
+# -- cross-family game ------------------------------------------------------
+
+
+@dataclass
+class CrossGameResult:
+    """Solution of a measured game whose strategies span *families*.
+
+    The defender's pure strategies are arbitrary
+    :class:`~repro.engine.DefenseSpec`\\ s (mixing defence kinds, not
+    just radius percentiles) and the attacker's are arbitrary
+    :class:`~repro.engine.AttackSpec`\\ s — the full scenario space the
+    paper's framework defines but a percentile grid cannot express.
+    Conventions match :class:`EmpiricalGameResult`: entries of
+    ``accuracy_matrix[i][j]`` are test accuracies for defence ``i``
+    against attack ``j``; the attacker minimises, the defender
+    maximises.
+    """
+
+    defense_labels: list
+    attack_labels: list
+    accuracy_matrix: list
+    defender_mix: list
+    attacker_mix: list
+    game_value_accuracy: float
+    best_pure_accuracy: float
+    best_pure_defense: str
+    mixed_advantage: float
+    has_saddle_point: bool
+    victim: str | None = None
+    n_repeats: int = 1
+
+    def support(self, threshold: float = 0.01) -> list:
+        """(defence label, probability) pairs above ``threshold``."""
+        return [
+            (str(label), float(q))
+            for label, q in zip(self.defense_labels, self.defender_mix)
+            if q > threshold
+        ]
+
+
+def build_cross_family_game(
+    ctx: ExperimentContext,
+    defenses,
+    attacks,
+    *,
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+    victim: VictimSpec | None = None,
+    engine: EvaluationEngine | None = None,
+) -> np.ndarray:
+    """Measure ``A[defense i, attack j]`` over arbitrary spec lists.
+
+    ``defenses`` is a sequence of :class:`~repro.engine.DefenseSpec`
+    (or ``None`` for the undefended baseline); ``attacks`` a sequence
+    of :class:`~repro.engine.AttackSpec` (or ``None`` for the clean
+    baseline).  Every cell is ``n_repeats`` seeded rounds
+    (``derive_seed(ctx.seed, "cross-game", i, j, rep)``) submitted as
+    one engine batch, so the whole game parallelises and caches like
+    any other experiment.
+    """
+    check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
+    check_positive_int(n_repeats, name="n_repeats")
+    defenses = list(defenses)
+    attacks = list(attacks)
+    if not defenses or not attacks:
+        raise ValueError("defenses and attacks must be non-empty")
+    for d in defenses:
+        if d is not None and not isinstance(d, DefenseSpec):
+            raise TypeError(f"expected DefenseSpec or None, got {d!r}")
+    for a in attacks:
+        if a is not None and not isinstance(a, AttackSpec):
+            raise TypeError(f"expected AttackSpec or None, got {a!r}")
+    engine = resolve_engine(engine)
+    specs = [
+        RoundSpec(
+            defense=d, attack=a, poison_fraction=poison_fraction,
+            seed=derive_seed(ctx.seed, "cross-game", i, j, rep),
+            victim=victim,
+        )
+        for i, d in enumerate(defenses)
+        for j, a in enumerate(attacks)
+        for rep in range(n_repeats)
+    ]
+    outcomes = engine.evaluate_batch(ctx, specs)
+    accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
+    return accuracies.reshape(len(defenses), len(attacks), n_repeats).mean(axis=2)
+
+
+def solve_cross_family_game(
+    ctx: ExperimentContext,
+    defenses,
+    attacks,
+    *,
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+    victim: VictimSpec | None = None,
+    accuracy_matrix: np.ndarray | None = None,
+    engine: EvaluationEngine | None = None,
+) -> CrossGameResult:
+    """Measure (or accept) a cross-family accuracy matrix and solve it.
+
+    The defender's equilibrium mix may now randomise over defence
+    *kinds* — e.g. sometimes the radius filter, sometimes the slab —
+    which is a strictly richer strategy space than the paper's
+    single-family mixed defence.
+    """
+    defenses = list(defenses)
+    attacks = list(attacks)
+    if accuracy_matrix is None:
+        accuracy_matrix = build_cross_family_game(
+            ctx, defenses, attacks, poison_fraction=poison_fraction,
+            n_repeats=n_repeats, victim=victim, engine=engine,
+        )
+    accuracy_matrix = np.asarray(accuracy_matrix, dtype=float)
+    if accuracy_matrix.shape != (len(defenses), len(attacks)):
+        raise ValueError(
+            f"accuracy matrix shape {accuracy_matrix.shape} does not match "
+            f"{len(defenses)} defenses x {len(attacks)} attacks"
+        )
+    defense_labels = ["none" if d is None else d.describe() for d in defenses]
+    attack_labels = ["clean" if a is None else a.describe() for a in attacks]
+
+    # Attacker = maximising row player on damage = 1 - accuracy.
+    damage = 1.0 - accuracy_matrix.T
+    game = MatrixGame(damage, row_labels=attack_labels,
+                      col_labels=defense_labels)
+    solution = solve_zero_sum_lp(game)
+
+    worst_case_acc = accuracy_matrix.min(axis=1)
+    best_i = int(np.argmax(worst_case_acc))
+    value_acc = 1.0 - solution.value
+
+    return CrossGameResult(
+        defense_labels=defense_labels,
+        attack_labels=attack_labels,
+        accuracy_matrix=accuracy_matrix.tolist(),
+        defender_mix=solution.col_strategy.tolist(),
+        attacker_mix=solution.row_strategy.tolist(),
+        game_value_accuracy=float(value_acc),
+        best_pure_accuracy=float(worst_case_acc[best_i]),
+        best_pure_defense=defense_labels[best_i],
+        mixed_advantage=float(value_acc - worst_case_acc[best_i]),
+        has_saddle_point=game.has_pure_equilibrium(),
+        victim=None if victim is None else victim.describe(),
+        n_repeats=n_repeats,
     )

@@ -30,7 +30,8 @@ from repro.core.algorithm1 import compute_optimal_defense
 from repro.core.game import PayoffCurves
 from repro.core.mixed_strategy import MixedDefense
 from repro.core.payoff_estimation import estimate_payoff_curves
-from repro.engine import AttackSpec, EvaluationEngine, RoundSpec, resolve_engine
+from repro.engine import (AttackSpec, DefenseSpec, EvaluationEngine, RoundSpec,
+                          VictimSpec, resolve_engine)
 from repro.experiments.results import MixedStrategyResult, PureSweepResult
 from repro.experiments.runner import ExperimentContext
 from repro.attacks.base import attack_budget
@@ -41,6 +42,19 @@ __all__ = ["run_pure_strategy_sweep", "evaluate_mixed_defense",
            "run_table1_experiment", "support_accuracy_matrix"]
 
 
+def _grid_defense(kind: str, percentile: float, params) -> DefenseSpec | None:
+    """The defence spec for one grid point of a driver's sweep axis.
+
+    ``kind="radius"`` with no params reproduces the historical
+    behaviour exactly (percentile 0 and None are the same (no) filter,
+    so both share cache entries — RoundSpec normalises that); other
+    kinds reinterpret the grid as that family's strength axis.
+    """
+    if kind == "radius" and not params and percentile <= 0.0:
+        return None
+    return DefenseSpec(kind, float(percentile), params)
+
+
 def support_accuracy_matrix(
     ctx: ExperimentContext,
     support,
@@ -49,6 +63,9 @@ def support_accuracy_matrix(
     n_repeats: int,
     seed_label: str,
     engine: EvaluationEngine,
+    victim: VictimSpec | None = None,
+    defense_kind: str = "radius",
+    defense_params=(),
 ) -> np.ndarray:
     """Measured accuracy matrix ``A[filter i, attack j]`` over a support.
 
@@ -56,18 +73,19 @@ def support_accuracy_matrix(
     game: for every (attack percentile ``p_j``, filter percentile
     ``p_i``, repeat) cell, one boundary-attack round seeded
     ``derive_seed(ctx.seed, seed_label, i, j, rep)``, run as a single
-    engine batch and averaged over repeats.
+    engine batch and averaged over repeats.  ``victim`` overrides the
+    trained model; ``defense_kind``/``defense_params`` reinterpret the
+    defender's axis as another registered family's strength.
     """
     support = np.asarray(support, dtype=float)
     k = support.size
     specs = [
         RoundSpec(
-            # Percentile 0 and None are the same (no) filter; normalise
-            # here so both callers share cache entries for it.
-            filter_percentile=float(p_filter) if p_filter > 0 else None,
+            defense=_grid_defense(defense_kind, float(p_filter), defense_params),
             attack=AttackSpec("boundary", float(p_attack)),
             poison_fraction=poison_fraction,
             seed=derive_seed(ctx.seed, seed_label, i, j, rep),
+            victim=victim,
         )
         for j, p_attack in enumerate(support)
         for i, p_filter in enumerate(support)
@@ -86,6 +104,9 @@ def run_pure_strategy_sweep(
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
     engine: EvaluationEngine | None = None,
+    victim: VictimSpec | None = None,
+    defense_kind: str = "radius",
+    defense_params=(),
 ) -> PureSweepResult:
     """Figure 1: accuracy vs filter strength, clean and under optimal attack.
 
@@ -98,6 +119,11 @@ def run_pure_strategy_sweep(
     a clean round and an attacked round sharing a seed.  Clean rounds
     never consult the contamination rate, so their cache entries are
     shared by sweeps at any ``poison_fraction``.
+
+    ``victim`` swaps the trained model (any registered
+    :class:`~repro.engine.VictimSpec` kind); ``defense_kind`` and
+    ``defense_params`` sweep another registered defence family's
+    strength axis instead of the radius filter's.
     """
     check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
     check_positive_int(n_repeats, name="n_repeats")
@@ -111,14 +137,15 @@ def run_pure_strategy_sweep(
     for i, p in enumerate(percentiles):
         for rep in range(n_repeats):
             seed = derive_seed(ctx.seed, "sweep", i, rep)
+            defense = _grid_defense(defense_kind, float(p), defense_params)
             specs.append(RoundSpec(
-                filter_percentile=float(p), attack=None,
-                poison_fraction=poison_fraction, seed=seed,
+                defense=defense, attack=None,
+                poison_fraction=poison_fraction, seed=seed, victim=victim,
             ))
             specs.append(RoundSpec(
-                filter_percentile=float(p),
+                defense=defense,
                 attack=AttackSpec("boundary", float(p)),
-                poison_fraction=poison_fraction, seed=seed,
+                poison_fraction=poison_fraction, seed=seed, victim=victim,
             ))
     outcomes = engine.evaluate_batch(ctx, specs)
 
@@ -146,6 +173,7 @@ def evaluate_mixed_defense(
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
     engine: EvaluationEngine | None = None,
+    victim: VictimSpec | None = None,
 ) -> tuple[float, float, np.ndarray]:
     """Expected accuracy of a mixed defence under the optimal mixed attack.
 
@@ -166,7 +194,7 @@ def evaluate_mixed_defense(
     probs = defense.probabilities
     matrix = support_accuracy_matrix(
         ctx, support, poison_fraction=poison_fraction, n_repeats=n_repeats,
-        seed_label="mixed", engine=resolve_engine(engine),
+        seed_label="mixed", engine=resolve_engine(engine), victim=victim,
     )
 
     expected_by_attack = probs @ matrix  # one value per attacker column
@@ -187,6 +215,7 @@ def run_table1_experiment(
     curves: PayoffCurves | None = None,
     algorithm_kwargs: dict | None = None,
     engine: EvaluationEngine | None = None,
+    victim: VictimSpec | None = None,
 ) -> list[MixedStrategyResult]:
     """Table 1: Algorithm 1's mixed defence for each support size.
 
@@ -210,7 +239,7 @@ def run_table1_experiment(
         elapsed = time.perf_counter() - start
         accuracy, dispersion, matrix = evaluate_mixed_defense(
             ctx, opt.defense, poison_fraction=poison_fraction,
-            n_repeats=n_repeats, engine=engine,
+            n_repeats=n_repeats, engine=engine, victim=victim,
         )
         results.append(
             MixedStrategyResult(

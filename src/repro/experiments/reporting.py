@@ -6,7 +6,8 @@ import numpy as np
 
 from repro.experiments.results import MixedStrategyResult, PureSweepResult
 
-__all__ = ["ascii_table", "format_pure_sweep", "format_table1", "ascii_series"]
+__all__ = ["ascii_table", "format_pure_sweep", "format_table1", "ascii_series",
+           "format_engine_stats", "format_cross_game"]
 
 
 def ascii_table(headers, rows, *, title: str | None = None) -> str:
@@ -85,6 +86,79 @@ def format_pure_sweep(result: PureSweepResult) -> str:
         f"{table}\n\nbest pure defence: remove {best_p:.1%} "
         f"-> accuracy {best_acc:.4f}\n\n{chart}"
     )
+
+
+def format_engine_stats(engine) -> str:
+    """Engine telemetry for an experiment summary.
+
+    One summary block (backend, rounds computed, cache
+    hits/misses/evictions) plus a per-batch table with each batch's
+    backend and wall time, so a report always says how its numbers
+    were produced.
+    """
+    stats = engine.stats
+    rows = [
+        ("backend", stats["backend"]),
+        ("rounds computed", str(stats["rounds_computed"])),
+        ("batches run", str(stats["batches_run"])),
+        ("total batch wall time", f"{stats['batch_seconds']:.3f}s"),
+    ]
+    if "cache_hits" in stats:
+        rows += [
+            ("cache hits", str(stats["cache_hits"])),
+            ("cache misses", str(stats["cache_misses"])),
+            ("cache evictions", str(stats["cache_evictions"])),
+            ("cache entries", str(stats["cache_entries"])),
+            ("cache hit rate", f"{stats['cache_hit_rate']:.1%}"),
+        ]
+    else:
+        rows.append(("cache", "off"))
+    summary = ascii_table(["engine", "value"], rows, title="Engine stats")
+    if not engine.batch_log:
+        return summary
+    batch_rows = [
+        (str(b["batch"]), b["backend"], str(b["n_specs"]), str(b["n_unique"]),
+         str(b["computed"]), str(b["cache_hits"]), f"{b['seconds'] * 1e3:.1f}")
+        for b in engine.batch_log
+    ]
+    batches = ascii_table(
+        ["batch", "backend", "specs", "unique", "computed", "cached", "ms"],
+        batch_rows,
+    )
+    return f"{summary}\n{batches}"
+
+
+def format_cross_game(result) -> str:
+    """A :class:`~repro.experiments.empirical_game.CrossGameResult` as
+    the accuracy matrix plus the equilibrium mixes."""
+    matrix = np.asarray(result.accuracy_matrix, dtype=float)
+    rows = [
+        (label, *(f"{a:.4f}" for a in matrix[i]), f"{q:.1%}")
+        for i, (label, q) in enumerate(zip(result.defense_labels,
+                                           result.defender_mix))
+    ]
+    table = ascii_table(
+        ["defense \\ attack", *result.attack_labels, "P(defense)"],
+        rows,
+        title="Cross-family empirical game — measured accuracy",
+    )
+    attacker = "  ".join(
+        f"{label}:{q:.1%}"
+        for label, q in zip(result.attack_labels, result.attacker_mix)
+        if q > 0.01
+    )
+    lines = [
+        table,
+        f"attacker equilibrium mix:  {attacker or '(degenerate)'}",
+        f"game value (accuracy):     {result.game_value_accuracy:.4f}",
+        f"best pure defense:         {result.best_pure_defense} -> "
+        f"{result.best_pure_accuracy:.4f}",
+        f"mixed advantage:           {result.mixed_advantage:+.4f}",
+        f"saddle point exists:       {result.has_saddle_point}",
+    ]
+    if result.victim:
+        lines.insert(1, f"victim model:              {result.victim}")
+    return "\n".join(lines)
 
 
 def format_table1(results: list[MixedStrategyResult]) -> str:

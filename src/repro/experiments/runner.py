@@ -45,11 +45,12 @@ from repro.ml.linear_svm import LinearSVM
 from repro.ml.model_selection import train_test_split
 from repro.ml.preprocessing import RobustScaler, StandardScaler
 from repro.utils.rng import as_generator, derive_seed
-from repro.utils.validation import check_fraction
+from repro.utils.validation import check_canonical_params, check_fraction
 
 __all__ = [
     "ExperimentContext",
     "SVMVictimFactory",
+    "VictimFactory",
     "make_spambase_context",
     "make_synthetic_context",
     "evaluate_configuration",
@@ -74,6 +75,84 @@ class SVMVictimFactory:
     def __call__(self, seed: int) -> BaseEstimator:
         return LinearSVM(reg=self.reg, epochs=self.epochs,
                          batch_size=self.batch_size, seed=seed)
+
+
+@dataclass(frozen=True)
+class VictimFactory:
+    """Picklable ``factory(seed) -> BaseEstimator`` for any victim kind.
+
+    The generic counterpart of :class:`SVMVictimFactory`, covering the
+    full model zoo the engine's :class:`~repro.engine.VictimSpec` can
+    name: ``"svm"``, ``"logistic"``, ``"perceptron"``, ``"ridge"`` and
+    ``"naive_bayes"``.  ``params`` are constructor overrides
+    (canonicalised to a sorted tuple of pairs, like spec params);
+    seeded trainers receive the per-round model seed at call time,
+    deterministic ones ignore it.  A plain frozen dataclass so the
+    factory pickles for process backends and has the stable repr the
+    context fingerprint requires.
+    """
+
+    kind: str = "svm"
+    params: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "params",
+            check_canonical_params(self.params, name="victim params"))
+        if self.kind not in _VICTIM_KINDS:
+            raise ValueError(
+                f"unknown victim kind {self.kind!r}; choose from "
+                f"{sorted(_VICTIM_KINDS)}"
+            )
+
+    def __call__(self, seed: int) -> BaseEstimator:
+        return _VICTIM_KINDS[self.kind](dict(self.params), seed)
+
+
+def _victim_svm(params: dict, seed: int) -> BaseEstimator:
+    return LinearSVM(
+        reg=float(params.get("reg", 1e-4)),
+        epochs=int(params.get("epochs", 120)),
+        batch_size=int(params.get("batch_size", 128)),
+        seed=seed,
+    )
+
+
+def _victim_logistic(params: dict, seed: int) -> BaseEstimator:
+    from repro.ml.logistic import LogisticRegression
+
+    return LogisticRegression(**params)
+
+
+def _victim_perceptron(params: dict, seed: int) -> BaseEstimator:
+    from repro.ml.perceptron import Perceptron
+
+    return Perceptron(
+        epochs=int(params.get("epochs", 20)),
+        seed=seed,
+        average=bool(params.get("average", True)),
+    )
+
+
+def _victim_ridge(params: dict, seed: int) -> BaseEstimator:
+    from repro.ml.ridge import RidgeClassifier
+
+    return RidgeClassifier(**params)
+
+
+def _victim_naive_bayes(params: dict, seed: int) -> BaseEstimator:
+    from repro.ml.naive_bayes import GaussianNaiveBayes
+
+    return GaussianNaiveBayes(**params)
+
+
+_VICTIM_KINDS = {
+    "svm": _victim_svm,
+    "logistic": _victim_logistic,
+    "perceptron": _victim_perceptron,
+    "ridge": _victim_ridge,
+    "naive_bayes": _victim_naive_bayes,
+}
 
 
 def _default_model_factory_for(n_train: int) -> Callable[[int], BaseEstimator]:
@@ -344,9 +423,11 @@ def evaluate_configuration(
     *,
     filter_percentile: float | None = None,
     attack: PoisoningAttack | None = None,
+    defense=None,
     poison_fraction: float = 0.2,
     seed: int | None = None,
     use_kernel: bool = True,
+    victim_factory: Callable[[int], BaseEstimator] | None = None,
 ) -> EvaluationOutcome:
     """Play one round of the game and return the test accuracy.
 
@@ -359,18 +440,34 @@ def evaluate_configuration(
         dataset"), with the radius looked up in the genuine map.
     attack:
         Attacker's concrete attack (``None`` for the clean baseline).
+    defense:
+        Any live :class:`~repro.defenses.base.Defense` applied to the
+        (possibly poisoned) training set in place of the radius
+        filter — the uniform entry point the engine's non-radius
+        :class:`~repro.engine.DefenseSpec` kinds materialise through.
+        Mutually exclusive with ``filter_percentile``.
     poison_fraction:
         Contamination rate of the final training set (paper: 0.2).
     seed:
         Round seed (defaults to the context seed); controls attack
-        randomness, dataset shuffling and SVM training.
+        randomness, dataset shuffling and victim training.
     use_kernel:
         With ``True`` (default) the round reuses the context's cached
         :class:`~repro.experiments.kernel.ContextKernel`; ``False``
         recomputes every per-round quantity from scratch.  The two
         paths are bit-identical — the flag exists for the equivalence
         tests and for benchmarking the kernel's effect.
+    victim_factory:
+        Optional ``factory(seed) -> BaseEstimator`` overriding the
+        context's victim for this round (the engine materialises it
+        from a :class:`~repro.engine.VictimSpec`).  The attacker's
+        surrogate remains the context's own factory — the threat model
+        grants knowledge of the deployed learner's family, which the
+        context defines.
     """
+    if defense is not None and filter_percentile is not None \
+            and filter_percentile > 0.0:
+        raise ValueError("pass either filter_percentile or defense, not both")
     round_seed = ctx.seed if seed is None else seed
     rng = as_generator(derive_seed(round_seed, "round"))
     X_tr, y_tr = ctx.X_train, ctx.y_train
@@ -398,15 +495,28 @@ def evaluate_configuration(
             filter_radius = ctx.radius_map.radius(filter_percentile)
             clean_centroid = compute_centroid(ctx.X_train,
                                               method=ctx.centroid_method)
-            defense = RadiusFilter(filter_radius,
-                                   centroid_method=ctx.centroid_method,
-                                   centroid=clean_centroid)
-            keep = defense.mask(X_tr, y_tr)
+            radius_defense = RadiusFilter(filter_radius,
+                                          centroid_method=ctx.centroid_method,
+                                          centroid=clean_centroid)
+            keep = radius_defense.mask(X_tr, y_tr)
         report = defense_report(keep, is_poison)
         n_removed = int((~keep).sum())
         X_tr, y_tr = X_tr[keep], y_tr[keep]
+    elif defense is not None:
+        keep = np.asarray(defense.mask(X_tr, y_tr), dtype=bool)
+        report = defense_report(keep, is_poison)
+        n_removed = int((~keep).sum())
+        X_tr, y_tr = X_tr[keep], y_tr[keep]
+        # Defences that realise a geometric radius expose it (e.g.
+        # PercentileFilter.theta_); report it when finite.
+        realised = getattr(defense, "theta_", None)
+        if realised is None:
+            realised = getattr(defense, "theta", None)
+        if realised is not None and np.isfinite(realised):
+            filter_radius = float(realised)
 
-    model = ctx.model_factory(derive_seed(round_seed, "model"))
+    factory = ctx.model_factory if victim_factory is None else victim_factory
+    model = factory(derive_seed(round_seed, "model"))
     model.fit(X_tr, y_tr)
     accuracy = model.score(ctx.X_test, ctx.y_test)
     return EvaluationOutcome(

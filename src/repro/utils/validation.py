@@ -16,7 +16,32 @@ __all__ = [
     "check_positive_int",
     "check_probability_vector",
     "check_sorted_increasing",
+    "check_canonical_params",
 ]
+
+
+def check_canonical_params(params, *, name: str = "params") -> tuple:
+    """Canonicalise a parameter mapping to a sorted, hashable tuple.
+
+    Accepts a dict or an iterable of ``(key, value)`` pairs and returns
+    ``tuple(sorted((str(k), v), ...))`` — the stable form the engine's
+    spec dataclasses and victim factories embed in cache keys and
+    fingerprints.  Raises ``ValueError`` for unhashable values, which
+    could never produce a stable key.
+    """
+    if isinstance(params, dict):
+        pairs = params.items()
+    else:
+        pairs = tuple(params)
+    try:
+        pairs = tuple(sorted((str(k), v) for k, v in pairs))
+        hash(pairs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"{name} must be a mapping (or (key, value) pairs) with "
+            f"hashable values, got {params!r}"
+        ) from exc
+    return pairs
 
 
 def check_array(X, *, ndim: int = 2, name: str = "X") -> np.ndarray:

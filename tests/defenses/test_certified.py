@@ -58,3 +58,52 @@ class TestCertificate:
             certify_radius_defense(X, y, filter_percentile=0.1, eps=1.0)
         with pytest.raises(ValueError):
             certify_radius_defense(X, y, filter_percentile=0.1, reg=0.0)
+
+    def test_weights_are_the_averaged_iterate(self, cert):
+        assert cert.weights is not None
+        assert cert.weights.shape == cert.worst_points.shape[1:]
+        assert np.all(np.isfinite(cert.weights))
+
+
+class TestCertifiedRadiusDefense:
+    @pytest.fixture(scope="class")
+    def poisoned(self):
+        from repro.attacks.base import poison_dataset
+        from repro.attacks.label_flip import LabelFlipAttack
+        from repro.experiments.runner import make_synthetic_context
+
+        ctx = make_synthetic_context(seed=1, n_samples=120, n_features=3)
+        X, y, is_poison = poison_dataset(
+            ctx.X_train, ctx.y_train, LabelFlipAttack(strategy="near_boundary"),
+            fraction=0.2, seed=5)
+        return X, y, is_poison
+
+    def test_catches_in_ball_poison_the_sphere_misses(self, poisoned):
+        """The loss-trim stage must do real work: near-boundary label
+        flips live *inside* the ball, so a plain quantile sphere keeps
+        them while the certificate's robust-model trim removes them."""
+        from repro.defenses import CertifiedRadiusDefense, PercentileFilter
+
+        X, y, is_poison = poisoned
+        cert_keep = CertifiedRadiusDefense(0.1, n_iter=50).mask(X, y)
+        plain_keep = PercentileFilter(0.1).mask(X, y)
+        cert_caught = int((~cert_keep & is_poison).sum())
+        plain_caught = int((~plain_keep & is_poison).sum())
+        assert cert_caught > plain_caught
+
+    def test_trim_respects_contamination_budget(self, poisoned):
+        from repro.defenses import CertifiedRadiusDefense, PercentileFilter
+
+        X, y, _ = poisoned
+        cert_removed = int((~CertifiedRadiusDefense(
+            0.1, eps=0.2, n_iter=50).mask(X, y)).sum())
+        sphere_removed = int((~PercentileFilter(0.1).mask(X, y)).sum())
+        assert cert_removed <= sphere_removed + int(0.2 * X.shape[0])
+
+    def test_deterministic(self, poisoned):
+        from repro.defenses import CertifiedRadiusDefense
+
+        X, y, _ = poisoned
+        a = CertifiedRadiusDefense(0.1, n_iter=30).mask(X, y)
+        b = CertifiedRadiusDefense(0.1, n_iter=30).mask(X, y)
+        assert np.array_equal(a, b)

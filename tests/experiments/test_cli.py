@@ -47,3 +47,77 @@ class TestCommands:
         code = main(["proposition1", "--n-samples", "400"])
         assert code == 0
         assert "pure NE exists" in capsys.readouterr().out
+
+    def test_commands_print_engine_stats(self, capsys):
+        main(["figure1", "--n-samples", "300"])
+        out = capsys.readouterr().out
+        assert "Engine stats" in out
+        assert "cache hits" in out
+
+
+class TestCrossGame:
+    """The cross-family game end to end through the CLI."""
+
+    ARGS = ["cross-game", "--n-samples", "300",
+            "--defenses", "radius:0.1", "slab_filter:0.1",
+            "loss_filter:0.1:n_rounds=1",
+            "--attacks", "boundary:0.05", "label-flip", "clean"]
+
+    def test_runs_and_reports(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cross-family empirical game" in out
+        assert "slab_filter@10.0%" in out
+        assert "game value (accuracy):" in out
+        assert "Engine stats" in out
+
+    def test_serial_and_process_identical(self, tmp_path, capsys):
+        import json
+
+        serial_path = str(tmp_path / "serial.json")
+        process_path = str(tmp_path / "process.json")
+        assert main(self.ARGS + ["--json", serial_path]) == 0
+        assert main(self.ARGS + ["--backend", "process", "--jobs", "2",
+                                 "--json", process_path]) == 0
+        capsys.readouterr()
+        with open(serial_path) as fh:
+            serial = json.load(fh)
+        with open(process_path) as fh:
+            process = json.load(fh)
+        assert serial == process
+        assert serial["type"] == "CrossGameResult"
+        assert len(serial["data"]["defense_labels"]) == 3
+
+    def test_victim_flag(self, capsys):
+        code = main(["cross-game", "--n-samples", "300",
+                     "--defenses", "radius:0.1", "percentile_filter:0.1",
+                     "--attacks", "boundary:0.05",
+                     "--victim", "logistic"])
+        assert code == 0
+        assert "victim model:              logistic" in capsys.readouterr().out
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(SystemExit, match="unknown defense kind"):
+            main(["cross-game", "--defenses", "fortress:0.1",
+                  "--attacks", "boundary:0.05"])
+        with pytest.raises(SystemExit, match="unknown attack kind"):
+            main(["cross-game", "--defenses", "radius:0.1",
+                  "--attacks", "warp"])
+        with pytest.raises(SystemExit, match="unknown victim kind"):
+            main(["cross-game", "--defenses", "radius:0.1",
+                  "--attacks", "boundary:0.05", "--victim", "oracle"])
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["cross-game", "--defenses", "radius:lots",
+                  "--attacks", "boundary:0.05"])
+
+    def test_spec_params_parse(self):
+        from repro.experiments.cli import _parse_attack_arg, _parse_defense_arg
+
+        d = _parse_defense_arg(
+            "mixed_defense::percentiles=(0.05,0.2),probabilities=(0.5,0.5)")
+        assert dict(d.params)["percentiles"] == (0.05, 0.2)
+        a = _parse_attack_arg("label-flip::strategy=near_boundary")
+        assert dict(a.params)["strategy"] == "near_boundary"
+        assert _parse_defense_arg("none") is None
+        assert _parse_attack_arg("clean") is None
