@@ -16,23 +16,33 @@ Shape criteria (paper):
   the visual signature of no pure NE.
 """
 
+import os
+
 import numpy as np
 
 from benchmarks.conftest import SWEEP_PERCENTILES
+from repro.engine import EvaluationEngine
 from repro.experiments.payoff_sweep import run_pure_strategy_sweep
-from repro.experiments.reporting import format_pure_sweep
+from repro.experiments.reporting import format_engine_stats, format_pure_sweep
 
 
 def test_figure1_pure_strategy_sweep(benchmark, spambase_ctx):
+    # Explicit cache-free engine (the bench_engine.py style):
+    # REPRO_BENCH_BACKEND picks the backend, and the engine-stats block
+    # below records how the sweep's rounds were actually produced.
+    engine = EvaluationEngine(
+        os.environ.get("REPRO_BENCH_BACKEND", "serial"), cache=False)
     result = benchmark.pedantic(
         lambda: run_pure_strategy_sweep(
             spambase_ctx, percentiles=SWEEP_PERCENTILES,
-            poison_fraction=0.2, n_repeats=1,
+            poison_fraction=0.2, n_repeats=1, engine=engine,
         ),
         rounds=1, iterations=1,
     )
     print()
     print(format_pure_sweep(result))
+    print()
+    print(format_engine_stats(engine))
 
     clean = np.asarray(result.acc_clean)
     attacked = np.asarray(result.acc_attacked)

@@ -28,8 +28,12 @@ Subpackages
 ``repro.attacks`` / ``repro.defenses``
     Poisoning attacks and sanitisation defences.
 ``repro.engine``
-    Batched evaluation engine: pluggable serial/process backends plus
-    a content-keyed result cache shared by all experiments.
+    Batched evaluation engine: pluggable serial/process/cluster
+    backends, a streaming batch API and a content-keyed result cache
+    shared by all experiments.
+``repro.cluster``
+    The sharded evaluation service behind the ``cluster`` backend:
+    shard servers, socket protocol, failover scheduler.
 ``repro.experiments``
     Seeded harnesses behind every figure and table.
 """

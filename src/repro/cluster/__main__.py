@@ -1,0 +1,13 @@
+"""``python -m repro.cluster`` — run a shard server.
+
+Thin alias for :mod:`repro.cluster.server`'s CLI that avoids the
+double-import runpy warning of ``-m repro.cluster.server`` (the
+package ``__init__`` already imports the server module).
+"""
+
+import sys
+
+from repro.cluster.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""`ClusterBackend` — the engine backend that fans rounds out to shards.
+
+Registered under ``"cluster"`` (``EvaluationEngine("cluster")``,
+``REPRO_BACKEND=cluster``, ``--backend cluster``).  Config:
+
+* ``shards=``/``REPRO_CLUSTER_SHARDS`` — comma- or space-separated
+  ``host:port`` addresses of running shard servers (see
+  :mod:`repro.cluster.server`).
+* with **no shards configured**, the backend autospawns ``jobs``
+  (default 2) local shard servers on the loopback interface, one
+  process per shard, handing each the pickled context — so
+  ``REPRO_BACKEND=cluster`` works out of the box on one machine and
+  the CI localhost job needs no orchestration.  The pool is keyed by
+  context fingerprint: a new context tears the old shards down and
+  spawns matching ones.
+* ``REPRO_CLUSTER_TIMEOUT`` (connect + handshake; chunk results are
+  waited for on a blocking keepalive socket — see
+  :class:`~repro.cluster.scheduler.ShardClient`) /
+  ``REPRO_CLUSTER_MIN_CHUNK`` / ``REPRO_CLUSTER_MAX_CHUNK`` /
+  ``REPRO_CLUSTER_TARGET_SECONDS`` — scheduler knobs.
+
+Every ``run`` opens one connection per shard, performs the
+content-fingerprint handshake (a shard holding a different context —
+or a different cache schema — refuses, loudly), and streams chunks
+through the :class:`~repro.cluster.scheduler.ClusterScheduler`.  The
+determinism contract of :mod:`repro.engine.backends` does the rest:
+outcomes are bit-identical to the serial backend whatever the
+sharding, chunking or arrival order.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.cluster.scheduler import (
+    DEFAULT_MAX_CHUNK,
+    DEFAULT_MIN_CHUNK,
+    DEFAULT_TARGET_SECONDS,
+    DEFAULT_TIMEOUT,
+    ClusterError,
+    ClusterScheduler,
+    ShardClient,
+    ShardError,
+)
+from repro.engine.backends import EvaluationBackend
+from repro.engine.cache import cache_schema_version
+
+__all__ = ["ClusterBackend", "LocalShardPool", "parse_shard_addresses",
+           "shared_local_pool", "close_local_pools"]
+
+_SPAWN_READY_TIMEOUT = 120.0  # cold interpreter + context load, generous
+
+
+def parse_shard_addresses(text: str | None) -> list[tuple[str, int]]:
+    """Parse ``"host:port,host:port"`` (commas or whitespace) to tuples."""
+    if not text:
+        return []
+    addresses = []
+    for token in text.replace(",", " ").split():
+        host, sep, port = token.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"bad shard address {token!r}: expected host:port")
+        try:
+            addresses.append((host, int(port)))
+        except ValueError:
+            raise ValueError(
+                f"bad shard address {token!r}: port {port!r} is not an "
+                "integer") from None
+    return addresses
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+class LocalShardPool:
+    """Autospawned localhost shard servers for one context.
+
+    Writes the context to a temp file, launches
+    ``python -m repro.cluster`` per shard on an OS-assigned
+    port, and parses each READY line for the address.  ``close()``
+    (also registered atexit) terminates the processes and removes the
+    temp file.
+    """
+
+    def __init__(self, ctx, n_shards: int, *, jobs_per_shard: int = 1):
+        from repro.experiments.runner import save_context
+
+        self.fingerprint = ctx.fingerprint()
+        self.processes: list[subprocess.Popen] = []
+        self.addresses: list[tuple[str, int]] = []
+        fd, self._context_file = tempfile.mkstemp(
+            prefix="repro-cluster-ctx-", suffix=".pkl")
+        os.close(fd)
+        atexit.register(self.close)
+        try:
+            save_context(ctx, self._context_file)
+            env = dict(os.environ)
+            # Children must import the same repro package as the parent
+            # regardless of how it got onto *our* path.
+            import repro
+
+            pkg_root = os.path.dirname(os.path.dirname(
+                os.path.abspath(repro.__file__)))
+            env["PYTHONPATH"] = pkg_root + os.pathsep + \
+                env.get("PYTHONPATH", "")
+            for _ in range(n_shards):
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro.cluster",
+                     "--context-file", self._context_file,
+                     "--host", "127.0.0.1", "--port", "0",
+                     "--jobs", str(jobs_per_shard)],
+                    stdout=subprocess.PIPE, env=env, text=True,
+                )
+                self.processes.append(proc)
+            for proc in self.processes:
+                self.addresses.append(self._await_ready(proc))
+        except BaseException:
+            self.close()
+            raise
+
+    def _await_ready(self, proc: subprocess.Popen) -> tuple[str, int]:
+        import select
+
+        deadline = time.monotonic() + _SPAWN_READY_TIMEOUT
+        line = ""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterError(
+                    "autospawned shard never became READY within "
+                    f"{_SPAWN_READY_TIMEOUT:.0f}s (last line: {line!r})")
+            # Wait on the pipe with a bounded select — a blocking
+            # readline() would make this deadline unenforceable against
+            # a shard that wedges before printing anything.
+            readable, _, _ = select.select([proc.stdout], [], [],
+                                           min(remaining, 0.5))
+            if readable:
+                line = proc.stdout.readline()
+                if line.startswith("READY "):
+                    fields = dict(part.split("=", 1)
+                                  for part in line.split()[1:])
+                    return (fields["host"], int(fields["port"]))
+                if line:
+                    continue  # stray output before READY
+            # EOF or nothing yet: only now consult the exit status, so
+            # a shard that printed READY and died later is not
+            # misreported as "exited before READY".
+            if proc.poll() is not None:
+                raise ClusterError(
+                    f"autospawned shard exited with code "
+                    f"{proc.returncode} before READY")
+
+    def close(self) -> None:
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+            if proc.stdout is not None:
+                proc.stdout.close()
+        self.processes = []
+        try:
+            os.unlink(self._context_file)
+        except OSError:
+            pass
+
+
+# Autospawned pools are shared process-wide, keyed by context
+# fingerprint, so N engines over the same context reuse one set of
+# localhost shards instead of each leaking its own.  Small LRU: old
+# contexts' pools are torn down as new ones arrive.
+_LOCAL_POOLS: "dict[str, LocalShardPool]" = {}
+_MAX_LOCAL_POOLS = 2
+
+
+def shared_local_pool(ctx, n_shards: int) -> LocalShardPool:
+    """The process-wide autospawned pool for ``ctx`` (created on miss)."""
+    fingerprint = ctx.fingerprint()
+    pool = _LOCAL_POOLS.get(fingerprint)
+    if pool is not None:
+        if len(pool.addresses) >= n_shards and \
+                all(p.poll() is None for p in pool.processes):
+            return pool
+        pool.close()
+        del _LOCAL_POOLS[fingerprint]
+    pool = LocalShardPool(ctx, n_shards)
+    _LOCAL_POOLS[fingerprint] = pool
+    while len(_LOCAL_POOLS) > _MAX_LOCAL_POOLS:
+        oldest = next(iter(_LOCAL_POOLS))
+        _LOCAL_POOLS.pop(oldest).close()
+    return pool
+
+
+def close_local_pools() -> None:
+    """Tear down every autospawned localhost pool now (atexit otherwise)."""
+    while _LOCAL_POOLS:
+        _, pool = _LOCAL_POOLS.popitem()
+        pool.close()
+
+
+class ClusterBackend(EvaluationBackend):
+    """Shard round batches across remote (or autospawned) shard servers.
+
+    Parameters
+    ----------
+    jobs:
+        With configured shards: ignored.  Without: how many localhost
+        shards to autospawn (default 2).
+    shards:
+        ``host:port`` pairs / strings, or ``None`` to read
+        ``REPRO_CLUSTER_SHARDS`` (and autospawn when that is unset).
+    """
+
+    name = "cluster"
+
+    def __init__(self, jobs: int | None = None, *, shards=None,
+                 timeout: float | None = None,
+                 min_chunk: int | None = None,
+                 max_chunk: int | None = None,
+                 target_seconds: float | None = None):
+        if shards is None:
+            shards = os.environ.get("REPRO_CLUSTER_SHARDS")
+        if isinstance(shards, str):
+            shards = parse_shard_addresses(shards)
+        self.shards = [(str(h), int(p)) for h, p in (shards or [])]
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.timeout = timeout if timeout is not None else \
+            _env_float("REPRO_CLUSTER_TIMEOUT", DEFAULT_TIMEOUT)
+        self.min_chunk = min_chunk if min_chunk is not None else \
+            _env_int("REPRO_CLUSTER_MIN_CHUNK", DEFAULT_MIN_CHUNK)
+        self.max_chunk = max_chunk if max_chunk is not None else \
+            _env_int("REPRO_CLUSTER_MAX_CHUNK", DEFAULT_MAX_CHUNK)
+        self.target_seconds = target_seconds if target_seconds is not None \
+            else _env_float("REPRO_CLUSTER_TARGET_SECONDS",
+                            DEFAULT_TARGET_SECONDS)
+        self._pool: LocalShardPool | None = None
+
+    # -- shard management --------------------------------------------------
+
+    def _addresses(self, ctx) -> list[tuple[str, int]]:
+        if self.shards:
+            return self.shards
+        self._pool = shared_local_pool(ctx, self.jobs or 2)
+        return self._pool.addresses
+
+    def _connect(self, ctx) -> list[ShardClient]:
+        fingerprint = ctx.fingerprint()
+        schema = cache_schema_version()
+        clients: list[ShardClient] = []
+        failures: list[str] = []
+        for address in self._addresses(ctx):
+            try:
+                client = ShardClient(address, timeout=self.timeout)
+            except ShardError as exc:
+                failures.append(str(exc))
+                continue
+            try:
+                client.handshake(fingerprint, schema)
+            except ShardError as exc:
+                client.close()
+                failures.append(str(exc))
+                continue
+            clients.append(client)
+        if not clients:
+            raise ClusterError(
+                "no shard accepted the batch: " +
+                ("; ".join(failures) if failures else "no shards configured"))
+        return clients
+
+    def close(self) -> None:
+        """Tear down the autospawned localhost pools.
+
+        The pools are shared process-wide (see :func:`shared_local_pool`),
+        so this closes them for every engine in the process — call it
+        when you are done with cluster evaluation, not between batches.
+        """
+        self._pool = None
+        close_local_pools()
+
+    # -- EvaluationBackend -------------------------------------------------
+
+    def run(self, ctx, specs) -> list:
+        specs = list(specs)
+        results = [None] * len(specs)
+        for index, outcome in self.run_iter(ctx, specs):
+            results[index] = outcome
+        return results
+
+    def run_iter(self, ctx, specs):
+        specs = list(specs)
+        if not specs:
+            return
+        clients = self._connect(ctx)
+        try:
+            scheduler = ClusterScheduler(
+                clients, min_chunk=self.min_chunk,
+                max_chunk=self.max_chunk,
+                target_seconds=self.target_seconds)
+            yield from scheduler.run_iter(specs)
+        finally:
+            for client in clients:
+                client.close()

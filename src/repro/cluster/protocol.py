@@ -1,0 +1,169 @@
+"""Wire protocol of the cluster evaluation service.
+
+One message = an 8-byte big-endian length prefix followed by a pickled
+payload dict.  Length-prefixed framing keeps the stream self-describing
+over plain TCP: a reader always knows exactly how many bytes the next
+message occupies, so partial reads are retried and a connection that
+dies mid-message is distinguishable (``ConnectionClosed``) from a
+malformed one (``ProtocolError``).
+
+Message shapes (all plain dicts with a ``"type"`` key):
+
+* ``hello``   — client -> shard: ``{protocol, fingerprint, schema}``.
+  The shard compares all three against its own values and answers
+  ``welcome`` (with its host/pid/capacity) or ``reject`` with a
+  reason.  A shard therefore *refuses* to evaluate rounds for a
+  context it does not hold — the content-fingerprint handshake that
+  makes a mixed-version or mixed-context fleet fail loudly instead of
+  returning subtly wrong results.
+* ``run``     — client -> shard: ``{chunk_id, specs}`` where ``specs``
+  is a list of picklable :class:`~repro.engine.RoundSpec`.  Answered
+  by ``result`` (``{chunk_id, outcomes}``, outcomes in spec order) or
+  ``error`` (``{chunk_id, message}`` — the chunk failed but the shard
+  survives).
+* ``ping``    — liveness probe, answered by ``pong``.
+* ``shutdown``— ask the shard to exit its serve loop (used by the
+  localhost autospawn pool and the tests; production deployments just
+  signal the process).
+
+The payload pickles only engine-owned types (round specs, evaluation
+outcomes) whose modules both ends import; the handshake's ``schema``
+field carries the cache schema version so two builds that disagree on
+what a round *is* never exchange results.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ConnectionClosed",
+    "enable_keepalive",
+    "send_message",
+    "recv_message",
+    "hello",
+    "welcome",
+    "reject",
+    "run_chunk",
+    "chunk_result",
+    "chunk_error",
+]
+
+PROTOCOL_VERSION = 1
+
+# 8-byte length prefix: big enough for any batch, fixed-size to parse.
+_HEADER = struct.Struct(">Q")
+
+# A message larger than this is a framing error, not a real payload
+# (the largest legitimate message — a chunk of specs or outcomes — is
+# a few hundred KB).  Guards against interpreting garbage as a length.
+MAX_MESSAGE_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something that is not a protocol message."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection (possibly mid-message)."""
+
+
+def enable_keepalive(sock: socket.socket) -> None:
+    """Turn on OS TCP keepalive with aggressive-ish probe timing.
+
+    Both ends of the protocol wait on blocking sockets (a round may
+    legitimately outlast any fixed timer), so a peer that vanishes
+    *silently* — host loss, network partition, no RST — must be reaped
+    by the OS: probe an idle connection after 30s, every 10s, give up
+    after 3 misses (≈1 minute to declare the peer dead).  The timing
+    options are platform-specific; keepalive itself is the part that
+    matters.
+    """
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (("TCP_KEEPIDLE", 30), ("TCP_KEEPINTVL", 10),
+                          ("TCP_KEEPCNT", 3)):
+        if hasattr(socket, option):
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP,
+                                getattr(socket, option), value)
+            except OSError:  # pragma: no cover - exotic platforms
+                pass
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Frame and send one message dict."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed with {remaining} of {n} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Receive one framed message dict (blocking)."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {length} bytes exceeds the "
+                            f"{MAX_MESSAGE_BYTES}-byte frame limit")
+    try:
+        message = pickle.loads(_recv_exact(sock, length))
+    except ConnectionClosed:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"undecodable message payload: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"malformed message: {message!r}")
+    return message
+
+
+# -- message constructors ----------------------------------------------------
+
+
+def hello(fingerprint: str, schema: int) -> dict:
+    """The client side of the content-fingerprint handshake."""
+    return {"type": "hello", "protocol": PROTOCOL_VERSION,
+            "fingerprint": str(fingerprint), "schema": int(schema)}
+
+
+def welcome(fingerprint: str, *, host: str, pid: int, capacity: int) -> dict:
+    """Shard accepts: it holds the same context (and schema)."""
+    return {"type": "welcome", "fingerprint": str(fingerprint),
+            "host": str(host), "pid": int(pid), "capacity": int(capacity)}
+
+
+def reject(reason: str) -> dict:
+    """Shard refuses the handshake; ``reason`` is human-readable."""
+    return {"type": "reject", "reason": str(reason)}
+
+
+def run_chunk(chunk_id: int, specs: list) -> dict:
+    """Push one chunk of round specs to a shard."""
+    return {"type": "run", "chunk_id": int(chunk_id), "specs": list(specs)}
+
+
+def chunk_result(chunk_id: int, outcomes: list) -> dict:
+    """A completed chunk, outcomes aligned with the request's specs."""
+    return {"type": "result", "chunk_id": int(chunk_id),
+            "outcomes": list(outcomes)}
+
+
+def chunk_error(chunk_id: int, message: str) -> dict:
+    """A failed chunk (the shard survives; the client decides what next)."""
+    return {"type": "error", "chunk_id": int(chunk_id),
+            "message": str(message)}

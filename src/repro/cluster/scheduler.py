@@ -1,0 +1,377 @@
+"""Chunk scheduling across shards: adaptive sizing, retry, failover.
+
+The scheduler turns "a batch of round specs" into "a stream of
+``(index, outcome)`` pairs" using whatever shards survive:
+
+* **Adaptive chunking** — every shard starts with a small chunk and the
+  scheduler rescales it after each round trip towards a target chunk
+  duration, clamped to ``[min_chunk, max_chunk]`` and at most doubling
+  per step.  Fast shards stream big chunks; slow or busy shards
+  naturally receive less work (work stealing falls out of the shared
+  queue).
+* **Retry / failover** — a chunk travels as one request and lands as
+  one reply, so a shard that dies mid-chunk leaves no partial state:
+  the whole chunk is requeued for the surviving shards.  A dead
+  shard's work is *never dropped*; if every shard dies with work
+  outstanding the scheduler raises :class:`ClusterError` naming each
+  shard's failure.
+* **Exactly-once delivery** — outcomes are deduplicated by index
+  before they are yielded.  (Duplicates can only arise from a retried
+  chunk whose first reply was half-received; the determinism contract
+  makes them bit-identical, so first-wins is safe.)
+
+The scheduler is transport-dumb: it drives :class:`ShardClient`\\ s,
+which own one socket each and speak :mod:`repro.cluster.protocol`.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.cluster import protocol
+
+__all__ = ["ShardError", "ChunkExecutionError", "ClusterError",
+           "ShardClient", "ClusterScheduler"]
+
+# Defaults; ClusterBackend exposes env/constructor overrides.
+DEFAULT_TIMEOUT = 120.0
+DEFAULT_MIN_CHUNK = 1
+DEFAULT_MAX_CHUNK = 64
+DEFAULT_TARGET_SECONDS = 0.5
+
+
+class ShardError(ConnectionError):
+    """One shard failed (handshake refused, died, or spoke garbage)."""
+
+
+class ChunkExecutionError(RuntimeError):
+    """A chunk's *rounds* raised on a healthy shard.
+
+    The shard survives and says so (an ``error`` reply); the failure is
+    deterministic — the serial backend would raise it too — so the
+    scheduler must neither retire the shard nor retry the chunk
+    elsewhere: it aborts the batch with this error, mirroring what a
+    local backend would do.
+    """
+
+
+class ClusterError(RuntimeError):
+    """No shard can make progress; outstanding work would be dropped."""
+
+
+class ShardClient:
+    """One connection to one shard server.
+
+    ``timeout`` bounds the connect and the handshake — interactions
+    whose duration the client controls.  Chunk *results* are waited for
+    on a blocking socket instead: a round can legitimately take longer
+    than any fixed timer (a bilevel attack on the full context), and
+    under TCP a timeout cannot distinguish "still computing" from
+    "hung" anyway — whereas a *dead* shard surfaces promptly as a
+    reset/EOF.  OS-level TCP keepalive is enabled so a peer that
+    vanishes silently (host loss, network partition) is also reaped,
+    in minutes rather than never.
+    """
+
+    def __init__(self, address: tuple[str, int], *,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.address = (str(address[0]), int(address[1]))
+        self.name = f"{self.address[0]}:{self.address[1]}"
+        try:
+            self._sock = socket.create_connection(self.address,
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise ShardError(f"cannot connect to shard {self.name}: "
+                             f"{exc}") from exc
+        protocol.enable_keepalive(self._sock)
+        self.info: dict = {}
+
+    def handshake(self, fingerprint: str, schema: int) -> dict:
+        """Run the content-fingerprint handshake; raise on refusal."""
+        try:
+            protocol.send_message(self._sock,
+                                  protocol.hello(fingerprint, schema))
+            reply = protocol.recv_message(self._sock)
+        except (protocol.ProtocolError, ConnectionError, OSError) as exc:
+            raise ShardError(f"handshake with shard {self.name} failed: "
+                             f"{exc}") from exc
+        if reply.get("type") != "welcome":
+            raise ShardError(
+                f"shard {self.name} refused the handshake: "
+                f"{reply.get('reason', reply)}")
+        self.info = reply
+        # Handshake done: chunk execution time belongs to the shard,
+        # not to a local timer (see the class docstring).
+        self._sock.settimeout(None)
+        return reply
+
+    def run_chunk(self, chunk_id: int, specs: list) -> list:
+        """Execute one chunk remotely; outcomes aligned with ``specs``."""
+        try:
+            protocol.send_message(self._sock,
+                                  protocol.run_chunk(chunk_id, specs))
+            reply = protocol.recv_message(self._sock)
+        except (protocol.ProtocolError, ConnectionError, OSError) as exc:
+            raise ShardError(f"shard {self.name} died mid-chunk: "
+                             f"{exc}") from exc
+        if reply.get("type") == "error":
+            # The shard is alive and answered; the chunk's rounds are
+            # what failed.  Not a transport error — see
+            # ChunkExecutionError.
+            raise ChunkExecutionError(
+                f"shard {self.name} reported a round failure in chunk "
+                f"{chunk_id}: {reply.get('message')}")
+        if reply.get("type") != "result" or \
+                reply.get("chunk_id") != chunk_id:
+            raise ShardError(f"shard {self.name} answered out of "
+                             f"protocol: {reply.get('type')!r}")
+        outcomes = reply.get("outcomes", [])
+        if len(outcomes) != len(specs):
+            raise ShardError(
+                f"shard {self.name} returned {len(outcomes)} outcomes "
+                f"for a {len(specs)}-spec chunk")
+        return outcomes
+
+    def shutdown_server(self) -> None:
+        """Ask the shard process to exit its serve loop (best effort)."""
+        try:
+            protocol.send_message(self._sock, {"type": "shutdown"})
+            protocol.recv_message(self._sock)
+        except (protocol.ProtocolError, ConnectionError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _ShardWorker(threading.Thread):
+    """Drives one shard: pull items, push chunks, adapt, requeue on death."""
+
+    def __init__(self, scheduler: "ClusterScheduler", client: ShardClient):
+        super().__init__(daemon=True, name=f"shard-{client.name}")
+        self.scheduler = scheduler
+        self.client = client
+        self.chunk_size = scheduler.min_chunk
+        self.failure: ShardError | None = None
+        self.chunks_done = 0
+        self.rounds_done = 0
+
+    def run(self) -> None:
+        sched = self.scheduler
+        chunk: list = []
+        try:
+            while True:
+                chunk = sched._take(self.chunk_size)
+                if not chunk:
+                    # Don't exit while another shard still holds work:
+                    # if it dies, its chunk is requeued and this shard
+                    # must be around to steal it.  Only an empty queue
+                    # with nothing in flight means the batch is done.
+                    if sched._finished():
+                        break
+                    time.sleep(0.02)
+                    continue
+                chunk_id = sched._next_chunk_id()
+                start = time.perf_counter()
+                outcomes = self.client.run_chunk(
+                    chunk_id, [spec for _, spec in chunk])
+                elapsed = time.perf_counter() - start
+                self.chunks_done += 1
+                self.rounds_done += len(chunk)
+                self._adapt(len(chunk), elapsed)
+                sched._deliver(chunk, outcomes)
+                chunk = []
+        except ChunkExecutionError as exc:
+            # Deterministic round failure on a live shard: retrying it
+            # elsewhere would fail identically (and mask the real
+            # error) — abort the whole batch like a local backend.
+            sched._requeue(chunk)
+            sched._abort(exc)
+        except Exception as exc:
+            self.failure = exc if isinstance(exc, ShardError) else \
+                ShardError(f"shard {self.client.name} worker crashed: "
+                           f"{exc!r}")
+            if chunk:
+                sched._requeue(chunk)
+        finally:
+            sched._worker_done(self)
+
+    def _adapt(self, n: int, elapsed: float) -> None:
+        """Rescale the chunk towards the target duration (≤ 2x per step)."""
+        if elapsed <= 0.0:
+            target = self.chunk_size * 2
+        else:
+            per_item = elapsed / n
+            target = int(self.scheduler.target_seconds / max(per_item, 1e-9))
+        target = min(target, self.chunk_size * 2)
+        self.chunk_size = max(self.scheduler.min_chunk,
+                              min(self.scheduler.max_chunk, target))
+
+
+class ClusterScheduler:
+    """Stream a batch over a set of live shard clients.
+
+    Parameters
+    ----------
+    clients:
+        Handshaken :class:`ShardClient`\\ s (at least one).
+    min_chunk, max_chunk, target_seconds:
+        Adaptive-chunking knobs: chunk sizes stay in
+        ``[min_chunk, max_chunk]`` and chase ``target_seconds`` of work
+        per round trip.
+    """
+
+    def __init__(self, clients: list[ShardClient], *,
+                 min_chunk: int = DEFAULT_MIN_CHUNK,
+                 max_chunk: int = DEFAULT_MAX_CHUNK,
+                 target_seconds: float = DEFAULT_TARGET_SECONDS):
+        if not clients:
+            raise ClusterError("no live shards to schedule on")
+        if min_chunk < 1 or max_chunk < min_chunk:
+            raise ValueError(
+                f"need 1 <= min_chunk <= max_chunk, got "
+                f"{min_chunk}/{max_chunk}")
+        self.clients = list(clients)
+        self.min_chunk = int(min_chunk)
+        self.max_chunk = int(max_chunk)
+        self.target_seconds = float(target_seconds)
+        self._pending: deque = deque()
+        self._lock = threading.Lock()
+        self._results: queue.Queue = queue.Queue()
+        self._chunk_counter = 0
+        self._live_workers = 0
+        self._in_flight = 0
+        self._abort_exc: BaseException | None = None
+        self.failures: list[ShardError] = []
+
+    # -- worker-side hooks (thread-safe) -----------------------------------
+
+    def _take(self, n: int) -> list:
+        with self._lock:
+            if self._abort_exc is not None:
+                return []
+            chunk = [self._pending.popleft()
+                     for _ in range(min(n, len(self._pending)))]
+            self._in_flight += len(chunk)
+            return chunk
+
+    def _requeue(self, chunk: list) -> None:
+        with self._lock:
+            # Requeue at the front: retried work should not gratuitously
+            # fall behind fresh work in arrival order.
+            self._pending.extendleft(reversed(chunk))
+            self._in_flight -= len(chunk)
+
+    def _abort(self, exc: BaseException) -> None:
+        """Stop scheduling: record ``exc``, drop pending work, wake all."""
+        with self._lock:
+            if self._abort_exc is None:
+                self._abort_exc = exc
+            self._pending.clear()
+        self._results.put(None)  # wake the consumer
+
+    def _finished(self) -> bool:
+        with self._lock:
+            return self._abort_exc is not None or \
+                (not self._pending and self._in_flight == 0)
+
+    def _next_chunk_id(self) -> int:
+        with self._lock:
+            self._chunk_counter += 1
+            return self._chunk_counter
+
+    def _deliver(self, chunk: list, outcomes: list) -> None:
+        for (index, _), outcome in zip(chunk, outcomes):
+            self._results.put((index, outcome))
+        with self._lock:
+            self._in_flight -= len(chunk)
+
+    def _worker_done(self, worker: _ShardWorker) -> None:
+        with self._lock:
+            self._live_workers -= 1
+            if worker.failure is not None:
+                self.failures.append(worker.failure)
+        self._results.put(None)  # wake the consumer to re-check liveness
+
+    # -- consumer side -----------------------------------------------------
+
+    def run_iter(self, specs: list):
+        """Yield ``(index, outcome)`` pairs as shards complete them.
+
+        Every index in ``range(len(specs))`` is yielded exactly once;
+        raises :class:`ClusterError` if all shards die first.
+        """
+        specs = list(specs)
+        if not specs:
+            return
+        with self._lock:
+            self._pending.extend(enumerate(specs))
+            self._live_workers = len(self.clients)
+        workers = [_ShardWorker(self, client) for client in self.clients]
+        for worker in workers:
+            worker.start()
+
+        done = set()
+        try:
+            while len(done) < len(specs):
+                item = self._results.get()
+                with self._lock:
+                    abort = self._abort_exc
+                if abort is not None:
+                    # A healthy shard reported a deterministic round
+                    # failure — surface it like a local backend would.
+                    raise abort
+                if item is None:
+                    # A worker exited.  Sentinels are queue-ordered
+                    # only against their *own* worker's deliveries: a
+                    # fast survivor can finish and exit while an
+                    # earlier-died worker's sentinel is still ahead of
+                    # the survivor's results in the queue.  Once the
+                    # live count reads zero, though, every worker has
+                    # already enqueued everything it ever will — so
+                    # drain and yield what is there, and only then is
+                    # anything still missing genuinely lost work.
+                    with self._lock:
+                        alive = self._live_workers
+                    if alive > 0:
+                        continue
+                    while len(done) < len(specs):
+                        try:
+                            tail = self._results.get_nowait()
+                        except queue.Empty:
+                            break
+                        if tail is None:
+                            continue
+                        index, outcome = tail
+                        if index in done:
+                            continue
+                        done.add(index)
+                        yield index, outcome
+                    if len(done) < len(specs):
+                        raise ClusterError(
+                            f"all shards failed with "
+                            f"{len(specs) - len(done)} rounds "
+                            "outstanding: " + "; ".join(
+                                str(f) for f in self.failures))
+                    continue
+                index, outcome = item
+                if index in done:
+                    continue  # retried chunk double-delivered: first wins
+                done.add(index)
+                yield index, outcome
+        finally:
+            # Covers normal completion, errors, *and* an abandoned
+            # stream (generator closed early): stop handing out work so
+            # workers exit after their current chunk instead of
+            # executing the rest of the batch nobody will read.
+            if len(done) < len(specs):
+                self._abort(ClusterError("stream abandoned"))
+            for worker in workers:
+                worker.join(timeout=5.0)

@@ -1,0 +1,354 @@
+"""The shard server: one host's slice of the evaluation service.
+
+A :class:`ShardServer` owns exactly one
+:class:`~repro.experiments.runner.ExperimentContext`.  At startup it
+
+1. prewarms every registered attack/defence/victim family on the
+   context (:func:`~repro.engine.spec.prewarm_all`), so per-context
+   work like the boundary attack's surrogate fit happens once, before
+   any client connects;
+2. with ``jobs > 1``, publishes the context's data arrays into a
+   **per-host shared-memory segment** and keeps a persistent process
+   pool mapped onto it — the generalisation of the process backend's
+   zero-copy transport from "once per batch" to "once per server
+   lifetime";
+3. listens on a TCP socket and answers the protocol of
+   :mod:`repro.cluster.protocol`: a content-fingerprint handshake,
+   then round chunks, executed through the engine's own
+   :func:`~repro.engine.backends.execute_round` — so a shard's
+   outcomes are bit-identical to the serial backend's by construction.
+
+Run one with the CLI (``python -m repro.experiments.cli repro-cluster
+serve ...``) or directly::
+
+    python -m repro.cluster --context-file ctx.pkl --port 7781
+
+On startup the server prints a single ``READY host=... port=...
+fingerprint=...`` line to stdout — the localhost autospawn pool (and
+any orchestrator) parses it to learn the bound port.
+
+``--chaos-exit-after N`` is the failure-injection hook: the server
+executes rounds one at a time and calls ``os._exit`` after the N-th,
+mid-chunk, without replying — exactly the crash profile the
+scheduler's requeue logic must survive.  It exists for the tests and
+for operators who want to drill failover.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.cluster import protocol
+from repro.engine.backends import (
+    _pack_context,
+    _release_shm,
+    _worker_init,
+    _worker_run,
+    execute_round,
+)
+from repro.engine.cache import cache_schema_version
+from repro.engine.spec import prewarm_all
+
+__all__ = ["ShardExecutor", "ShardServer", "serve", "main"]
+
+# Exit code of a chaos-triggered mid-chunk crash (distinguishable from
+# ordinary failures in tests and process tables).
+CHAOS_EXIT_CODE = 17
+
+
+class ShardExecutor:
+    """Executes round chunks for one context, serially or on a pool.
+
+    With ``jobs <= 1`` rounds run in-process.  Otherwise the context is
+    packed once into shared memory and a persistent
+    ``ProcessPoolExecutor`` maps it read-only in every worker — chunk
+    execution then ships only the tiny specs.  ``close()`` releases the
+    pool and the segment.
+    """
+
+    def __init__(self, ctx, jobs: int | None = None):
+        self.ctx = ctx
+        self.jobs = int(jobs) if jobs else 1
+        self._pool = None
+        self._shm = None
+        if self.jobs > 1:
+            meta, shm = _pack_context(ctx)
+            self._shm = shm
+            try:
+                blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=_worker_init,
+                    initargs=(blob,),
+                )
+                # Spawn every worker NOW, before any client connects.
+                # ProcessPoolExecutor forks workers lazily at submit
+                # time; a worker forked mid-connection inherits the
+                # accepted socket fd, and if the server then dies the
+                # orphaned worker keeps that fd open — turning the
+                # client's instant connection-reset (fast failover)
+                # into a full protocol timeout.
+                for future in [self._pool.submit(os.getpid)
+                               for _ in range(self.jobs)]:
+                    future.result()
+            except Exception:
+                _release_shm(self._shm)
+                self._shm = None
+                raise
+
+    def run(self, specs: list) -> list:
+        """Outcomes for ``specs``, in order (the round semantics of
+        :func:`~repro.engine.backends.execute_round`)."""
+        if self._pool is None:
+            return [execute_round(self.ctx, spec) for spec in specs]
+        chunksize = max(1, len(specs) // (self.jobs * 4))
+        return list(self._pool.map(_worker_run, specs, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        _release_shm(self._shm)
+        self._shm = None
+
+
+class ShardServer:
+    """Serve round chunks for one context over TCP.
+
+    Parameters
+    ----------
+    ctx:
+        The experiment context this shard holds (every client must
+        present a matching fingerprint).
+    host, port:
+        Bind address; port ``0`` asks the OS for a free port (read the
+        chosen one from :attr:`port` or the READY line).
+    jobs:
+        Worker processes for chunk execution (1 = in-process serial).
+    chaos_exit_after:
+        Failure injection: hard-exit mid-chunk after this many rounds.
+    """
+
+    def __init__(self, ctx, *, host: str = "127.0.0.1", port: int = 0,
+                 jobs: int | None = None, chaos_exit_after: int | None = None):
+        self.ctx = ctx
+        self.fingerprint = ctx.fingerprint()
+        self.schema = cache_schema_version()
+        self.chaos_exit_after = chaos_exit_after
+        self._rounds_executed = 0
+        self._chaos_lock = threading.Lock()
+        prewarm_all(ctx)
+        self.executor = ShardExecutor(ctx, jobs)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, int(port)))
+        self._sock.listen(16)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._shutdown = threading.Event()
+
+    # -- serving -----------------------------------------------------------
+
+    def announce(self, stream=None) -> None:
+        """Print the machine-parsable READY line (see module docs)."""
+        stream = stream if stream is not None else sys.stdout
+        print(f"READY host={self.host} port={self.port} "
+              f"fingerprint={self.fingerprint} pid={os.getpid()}",
+              file=stream, flush=True)
+
+    def serve_forever(self) -> None:
+        """Accept connections until a ``shutdown`` message arrives."""
+        self._sock.settimeout(0.5)  # poll the shutdown flag
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break  # listener closed from another thread
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                thread.start()
+        finally:
+            self.close()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                # Same rationale as the client side: this thread waits
+                # on a blocking recv, so a client host that vanishes
+                # silently must be reaped by OS keepalive or it would
+                # pin the thread and fd for the shard's lifetime.
+                protocol.enable_keepalive(conn)
+                if not self._handshake(conn):
+                    return
+                while not self._shutdown.is_set():
+                    try:
+                        message = protocol.recv_message(conn)
+                    except protocol.ConnectionClosed:
+                        return
+                    if not self._dispatch(conn, message):
+                        return
+        except (protocol.ProtocolError, ConnectionError, OSError):
+            return  # a broken client never takes the shard down
+
+    def _handshake(self, conn: socket.socket) -> bool:
+        message = protocol.recv_message(conn)
+        if message.get("type") != "hello":
+            protocol.send_message(conn, protocol.reject(
+                f"expected hello, got {message.get('type')!r}"))
+            return False
+        reason = None
+        if message.get("protocol") != protocol.PROTOCOL_VERSION:
+            reason = (f"protocol version mismatch: shard speaks "
+                      f"v{protocol.PROTOCOL_VERSION}, client "
+                      f"v{message.get('protocol')}")
+        elif message.get("schema") != self.schema:
+            reason = (f"cache schema mismatch: shard at v{self.schema}, "
+                      f"client at v{message.get('schema')} — the two builds "
+                      f"disagree on round identity")
+        elif message.get("fingerprint") != self.fingerprint:
+            reason = (f"context fingerprint mismatch: shard holds "
+                      f"{self.fingerprint[:12]}…, client asked for "
+                      f"{str(message.get('fingerprint'))[:12]}…")
+        if reason is not None:
+            protocol.send_message(conn, protocol.reject(reason))
+            return False
+        protocol.send_message(conn, protocol.welcome(
+            self.fingerprint, host=self.host, pid=os.getpid(),
+            capacity=self.executor.jobs))
+        return True
+
+    def _dispatch(self, conn: socket.socket, message: dict) -> bool:
+        kind = message["type"]
+        if kind == "ping":
+            protocol.send_message(conn, {"type": "pong"})
+            return True
+        if kind == "shutdown":
+            protocol.send_message(conn, {"type": "bye"})
+            self._shutdown.set()
+            return False
+        if kind == "run":
+            chunk_id = int(message.get("chunk_id", -1))
+            specs = message.get("specs", [])
+            try:
+                outcomes = self._run_chunk(specs)
+            except Exception as exc:  # the shard survives a bad chunk
+                protocol.send_message(
+                    conn, protocol.chunk_error(chunk_id, repr(exc)))
+                return True
+            protocol.send_message(
+                conn, protocol.chunk_result(chunk_id, outcomes))
+            return True
+        protocol.send_message(conn, protocol.chunk_error(
+            -1, f"unknown message type {kind!r}"))
+        return True
+
+    def _run_chunk(self, specs: list) -> list:
+        if self.chaos_exit_after is None:
+            outcomes = self.executor.run(specs)
+            self._rounds_executed += len(specs)
+            return outcomes
+        # Chaos mode: execute one round at a time so the crash lands
+        # mid-chunk, after real work, with the reply never sent.
+        outcomes = []
+        for spec in specs:
+            with self._chaos_lock:
+                if self._rounds_executed >= self.chaos_exit_after:
+                    os._exit(CHAOS_EXIT_CODE)
+                self._rounds_executed += 1
+            outcomes.extend(self.executor.run([spec]))
+        return outcomes
+
+    def close(self) -> None:
+        self._shutdown.set()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.executor.close()
+
+
+def serve(ctx, *, host: str = "127.0.0.1", port: int = 0,
+          jobs: int | None = None, chaos_exit_after: int | None = None,
+          announce: bool = True) -> None:
+    """Construct a :class:`ShardServer` for ``ctx`` and serve forever.
+
+    Installs a SIGTERM handler so an orchestrator's ordinary terminate
+    shuts the shard down *gracefully* — the worker pool exits and the
+    shared-memory segment is unlinked, instead of leaking both (the
+    chaos hook's ``os._exit`` deliberately bypasses this: it simulates
+    the host crash where no cleanup can run).
+    """
+    import signal
+
+    server = ShardServer(ctx, host=host, port=port, jobs=jobs,
+                         chaos_exit_after=chaos_exit_after)
+
+    def _terminate(signum, frame):
+        raise SystemExit(0)  # unwinds into serve_forever's cleanup
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        if announce:
+            server.announce()
+        server.serve_forever()
+    finally:
+        server.close()
+        signal.signal(signal.SIGTERM, previous)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Serve evaluation rounds for one experiment context.",
+    )
+    parser.add_argument("--context-file", type=str, default=None,
+                        help="pickled ExperimentContext to serve (see "
+                             "repro.experiments.runner.save_context)")
+    parser.add_argument("--context", type=str, default=None,
+                        choices=("synthetic", "spambase"),
+                        help="construct the context by name instead")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-samples", type=int, default=None)
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 (default) binds a free port; the READY "
+                             "line reports the choice")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes per shard (default 1: "
+                             "in-process execution)")
+    parser.add_argument("--chaos-exit-after", type=int, default=None,
+                        help="failure injection: hard-exit mid-chunk "
+                             "after N rounds (tests/failover drills)")
+    return parser
+
+
+def context_from_args(args):
+    from repro.experiments.runner import load_context, make_context
+
+    if args.context_file:
+        return load_context(args.context_file)
+    if args.context:
+        kwargs = {"seed": args.seed}
+        if args.n_samples is not None:
+            kwargs["n_samples"] = args.n_samples
+        return make_context(args.context, **kwargs)
+    raise SystemExit("pass --context-file or --context")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    serve(context_from_args(args), host=args.host, port=args.port,
+          jobs=args.jobs, chaos_exit_after=args.chaos_exit_after)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

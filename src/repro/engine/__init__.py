@@ -28,11 +28,13 @@ from repro.engine.spec import (
     registered_victim_kinds,
     materialize_victim,
     prewarm_context,
+    prewarm_all,
 )
 from repro.engine.cache import (
     CacheStats,
     ResultCache,
     round_key,
+    cache_schema_version,
     read_manifest,
     write_manifest,
     prune_cache_dir,
@@ -72,9 +74,11 @@ __all__ = [
     "registered_victim_kinds",
     "materialize_victim",
     "prewarm_context",
+    "prewarm_all",
     "CacheStats",
     "ResultCache",
     "round_key",
+    "cache_schema_version",
     "read_manifest",
     "write_manifest",
     "prune_cache_dir",

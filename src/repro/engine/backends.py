@@ -21,6 +21,14 @@ Built-ins:
   train/test split per process, and fan-out cost no longer grows with
   context size.  Contexts that do not look like experiment contexts
   fall back to whole-object pickling.
+* ``cluster`` — fans chunks out to shard servers over TCP (see
+  :mod:`repro.cluster`); autospawns localhost shards when none are
+  configured.  Registered lazily so the engine package stays light.
+
+Backends additionally expose :meth:`EvaluationBackend.run_iter`, the
+streaming face of ``run``: ``(index, outcome)`` pairs as rounds land,
+bit-identical to ``run`` in every position.  The engine's
+``evaluate_stream`` rides it.
 
 New backends register with :func:`register_backend`.
 """
@@ -30,7 +38,7 @@ from __future__ import annotations
 import os
 import pickle
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from multiprocessing import shared_memory
 from typing import Callable
 
@@ -109,6 +117,20 @@ class EvaluationBackend(ABC):
     def run(self, ctx, specs) -> list:
         """Evaluate ``specs`` in ``ctx``; outcomes in input order."""
 
+    def run_iter(self, ctx, specs):
+        """Yield ``(index, outcome)`` pairs as rounds complete.
+
+        The streaming face of :meth:`run`: indices refer to positions
+        in ``specs``, every index is yielded exactly once, and — by the
+        module determinism contract — each outcome is bit-identical to
+        the one :meth:`run` would put at that position, whatever order
+        they arrive in.  The default runs the whole batch first and
+        yields in input order; backends with genuinely incremental
+        execution override it.
+        """
+        for index, outcome in enumerate(self.run(ctx, specs)):
+            yield index, outcome
+
 
 class SerialBackend(EvaluationBackend):
     """The reference backend: a plain in-process loop."""
@@ -120,6 +142,10 @@ class SerialBackend(EvaluationBackend):
 
     def run(self, ctx, specs) -> list:
         return [execute_round(ctx, spec) for spec in specs]
+
+    def run_iter(self, ctx, specs):
+        for index, spec in enumerate(specs):
+            yield index, execute_round(ctx, spec)
 
 
 # -- zero-copy context transport --------------------------------------------
@@ -216,6 +242,17 @@ def _unpack_context(meta):
     return ctx, shm
 
 
+def _release_shm(shm) -> None:
+    """Close and unlink a parent-owned shared block (idempotent-ish)."""
+    if shm is None:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover
+        pass  # a foreign resource tracker got there first
+
+
 # -- process-pool workers (module-level: must be picklable) ----------------
 
 _WORKER_CTX = None
@@ -257,6 +294,17 @@ def _worker_run(spec):
     return execute_round(_WORKER_CTX, spec)
 
 
+def _worker_run_chunk(indexed_specs):
+    """Run ``[(index, spec), ...]`` and return ``[(index, outcome), ...]``.
+
+    The chunked unit of the process backend's streaming path: one
+    future per chunk keeps submission overhead off the hot path while
+    letting ``as_completed`` surface whole chunks as they finish.
+    """
+    return [(index, execute_round(_WORKER_CTX, spec))
+            for index, spec in indexed_specs]
+
+
 class ProcessPoolBackend(EvaluationBackend):
     """Fan rounds out over a ``ProcessPoolExecutor``.
 
@@ -280,14 +328,17 @@ class ProcessPoolBackend(EvaluationBackend):
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
 
-    def run(self, ctx, specs) -> list:
+    def _prepare(self, ctx, specs):
+        """Prewarm + pack ``ctx``; return ``(meta_blob, shm, workers)``.
+
+        Shared front half of :meth:`run` and :meth:`run_iter`.  The
+        caller owns the returned shared-memory block (when not None)
+        and must close+unlink it after the pool is done.
+        """
         # Imported lazily, like execute_round: keep the engine package
         # importable without the experiments layer.
         from repro.engine.spec import prewarm_context
 
-        specs = list(specs)
-        if not specs:
-            return []
         prewarm_context(ctx, specs)
         meta, shm = _pack_context(ctx)
         try:
@@ -305,7 +356,17 @@ class ProcessPoolBackend(EvaluationBackend):
                     "repro.experiments.runner.SVMVictimFactory, or the serial "
                     f"backend): {exc}"
                 ) from exc
-            workers = max(1, min(self.jobs, len(specs)))
+        except BaseException:
+            _release_shm(shm)
+            raise
+        return meta_blob, shm, max(1, min(self.jobs, len(specs)))
+
+    def run(self, ctx, specs) -> list:
+        specs = list(specs)
+        if not specs:
+            return []
+        meta_blob, shm, workers = self._prepare(ctx, specs)
+        try:
             chunksize = max(1, len(specs) // (workers * 4))
             with ProcessPoolExecutor(
                 max_workers=workers, initializer=_worker_init,
@@ -313,12 +374,36 @@ class ProcessPoolBackend(EvaluationBackend):
             ) as pool:
                 return list(pool.map(_worker_run, specs, chunksize=chunksize))
         finally:
-            if shm is not None:
-                shm.close()
-                try:
-                    shm.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass  # a foreign resource tracker got there first
+            _release_shm(shm)
+
+    def run_iter(self, ctx, specs):
+        """Stream ``(index, outcome)`` pairs as worker chunks complete.
+
+        Same transport and chunk sizing as :meth:`run`, but chunks are
+        submitted as individual futures and surfaced through
+        ``as_completed`` — outcomes arrive while other chunks still
+        train.  Bit-identity with :meth:`run` is inherited from
+        ``execute_round``; only arrival order differs.
+        """
+        specs = list(specs)
+        if not specs:
+            return
+        meta_blob, shm, workers = self._prepare(ctx, specs)
+        try:
+            chunksize = max(1, len(specs) // (workers * 4))
+            indexed = list(enumerate(specs))
+            chunks = [indexed[i:i + chunksize]
+                      for i in range(0, len(indexed), chunksize)]
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(meta_blob,)
+            ) as pool:
+                futures = [pool.submit(_worker_run_chunk, chunk)
+                           for chunk in chunks]
+                for future in as_completed(futures):
+                    yield from future.result()
+        finally:
+            _release_shm(shm)
 
 
 # -- registry --------------------------------------------------------------
@@ -349,6 +434,15 @@ def make_backend(name: str, jobs: int | None = None) -> EvaluationBackend:
     return factory(jobs)
 
 
+def _make_cluster_backend(jobs: int | None):
+    # Imported lazily so the engine package never drags the cluster
+    # service in unless someone actually asks for the backend.
+    from repro.cluster.backend import ClusterBackend
+
+    return ClusterBackend(jobs)
+
+
 register_backend("serial", SerialBackend)
 register_backend("process", ProcessPoolBackend)
 register_backend("process-pool", ProcessPoolBackend)  # alias
+register_backend("cluster", _make_cluster_backend)

@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
@@ -32,6 +33,7 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "round_key",
+    "cache_schema_version",
     "outcome_to_dict",
     "outcome_from_dict",
     "read_manifest",
@@ -47,6 +49,18 @@ __all__ = [
 _SCHEMA_VERSION = 3
 
 _MANIFEST_NAME = "manifest.json"
+
+
+def cache_schema_version() -> int:
+    """The current round-identity schema version.
+
+    Exposed for the cluster protocol's handshake: a shard and its
+    clients must agree on what a round *is* (the canonical spec tuple
+    and key recipe) before exchanging results, otherwise a remote
+    outcome could enter a cache tier under a key that names a
+    different round in the other build.
+    """
+    return _SCHEMA_VERSION
 
 
 def round_key(context_fingerprint: str, spec) -> str:
@@ -193,6 +207,13 @@ class ResultCache:
         Eviction never touches the disk tier, so capped memory plus a
         ``disk_dir`` behaves like a small hot cache over a complete
         persistent store.
+
+    The public API is thread-safe (one re-entrant lock around both
+    tiers): the cluster scheduler delivers remote results from worker
+    threads, and a cache shared across engines may be read while
+    another engine's stream is writing.  Remote results enter through
+    exactly the same :meth:`put` as local ones — same serialised entry,
+    same LRU accounting, same disk tier.
     """
 
     def __init__(self, disk_dir: str | os.PathLike | None = None,
@@ -203,6 +224,7 @@ class ResultCache:
         self._max_entries = max_entries
         self._disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
         self._manifest: dict | None = None  # incremental tally, lazy-seeded
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -291,34 +313,38 @@ class ResultCache:
 
     def get(self, key: str):
         """Return the cached ``EvaluationOutcome`` or ``None``."""
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)  # refresh recency
-        else:
-            entry = self._disk_get(key)
+        with self._lock:
+            entry = self._memory.get(key)
             if entry is not None:
-                self._remember(key, entry)  # promote for next time
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
+                self._memory.move_to_end(key)  # refresh recency
+            else:
+                entry = self._disk_get(key)
+                if entry is not None:
+                    self._remember(key, entry)  # promote for next time
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
         return outcome_from_dict(entry)
 
     def put(self, key: str, outcome) -> None:
         """Store one outcome under its content key (both tiers)."""
         entry = outcome_to_dict(outcome)
-        self._remember(key, entry)
-        self._disk_put(key, entry)
-        self.stats.stores += 1
+        with self._lock:
+            self._remember(key, entry)
+            self._disk_put(key, entry)
+            self.stats.stores += 1
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory tier (and optionally the disk tier)."""
-        self._memory.clear()
-        if disk and self._disk_dir is not None and os.path.isdir(self._disk_dir):
-            self._manifest = None
-            for name in os.listdir(self._disk_dir):
-                if name.endswith(".json"):
-                    try:
-                        os.unlink(os.path.join(self._disk_dir, name))
-                    except OSError:
-                        pass
+        with self._lock:
+            self._memory.clear()
+            if disk and self._disk_dir is not None \
+                    and os.path.isdir(self._disk_dir):
+                self._manifest = None
+                for name in os.listdir(self._disk_dir):
+                    if name.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(self._disk_dir, name))
+                        except OSError:
+                            pass

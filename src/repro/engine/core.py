@@ -87,15 +87,29 @@ class EvaluationEngine:
         """Evaluate a single round (batch of one)."""
         return self.evaluate_batch(ctx, [spec])[0]
 
-    def evaluate_batch(self, ctx, specs) -> list:
+    def evaluate_batch(self, ctx, specs, *, progress=None) -> list:
         """Evaluate a batch of rounds; outcomes align with ``specs``.
 
         Identical rounds — within the batch or across all previous
         batches — are computed exactly once.
+
+        ``progress`` is an optional ``callback(done, total)`` invoked
+        after every spec resolves (cache hits included); when given,
+        the batch rides the streaming path (:meth:`evaluate_stream`'s
+        machinery), whose outcomes are bit-identical — with ``None``
+        (the default) the batch goes through ``backend.run`` unchanged.
         """
         specs = list(specs)
         if not specs:
             return []
+        if progress is not None:
+            results = [None] * len(specs)
+            done = 0
+            for index, outcome in self._stream_indexed(ctx, specs):
+                results[index] = outcome
+                done += 1
+                progress(done, len(specs))
+            return results
         start = time.perf_counter()
         fingerprint = ctx.fingerprint()
         keys = [round_key(fingerprint, spec) for spec in specs]
@@ -131,6 +145,67 @@ class EvaluationEngine:
             "seconds": time.perf_counter() - start,
         })
         return [results[key] for key in keys]
+
+    def evaluate_stream(self, ctx, specs):
+        """Yield ``(spec, outcome)`` pairs as rounds land.
+
+        The streaming face of :meth:`evaluate_batch`: every input spec
+        is yielded exactly once (duplicates included — each position
+        gets its pair), cache hits come first in input order, then
+        backend completions in arrival order.  Arrival order may vary
+        between runs and backends; the outcomes themselves — and the
+        cache state left behind — are bit-identical to
+        :meth:`evaluate_batch` on the same engine.
+        """
+        specs = list(specs)
+        for index, outcome in self._stream_indexed(ctx, specs):
+            yield specs[index], outcome
+
+    def _stream_indexed(self, ctx, specs):
+        """Yield ``(index, outcome)``: cache hits first, then the
+        backend's :meth:`~repro.engine.backends.EvaluationBackend.
+        run_iter` completions, deduplicated by content key exactly like
+        the batch path."""
+        if not specs:
+            return
+        start = time.perf_counter()
+        fingerprint = ctx.fingerprint()
+        keys = [round_key(fingerprint, spec) for spec in specs]
+        positions: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            positions.setdefault(key, []).append(index)
+
+        to_run = []
+        for key, indices in positions.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is None:
+                to_run.append((key, specs[indices[0]]))
+            else:
+                for index in indices:
+                    yield index, cached
+
+        computed = 0
+        try:
+            if to_run:
+                run_specs = [spec for _, spec in to_run]
+                for j, outcome in self.backend.run_iter(ctx, run_specs):
+                    key = to_run[j][0]
+                    self.rounds_computed += 1
+                    computed += 1
+                    if self.cache is not None:
+                        self.cache.put(key, outcome)
+                    for index in positions[key]:
+                        yield index, outcome
+        finally:
+            self.batch_log.append({
+                "batch": len(self.batch_log) + 1,
+                "backend": self.backend.name,
+                "n_specs": len(specs),
+                "n_unique": len(positions),
+                "computed": computed,
+                "cache_hits": len(positions) - len(to_run),
+                "seconds": time.perf_counter() - start,
+            })
 
     # -- introspection ----------------------------------------------------
 

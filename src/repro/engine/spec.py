@@ -53,6 +53,7 @@ __all__ = [
     "registered_victim_kinds",
     "materialize_victim",
     "prewarm_context",
+    "prewarm_all",
 ]
 
 
@@ -422,6 +423,20 @@ def prewarm_context(ctx, specs) -> None:
                 prewarmer(ctx)
 
 
+def prewarm_all(ctx) -> None:
+    """Run *every* registered prewarmer (all three registries) on ``ctx``.
+
+    Used by long-lived executors that cannot see their future specs —
+    a cluster shard server warms the context once at startup, before
+    packing it into the per-host shared-memory segment, so no chunk
+    ever pays for the surrogate fit or the clean geometry.
+    """
+    for registry in (_ATTACK_PREWARMERS, _DEFENSE_PREWARMERS,
+                     _VICTIM_PREWARMERS):
+        for kind in sorted(registry):
+            registry[kind](ctx)
+
+
 def materialize_attack(ctx, spec: AttackSpec):
     """Build the live attack object a spec names, in context ``ctx``."""
     try:
@@ -617,13 +632,57 @@ def _build_percentile_filter(ctx, spec: DefenseSpec, seed):
 
 
 def _build_slab_filter(ctx, spec: DefenseSpec, seed):
+    """The slab defence; ``axis="clean"`` pins it to the clean geometry.
+
+    By default class centroids are re-estimated from the contaminated
+    data each round (the operational defence).  With params
+    ``axis="clean"`` the filter is pinned to the *clean* per-class
+    centroids served by the context's round kernel — genuine rows'
+    slab scores are then cached once per context and every round only
+    scores its poison rows (bit-identical to scoring from scratch; the
+    slab counterpart of the radius filter's kernel fast path).
+    """
     from repro.defenses.slab_filter import SlabFilter
 
     params = dict(spec.params)
+    axis = params.get("axis", "data")
+    if axis not in ("data", "clean"):
+        raise ValueError(
+            f'slab_filter params axis={axis!r} is not "data" or "clean"')
+    kwargs = {}
+    if axis == "clean":
+        # The clean axis *is* the kernel's geometry, which is computed
+        # with the context's own centroid method — a different
+        # centroid_method here would cache a result under a key that
+        # misdescribes it.  Refuse rather than silently substitute.
+        method = params.get("centroid_method")
+        if method is not None and method != ctx.centroid_method:
+            raise ValueError(
+                f'slab_filter axis="clean" uses the context\'s clean '
+                f"geometry (centroid_method={ctx.centroid_method!r}); "
+                f"it cannot be combined with centroid_method={method!r}")
+        kernel = getattr(ctx, "kernel", None)
+        pair = kernel().class_centroids if callable(kernel) else None
+        if pair is None:
+            # Same refusal logic: degrading to per-round contaminated
+            # centroids would change the defence's semantics under a
+            # cache key that promised the clean axis.
+            raise ValueError(
+                'slab_filter axis="clean" needs the context\'s clean '
+                "per-class geometry, which is degenerate here (one "
+                "class, or coincident class centroids)")
+        kwargs["centroids"] = pair
     return SlabFilter(
         remove_fraction=float(spec.percentile),
         centroid_method=params.get("centroid_method", ctx.centroid_method),
+        **kwargs,
     )
+
+
+def _prewarm_slab(ctx):
+    kernel = getattr(ctx, "kernel", None)
+    if callable(kernel):
+        kernel().clean_slab_scores  # forces the clean slab geometry once
 
 
 def _build_knn_sanitizer(ctx, spec: DefenseSpec, seed):
@@ -707,6 +766,7 @@ register_defense_builder("radius", _build_radius)
 register_defense_prewarmer("radius", _prewarm_radius)
 register_defense_builder("percentile_filter", _build_percentile_filter)
 register_defense_builder("slab_filter", _build_slab_filter)
+register_defense_prewarmer("slab_filter", _prewarm_slab)
 register_defense_builder("knn_sanitizer", _build_knn_sanitizer)
 register_defense_builder("roni", _build_roni)
 register_defense_builder("loss_filter", _build_loss_filter)

@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments.cli paper-table1
     python -m repro.experiments.cli proposition1 [--seed S]
     python -m repro.experiments.cli repro-cache {info,prune} --cache-dir DIR
+    python -m repro.experiments.cli repro-cluster serve [--port P] [--jobs N]
 
 Each command prints the same rows/series the paper reports and, with
 ``--json PATH``, archives the structured result.  Experiment commands
@@ -18,10 +19,15 @@ end with an engine-stats summary (cache hits/misses/evictions,
 per-batch backend and wall time).
 
 Execution is controlled by the engine flags shared across commands:
-``--backend serial|process`` and ``--jobs N`` choose how rounds run,
+``--backend serial|process|cluster`` and ``--jobs N`` choose how
+rounds run (``cluster`` shards them across ``--shards host:port,...``
+servers, autospawning localhost shards when none are given),
 ``--cache-dir DIR`` persists results on disk (an equal-seed rerun is
 then served from cache), ``--no-cache`` disables caching.  Results are
-bit-identical whatever the backend.
+bit-identical whatever the backend.  Long sweeps stream per-round
+progress to stderr through the engine's ``evaluate_stream`` machinery
+(on by default on a terminal; ``--progress`` / ``--no-progress``
+force it).
 
 Spec strings (``cross-game``) read ``kind[:percentile][:k=v,...]``,
 e.g. ``radius:0.1``, ``slab_filter:0.15``, ``knn_sanitizer::k=7``,
@@ -138,9 +144,19 @@ def _parse_victim_arg(text: str | None):
 def _make_engine(args):
     from repro.engine import EvaluationEngine
 
+    backend = args.backend
+    if backend == "cluster" and getattr(args, "shards", None):
+        # Build the backend directly so --shards needs no env detour.
+        from repro.cluster.backend import ClusterBackend, parse_shard_addresses
+
+        try:
+            backend = ClusterBackend(
+                jobs=args.jobs, shards=parse_shard_addresses(args.shards))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     try:
         return EvaluationEngine(
-            args.backend,
+            backend,
             jobs=args.jobs,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
@@ -148,6 +164,45 @@ def _make_engine(args):
         )
     except ValueError as exc:  # unknown backend, --jobs 0, ...
         raise SystemExit(str(exc))
+
+
+class _ProgressPrinter:
+    """Streaming round counter for long sweeps (one ``\\r`` line).
+
+    The callback face of ``EvaluationEngine.evaluate_batch(...,
+    progress=)``: every resolved round (cache hits first, then backend
+    completions as they land) redraws ``rounds done/total`` on stderr.
+    """
+
+    def __init__(self, label: str):
+        self.label = label
+        self._dirty = False
+
+    def __call__(self, done: int, total: int) -> None:
+        print(f"\r{self.label}: round {done}/{total}", end="",
+              file=sys.stderr, flush=True)
+        self._dirty = True
+        if done >= total:
+            self.finish()
+
+    def finish(self) -> None:
+        if self._dirty:
+            print(file=sys.stderr, flush=True)
+            self._dirty = False
+
+
+def _progress_for(args, label: str):
+    """A live progress callback, or ``None`` when not wanted.
+
+    ``--progress`` forces it on, ``--no-progress`` off; the default
+    streams only when stderr is a terminal (reports stay clean when
+    piped).
+    """
+    if getattr(args, "no_progress", False):
+        return None
+    if getattr(args, "progress", False) or sys.stderr.isatty():
+        return _ProgressPrinter(label)
+    return None
 
 
 def _print_engine_stats(engine) -> None:
@@ -167,7 +222,8 @@ def cmd_figure1(args) -> int:
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
                                     n_repeats=args.repeats,
                                     victim=_parse_victim_arg(args.victim),
-                                    engine=engine)
+                                    engine=engine,
+                                    progress=_progress_for(args, "figure1"))
     print(format_pure_sweep(sweep))
     _print_engine_stats(engine)
     if args.json:
@@ -185,12 +241,14 @@ def cmd_table1(args) -> int:
     ctx = _make_context(args)
     engine = _make_engine(args)
     victim = _parse_victim_arg(args.victim)
+    progress = _progress_for(args, "table1")
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
                                     n_repeats=args.repeats, engine=engine,
-                                    victim=victim)
+                                    victim=victim, progress=progress)
     results = run_table1_experiment(ctx, sweep, n_radii_values=tuple(args.n_radii),
                                     poison_fraction=args.poison_fraction,
-                                    engine=engine, victim=victim)
+                                    engine=engine, victim=victim,
+                                    progress=progress)
     print(format_table1(results))
     _print_engine_stats(engine)
     if args.json:
@@ -208,7 +266,9 @@ def cmd_empirical_game(args) -> int:
     result = solve_empirical_game(ctx, poison_fraction=args.poison_fraction,
                                   n_repeats=args.repeats,
                                   victim=_parse_victim_arg(args.victim),
-                                  engine=engine)
+                                  engine=engine,
+                                  progress=_progress_for(args,
+                                                         "empirical-game"))
     rows = [(f"{p:.1%}", f"{q:.1%}")
             for p, q in zip(result.percentiles, result.defender_mix)]
     print(ascii_table(["filter percentile", "probability"], rows,
@@ -236,7 +296,7 @@ def cmd_cross_game(args) -> int:
     result = solve_cross_family_game(
         ctx, defenses, attacks, poison_fraction=args.poison_fraction,
         n_repeats=args.repeats, victim=_parse_victim_arg(args.victim),
-        engine=engine,
+        engine=engine, progress=_progress_for(args, "cross-game"),
     )
     print(format_cross_game(result))
     _print_engine_stats(engine)
@@ -267,6 +327,16 @@ def cmd_repro_cache(args) -> int:
         print(f"schema version: {manifest['schema_version']}")
         print(f"entries:        {manifest['entry_count']}")
         print(f"total bytes:    {manifest['total_bytes']}")
+    return 0
+
+
+def cmd_repro_cluster(args) -> int:
+    # Same args shape as `python -m repro.cluster`, so the two entry
+    # points share one context dispatcher.
+    from repro.cluster.server import context_from_args, serve
+
+    serve(context_from_args(args), host=args.host, port=args.port,
+          jobs=args.jobs, chaos_exit_after=args.chaos_exit_after)
     return 0
 
 
@@ -304,7 +374,9 @@ def cmd_proposition1(args) -> int:
     engine = _make_engine(args)
     sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
                                     n_repeats=args.repeats, engine=engine,
-                                    victim=_parse_victim_arg(args.victim))
+                                    victim=_parse_victim_arg(args.victim),
+                                    progress=_progress_for(args,
+                                                           "proposition1"))
     curves = estimate_payoff_curves(sweep.percentiles, sweep.acc_clean,
                                     sweep.acc_attacked, sweep.n_poison)
     game = PoisoningGame(curves=curves, n_poison=sweep.n_poison)
@@ -325,6 +397,7 @@ _COMMANDS = {
     "paper-table1": cmd_paper_table1,
     "proposition1": cmd_proposition1,
     "repro-cache": cmd_repro_cache,
+    "repro-cluster": cmd_repro_cluster,
 }
 
 
@@ -343,6 +416,28 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--cache-dir", type=str, required=True,
                            help="the on-disk cache directory to operate on")
             continue
+        if name == "repro-cluster":
+            p.add_argument("action", choices=("serve",),
+                           help="serve: run a shard server for one context")
+            p.add_argument("--context", type=str, default="spambase",
+                           choices=("spambase", "synthetic"),
+                           help="construct the served context by name")
+            p.add_argument("--context-file", type=str, default=None,
+                           help="serve a pickled context instead (see "
+                                "repro.experiments.runner.save_context)")
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--n-samples", type=int, default=None)
+            p.add_argument("--host", type=str, default="127.0.0.1")
+            p.add_argument("--port", type=int, default=0,
+                           help="0 binds a free port (announced on the "
+                                "READY line)")
+            p.add_argument("--jobs", type=int, default=None,
+                           help="worker processes on this shard "
+                                "(default 1: in-process)")
+            p.add_argument("--chaos-exit-after", type=int, default=None,
+                           help="failure injection: hard-exit mid-chunk "
+                                "after N rounds (failover drills)")
+            continue
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--n-samples", type=int, default=None,
                        help="subsample the dataset (default: full 4601)")
@@ -351,10 +446,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", type=str, default=None,
                        help="archive the structured result to this path")
         p.add_argument("--backend", type=str, default="serial",
-                       help="evaluation backend: serial (default) or process")
+                       help="evaluation backend: serial (default), "
+                            "process, or cluster")
         p.add_argument("--jobs", type=int, default=None,
-                       help="worker count for parallel backends "
-                            "(default: all cores)")
+                       help="worker count for parallel backends; for "
+                            "cluster with no --shards, how many localhost "
+                            "shards to autospawn (default 2)")
+        p.add_argument("--shards", type=str, default=None,
+                       help="cluster backend: comma-separated host:port "
+                            "shard servers (default: autospawn localhost "
+                            "shards; also via REPRO_CLUSTER_SHARDS)")
         p.add_argument("--cache-dir", type=str, default=None,
                        help="persist round results as JSON under this "
                             "directory (reruns become cache hits)")
@@ -363,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-max-entries", type=int, default=None,
                        help="LRU cap for the in-memory cache tier "
                             "(default: unbounded)")
+        p.add_argument("--progress", action="store_true",
+                       help="stream per-round progress to stderr even "
+                            "when it is not a terminal")
+        p.add_argument("--no-progress", action="store_true",
+                       help="never stream per-round progress")
         if name != "paper-table1":  # runs no rounds: nothing to re-victim
             p.add_argument("--victim", type=str, default=None,
                            help="victim spec kind[:k=v,...], e.g. logistic "

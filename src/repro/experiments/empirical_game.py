@@ -103,6 +103,7 @@ def build_empirical_game(
     victim: VictimSpec | None = None,
     defense_kind: str = "radius",
     defense_params=(),
+    progress=None,
 ) -> np.ndarray:
     """Measure the accuracy matrix ``A[filter, attack]`` on a grid.
 
@@ -122,6 +123,7 @@ def build_empirical_game(
         ctx, percentiles, poison_fraction=poison_fraction, n_repeats=n_repeats,
         seed_label="empirical", engine=resolve_engine(engine), victim=victim,
         defense_kind=defense_kind, defense_params=defense_params,
+        progress=progress,
     )
 
 
@@ -134,6 +136,7 @@ def solve_empirical_game(
     accuracy_matrix: np.ndarray | None = None,
     engine: EvaluationEngine | None = None,
     victim: VictimSpec | None = None,
+    progress=None,
 ) -> EmpiricalGameResult:
     """Measure (or accept) the accuracy matrix and solve it exactly.
 
@@ -147,6 +150,7 @@ def solve_empirical_game(
         accuracy_matrix = build_empirical_game(
             ctx, percentiles, poison_fraction=poison_fraction,
             n_repeats=n_repeats, engine=engine, victim=victim,
+            progress=progress,
         )
     accuracy_matrix = np.asarray(accuracy_matrix, dtype=float)
     if accuracy_matrix.shape != (percentiles.size, percentiles.size):
@@ -235,6 +239,7 @@ def build_cross_family_game(
     n_repeats: int = 1,
     victim: VictimSpec | None = None,
     engine: EvaluationEngine | None = None,
+    progress=None,
 ) -> np.ndarray:
     """Measure ``A[defense i, attack j]`` over arbitrary spec lists.
 
@@ -269,7 +274,7 @@ def build_cross_family_game(
         for j, a in enumerate(attacks)
         for rep in range(n_repeats)
     ]
-    outcomes = engine.evaluate_batch(ctx, specs)
+    outcomes = engine.evaluate_batch(ctx, specs, progress=progress)
     accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
     return accuracies.reshape(len(defenses), len(attacks), n_repeats).mean(axis=2)
 
@@ -284,6 +289,7 @@ def solve_cross_family_game(
     victim: VictimSpec | None = None,
     accuracy_matrix: np.ndarray | None = None,
     engine: EvaluationEngine | None = None,
+    progress=None,
 ) -> CrossGameResult:
     """Measure (or accept) a cross-family accuracy matrix and solve it.
 
@@ -298,6 +304,7 @@ def solve_cross_family_game(
         accuracy_matrix = build_cross_family_game(
             ctx, defenses, attacks, poison_fraction=poison_fraction,
             n_repeats=n_repeats, victim=victim, engine=engine,
+            progress=progress,
         )
     accuracy_matrix = np.asarray(accuracy_matrix, dtype=float)
     if accuracy_matrix.shape != (len(defenses), len(attacks)):

@@ -85,9 +85,11 @@ class ContextKernel:
     clean_distances: np.ndarray
     map_distances: np.ndarray
     surrogate_factory: object = None
+    centroid_method: str = "median"
     _direction: object = _UNSET
     _attack_radii: dict = field(default_factory=dict)
     _filter_radii: dict = field(default_factory=dict)
+    _slab: object = _UNSET
 
     # -- percentile -> radius lookups --------------------------------------
 
@@ -147,6 +149,85 @@ class ContextKernel:
         falls back to the from-scratch path.
         """
         return X is self.X_train
+
+    # -- per-class slab geometry -------------------------------------------
+
+    def _slab_geometry(self):
+        """Lazily computed clean slab geometry, or ``None`` if degenerate.
+
+        Returns ``(class_centroids, axis, midpoint, clean_scores)``:
+        the per-class clean centroids ``(mu_pos, mu_neg)``, the unit
+        class-centroid axis, its midpoint, and every clean training
+        row's absolute displacement along it — the quantities a
+        :class:`~repro.defenses.slab_filter.SlabFilter` pinned to the
+        clean axis recomputes identically every round.  ``None`` when
+        the clean data has fewer than two classes or a zero axis (the
+        filter then scores everything zero anyway).
+        """
+        if isinstance(self._slab, str):
+            # Shared with SlabFilter's from-scratch path: the fast
+            # path's bit-identity holds because both compute geometry
+            # and scores through the same two helpers.
+            from repro.defenses.slab_filter import (slab_axis_midpoint,
+                                                    slab_displacement)
+            from repro.ml.base import signed_labels
+
+            self._slab = None
+            y_signed = signed_labels(self.y_train)
+            if len(np.unique(y_signed)) == 2:
+                mu_pos = compute_centroid(self.X_train[y_signed == 1],
+                                          method=self.centroid_method).location
+                mu_neg = compute_centroid(self.X_train[y_signed == -1],
+                                          method=self.centroid_method).location
+                geometry = slab_axis_midpoint(mu_pos, mu_neg)
+                if geometry is not None:
+                    axis, midpoint = geometry
+                    scores = slab_displacement(self.X_train, axis, midpoint)
+                    self._slab = ((mu_pos, mu_neg), axis, midpoint, scores)
+        return self._slab
+
+    @property
+    def class_centroids(self):
+        """Clean per-class centroids ``(mu_pos, mu_neg)`` (memoised), or
+        ``None`` on degenerate data.  Hand these to a ``SlabFilter`` as
+        its ``centroids=`` to pin it to the clean axis — the engine's
+        ``slab_filter`` family does exactly that for ``axis="clean"``
+        specs, which is what routes its rounds through
+        :meth:`slab_scores`."""
+        slab = self._slab_geometry()
+        return None if slab is None else slab[0]
+
+    @property
+    def clean_slab_scores(self) -> np.ndarray | None:
+        """Each clean row's slab score along the clean axis (memoised)."""
+        slab = self._slab_geometry()
+        return None if slab is None else slab[3]
+
+    def slab_scores(self, X_mix, is_poison, sources) -> np.ndarray | None:
+        """Slab scores of a mixed matrix, genuine rows served from cache.
+
+        Mirrors :meth:`keep_mask`'s trick for the radius filter: rows
+        that came from the clean training set reuse
+        :attr:`clean_slab_scores` (scores are row-local — one
+        vector dot per row — so reuse is bit-identical); only poison
+        rows are scored fresh.  ``None`` when the slab geometry is
+        degenerate or ``X_mix`` is not traceable to this kernel's
+        training matrix.
+        """
+        slab = self._slab_geometry()
+        if slab is None:
+            return None
+        _, axis, midpoint, clean_scores = slab
+        if sources is None:
+            return clean_scores if self.describes(X_mix) else None
+        from repro.defenses.slab_filter import slab_displacement
+
+        d = np.empty(X_mix.shape[0], dtype=float)
+        genuine = ~is_poison
+        d[genuine] = clean_scores[sources[genuine]]
+        if is_poison.any():
+            d[is_poison] = slab_displacement(X_mix[is_poison], axis, midpoint)
+        return d
 
     # -- filter fast path ---------------------------------------------------
 
@@ -208,6 +289,7 @@ def build_context_kernel(ctx, *, state: dict | None = None) -> ContextKernel:
         centroid=centroid,
         clean_distances=distances_to_centroid(ctx.X_train, centroid),
         map_distances=ctx.radius_map.distances,
+        centroid_method=ctx.centroid_method,
         # Same construction as ctx.attack_surrogate(), captured without
         # a bound method: the kernel must not hold a back-reference to
         # the context (the context caches the kernel, and a cycle would

@@ -71,6 +71,7 @@ def run_multi_seed_sweep(
     poison_fraction: float = 0.2,
     n_repeats: int = 1,
     engine: EvaluationEngine | None = None,
+    progress=None,
 ) -> AggregatedSweep:
     """Run the Figure-1 sweep across ``n_seeds`` independent contexts.
 
@@ -91,7 +92,7 @@ def run_multi_seed_sweep(
         ctx = context_factory(derive_seed(base_seed, "multi-seed", k))
         sweeps.append(run_pure_strategy_sweep(
             ctx, percentiles=percentiles, poison_fraction=poison_fraction,
-            n_repeats=n_repeats, engine=engine,
+            n_repeats=n_repeats, engine=engine, progress=progress,
         ))
 
     ref = np.asarray(sweeps[0].percentiles, dtype=float)

@@ -66,6 +66,7 @@ def support_accuracy_matrix(
     victim: VictimSpec | None = None,
     defense_kind: str = "radius",
     defense_params=(),
+    progress=None,
 ) -> np.ndarray:
     """Measured accuracy matrix ``A[filter i, attack j]`` over a support.
 
@@ -75,7 +76,8 @@ def support_accuracy_matrix(
     ``derive_seed(ctx.seed, seed_label, i, j, rep)``, run as a single
     engine batch and averaged over repeats.  ``victim`` overrides the
     trained model; ``defense_kind``/``defense_params`` reinterpret the
-    defender's axis as another registered family's strength.
+    defender's axis as another registered family's strength;
+    ``progress`` is the engine's streaming ``callback(done, total)``.
     """
     support = np.asarray(support, dtype=float)
     k = support.size
@@ -91,7 +93,7 @@ def support_accuracy_matrix(
         for i, p_filter in enumerate(support)
         for rep in range(n_repeats)
     ]
-    outcomes = engine.evaluate_batch(ctx, specs)
+    outcomes = engine.evaluate_batch(ctx, specs, progress=progress)
     accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
     # Batch layout (attack j, filter i, repeat) -> matrix[i, j].
     return accuracies.reshape(k, k, n_repeats).mean(axis=2).T
@@ -107,6 +109,7 @@ def run_pure_strategy_sweep(
     victim: VictimSpec | None = None,
     defense_kind: str = "radius",
     defense_params=(),
+    progress=None,
 ) -> PureSweepResult:
     """Figure 1: accuracy vs filter strength, clean and under optimal attack.
 
@@ -123,7 +126,11 @@ def run_pure_strategy_sweep(
     ``victim`` swaps the trained model (any registered
     :class:`~repro.engine.VictimSpec` kind); ``defense_kind`` and
     ``defense_params`` sweep another registered defence family's
-    strength axis instead of the radius filter's.
+    strength axis instead of the radius filter's.  ``progress`` is an
+    optional ``callback(done, total)``: when given, the batch rides
+    the engine's streaming path and the callback fires per round as
+    outcomes land (cache hits first) — results are bit-identical
+    either way.
     """
     check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
     check_positive_int(n_repeats, name="n_repeats")
@@ -147,7 +154,7 @@ def run_pure_strategy_sweep(
                 attack=AttackSpec("boundary", float(p)),
                 poison_fraction=poison_fraction, seed=seed, victim=victim,
             ))
-    outcomes = engine.evaluate_batch(ctx, specs)
+    outcomes = engine.evaluate_batch(ctx, specs, progress=progress)
 
     # Batch layout: (percentile, repeat, [clean, attacked]).
     accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
@@ -174,6 +181,7 @@ def evaluate_mixed_defense(
     n_repeats: int = 1,
     engine: EvaluationEngine | None = None,
     victim: VictimSpec | None = None,
+    progress=None,
 ) -> tuple[float, float, np.ndarray]:
     """Expected accuracy of a mixed defence under the optimal mixed attack.
 
@@ -195,6 +203,7 @@ def evaluate_mixed_defense(
     matrix = support_accuracy_matrix(
         ctx, support, poison_fraction=poison_fraction, n_repeats=n_repeats,
         seed_label="mixed", engine=resolve_engine(engine), victim=victim,
+        progress=progress,
     )
 
     expected_by_attack = probs @ matrix  # one value per attacker column
@@ -216,6 +225,7 @@ def run_table1_experiment(
     algorithm_kwargs: dict | None = None,
     engine: EvaluationEngine | None = None,
     victim: VictimSpec | None = None,
+    progress=None,
 ) -> list[MixedStrategyResult]:
     """Table 1: Algorithm 1's mixed defence for each support size.
 
@@ -240,6 +250,7 @@ def run_table1_experiment(
         accuracy, dispersion, matrix = evaluate_mixed_defense(
             ctx, opt.defense, poison_fraction=poison_fraction,
             n_repeats=n_repeats, engine=engine, victim=victim,
+            progress=progress,
         )
         results.append(
             MixedStrategyResult(

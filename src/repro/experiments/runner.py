@@ -53,6 +53,9 @@ __all__ = [
     "VictimFactory",
     "make_spambase_context",
     "make_synthetic_context",
+    "make_context",
+    "save_context",
+    "load_context",
     "evaluate_configuration",
     "EvaluationOutcome",
 ]
@@ -406,6 +409,63 @@ def make_synthetic_context(
     )
 
 
+_CONTEXT_MAKERS = {
+    "spambase": make_spambase_context,
+    "synthetic": make_synthetic_context,
+}
+
+
+def make_context(name: str, **kwargs) -> ExperimentContext:
+    """Build a context by name (``"spambase"`` or ``"synthetic"``).
+
+    The dispatcher the CLI and the cluster shard server share, so
+    "which experimental setting" is one string plus keyword overrides
+    on both ends of a deployment.
+    """
+    try:
+        maker = _CONTEXT_MAKERS[str(name)]
+    except KeyError:
+        raise ValueError(
+            f"unknown context {name!r}; choose from "
+            f"{sorted(_CONTEXT_MAKERS)}"
+        ) from None
+    return maker(**kwargs)
+
+
+def save_context(ctx: ExperimentContext, path: str) -> str:
+    """Pickle ``ctx`` (fingerprint pre-computed) to ``path``.
+
+    Forces the fingerprint first so the saved copy answers
+    ``fingerprint()`` with the original's value even for opaque
+    (salted) factories — the cluster handshake depends on the two
+    sides agreeing.  Unpicklable contexts (lambda factories) raise the
+    same clear ``TypeError`` as the process backend.
+    """
+    import pickle
+
+    ctx.fingerprint()
+    try:
+        blob = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise TypeError(
+            "the experiment context cannot be pickled for a shard server "
+            "(a lambda/closure model_factory is the usual culprit — use a "
+            "picklable callable class such as SVMVictimFactory): "
+            f"{exc}"
+        ) from exc
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return path
+
+
+def load_context(path: str) -> ExperimentContext:
+    """Inverse of :func:`save_context`."""
+    import pickle
+
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
 @dataclass(frozen=True)
 class EvaluationOutcome:
     """Result of one attack/filter/train/score round."""
@@ -503,7 +563,17 @@ def evaluate_configuration(
         n_removed = int((~keep).sum())
         X_tr, y_tr = X_tr[keep], y_tr[keep]
     elif defense is not None:
-        keep = np.asarray(defense.mask(X_tr, y_tr), dtype=bool)
+        keep = None
+        if kernel is not None:
+            # Per-family kernel fast path: a defence may serve its keep
+            # mask from per-context cached geometry (e.g. the slab
+            # filter's clean per-class scores).  ``None`` means "not
+            # applicable for this round" — fall through to mask().
+            fast = getattr(defense, "kernel_mask", None)
+            if fast is not None:
+                keep = fast(kernel, X_tr, y_tr, is_poison, sources)
+        if keep is None:
+            keep = np.asarray(defense.mask(X_tr, y_tr), dtype=bool)
         report = defense_report(keep, is_poison)
         n_removed = int((~keep).sum())
         X_tr, y_tr = X_tr[keep], y_tr[keep]

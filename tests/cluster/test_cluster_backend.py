@@ -1,0 +1,265 @@
+"""Cluster backend: handshake, parity with serial, scheduler behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.backend import ClusterBackend, parse_shard_addresses
+from repro.cluster.scheduler import (
+    ClusterError,
+    ClusterScheduler,
+    ShardClient,
+    ShardError,
+)
+from repro.engine import (
+    AttackSpec,
+    DefenseSpec,
+    EvaluationEngine,
+    RoundSpec,
+    cache_schema_version,
+)
+from repro.experiments.runner import make_synthetic_context
+
+
+def batch(n=3, seeds=2):
+    specs = []
+    for p in np.linspace(0.0, 0.3, n):
+        for s in range(seeds):
+            specs.append(RoundSpec(filter_percentile=float(p), attack=None,
+                                   seed=50 + s))
+            specs.append(RoundSpec(filter_percentile=float(p),
+                                   attack=AttackSpec("boundary", float(p)),
+                                   poison_fraction=0.2, seed=50 + s))
+    return specs
+
+
+class TestParseAddresses:
+    def test_formats(self):
+        assert parse_shard_addresses(None) == []
+        assert parse_shard_addresses("") == []
+        assert parse_shard_addresses("a:1,b:2") == [("a", 1), ("b", 2)]
+        assert parse_shard_addresses("a:1 b:2") == [("a", 1), ("b", 2)]
+
+    def test_bad_address_raises(self):
+        with pytest.raises(ValueError, match="host:port"):
+            parse_shard_addresses("nocolon")
+        with pytest.raises(ValueError, match="not an integer"):
+            parse_shard_addresses("host:http")
+
+
+class TestClusterParity:
+    """The acceptance bar: cluster == serial, bit for bit."""
+
+    def test_two_shards_match_serial(self, cluster_ctx, shard_farm):
+        specs = batch()
+        serial = EvaluationEngine("serial", cache=False)
+        cluster = EvaluationEngine(
+            ClusterBackend(shards=shard_farm(2)), cache=False)
+        assert cluster.evaluate_batch(cluster_ctx, specs) == \
+            serial.evaluate_batch(cluster_ctx, specs)
+
+    def test_cache_keys_and_state_match_serial(self, cluster_ctx, shard_farm):
+        """Remote results enter the cache under exactly the serial keys."""
+        specs = batch(n=2)
+        serial = EvaluationEngine("serial", cache=True)
+        cluster = EvaluationEngine(
+            ClusterBackend(shards=shard_farm(2)), cache=True)
+        assert serial.evaluate_batch(cluster_ctx, specs) == \
+            cluster.evaluate_batch(cluster_ctx, specs)
+        assert sorted(serial.cache._memory) == sorted(cluster.cache._memory)
+        assert serial.cache._memory == cluster.cache._memory
+
+    def test_warm_cache_serves_without_shard_contact(self, cluster_ctx,
+                                                     shard_farm):
+        specs = batch(n=2)
+        engine = EvaluationEngine(
+            ClusterBackend(shards=shard_farm(1)), cache=True)
+        first = engine.evaluate_batch(cluster_ctx, specs)
+        computed = engine.rounds_computed
+        second = engine.evaluate_batch(cluster_ctx, specs)
+        assert first == second
+        assert engine.rounds_computed == computed
+
+    def test_mixed_families_run_remotely(self, cluster_ctx, shard_farm):
+        """Non-radius defenses and victims materialise shard-side."""
+        specs = [
+            RoundSpec(defense=DefenseSpec("slab_filter", 0.15),
+                      attack=AttackSpec("label-flip"),
+                      poison_fraction=0.2, seed=5),
+            RoundSpec(defense=DefenseSpec("slab_filter", 0.15,
+                                          {"axis": "clean"}),
+                      attack=AttackSpec("boundary", 0.1),
+                      poison_fraction=0.2, seed=5),
+        ]
+        serial = EvaluationEngine("serial", cache=False)
+        cluster = EvaluationEngine(
+            ClusterBackend(shards=shard_farm(2)), cache=False)
+        assert cluster.evaluate_batch(cluster_ctx, specs) == \
+            serial.evaluate_batch(cluster_ctx, specs)
+
+
+class TestHandshake:
+    def test_mismatched_context_is_refused(self, cluster_ctx, shard_farm):
+        addresses = shard_farm(1)
+        other = make_synthetic_context(seed=99, n_samples=100, n_features=3)
+        backend = ClusterBackend(shards=addresses)
+        with pytest.raises(ClusterError, match="fingerprint mismatch"):
+            backend.run(other, batch(n=1, seeds=1))
+
+    def test_matching_handshake_reports_capacity(self, cluster_ctx,
+                                                 shard_farm):
+        (address,) = shard_farm(1)
+        client = ShardClient(address)
+        try:
+            info = client.handshake(cluster_ctx.fingerprint(),
+                                    cache_schema_version())
+            assert info["type"] == "welcome"
+            assert info["capacity"] == 1
+        finally:
+            client.close()
+
+    def test_wrong_schema_is_refused(self, cluster_ctx, shard_farm):
+        (address,) = shard_farm(1)
+        client = ShardClient(address)
+        try:
+            with pytest.raises(ShardError, match="schema mismatch"):
+                client.handshake(cluster_ctx.fingerprint(),
+                                 cache_schema_version() + 1)
+        finally:
+            client.close()
+
+    def test_no_live_shard_raises_cluster_error(self, cluster_ctx):
+        backend = ClusterBackend(shards=[("127.0.0.1", 1)],
+                                 timeout=0.5)
+        with pytest.raises(ClusterError, match="no shard accepted"):
+            backend.run(cluster_ctx, batch(n=1, seeds=1))
+
+    def test_deterministic_round_failure_surfaces_not_cascades(
+            self, cluster_ctx, shard_farm):
+        """A spec whose *round* raises on a healthy shard aborts the
+        batch with that error — the shard is not retired and the chunk
+        is not retried elsewhere (it would fail identically and mask
+        the real exception)."""
+        from repro.cluster.scheduler import ChunkExecutionError
+
+        addresses = shard_farm(2)
+        backend = ClusterBackend(shards=addresses)
+        engine = EvaluationEngine(backend, cache=False)
+        # "mixed" without its required percentiles param raises in the
+        # builder, on the shard, deterministically.
+        bad = [RoundSpec(attack=AttackSpec("mixed", 0.1),
+                         poison_fraction=0.2, seed=1)]
+        with pytest.raises(ChunkExecutionError, match="percentiles"):
+            engine.evaluate_batch(cluster_ctx, bad)
+        # both shards survive and keep serving good batches
+        good = batch(n=2, seeds=1)
+        reference = EvaluationEngine("serial", cache=False)
+        assert engine.evaluate_batch(cluster_ctx, good) == \
+            reference.evaluate_batch(cluster_ctx, good)
+
+    def test_slow_chunk_outlasting_timeout_is_not_a_dead_shard(
+            self, cluster_ctx, shard_farm):
+        """The timeout bounds connect + handshake only.  A chunk whose
+        execution outlasts it must complete normally — under TCP a
+        timer cannot tell "still computing" from "hung", while a truly
+        dead shard surfaces as a reset, so reaping slow chunks would
+        retire healthy shards and abort retryable work."""
+        addresses = shard_farm(1)
+        specs = batch(n=3, seeds=2)  # one chunk, far more than 50ms of work
+        backend = ClusterBackend(shards=addresses, timeout=0.05,
+                                 min_chunk=len(specs),
+                                 max_chunk=len(specs))
+        engine = EvaluationEngine(backend, cache=False)
+        reference = EvaluationEngine("serial", cache=False)
+        assert engine.evaluate_batch(cluster_ctx, specs) == \
+            reference.evaluate_batch(cluster_ctx, specs)
+
+
+class _StubClient:
+    """Scheduler stub that serves every chunk instantly."""
+
+    name = "stub"
+
+    def __init__(self):
+        self.calls = 0
+
+    def run_chunk(self, chunk_id, specs):
+        self.calls += 1
+        return [f"out-{s}" for s in specs]
+
+    def close(self):
+        pass
+
+
+class _DyingClient(_StubClient):
+    """Fails every chunk; signals ``died`` after the first failure."""
+
+    name = "dying-stub"
+
+    def __init__(self, died):
+        super().__init__()
+        self.died = died
+
+    def run_chunk(self, chunk_id, specs):
+        self.calls += 1
+        self.died.set()
+        raise ShardError("stub shard died")
+
+
+class _WaitingClient(_StubClient):
+    """Healthy, but serves its first chunk only after ``died`` fires —
+    guarantees the dying shard really took (and lost) a chunk first."""
+
+    name = "waiting-stub"
+
+    def __init__(self, died):
+        super().__init__()
+        self.died = died
+
+    def run_chunk(self, chunk_id, specs):
+        assert self.died.wait(timeout=10.0)
+        return super().run_chunk(chunk_id, specs)
+
+
+class TestScheduler:
+    def test_requeued_chunk_is_never_dropped(self):
+        import threading
+
+        died = threading.Event()
+        healthy = _WaitingClient(died)
+        dying = _DyingClient(died)
+        scheduler = ClusterScheduler([healthy, dying], min_chunk=2,
+                                     max_chunk=4)
+        specs = [f"s{i}" for i in range(20)]
+        delivered = list(scheduler.run_iter(specs))
+        indices = [i for i, _ in delivered]
+        # exactly once: the dead shard's chunk came back via the
+        # survivor, nothing dropped, nothing duplicated
+        assert sorted(indices) == list(range(20))
+        assert len(indices) == len(set(indices))
+        results = dict(delivered)
+        assert all(results[i] == f"out-s{i}" for i in range(20))
+        assert dying.calls == 1
+        assert len(scheduler.failures) == 1
+
+    def test_all_shards_dead_raises_with_outstanding_count(self):
+        import threading
+
+        scheduler = ClusterScheduler([_DyingClient(threading.Event())])
+        with pytest.raises(ClusterError, match="outstanding"):
+            list(scheduler.run_iter(["a", "b", "c"]))
+
+    def test_adaptive_chunks_grow_on_fast_shards(self):
+        client = _StubClient()
+        scheduler = ClusterScheduler([client], min_chunk=1, max_chunk=64,
+                                     target_seconds=10.0)
+        list(scheduler.run_iter([f"s{i}" for i in range(40)]))
+        # instant chunks against a 10s target: growth is capped at 2x
+        # per round trip, so 40 items take ~log2(40) + residual trips,
+        # far fewer than one per item
+        assert client.calls <= 8
+
+    def test_chunk_bounds_validated(self):
+        with pytest.raises(ValueError, match="min_chunk"):
+            ClusterScheduler([_StubClient()], min_chunk=0)
+        with pytest.raises(ClusterError, match="no live shards"):
+            ClusterScheduler([])

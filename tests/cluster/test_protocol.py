@@ -1,0 +1,131 @@
+"""Wire-protocol unit tests: framing, errors, handshake messages."""
+
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster import protocol
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = _pair()
+        try:
+            message = {"type": "hello", "payload": list(range(100)),
+                       "nested": {"x": 1.5}}
+            protocol.send_message(a, message)
+            assert protocol.recv_message(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_messages_stay_separate(self):
+        a, b = _pair()
+        try:
+            for i in range(5):
+                protocol.send_message(a, {"type": "ping", "i": i})
+            for i in range(5):
+                assert protocol.recv_message(b)["i"] == i
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_mid_message_raises_connection_closed(self):
+        a, b = _pair()
+        try:
+            payload = pickle.dumps({"type": "x"})
+            # a full header promising more bytes than ever arrive
+            a.sendall(struct.pack(">Q", len(payload) + 10) + payload)
+            a.close()
+            with pytest.raises(protocol.ConnectionClosed):
+                protocol.recv_message(b)
+        finally:
+            b.close()
+
+    def test_eof_raises_connection_closed(self):
+        a, b = _pair()
+        a.close()
+        try:
+            with pytest.raises(protocol.ConnectionClosed):
+                protocol.recv_message(b)
+        finally:
+            b.close()
+
+    def test_garbage_payload_raises_protocol_error(self):
+        a, b = _pair()
+        try:
+            junk = b"this is not a pickle"
+            a.sendall(struct.pack(">Q", len(junk)) + junk)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_dict_payload_raises_protocol_error(self):
+        a, b = _pair()
+        try:
+            junk = pickle.dumps([1, 2, 3])
+            a.sendall(struct.pack(">Q", len(junk)) + junk)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_refused(self):
+        a, b = _pair()
+        try:
+            a.sendall(struct.pack(">Q", protocol.MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(protocol.ProtocolError, match="frame limit"):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_message_crosses_socket_buffers(self):
+        """Messages far beyond one TCP buffer arrive intact (the send
+        and recv loops genuinely handle partial transfers)."""
+        a, b = _pair()
+        try:
+            message = {"type": "run", "blob": b"x" * (4 << 20)}
+            thread = threading.Thread(
+                target=protocol.send_message, args=(a, message))
+            thread.start()
+            received = protocol.recv_message(b)
+            thread.join(timeout=10.0)
+            assert received == message
+        finally:
+            a.close()
+            b.close()
+
+
+class TestMessageConstructors:
+    def test_hello_welcome_reject(self):
+        h = protocol.hello("fp123", 3)
+        assert h["type"] == "hello"
+        assert h["protocol"] == protocol.PROTOCOL_VERSION
+        assert h["fingerprint"] == "fp123"
+        assert h["schema"] == 3
+        w = protocol.welcome("fp123", host="h", pid=1, capacity=2)
+        assert w["type"] == "welcome" and w["capacity"] == 2
+        r = protocol.reject("nope")
+        assert r["type"] == "reject" and r["reason"] == "nope"
+
+    def test_run_and_result(self):
+        run = protocol.run_chunk(7, ["a", "b"])
+        assert run == {"type": "run", "chunk_id": 7, "specs": ["a", "b"]}
+        res = protocol.chunk_result(7, [1, 2])
+        assert res == {"type": "result", "chunk_id": 7, "outcomes": [1, 2]}
+        err = protocol.chunk_error(7, "boom")
+        assert err["type"] == "error" and err["message"] == "boom"

@@ -1,0 +1,177 @@
+"""Slab-filter kernel fast path: bit-identity vs the direct path.
+
+ISSUE 4 satellite: per-class slab scores are cached on the
+``ContextKernel`` so genuine rows are scored once per context.  Every
+assertion here is exact (``==`` / ``array_equal``) — the fast path is
+an optimisation, never an approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import poison_dataset
+from repro.defenses.slab_filter import SlabFilter
+from repro.engine import (
+    AttackSpec,
+    DefenseSpec,
+    EvaluationEngine,
+    RoundSpec,
+    round_key,
+)
+from repro.engine.backends import execute_round
+from repro.engine.spec import materialize_attack, materialize_defense
+from repro.experiments.runner import evaluate_configuration, \
+    make_synthetic_context
+from repro.utils.rng import as_generator, derive_seed
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_synthetic_context(seed=5, n_samples=260, n_features=5)
+
+
+def _mixed(ctx, percentile=0.1, fraction=0.2, seed=9):
+    attack = materialize_attack(ctx, AttackSpec("boundary", percentile))
+    rng = as_generator(derive_seed(seed, "round"))
+    return poison_dataset(ctx.X_train, ctx.y_train, attack,
+                          fraction=fraction, seed=rng, return_sources=True)
+
+
+class TestCachedScores:
+    def test_clean_scores_match_fresh_filter(self, ctx):
+        kernel = ctx.kernel()
+        pair = kernel.class_centroids
+        assert pair is not None
+        fresh = SlabFilter(0.1, centroids=pair).slab_scores(
+            ctx.X_train, ctx.y_train)
+        assert np.array_equal(kernel.clean_slab_scores, fresh)
+
+    def test_mixed_scores_reuse_is_bit_identical(self, ctx):
+        kernel = ctx.kernel()
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        cached = kernel.slab_scores(X_mix, is_poison, sources)
+        fresh = SlabFilter(0.1, centroids=kernel.class_centroids) \
+            .slab_scores(X_mix, y_mix)
+        assert np.array_equal(cached, fresh)
+
+    def test_scores_computed_once_per_context(self, ctx):
+        kernel = ctx.kernel()
+        first = kernel.clean_slab_scores
+        assert kernel.clean_slab_scores is first  # memoised, same array
+
+
+class TestKernelMask:
+    def test_mask_matches_direct_path(self, ctx):
+        kernel = ctx.kernel()
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        pinned = SlabFilter(0.15, centroids=kernel.class_centroids)
+        fast = pinned.kernel_mask(kernel, X_mix, y_mix, is_poison, sources)
+        assert fast is not None
+        assert np.array_equal(fast, pinned.mask(X_mix, y_mix))
+
+    def test_foreign_centroids_fall_back(self, ctx):
+        """A filter pinned to *copies* of the clean centroids must not
+        claim the cached scores (identity check, like the attack
+        kernel's ``describes``)."""
+        kernel = ctx.kernel()
+        pair = kernel.class_centroids
+        copies = (np.array(pair[0], copy=True), np.array(pair[1], copy=True))
+        filt = SlabFilter(0.15, centroids=copies)
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        assert filt.kernel_mask(kernel, X_mix, y_mix, is_poison,
+                                sources) is None
+
+    def test_data_estimated_filter_never_uses_kernel(self, ctx):
+        filt = SlabFilter(0.15)
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        assert filt.kernel_mask(ctx.kernel(), X_mix, y_mix, is_poison,
+                                sources) is None
+
+
+class TestSpecPath:
+    def test_axis_clean_round_matches_reference(self, ctx):
+        """The engine's ``axis=clean`` slab round equals the same round
+        evaluated with a pinned filter and the kernel switched off."""
+        spec = RoundSpec(
+            defense=DefenseSpec("slab_filter", 0.15, {"axis": "clean"}),
+            attack=AttackSpec("boundary", 0.1),
+            poison_fraction=0.2, seed=13)
+        fast = execute_round(ctx, spec)
+        pair = ctx.kernel().class_centroids
+        reference = evaluate_configuration(
+            ctx,
+            attack=materialize_attack(ctx, spec.attack),
+            defense=SlabFilter(0.15, centroids=(
+                np.array(pair[0], copy=True), np.array(pair[1], copy=True))),
+            poison_fraction=0.2, seed=13, use_kernel=False)
+        assert fast == reference
+
+    def test_axis_clean_materialises_pinned_filter(self, ctx):
+        filt = materialize_defense(
+            ctx, DefenseSpec("slab_filter", 0.1, {"axis": "clean"}))
+        assert filt.centroids is not None
+        assert filt.centroids[0] is ctx.kernel().class_centroids[0]
+        plain = materialize_defense(ctx, DefenseSpec("slab_filter", 0.1))
+        assert plain.centroids is None
+
+    def test_bad_axis_param_rejected(self, ctx):
+        with pytest.raises(ValueError, match="axis"):
+            materialize_defense(
+                ctx, DefenseSpec("slab_filter", 0.1, {"axis": "sideways"}))
+
+    def test_axis_clean_refuses_foreign_centroid_method(self, ctx):
+        """The clean axis is the kernel's geometry (the context's own
+        centroid method); silently substituting it under a key claiming
+        another method would poison the cache."""
+        with pytest.raises(ValueError, match="centroid_method"):
+            materialize_defense(
+                ctx, DefenseSpec("slab_filter", 0.1,
+                                 {"axis": "clean",
+                                  "centroid_method": "mean"}))
+        # spelling the context's own method explicitly is fine
+        filt = materialize_defense(
+            ctx, DefenseSpec("slab_filter", 0.1,
+                             {"axis": "clean",
+                              "centroid_method": ctx.centroid_method}))
+        assert filt.centroids is not None
+
+    def test_axis_clean_refuses_degenerate_geometry(self):
+        """Single-class contexts cannot honour axis=clean; degrading to
+        per-round contaminated centroids would silently change the
+        defence's semantics under the clean-axis cache key."""
+        import numpy as np
+
+        from repro.experiments.runner import make_synthetic_context
+
+        degenerate = make_synthetic_context(seed=7, n_samples=80,
+                                            n_features=3)
+        degenerate.y_train = np.zeros_like(degenerate.y_train)
+        degenerate.__dict__.pop("_kernel", None)
+        with pytest.raises(ValueError, match="degenerate"):
+            materialize_defense(
+                degenerate, DefenseSpec("slab_filter", 0.1,
+                                        {"axis": "clean"}))
+
+    def test_axis_clean_and_plain_have_distinct_cache_keys(self, ctx):
+        fingerprint = ctx.fingerprint()
+        plain = RoundSpec(defense=DefenseSpec("slab_filter", 0.1),
+                          attack=AttackSpec("boundary", 0.1),
+                          poison_fraction=0.2, seed=1)
+        pinned = RoundSpec(
+            defense=DefenseSpec("slab_filter", 0.1, {"axis": "clean"}),
+            attack=AttackSpec("boundary", 0.1),
+            poison_fraction=0.2, seed=1)
+        assert round_key(fingerprint, plain) != round_key(fingerprint, pinned)
+
+    def test_engine_parity_serial_vs_process(self, ctx):
+        specs = [
+            RoundSpec(defense=DefenseSpec("slab_filter", 0.15,
+                                          {"axis": "clean"}),
+                      attack=AttackSpec("boundary", p),
+                      poison_fraction=0.2, seed=21 + i)
+            for i, p in enumerate((0.0, 0.1, 0.2))
+        ]
+        serial = EvaluationEngine("serial", cache=False)
+        process = EvaluationEngine("process", jobs=2, cache=False)
+        assert serial.evaluate_batch(ctx, specs) == \
+            process.evaluate_batch(ctx, specs)

@@ -121,3 +121,59 @@ class TestCrossGame:
         assert dict(a.params)["strategy"] == "near_boundary"
         assert _parse_defense_arg("none") is None
         assert _parse_attack_arg("clean") is None
+
+
+class TestProgressAndCluster:
+    """The streaming progress path and the cluster backend flags."""
+
+    def test_progress_streams_round_counts(self, capsys):
+        # --progress forces the engine through evaluate_stream's
+        # machinery even when stderr is not a terminal.
+        code = main(["figure1", "--n-samples", "300", "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "figure1: round" in captured.err
+        # the final redraw counts every spec of the sweep batch
+        assert "round 26/26" in captured.err
+        assert "Figure 1" in captured.out
+
+    def test_no_progress_keeps_stderr_clean(self, capsys):
+        code = main(["figure1", "--n-samples", "300", "--no-progress"])
+        assert code == 0
+        assert "round" not in capsys.readouterr().err
+
+    def test_progress_results_identical_to_plain(self, tmp_path, capsys):
+        plain_path = str(tmp_path / "plain.json")
+        streamed_path = str(tmp_path / "streamed.json")
+        assert main(["figure1", "--n-samples", "300",
+                     "--no-progress", "--json", plain_path]) == 0
+        assert main(["figure1", "--n-samples", "300",
+                     "--progress", "--json", streamed_path]) == 0
+        capsys.readouterr()
+        import json
+
+        with open(plain_path) as fh:
+            plain = json.load(fh)
+        with open(streamed_path) as fh:
+            streamed = json.load(fh)
+        assert plain == streamed
+
+    def test_cluster_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figure1", "--backend", "cluster",
+             "--shards", "hostA:7781,hostB:7781"])
+        assert args.backend == "cluster"
+        assert args.shards == "hostA:7781,hostB:7781"
+
+    def test_repro_cluster_serve_parser(self):
+        args = build_parser().parse_args(
+            ["repro-cluster", "serve", "--context", "synthetic",
+             "--port", "7781", "--jobs", "2"])
+        assert args.action == "serve"
+        assert args.context == "synthetic"
+        assert args.port == 7781
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(SystemExit, match="host:port"):
+            main(["figure1", "--n-samples", "300",
+                  "--backend", "cluster", "--shards", "nonsense"])
