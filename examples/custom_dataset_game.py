@@ -3,20 +3,21 @@
 The game analysis is not Spambase-specific: any binary dataset plus any
 estimator with the ``fit``/``decision_function`` API plugs into the same
 pipeline.  This example builds a heavy-tailed synthetic task, swaps the
-victim for logistic regression, and walks the full analysis — a
-template for applying the library to new settings.
+victim for logistic regression, and runs the Figure-1 study against the
+custom context — ``run_study(spec, context=...)`` is the escape hatch
+for settings a declarative ContextSpec cannot name.
 
 Run:  python examples/custom_dataset_game.py
 """
 
 import numpy as np
 
+from repro import run_study, studies
 from repro.core.algorithm1 import compute_optimal_defense
 from repro.core.equilibrium import cross_check_with_lp
 from repro.core.game import PoisoningGame
 from repro.core.payoff_estimation import estimate_payoff_curves
 from repro.data.synthetic import make_imbalanced_mixture
-from repro.experiments.payoff_sweep import run_pure_strategy_sweep
 from repro.experiments.runner import _build_context
 from repro.ml.logistic import LogisticRegression
 
@@ -39,11 +40,16 @@ def main() -> None:
     )
     print(f"dataset: {ctx.dataset_name}, train={ctx.n_train}")
 
-    # 3. Measure the pure-strategy trade-off.
-    sweep = run_pure_strategy_sweep(
-        ctx, percentiles=np.array([0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4]),
+    # 3. The experiment is still declarative — only the context is
+    #    custom.  (context=None in the spec: the study fingerprints
+    #    against the live context's content hash.)
+    spec = studies.figure1(
+        context=None,
+        percentiles=(0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4),
         poison_fraction=0.15,
     )
+    result = run_study(spec, context=ctx)
+    sweep = result.payload_object()
     for p, c, a in zip(sweep.percentiles, sweep.acc_clean, sweep.acc_attacked):
         print(f"  filter {p:5.0%}: clean {c:.3f}  attacked {a:.3f}")
 
@@ -51,14 +57,14 @@ def main() -> None:
     curves = estimate_payoff_curves(
         sweep.percentiles, sweep.acc_clean, sweep.acc_attacked, sweep.n_poison
     )
-    result = compute_optimal_defense(curves, n_radii=2, n_poison=sweep.n_poison)
+    opt = compute_optimal_defense(curves, n_radii=2, n_poison=sweep.n_poison)
     print("\nmixed defence:")
-    for p, q in zip(result.defense.percentiles, result.defense.probabilities):
+    for p, q in zip(opt.defense.percentiles, opt.defense.probabilities):
         print(f"  filter {p:6.2%} with probability {q:.1%}")
 
     # 5. Cross-check against the exact discretised game value.
     game = PoisoningGame(curves=curves, n_poison=sweep.n_poison)
-    check = cross_check_with_lp(game, result.expected_loss, n_grid=61)
+    check = cross_check_with_lp(game, opt.expected_loss, n_grid=61)
     print(f"\nAlgorithm 1 loss: {check.algorithm1_loss:.5f}")
     print(f"exact LP value:   {check.lp_value:.5f}")
     print(f"gap:              {check.value_gap:+.5f}")

@@ -5,6 +5,16 @@ empirical evaluation) and the measured-game LP cross-check side by
 side, then verifies the equilibrium properties (attacker indifference,
 no pure saddle point).
 
+NOTE — this example deliberately uses the *legacy driver functions*
+(``run_pure_strategy_sweep``, ``run_table1_experiment``,
+``solve_empirical_game``).  They are deprecation shims now: each call
+emits a ``DeprecationWarning`` and delegates to the study layer, with
+bit-identical results.  New code should build a
+:class:`repro.StudySpec` instead — see ``examples/quickstart.py`` —
+e.g. ``run_study(studies.table1(...))`` replaces the sweep+table pair
+here in one call.  This file is kept as-is to show that pre-study code
+keeps working unchanged.
+
 Run:  python examples/mixed_defense_spambase.py
 """
 

@@ -1,55 +1,62 @@
-"""Quickstart: the paper's full pipeline in ~40 lines.
+"""Quickstart: the paper's full pipeline through the study API.
 
-Loads the Spambase setting (surrogate if the real file is absent),
-measures the pure-strategy trade-off (Figure 1), estimates the payoff
-curves, runs Algorithm 1, and prints the resulting mixed defence.
+Everything is one declarative, serialisable :class:`repro.StudySpec`
+submitted to :func:`repro.run_study`: build the Figure-1 study, dry-run
+it (``describe_study``), execute it, archive the result, estimate the
+payoff curves from its payload and run Algorithm 1.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
     compute_optimal_defense,
+    describe_study,
     estimate_payoff_curves,
-    make_spambase_context,
-    run_pure_strategy_sweep,
+    run_study,
+    studies,
 )
-from repro.experiments import format_pure_sweep
+from repro.study import format_study_description, study_to_json
 
 
 def main() -> None:
-    # 1. The experimental setting: Spambase, 70/30 split, hinge-loss SVM.
+    # 1. The experimental setting and the experiment, as data.
     #    (n_samples subsampled for a fast demo; drop it for full scale.)
-    ctx = make_spambase_context(seed=0, n_samples=2600)
-    print(f"dataset: {ctx.dataset_name} (real file: {ctx.is_real_data})")
-    print(f"train/test: {ctx.n_train}/{len(ctx.y_test)}")
+    spec = studies.figure1(
+        context={"name": "spambase", "seed": 0, "n_samples": 2600},
+        poison_fraction=0.2,
+    )
+    print("the study document the engine will run:")
+    print(study_to_json(spec)[:400] + " ...\n")
 
-    # 2. Figure 1 — sweep pure filter strengths, with and without the
-    #    optimal boundary attack at 20 % contamination.
-    sweep = run_pure_strategy_sweep(ctx, poison_fraction=0.2)
+    # 2. Dry run: the expanded grid and exact round counts, no execution.
+    print(format_study_description(describe_study(spec)))
     print()
-    print(format_pure_sweep(sweep))
 
-    # 3. Estimate the game's payoff curves E(p) and Γ(p) from the sweep
-    #    (exactly how the paper feeds Algorithm 1).
+    # 3. Execute.  One call, any backend; the result is a uniform,
+    #    provenance-stamped artifact addressable by spec.fingerprint().
+    result = run_study(spec)
+    print(result.render())
+
+    # 4. The payload is the familiar PureSweepResult: estimate the
+    #    game's payoff curves E(p) and Γ(p) exactly as the paper does.
+    sweep = result.payload_object()
     curves = estimate_payoff_curves(
         sweep.percentiles, sweep.acc_clean, sweep.acc_attacked, sweep.n_poison
     )
     print(f"\nmodel-valid filter range: [0, {curves.p_max:.1%}]")
 
-    # 4. Algorithm 1 — approximate the defender's mixed-strategy NE.
-    result = compute_optimal_defense(curves, n_radii=3, n_poison=sweep.n_poison)
-    defense = result.defense
+    # 5. Algorithm 1 — approximate the defender's mixed-strategy NE.
+    opt = compute_optimal_defense(curves, n_radii=3, n_poison=sweep.n_poison)
     print("\nmixed defence (Algorithm 1):")
-    for p, q in zip(defense.percentiles, defense.probabilities):
+    for p, q in zip(opt.defense.percentiles, opt.defense.probabilities):
         print(f"  filter {p:6.2%} of data with probability {q:.1%}")
-    print(f"modelled defender loss: {result.expected_loss:.5f} "
-          f"({result.n_iterations} iterations, converged={result.converged})")
 
-    # 5. The defence is executable: draw a filter strength per training run.
-    filt = defense.as_filter(seed=0)
-    X_clean, y_clean = filt.sanitize(ctx.X_train, ctx.y_train)
-    print(f"\nexample draw: filtered at {filt.last_draw_:.2%} -> "
-          f"kept {len(X_clean)}/{ctx.n_train} training points")
+    # 6. Archive: the JSON re-renders this exact report anywhere
+    #    (`python -m repro report figure1_result.json`) and warms a
+    #    fresh engine cache so a re-run computes zero rounds.
+    result.to_json("figure1_result.json")
+    print("\nresult archived to figure1_result.json "
+          f"(study fingerprint {result.study_fingerprint[:16]}…)")
 
 
 if __name__ == "__main__":

@@ -1,17 +1,20 @@
 """repro — reproduction of "Mixed Strategy Game Model Against Data
 Poisoning Attacks" (Ou & Samavi, DSN 2019; arXiv:1906.02872).
 
-Top-level convenience re-exports cover the main workflow:
+Top-level convenience re-exports cover the main workflow — declare the
+experiment as a study, run it, read its payload:
 
->>> from repro import (make_spambase_context, run_pure_strategy_sweep,
-...                    estimate_payoff_curves, compute_optimal_defense)
->>> ctx = make_spambase_context(seed=0, n_samples=1500)
->>> sweep = run_pure_strategy_sweep(ctx)
+>>> from repro import (run_study, studies, estimate_payoff_curves,
+...                    compute_optimal_defense)
+>>> spec = studies.figure1(context={"name": "spambase", "seed": 0,
+...                                 "n_samples": 1500})
+>>> result = run_study(spec)                        # doctest: +SKIP
+>>> sweep = result.payload_object()                 # doctest: +SKIP
 >>> curves = estimate_payoff_curves(sweep.percentiles, sweep.acc_clean,
 ...                                 sweep.acc_attacked, sweep.n_poison)
->>> result = compute_optimal_defense(curves, n_radii=3,
-...                                  n_poison=sweep.n_poison)
->>> result.defense.percentiles  # the mixed NE support  # doctest: +SKIP
+...                                                 # doctest: +SKIP
+>>> compute_optimal_defense(curves, n_radii=3,
+...                         n_poison=sweep.n_poison)  # doctest: +SKIP
 
 Subpackages
 -----------
@@ -36,6 +39,11 @@ Subpackages
     shard servers, socket protocol, failover scheduler.
 ``repro.experiments``
     Seeded harnesses behind every figure and table.
+``repro.study``
+    The declarative study API: every experiment as one frozen,
+    serialisable :class:`~repro.study.StudySpec` submitted to
+    :func:`~repro.study.run_study` — the supported public surface
+    (the per-experiment driver functions are deprecation shims).
 """
 
 from repro.core import (
@@ -62,6 +70,17 @@ from repro.experiments import (
     evaluate_configuration,
     solve_cross_family_game,
 )
+from repro.study import (
+    ContextSpec,
+    ScenarioGrid,
+    StudySpec,
+    StudyResult,
+    describe_study,
+    run_study,
+    studies,
+    study_from_json,
+    study_result_from_json,
+)
 
 __version__ = "1.0.0"
 
@@ -84,5 +103,14 @@ __all__ = [
     "run_table1_experiment",
     "evaluate_configuration",
     "solve_cross_family_game",
+    "ContextSpec",
+    "ScenarioGrid",
+    "StudySpec",
+    "StudyResult",
+    "describe_study",
+    "run_study",
+    "studies",
+    "study_from_json",
+    "study_result_from_json",
     "__version__",
 ]

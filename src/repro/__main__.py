@@ -1,0 +1,12 @@
+"""``python -m repro`` — the command-line entry point.
+
+An alias of :mod:`repro.experiments.cli`; see that module (or
+``python -m repro --help``) for the command reference.
+"""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

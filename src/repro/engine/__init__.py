@@ -29,6 +29,10 @@ from repro.engine.spec import (
     materialize_victim,
     prewarm_context,
     prewarm_all,
+    parse_spec_string,
+    parse_attack_spec,
+    parse_defense_spec,
+    parse_victim_spec,
 )
 from repro.engine.cache import (
     CacheStats,
@@ -75,6 +79,10 @@ __all__ = [
     "materialize_victim",
     "prewarm_context",
     "prewarm_all",
+    "parse_spec_string",
+    "parse_attack_spec",
+    "parse_defense_spec",
+    "parse_victim_spec",
     "CacheStats",
     "ResultCache",
     "round_key",

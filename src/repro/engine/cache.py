@@ -132,6 +132,12 @@ def write_manifest(disk_dir: str | os.PathLike) -> dict:
         "entry_count": entry_count,
         "total_bytes": total_bytes,
     }
+    # Provenance survives a rebuild: study fingerprints recorded by
+    # ``ResultCache.annotate_study`` describe where entries came from,
+    # which a directory scan cannot reconstruct.
+    existing = read_manifest(disk_dir)
+    if existing is not None and existing.get("studies"):
+        manifest["studies"] = sorted(set(existing["studies"]))
     _atomic_write_json(os.path.join(disk_dir, _MANIFEST_NAME), manifest)
     return manifest
 
@@ -310,6 +316,54 @@ class ResultCache:
                           self._manifest)
 
     # -- public API -------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is served by either tier, without side effects.
+
+        A pure probe: no hit/miss accounting, no LRU refresh, no
+        promotion from disk — what ``repro describe`` uses to predict a
+        run's cache hits without perturbing the cache it inspects.
+        """
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._disk_get(key) is not None
+
+    def annotate_study(self, study_fingerprint: str) -> None:
+        """Record a study fingerprint in the disk manifest's provenance.
+
+        The manifest's ``"studies"`` list names every study whose rounds
+        were stored (or re-served) through this cache directory, so an
+        operator can answer "what produced this store?" without the
+        original result artifacts.  Memory-only caches have no manifest;
+        the call is then a no-op.
+        """
+        if self._disk_dir is None:
+            return
+        with self._lock:
+            os.makedirs(self._disk_dir, exist_ok=True)
+            if self._manifest is None:
+                existing = read_manifest(self._disk_dir)
+                if existing is not None and \
+                        existing.get("schema_version") == _SCHEMA_VERSION:
+                    self._manifest = dict(existing)
+                else:
+                    self._manifest = write_manifest(self._disk_dir)
+            # Merge with the on-disk list, not just this instance's
+            # cached copy: other processes sharing the directory may
+            # have annotated their own studies since we seeded, and a
+            # write from our stale copy alone would erase them.
+            studies = set(self._manifest.get("studies", ()))
+            on_disk = read_manifest(self._disk_dir)
+            if on_disk is not None:
+                studies.update(on_disk.get("studies", ()))
+            if study_fingerprint in studies and \
+                    studies == set(self._manifest.get("studies", ())):
+                return
+            studies.add(study_fingerprint)
+            self._manifest["studies"] = sorted(studies)
+            _atomic_write_json(os.path.join(self._disk_dir, _MANIFEST_NAME),
+                               self._manifest)
 
     def get(self, key: str):
         """Return the cached ``EvaluationOutcome`` or ``None``."""

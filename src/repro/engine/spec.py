@@ -30,6 +30,7 @@ working and keep their cache semantics.
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass
 from typing import Callable
 
@@ -40,6 +41,10 @@ __all__ = [
     "DefenseSpec",
     "VictimSpec",
     "RoundSpec",
+    "parse_spec_string",
+    "parse_attack_spec",
+    "parse_defense_spec",
+    "parse_victim_spec",
     "register_attack_builder",
     "register_attack_prewarmer",
     "registered_attack_kinds",
@@ -313,6 +318,129 @@ class RoundSpec:
             return (defense, None, victim, None, int(self.seed))
         return (defense, self.attack.canonical(), victim,
                 float(self.poison_fraction), int(self.seed))
+
+
+# -- spec-string parsing -----------------------------------------------------
+# The one shared grammar for naming specs as strings — the CLI's
+# ``--defenses``/``--attacks``/``--victim`` arguments and the study
+# JSON loader both read it, so a spec spelled on a command line and the
+# same spec spelled in a study document can never drift apart.
+#
+#   defense/attack:  kind[:percentile][:k=v,...]     e.g. radius:0.1,
+#                    knn_sanitizer::k=7, label-flip::strategy=near_boundary
+#   victim:          kind[:k=v,...]                  e.g. svm:epochs=60
+#
+# Values parse as Python literals (quoting works: strategy='near boundary');
+# bare words stay strings; lists/tuples are canonicalised to tuples at
+# every nesting depth so parsed params are always hashable.
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested inside brackets/parentheses/quotes."""
+    parts, depth, current = [], 0, []
+    quote = None
+    for ch in text:
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0 and quote is None:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _tuplify(value):
+    """Recursively turn lists/tuples into tuples (hashable params)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def _parse_params(text: str) -> dict:
+    params = {}
+    for pair in _split_top_level(text):
+        if not pair.strip():
+            continue
+        if "=" not in pair:
+            raise ValueError(f"bad spec params {text!r}: expected key=value")
+        key, value = pair.split("=", 1)
+        try:
+            parsed = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            parsed = value.strip()  # bare strings (e.g. strategy=near_boundary)
+        params[key.strip()] = _tuplify(parsed)
+    return params
+
+
+def parse_spec_string(text: str) -> tuple[str, float, dict]:
+    """``kind[:percentile][:k=v,...]`` -> ``(kind, percentile, params)``.
+
+    Raises :class:`ValueError` on an empty kind, a non-numeric
+    percentile, or malformed params.  Registry membership is *not*
+    checked here — :func:`parse_attack_spec` and friends do that.
+    """
+    head, _, rest = text.partition(":")
+    percentile_part, _, params_part = rest.partition(":")
+    kind = head.strip()
+    if not kind:
+        raise ValueError(f"bad spec {text!r}: empty kind")
+    percentile = 0.0
+    if percentile_part.strip():
+        try:
+            percentile = float(percentile_part)
+        except ValueError:
+            raise ValueError(
+                f"bad spec {text!r}: percentile {percentile_part!r} "
+                "is not a number") from None
+    return kind, percentile, _parse_params(params_part)
+
+
+def parse_defense_spec(text: str) -> "DefenseSpec | None":
+    """A :class:`DefenseSpec` from its string form (``"none"`` -> ``None``).
+
+    Raises :class:`ValueError` for unregistered kinds, bad percentiles
+    and malformed params.
+    """
+    if text.strip() == "none":
+        return None
+    kind, percentile, params = parse_spec_string(text)
+    if kind not in _DEFENSE_BUILDERS:
+        raise ValueError(f"unknown defense kind {kind!r}; registered: "
+                         f"{registered_defense_kinds()}")
+    return DefenseSpec(kind, percentile, params)
+
+
+def parse_attack_spec(text: str) -> "AttackSpec | None":
+    """An :class:`AttackSpec` from its string form (``"clean"`` -> ``None``)."""
+    if text.strip() == "clean":
+        return None
+    kind, percentile, params = parse_spec_string(text)
+    if kind not in _ATTACK_BUILDERS:
+        raise ValueError(f"unknown attack kind {kind!r}; registered: "
+                         f"{registered_attack_kinds()}")
+    return AttackSpec(kind, percentile, params)
+
+
+def parse_victim_spec(text: "str | None") -> "VictimSpec | None":
+    """A :class:`VictimSpec` from ``kind[:k=v,...]`` (``None`` passes through)."""
+    if text is None:
+        return None
+    head, _, params_part = text.partition(":")
+    kind = head.strip()
+    if kind not in _VICTIM_BUILDERS:
+        raise ValueError(f"unknown victim kind {kind!r}; registered: "
+                         f"{registered_victim_kinds()}")
+    return VictimSpec(kind, _parse_params(params_part))
 
 
 # -- registries -------------------------------------------------------------

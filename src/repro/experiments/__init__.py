@@ -40,8 +40,12 @@ from repro.experiments.results import (
     PureSweepResult,
     MixedStrategyResult,
     Table1Row,
+    MixedEvalResult,
+    GridResult,
     results_to_json,
     results_from_json,
+    result_to_payload,
+    result_from_payload,
 )
 from repro.experiments.reporting import (
     ascii_table,
@@ -49,6 +53,10 @@ from repro.experiments.reporting import (
     format_table1,
     format_engine_stats,
     format_cross_game,
+    format_empirical_game,
+    format_mixed_eval,
+    format_aggregated_sweep,
+    format_grid_result,
 )
 
 __all__ = [
@@ -74,11 +82,19 @@ __all__ = [
     "PureSweepResult",
     "MixedStrategyResult",
     "Table1Row",
+    "MixedEvalResult",
+    "GridResult",
     "results_to_json",
     "results_from_json",
+    "result_to_payload",
+    "result_from_payload",
     "ascii_table",
     "format_pure_sweep",
     "format_table1",
     "format_engine_stats",
     "format_cross_game",
+    "format_empirical_game",
+    "format_mixed_eval",
+    "format_aggregated_sweep",
+    "format_grid_result",
 ]

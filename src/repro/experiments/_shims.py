@@ -1,0 +1,18 @@
+"""Shared plumbing for the legacy driver deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_driver_deprecated"]
+
+
+def warn_driver_deprecated(old: str, builder: str) -> None:
+    """One DeprecationWarning per legacy driver call, pointing at the
+    study-builder replacement.  ``stacklevel=3`` names the *caller* of
+    the shim (caller -> shim -> here)."""
+    warnings.warn(
+        f"{old}() is deprecated: build a StudySpec with "
+        f"repro.study.studies.{builder}() and submit it to "
+        f"repro.study.run_study() (results are bit-identical)",
+        DeprecationWarning, stacklevel=3)

@@ -1,22 +1,40 @@
-"""Command-line entry point: regenerate any of the paper's artefacts.
+"""Command-line entry point: run studies, regenerate the paper's artefacts.
 
 Usage::
 
-    python -m repro.experiments.cli figure1 [--n-samples N] [--seed S]
-    python -m repro.experiments.cli table1  [--n-radii 2 3] [--seed S]
-    python -m repro.experiments.cli empirical-game [--seed S]
-    python -m repro.experiments.cli cross-game [--defenses SPEC...]
-                                               [--attacks SPEC...]
-                                               [--victim SPEC]
-    python -m repro.experiments.cli paper-table1
-    python -m repro.experiments.cli proposition1 [--seed S]
-    python -m repro.experiments.cli repro-cache {info,prune} --cache-dir DIR
-    python -m repro.experiments.cli repro-cluster serve [--port P] [--jobs N]
+    python -m repro run <study.json | figure1 | table1 | empirical-game |
+                         cross-game | multi-seed | mixed-eval | grid>
+                        [--set key=value ...] [--out result.json]
+                        [--archive-dir DIR] [--expect-cached]
+    python -m repro describe <study.json | name> [--set key=value ...]
+    python -m repro report <result.json>
 
-Each command prints the same rows/series the paper reports and, with
-``--json PATH``, archives the structured result.  Experiment commands
-end with an engine-stats summary (cache hits/misses/evictions,
-per-batch backend and wall time).
+    python -m repro figure1 [--n-samples N] [--seed S]
+    python -m repro table1  [--n-radii 2 3] [--seed S]
+    python -m repro empirical-game [--seed S]
+    python -m repro cross-game [--defenses SPEC...] [--attacks SPEC...]
+                               [--victim SPEC]
+    python -m repro paper-table1
+    python -m repro proposition1 [--seed S]
+    python -m repro repro-cache {info,prune} --cache-dir DIR
+    python -m repro repro-cluster serve [--port P] [--jobs N]
+
+(``python -m repro.experiments.cli`` remains an alias of
+``python -m repro``.)
+
+The study surface is the primary one: ``run`` accepts either a study
+JSON document (see :mod:`repro.study`) or a named builder with ``--set``
+overrides — ``repro run figure1 --set fractions=0:0.2:9`` sweeps nine
+contamination rates; ``describe`` prints the expanded grid, exact round
+counts and predicted cache hits *without running anything*; ``report``
+re-renders an archived :class:`~repro.study.StudyResult` exactly as the
+live run printed it.  The named experiment commands (``figure1`` ...)
+are stable conveniences that build the equivalent study internally.
+
+``--set`` values parse as Python literals; ``a:b:n`` expands to ``n``
+evenly spaced values from ``a`` to ``b``; comma-separated values form
+tuples; semicolon-separated values form tuples of spec strings
+(``--set "defenses=radius:0.1;slab_filter:0.1"``).
 
 Execution is controlled by the engine flags shared across commands:
 ``--backend serial|process|cluster`` and ``--jobs N`` choose how
@@ -29,8 +47,9 @@ progress to stderr through the engine's ``evaluate_stream`` machinery
 (on by default on a terminal; ``--progress`` / ``--no-progress``
 force it).
 
-Spec strings (``cross-game``) read ``kind[:percentile][:k=v,...]``,
-e.g. ``radius:0.1``, ``slab_filter:0.15``, ``knn_sanitizer::k=7``,
+Spec strings (``cross-game``, study documents) read
+``kind[:percentile][:k=v,...]``, e.g. ``radius:0.1``,
+``slab_filter:0.15``, ``knn_sanitizer::k=7``,
 ``label-flip::strategy=near_boundary``; victims read ``kind[:k=v,...]``
 such as ``logistic`` or ``svm:epochs=60``.
 """
@@ -39,112 +58,43 @@ from __future__ import annotations
 
 import argparse
 import ast
+import os
 import sys
 
 import numpy as np
 
 
-def _make_context(args):
-    from repro.experiments.runner import make_spambase_context
-
-    return make_spambase_context(seed=args.seed, n_samples=args.n_samples)
-
-
-def _split_top_level(text: str) -> list[str]:
-    """Split on commas not nested inside brackets/parentheses."""
-    parts, depth, current = [], 0, []
-    for ch in text:
-        if ch in "([{":
-            depth += 1
-        elif ch in ")]}":
-            depth -= 1
-        if ch == "," and depth == 0:
-            parts.append("".join(current))
-            current = []
-        else:
-            current.append(ch)
-    if current:
-        parts.append("".join(current))
-    return parts
-
-
-def _parse_params(text: str) -> dict:
-    params = {}
-    for pair in _split_top_level(text):
-        if not pair.strip():
-            continue
-        if "=" not in pair:
-            raise SystemExit(f"bad spec params {text!r}: expected key=value")
-        key, value = pair.split("=", 1)
-        try:
-            parsed = ast.literal_eval(value)
-        except (ValueError, SyntaxError):
-            parsed = value  # bare strings (e.g. strategy=near_boundary)
-        if isinstance(parsed, list):
-            parsed = tuple(parsed)
-        params[key.strip()] = parsed
-    return params
-
-
-def _parse_spec_string(text: str) -> tuple[str, float, dict]:
-    """``kind[:percentile][:k=v,...]`` -> (kind, percentile, params)."""
-    head, _, rest = text.partition(":")
-    percentile_part, _, params_part = rest.partition(":")
-    kind = head.strip()
-    if not kind:
-        raise SystemExit(f"bad spec {text!r}: empty kind")
-    percentile = 0.0
-    if percentile_part.strip():
-        try:
-            percentile = float(percentile_part)
-        except ValueError:
-            raise SystemExit(
-                f"bad spec {text!r}: percentile {percentile_part!r} "
-                "is not a number") from None
-    return kind, percentile, _parse_params(params_part)
-
-
 def _parse_defense_arg(text: str):
-    from repro.engine import DefenseSpec, registered_defense_kinds
+    from repro.engine import parse_defense_spec
 
-    if text.strip() == "none":
-        return None
-    kind, percentile, params = _parse_spec_string(text)
-    if kind not in registered_defense_kinds():
-        raise SystemExit(f"unknown defense kind {kind!r}; registered: "
-                         f"{registered_defense_kinds()}")
-    return DefenseSpec(kind, percentile, params)
+    try:
+        return parse_defense_spec(text)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _parse_attack_arg(text: str):
-    from repro.engine import AttackSpec, registered_attack_kinds
+    from repro.engine import parse_attack_spec
 
-    if text.strip() == "clean":
-        return None
-    kind, percentile, params = _parse_spec_string(text)
-    if kind not in registered_attack_kinds():
-        raise SystemExit(f"unknown attack kind {kind!r}; registered: "
-                         f"{registered_attack_kinds()}")
-    return AttackSpec(kind, percentile, params)
+    try:
+        return parse_attack_spec(text)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _parse_victim_arg(text: str | None):
-    from repro.engine import VictimSpec, registered_victim_kinds
+    from repro.engine import parse_victim_spec
 
-    if text is None:
-        return None
-    head, _, params_part = text.partition(":")
-    kind = head.strip()
-    if kind not in registered_victim_kinds():
-        raise SystemExit(f"unknown victim kind {kind!r}; registered: "
-                         f"{registered_victim_kinds()}")
-    return VictimSpec(kind, _parse_params(params_part))
+    try:
+        return parse_victim_spec(text)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _make_engine(args):
     from repro.engine import EvaluationEngine
 
-    backend = args.backend
+    backend = args.backend or "serial"
     if backend == "cluster" and getattr(args, "shards", None):
         # Build the backend directly so --shards needs no env detour.
         from repro.cluster.backend import ClusterBackend, parse_shard_addresses
@@ -212,18 +162,202 @@ def _print_engine_stats(engine) -> None:
     print(format_engine_stats(engine))
 
 
+def _context_spec(args):
+    from repro.study import ContextSpec
+
+    return ContextSpec(name="spambase", seed=args.seed,
+                       n_samples=args.n_samples)
+
+
+def _run_named_study(args, spec, label):
+    """Run a CLI command's study and return its result."""
+    from repro.study import run_study
+
+    engine = _make_engine(args)
+    result = run_study(spec, engine=engine,
+                       progress=_progress_for(args, label))
+    return result, engine
+
+
+# -- the study surface -------------------------------------------------------
+
+
+def _parse_set_value(text: str):
+    """One ``--set`` value: literal, range ``a:b:n``, or a tuple.
+
+    ``;`` separates spec strings (which may themselves contain commas
+    and colons); otherwise top-level commas — split bracket- and
+    quote-aware, with the same splitter the spec grammar itself uses,
+    so ``defenses=knn_sanitizer::ks=[1,2]`` stays one spec — form
+    tuples, and ``a:b:n`` expands to ``n`` evenly spaced floats.
+    """
+    from repro.engine.spec import _split_top_level
+
+    t = text.strip()
+    if t.lower() in ("none", "null"):
+        return None
+    if ";" in t:
+        return tuple(part.strip() for part in t.split(";") if part.strip())
+    parts = [part for part in _split_top_level(t) if part.strip()]
+    if len(parts) > 1:
+        return tuple(_parse_set_scalar(part) for part in parts)
+    return _parse_set_scalar(t)
+
+
+def _parse_set_scalar(text: str):
+    t = text.strip()
+    parts = t.split(":")
+    if len(parts) == 3:
+        try:
+            lo, hi, n = float(parts[0]), float(parts[1]), int(parts[2])
+        except ValueError:
+            pass
+        else:
+            if n < 1:
+                raise SystemExit(f"bad range {t!r}: count must be >= 1")
+            return tuple(float(v) for v in np.linspace(lo, hi, n))
+    try:
+        return ast.literal_eval(t)
+    except (ValueError, SyntaxError):
+        return t
+
+
+_CONTEXT_KEYS = ("context", "seed", "n_samples")
+
+
+def _study_from_args(args):
+    """The study named by ``args.study``: a JSON document or a builder."""
+    from repro.study import ContextSpec, build, study_from_json
+
+    target = args.study
+    overrides = {}
+    for item in args.set or ():
+        if "=" not in item:
+            raise SystemExit(f"bad --set {item!r}: expected key=value")
+        key, value = item.split("=", 1)
+        overrides[key.strip().replace("-", "_")] = _parse_set_value(value)
+
+    # A study *document* is a real file or something that can only be a
+    # path (.json suffix, path separator) — a stray directory named
+    # like a builder (e.g. an output dir called "figure1") must not
+    # shadow the named study.
+    if os.path.isfile(target) or target.endswith(".json") \
+            or os.sep in target:
+        if overrides:
+            raise SystemExit(
+                "--set applies to named studies (e.g. 'repro run figure1 "
+                "--set seed=3'); edit the JSON document instead")
+        try:
+            return study_from_json(target)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load study {target!r}: {exc}")
+
+    context_kwargs = {}
+    name = overrides.pop("context", "spambase")
+    for key in ("seed", "n_samples"):
+        if key in overrides:
+            context_kwargs[key] = overrides.pop(key)
+    try:
+        context = ContextSpec(name=str(name), **context_kwargs)
+        return build(target, context=context, **overrides)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"cannot build study {target!r}: {exc}")
+
+
+def _engine_flags_untouched(args) -> bool:
+    """Whether the caller left every engine flag unset.
+
+    ``--backend`` parses with a ``None`` default precisely so an
+    explicit ``--backend serial`` is distinguishable here — it must
+    override a study document's EngineConfig like any other flag.
+    """
+    return (args.backend is None and args.jobs is None
+            and getattr(args, "shards", None) is None
+            and args.cache_dir is None and not args.no_cache
+            and args.cache_max_entries is None)
+
+
+def _study_engine(args, spec):
+    """The engine a study command should use.
+
+    Explicit CLI flags win; otherwise a study document's own
+    :class:`~repro.study.EngineConfig` is honoured (so ``repro run
+    study.json`` really runs with the placement/cache the document
+    declares); otherwise the flag defaults build a plain serial engine.
+    """
+    if spec.engine is not None and _engine_flags_untouched(args):
+        return spec.engine.build()
+    return _make_engine(args)
+
+
+def cmd_run(args) -> int:
+    from repro.study import run_study
+
+    spec = _study_from_args(args)
+    engine = _study_engine(args, spec)
+    batches_before = len(engine.batch_log)
+    try:
+        result = run_study(spec, engine=engine,
+                           progress=_progress_for(args, f"run:{spec.kind}"),
+                           archive_dir=args.archive_dir, force=args.force)
+    except ValueError as exc:  # unknown context maker, invalid grid, ...
+        raise SystemExit(f"cannot run study: {exc}") from None
+    fresh = len(engine.batch_log) > batches_before
+    print(result.render())
+    if fresh:
+        _print_engine_stats(engine)
+    else:
+        print("\n(served from the study archive; no rounds were submitted)")
+    if args.out:
+        result.to_json(args.out)
+        print(f"\nresult written to {args.out}")
+    # An archive-served result ran nothing here (its rounds_computed is
+    # the original run's history); the gate judges this invocation only.
+    if args.expect_cached and fresh and result.rounds_computed > 0:
+        raise SystemExit(
+            f"--expect-cached: {result.rounds_computed} rounds were "
+            f"computed (expected every round to be served from cache)")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    from repro.study import describe_study, format_study_description
+
+    spec = _study_from_args(args)
+    engine = _study_engine(args, spec)
+    try:
+        description = describe_study(spec, engine=engine)
+    except ValueError as exc:
+        raise SystemExit(f"cannot describe study: {exc}") from None
+    print(format_study_description(description))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.study import study_result_from_json
+
+    try:
+        result = study_result_from_json(args.result)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot load study result {args.result!r}: {exc}")
+    print(result.render())
+    return 0
+
+
+# -- the named experiment commands ------------------------------------------
+
+
 def cmd_figure1(args) -> int:
-    from repro.experiments.payoff_sweep import run_pure_strategy_sweep
     from repro.experiments.reporting import format_pure_sweep
     from repro.experiments.results import results_to_json
+    from repro.study import studies
 
-    ctx = _make_context(args)
-    engine = _make_engine(args)
-    sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats,
-                                    victim=_parse_victim_arg(args.victim),
-                                    engine=engine,
-                                    progress=_progress_for(args, "figure1"))
+    spec = studies.figure1(context=_context_spec(args),
+                           poison_fraction=args.poison_fraction,
+                           n_repeats=args.repeats,
+                           victim=_parse_victim_arg(args.victim))
+    result, engine = _run_named_study(args, spec, "figure1")
+    sweep = result.payload_object()
     print(format_pure_sweep(sweep))
     _print_engine_stats(engine)
     if args.json:
@@ -233,85 +367,62 @@ def cmd_figure1(args) -> int:
 
 
 def cmd_table1(args) -> int:
-    from repro.experiments.payoff_sweep import (run_pure_strategy_sweep,
-                                                run_table1_experiment)
     from repro.experiments.reporting import format_table1
     from repro.experiments.results import results_to_json
+    from repro.study import studies
 
-    ctx = _make_context(args)
-    engine = _make_engine(args)
-    victim = _parse_victim_arg(args.victim)
-    progress = _progress_for(args, "table1")
-    sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats, engine=engine,
-                                    victim=victim, progress=progress)
-    results = run_table1_experiment(ctx, sweep, n_radii_values=tuple(args.n_radii),
-                                    poison_fraction=args.poison_fraction,
-                                    engine=engine, victim=victim,
-                                    progress=progress)
-    print(format_table1(results))
+    spec = studies.table1(context=_context_spec(args),
+                          n_radii=tuple(args.n_radii),
+                          poison_fraction=args.poison_fraction,
+                          n_repeats=args.repeats,
+                          victim=_parse_victim_arg(args.victim))
+    result, engine = _run_named_study(args, spec, "table1")
+    rows = result.payload_object()["rows"]
+    print(format_table1(rows))
     _print_engine_stats(engine)
     if args.json:
-        results_to_json(results[0], args.json)
+        results_to_json(rows[0], args.json)
         print(f"\nfirst row written to {args.json}")
     return 0
 
 
 def cmd_empirical_game(args) -> int:
-    from repro.experiments.empirical_game import solve_empirical_game
-    from repro.experiments.reporting import ascii_table
+    from repro.experiments.reporting import format_empirical_game
+    from repro.study import studies
 
-    ctx = _make_context(args)
-    engine = _make_engine(args)
-    result = solve_empirical_game(ctx, poison_fraction=args.poison_fraction,
+    spec = studies.empirical_game(context=_context_spec(args),
+                                  poison_fraction=args.poison_fraction,
                                   n_repeats=args.repeats,
-                                  victim=_parse_victim_arg(args.victim),
-                                  engine=engine,
-                                  progress=_progress_for(args,
-                                                         "empirical-game"))
-    rows = [(f"{p:.1%}", f"{q:.1%}")
-            for p, q in zip(result.percentiles, result.defender_mix)]
-    print(ascii_table(["filter percentile", "probability"], rows,
-                      title="Measured-game equilibrium defence"))
-    print(f"game value (accuracy): {result.game_value_accuracy:.4f}")
-    print(f"best pure defence:     {result.best_pure_percentile:.1%} -> "
-          f"{result.best_pure_accuracy:.4f}")
-    print(f"mixed advantage:       {result.mixed_advantage:+.4f}")
-    print(f"saddle point exists:   {result.has_saddle_point}")
+                                  victim=_parse_victim_arg(args.victim))
+    result, engine = _run_named_study(args, spec, "empirical-game")
+    print(format_empirical_game(result.payload_object()))
     _print_engine_stats(engine)
     return 0
 
 
 def cmd_cross_game(args) -> int:
-    import dataclasses
-    import json
-
-    from repro.experiments.empirical_game import solve_cross_family_game
     from repro.experiments.reporting import format_cross_game
+    from repro.experiments.results import results_to_json
+    from repro.study import studies
 
     defenses = [_parse_defense_arg(d) for d in args.defenses]
     attacks = [_parse_attack_arg(a) for a in args.attacks]
-    ctx = _make_context(args)
-    engine = _make_engine(args)
-    result = solve_cross_family_game(
-        ctx, defenses, attacks, poison_fraction=args.poison_fraction,
-        n_repeats=args.repeats, victim=_parse_victim_arg(args.victim),
-        engine=engine, progress=_progress_for(args, "cross-game"),
-    )
-    print(format_cross_game(result))
+    spec = studies.cross_game(context=_context_spec(args),
+                              defenses=defenses, attacks=attacks,
+                              poison_fraction=args.poison_fraction,
+                              n_repeats=args.repeats,
+                              victim=_parse_victim_arg(args.victim))
+    result, engine = _run_named_study(args, spec, "cross-game")
+    cross = result.payload_object()
+    print(format_cross_game(cross))
     _print_engine_stats(engine)
     if args.json:
-        payload = {"type": "CrossGameResult",
-                   "data": dataclasses.asdict(result)}
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
+        results_to_json(cross, args.json)
         print(f"\nresult written to {args.json}")
     return 0
 
 
 def cmd_repro_cache(args) -> int:
-    import os
-
     from repro.engine import prune_cache_dir, write_manifest
 
     if not os.path.isdir(args.cache_dir):
@@ -327,6 +438,8 @@ def cmd_repro_cache(args) -> int:
         print(f"schema version: {manifest['schema_version']}")
         print(f"entries:        {manifest['entry_count']}")
         print(f"total bytes:    {manifest['total_bytes']}")
+        for fp in manifest.get("studies", ()):
+            print(f"study:          {fp}")
     return 0
 
 
@@ -368,15 +481,14 @@ def cmd_proposition1(args) -> int:
         proposition1_certificate
     from repro.core.game import PoisoningGame
     from repro.core.payoff_estimation import estimate_payoff_curves
-    from repro.experiments.payoff_sweep import run_pure_strategy_sweep
+    from repro.study import studies
 
-    ctx = _make_context(args)
-    engine = _make_engine(args)
-    sweep = run_pure_strategy_sweep(ctx, poison_fraction=args.poison_fraction,
-                                    n_repeats=args.repeats, engine=engine,
-                                    victim=_parse_victim_arg(args.victim),
-                                    progress=_progress_for(args,
-                                                           "proposition1"))
+    spec = studies.figure1(context=_context_spec(args),
+                           poison_fraction=args.poison_fraction,
+                           n_repeats=args.repeats,
+                           victim=_parse_victim_arg(args.victim))
+    result, engine = _run_named_study(args, spec, "proposition1")
+    sweep = result.payload_object()
     curves = estimate_payoff_curves(sweep.percentiles, sweep.acc_clean,
                                     sweep.acc_attacked, sweep.n_poison)
     game = PoisoningGame(curves=curves, n_poison=sweep.n_poison)
@@ -390,6 +502,9 @@ def cmd_proposition1(args) -> int:
 
 
 _COMMANDS = {
+    "run": cmd_run,
+    "describe": cmd_describe,
+    "report": cmd_report,
     "figure1": cmd_figure1,
     "table1": cmd_table1,
     "empirical-game": cmd_empirical_game,
@@ -401,14 +516,76 @@ _COMMANDS = {
 }
 
 
+def _add_engine_args(p) -> None:
+    p.add_argument("--backend", type=str, default=None,
+                   help="evaluation backend: serial (default), "
+                        "process, or cluster")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker count for parallel backends; for "
+                        "cluster with no --shards, how many localhost "
+                        "shards to autospawn (default 2)")
+    p.add_argument("--shards", type=str, default=None,
+                   help="cluster backend: comma-separated host:port "
+                        "shard servers (default: autospawn localhost "
+                        "shards; also via REPRO_CLUSTER_SHARDS)")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="persist round results as JSON under this "
+                        "directory (reruns become cache hits)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the engine's result cache")
+    p.add_argument("--cache-max-entries", type=int, default=None,
+                   help="LRU cap for the in-memory cache tier "
+                        "(default: unbounded)")
+    p.add_argument("--progress", action="store_true",
+                   help="stream per-round progress to stderr even "
+                        "when it is not a terminal")
+    p.add_argument("--no-progress", action="store_true",
+                   help="never stream per-round progress")
+
+
+def _add_study_args(p) -> None:
+    p.add_argument("study", type=str,
+                   help="a study JSON document, or a named study: "
+                        "figure1, table1, empirical-game, cross-game, "
+                        "multi-seed, mixed-eval, grid")
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="override a builder argument of a named study "
+                        "(e.g. --set seed=3 --set fractions=0:0.2:9); "
+                        "repeatable")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.cli",
-        description="Regenerate the paper's figures and tables.",
+        prog="repro",
+        description="Run studies; regenerate the paper's figures and tables.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name in _COMMANDS:
         p = sub.add_parser(name)
+        if name == "run":
+            _add_study_args(p)
+            p.add_argument("--out", type=str, default=None,
+                           help="archive the StudyResult JSON to this path")
+            p.add_argument("--archive-dir", type=str, default=None,
+                           help="study archive: skip the run when this "
+                                "study's fingerprint is already archived "
+                                "here, else write the result here")
+            p.add_argument("--force", action="store_true",
+                           help="re-run and overwrite an archived study")
+            p.add_argument("--expect-cached", action="store_true",
+                           help="fail unless every round was served from "
+                                "cache (CI determinism gate)")
+            _add_engine_args(p)
+            continue
+        if name == "describe":
+            _add_study_args(p)
+            _add_engine_args(p)
+            continue
+        if name == "report":
+            p.add_argument("result", type=str,
+                           help="a StudyResult JSON written by "
+                                "'repro run --out' or --archive-dir")
+            continue
         if name == "repro-cache":
             p.add_argument("action", choices=("info", "prune"),
                            help="info: print the manifest; prune: drop "
@@ -445,30 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--repeats", type=int, default=1)
         p.add_argument("--json", type=str, default=None,
                        help="archive the structured result to this path")
-        p.add_argument("--backend", type=str, default="serial",
-                       help="evaluation backend: serial (default), "
-                            "process, or cluster")
-        p.add_argument("--jobs", type=int, default=None,
-                       help="worker count for parallel backends; for "
-                            "cluster with no --shards, how many localhost "
-                            "shards to autospawn (default 2)")
-        p.add_argument("--shards", type=str, default=None,
-                       help="cluster backend: comma-separated host:port "
-                            "shard servers (default: autospawn localhost "
-                            "shards; also via REPRO_CLUSTER_SHARDS)")
-        p.add_argument("--cache-dir", type=str, default=None,
-                       help="persist round results as JSON under this "
-                            "directory (reruns become cache hits)")
-        p.add_argument("--no-cache", action="store_true",
-                       help="disable the engine's result cache")
-        p.add_argument("--cache-max-entries", type=int, default=None,
-                       help="LRU cap for the in-memory cache tier "
-                            "(default: unbounded)")
-        p.add_argument("--progress", action="store_true",
-                       help="stream per-round progress to stderr even "
-                            "when it is not a terminal")
-        p.add_argument("--no-progress", action="store_true",
-                       help="never stream per-round progress")
+        _add_engine_args(p)
         if name != "paper-table1":  # runs no rounds: nothing to re-victim
             p.add_argument("--victim", type=str, default=None,
                            help="victim spec kind[:k=v,...], e.g. logistic "

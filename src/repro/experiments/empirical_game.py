@@ -15,6 +15,15 @@ Two facts make this the decisive reproduction artefact for Table 1:
   Proposition 1 (no pure NE);
 * the LP's defender mix is the measured-game optimal mixed defence,
   against which Algorithm 1's model-based strategy can be scored.
+
+.. deprecated::
+    ``solve_empirical_game`` and ``solve_cross_family_game`` are
+    deprecation shims; the implementations live in
+    :mod:`repro.study.drivers` and the supported surface is
+    ``run_study(studies.empirical_game(...))`` /
+    ``run_study(studies.cross_game(...))``.  The result dataclasses
+    remain here and are registered with
+    :func:`repro.experiments.results.results_from_json`.
 """
 
 from __future__ import annotations
@@ -23,14 +32,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine import (AttackSpec, DefenseSpec, EvaluationEngine, RoundSpec,
-                          VictimSpec, resolve_engine)
-from repro.experiments.payoff_sweep import support_accuracy_matrix
+from repro.engine import EvaluationEngine, VictimSpec
+from repro.experiments._shims import warn_driver_deprecated
 from repro.experiments.runner import ExperimentContext
-from repro.gametheory.lp_solver import solve_zero_sum_lp
-from repro.gametheory.matrix_game import MatrixGame
-from repro.utils.rng import derive_seed
-from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = [
     "EmpiricalGameResult",
@@ -93,106 +97,6 @@ class EmpiricalGameResult:
         ]
 
 
-def build_empirical_game(
-    ctx: ExperimentContext,
-    percentiles,
-    *,
-    poison_fraction: float = 0.2,
-    n_repeats: int = 1,
-    engine: EvaluationEngine | None = None,
-    victim: VictimSpec | None = None,
-    defense_kind: str = "radius",
-    defense_params=(),
-    progress=None,
-) -> np.ndarray:
-    """Measure the accuracy matrix ``A[filter, attack]`` on a grid.
-
-    The attacker's pure strategy ``p_j`` is the optimal boundary attack
-    placing the whole budget at that percentile; the defender's is the
-    radius filter at ``p_i`` (or another registered family via
-    ``defense_kind``/``defense_params``, its strength swept on the same
-    grid).  Entries are averaged over ``n_repeats`` seeded rounds.  The
-    full grid is one engine batch — ``k² · n_repeats`` independent
-    rounds, cached and parallelised like every other experiment.  For
-    defender strategy sets mixing defence *kinds*, see
-    :func:`build_cross_family_game`.
-    """
-    check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
-    check_positive_int(n_repeats, name="n_repeats")
-    return support_accuracy_matrix(
-        ctx, percentiles, poison_fraction=poison_fraction, n_repeats=n_repeats,
-        seed_label="empirical", engine=resolve_engine(engine), victim=victim,
-        defense_kind=defense_kind, defense_params=defense_params,
-        progress=progress,
-    )
-
-
-def solve_empirical_game(
-    ctx: ExperimentContext,
-    *,
-    percentiles=None,
-    poison_fraction: float = 0.2,
-    n_repeats: int = 1,
-    accuracy_matrix: np.ndarray | None = None,
-    engine: EvaluationEngine | None = None,
-    victim: VictimSpec | None = None,
-    progress=None,
-) -> EmpiricalGameResult:
-    """Measure (or accept) the accuracy matrix and solve it exactly.
-
-    Pass ``accuracy_matrix`` to re-solve an existing measurement (the
-    benchmarks do this to separate measurement cost from solve cost).
-    """
-    if percentiles is None:
-        percentiles = np.array([0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30])
-    percentiles = np.asarray(percentiles, dtype=float)
-    if accuracy_matrix is None:
-        accuracy_matrix = build_empirical_game(
-            ctx, percentiles, poison_fraction=poison_fraction,
-            n_repeats=n_repeats, engine=engine, victim=victim,
-            progress=progress,
-        )
-    accuracy_matrix = np.asarray(accuracy_matrix, dtype=float)
-    if accuracy_matrix.shape != (percentiles.size, percentiles.size):
-        raise ValueError(
-            f"accuracy matrix shape {accuracy_matrix.shape} does not match "
-            f"{percentiles.size} percentiles"
-        )
-
-    # Attacker = maximising row player on damage = 1 - accuracy, so the
-    # defender (columns) minimises damage i.e. maximises accuracy.
-    damage = 1.0 - accuracy_matrix.T  # rows: attacker, cols: defender
-    game = MatrixGame(damage, row_labels=percentiles.tolist(),
-                      col_labels=percentiles.tolist())
-    solution = solve_zero_sum_lp(game)
-
-    # Best pure defence: the filter with the highest worst-case accuracy.
-    worst_case_acc = accuracy_matrix.min(axis=1)
-    best_i = int(np.argmax(worst_case_acc))
-    value_acc = 1.0 - solution.value
-
-    return EmpiricalGameResult(
-        percentiles=percentiles.tolist(),
-        accuracy_matrix=accuracy_matrix.tolist(),
-        defender_mix=solution.col_strategy.tolist(),
-        attacker_mix=solution.row_strategy.tolist(),
-        game_value_accuracy=float(value_acc),
-        best_pure_accuracy=float(worst_case_acc[best_i]),
-        best_pure_percentile=float(percentiles[best_i]),
-        mixed_advantage=float(value_acc - worst_case_acc[best_i]),
-        has_saddle_point=game.has_pure_equilibrium(),
-        n_repeats=n_repeats,
-        defender_support=[
-            (float(p), float(q))
-            for p, q in zip(percentiles, solution.col_strategy)
-            if q > 0.01
-        ],
-    )
-
-
-# -- cross-family game ------------------------------------------------------
-
-
 @dataclass
 class CrossGameResult:
     """Solution of a measured game whose strategies span *families*.
@@ -230,6 +134,56 @@ class CrossGameResult:
         ]
 
 
+def build_empirical_game(
+    ctx: ExperimentContext,
+    percentiles,
+    *,
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+    engine: EvaluationEngine | None = None,
+    victim: VictimSpec | None = None,
+    defense_kind: str = "radius",
+    defense_params=(),
+    progress=None,
+) -> np.ndarray:
+    """Measure the accuracy matrix ``A[filter, attack]`` on a grid.
+
+    A stable (non-deprecated) alias of
+    :func:`repro.study.drivers.empirical_game_matrix`.
+    """
+    from repro.study.drivers import empirical_game_matrix
+
+    return empirical_game_matrix(
+        ctx, percentiles, poison_fraction=poison_fraction,
+        n_repeats=n_repeats, engine=engine, victim=victim,
+        defense_kind=defense_kind, defense_params=defense_params,
+        progress=progress)
+
+
+def solve_empirical_game(
+    ctx: ExperimentContext,
+    *,
+    percentiles=None,
+    poison_fraction: float = 0.2,
+    n_repeats: int = 1,
+    accuracy_matrix: np.ndarray | None = None,
+    engine: EvaluationEngine | None = None,
+    victim: VictimSpec | None = None,
+    progress=None,
+) -> EmpiricalGameResult:
+    """Measure (or accept) the accuracy matrix and solve it exactly.
+
+    .. deprecated:: use ``run_study(studies.empirical_game(...))``.
+    """
+    warn_driver_deprecated("solve_empirical_game", "empirical_game")
+    from repro.study.drivers import empirical_game_solve
+
+    return empirical_game_solve(
+        ctx, percentiles=percentiles, poison_fraction=poison_fraction,
+        n_repeats=n_repeats, accuracy_matrix=accuracy_matrix, engine=engine,
+        victim=victim, progress=progress)
+
+
 def build_cross_family_game(
     ctx: ExperimentContext,
     defenses,
@@ -243,40 +197,14 @@ def build_cross_family_game(
 ) -> np.ndarray:
     """Measure ``A[defense i, attack j]`` over arbitrary spec lists.
 
-    ``defenses`` is a sequence of :class:`~repro.engine.DefenseSpec`
-    (or ``None`` for the undefended baseline); ``attacks`` a sequence
-    of :class:`~repro.engine.AttackSpec` (or ``None`` for the clean
-    baseline).  Every cell is ``n_repeats`` seeded rounds
-    (``derive_seed(ctx.seed, "cross-game", i, j, rep)``) submitted as
-    one engine batch, so the whole game parallelises and caches like
-    any other experiment.
+    A stable (non-deprecated) alias of
+    :func:`repro.study.drivers.cross_game_matrix`.
     """
-    check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
-    check_positive_int(n_repeats, name="n_repeats")
-    defenses = list(defenses)
-    attacks = list(attacks)
-    if not defenses or not attacks:
-        raise ValueError("defenses and attacks must be non-empty")
-    for d in defenses:
-        if d is not None and not isinstance(d, DefenseSpec):
-            raise TypeError(f"expected DefenseSpec or None, got {d!r}")
-    for a in attacks:
-        if a is not None and not isinstance(a, AttackSpec):
-            raise TypeError(f"expected AttackSpec or None, got {a!r}")
-    engine = resolve_engine(engine)
-    specs = [
-        RoundSpec(
-            defense=d, attack=a, poison_fraction=poison_fraction,
-            seed=derive_seed(ctx.seed, "cross-game", i, j, rep),
-            victim=victim,
-        )
-        for i, d in enumerate(defenses)
-        for j, a in enumerate(attacks)
-        for rep in range(n_repeats)
-    ]
-    outcomes = engine.evaluate_batch(ctx, specs, progress=progress)
-    accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
-    return accuracies.reshape(len(defenses), len(attacks), n_repeats).mean(axis=2)
+    from repro.study.drivers import cross_game_matrix
+
+    return cross_game_matrix(
+        ctx, defenses, attacks, poison_fraction=poison_fraction,
+        n_repeats=n_repeats, victim=victim, engine=engine, progress=progress)
 
 
 def solve_cross_family_game(
@@ -293,49 +221,12 @@ def solve_cross_family_game(
 ) -> CrossGameResult:
     """Measure (or accept) a cross-family accuracy matrix and solve it.
 
-    The defender's equilibrium mix may now randomise over defence
-    *kinds* — e.g. sometimes the radius filter, sometimes the slab —
-    which is a strictly richer strategy space than the paper's
-    single-family mixed defence.
+    .. deprecated:: use ``run_study(studies.cross_game(...))``.
     """
-    defenses = list(defenses)
-    attacks = list(attacks)
-    if accuracy_matrix is None:
-        accuracy_matrix = build_cross_family_game(
-            ctx, defenses, attacks, poison_fraction=poison_fraction,
-            n_repeats=n_repeats, victim=victim, engine=engine,
-            progress=progress,
-        )
-    accuracy_matrix = np.asarray(accuracy_matrix, dtype=float)
-    if accuracy_matrix.shape != (len(defenses), len(attacks)):
-        raise ValueError(
-            f"accuracy matrix shape {accuracy_matrix.shape} does not match "
-            f"{len(defenses)} defenses x {len(attacks)} attacks"
-        )
-    defense_labels = ["none" if d is None else d.describe() for d in defenses]
-    attack_labels = ["clean" if a is None else a.describe() for a in attacks]
+    warn_driver_deprecated("solve_cross_family_game", "cross_game")
+    from repro.study.drivers import cross_game_solve
 
-    # Attacker = maximising row player on damage = 1 - accuracy.
-    damage = 1.0 - accuracy_matrix.T
-    game = MatrixGame(damage, row_labels=attack_labels,
-                      col_labels=defense_labels)
-    solution = solve_zero_sum_lp(game)
-
-    worst_case_acc = accuracy_matrix.min(axis=1)
-    best_i = int(np.argmax(worst_case_acc))
-    value_acc = 1.0 - solution.value
-
-    return CrossGameResult(
-        defense_labels=defense_labels,
-        attack_labels=attack_labels,
-        accuracy_matrix=accuracy_matrix.tolist(),
-        defender_mix=solution.col_strategy.tolist(),
-        attacker_mix=solution.row_strategy.tolist(),
-        game_value_accuracy=float(value_acc),
-        best_pure_accuracy=float(worst_case_acc[best_i]),
-        best_pure_defense=defense_labels[best_i],
-        mixed_advantage=float(value_acc - worst_case_acc[best_i]),
-        has_saddle_point=game.has_pure_equilibrium(),
-        victim=None if victim is None else victim.describe(),
-        n_repeats=n_repeats,
-    )
+    return cross_game_solve(
+        ctx, defenses, attacks, poison_fraction=poison_fraction,
+        n_repeats=n_repeats, victim=victim, accuracy_matrix=accuracy_matrix,
+        engine=engine, progress=progress)

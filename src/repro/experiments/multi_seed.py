@@ -5,6 +5,12 @@ attack randomness); single-seed Figure-1 curves can wiggle by a point
 or two.  This module repeats any harness across seeds and aggregates
 mean ± std, which EXPERIMENTS.md uses for its headline numbers and the
 tests use to assert the *stability* of the qualitative shapes.
+
+.. deprecated::
+    ``run_multi_seed_sweep`` is a deprecation shim; the implementation
+    lives in :func:`repro.study.drivers.multi_seed_sweep` and the
+    supported surface is ``run_study(studies.multi_seed(...))``.  The
+    :class:`AggregatedSweep` record remains here.
 """
 
 from __future__ import annotations
@@ -14,10 +20,10 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine import EvaluationEngine, resolve_engine
-from repro.experiments.payoff_sweep import run_pure_strategy_sweep
+from repro.engine import EvaluationEngine
+from repro.experiments._shims import warn_driver_deprecated
 from repro.experiments.results import PureSweepResult
-from repro.experiments.runner import ExperimentContext, make_spambase_context
+from repro.experiments.runner import ExperimentContext
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive_int
 
@@ -52,9 +58,9 @@ class AggregatedSweep:
         estimation on the aggregated measurement."""
         first = self.per_seed[0]
         return PureSweepResult(
-            percentiles=self.percentiles.tolist(),
-            acc_clean=self.acc_clean_mean.tolist(),
-            acc_attacked=self.acc_attacked_mean.tolist(),
+            percentiles=np.asarray(self.percentiles).tolist(),
+            acc_clean=np.asarray(self.acc_clean_mean).tolist(),
+            acc_attacked=np.asarray(self.acc_attacked_mean).tolist(),
             n_poison=first.n_poison,
             poison_fraction=first.poison_fraction,
             dataset_name=dataset_name,
@@ -75,41 +81,17 @@ def run_multi_seed_sweep(
 ) -> AggregatedSweep:
     """Run the Figure-1 sweep across ``n_seeds`` independent contexts.
 
-    Each seed gets a fresh context (fresh surrogate draw, fresh split)
-    so the aggregation covers *all* sources of variation, not just SGD
-    noise.  All per-seed sweeps share ``engine`` — distinct contexts
-    never collide in its cache (keys carry the context fingerprint),
-    but each sweep still gains the backend's parallelism and a full
-    rerun of the aggregation is served from cache.
+    .. deprecated:: use ``run_study(studies.multi_seed(...))``; a
+    custom ``context_factory`` (not expressible as a
+    :class:`~repro.study.ContextSpec`) keeps working through this shim.
     """
-    check_positive_int(n_seeds, name="n_seeds")
-    engine = resolve_engine(engine)
-    if context_factory is None:
-        context_factory = lambda seed: make_spambase_context(seed=seed)
+    warn_driver_deprecated("run_multi_seed_sweep", "multi_seed")
+    from repro.study.drivers import multi_seed_sweep
 
-    sweeps = []
-    for k in range(n_seeds):
-        ctx = context_factory(derive_seed(base_seed, "multi-seed", k))
-        sweeps.append(run_pure_strategy_sweep(
-            ctx, percentiles=percentiles, poison_fraction=poison_fraction,
-            n_repeats=n_repeats, engine=engine, progress=progress,
-        ))
-
-    ref = np.asarray(sweeps[0].percentiles, dtype=float)
-    for s in sweeps[1:]:
-        if not np.allclose(np.asarray(s.percentiles), ref):
-            raise RuntimeError("sweeps disagree on the percentile grid")
-    clean = np.vstack([s.acc_clean for s in sweeps])
-    attacked = np.vstack([s.acc_attacked for s in sweeps])
-    return AggregatedSweep(
-        percentiles=ref,
-        acc_clean_mean=clean.mean(axis=0),
-        acc_clean_std=clean.std(axis=0),
-        acc_attacked_mean=attacked.mean(axis=0),
-        acc_attacked_std=attacked.std(axis=0),
-        n_seeds=n_seeds,
-        per_seed=sweeps,
-    )
+    return multi_seed_sweep(
+        n_seeds=n_seeds, base_seed=base_seed, context_factory=context_factory,
+        percentiles=percentiles, poison_fraction=poison_fraction,
+        n_repeats=n_repeats, engine=engine, progress=progress)
 
 
 def aggregate_metric(

@@ -1,58 +1,32 @@
 """The paper's two experiments: the Figure-1 sweep and Table 1.
 
-:func:`run_pure_strategy_sweep` reproduces Figure 1: for every filter
-strength on a percentile grid, measure test accuracy (a) clean and
-(b) under the optimal attack placed just inside the filter.  The two
-curves are the empirical ``Γ`` and ``Γ + N·E`` the paper reads its
-algorithm inputs from.
-
-:func:`run_table1_experiment` reproduces Table 1: estimate the curves
-from the sweep, run Algorithm 1 for each support size ``n``, and
-evaluate the resulting mixed defence against the optimal mixed attack.
-
-All three drivers declare their rounds as
-:class:`~repro.engine.RoundSpec` batches and hand them to an
-:class:`~repro.engine.EvaluationEngine` (the process-wide default when
-``engine`` is ``None``), which dedups them against its content-keyed
-cache and fans the remainder out on the configured backend.  Per-round
-seeds are pre-derived with :func:`~repro.utils.rng.derive_seed`, so
-results are bit-identical across backends and cache states — and
-identical to the historical nested-loop implementations.
+.. deprecated::
+    The driver functions here are **deprecation shims**.  The
+    implementations moved to :mod:`repro.study.drivers`, and the
+    supported surface is the declarative study API: build a
+    :class:`~repro.study.StudySpec` with
+    :func:`repro.study.studies.figure1` /
+    :func:`~repro.study.studies.mixed_eval` /
+    :func:`~repro.study.studies.table1` and submit it to
+    :func:`repro.study.run_study`.  The shims delegate to the same
+    moved implementations, so their outputs — and the engine cache
+    keys behind them — are bit-identical to every previous release;
+    each call emits one :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.core.algorithm1 import compute_optimal_defense
 from repro.core.game import PayoffCurves
 from repro.core.mixed_strategy import MixedDefense
-from repro.core.payoff_estimation import estimate_payoff_curves
-from repro.engine import (AttackSpec, DefenseSpec, EvaluationEngine, RoundSpec,
-                          VictimSpec, resolve_engine)
+from repro.engine import EvaluationEngine, VictimSpec
+from repro.experiments._shims import warn_driver_deprecated
 from repro.experiments.results import MixedStrategyResult, PureSweepResult
 from repro.experiments.runner import ExperimentContext
-from repro.attacks.base import attack_budget
-from repro.utils.rng import derive_seed
-from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = ["run_pure_strategy_sweep", "evaluate_mixed_defense",
            "run_table1_experiment", "support_accuracy_matrix"]
-
-
-def _grid_defense(kind: str, percentile: float, params) -> DefenseSpec | None:
-    """The defence spec for one grid point of a driver's sweep axis.
-
-    ``kind="radius"`` with no params reproduces the historical
-    behaviour exactly (percentile 0 and None are the same (no) filter,
-    so both share cache entries — RoundSpec normalises that); other
-    kinds reinterpret the grid as that family's strength axis.
-    """
-    if kind == "radius" and not params and percentile <= 0.0:
-        return None
-    return DefenseSpec(kind, float(percentile), params)
 
 
 def support_accuracy_matrix(
@@ -70,33 +44,15 @@ def support_accuracy_matrix(
 ) -> np.ndarray:
     """Measured accuracy matrix ``A[filter i, attack j]`` over a support.
 
-    The shared core of :func:`evaluate_mixed_defense` and the empirical
-    game: for every (attack percentile ``p_j``, filter percentile
-    ``p_i``, repeat) cell, one boundary-attack round seeded
-    ``derive_seed(ctx.seed, seed_label, i, j, rep)``, run as a single
-    engine batch and averaged over repeats.  ``victim`` overrides the
-    trained model; ``defense_kind``/``defense_params`` reinterpret the
-    defender's axis as another registered family's strength;
-    ``progress`` is the engine's streaming ``callback(done, total)``.
+    See :func:`repro.study.drivers.support_accuracy_matrix` (this name
+    is kept as a stable alias; it is not deprecated).
     """
-    support = np.asarray(support, dtype=float)
-    k = support.size
-    specs = [
-        RoundSpec(
-            defense=_grid_defense(defense_kind, float(p_filter), defense_params),
-            attack=AttackSpec("boundary", float(p_attack)),
-            poison_fraction=poison_fraction,
-            seed=derive_seed(ctx.seed, seed_label, i, j, rep),
-            victim=victim,
-        )
-        for j, p_attack in enumerate(support)
-        for i, p_filter in enumerate(support)
-        for rep in range(n_repeats)
-    ]
-    outcomes = engine.evaluate_batch(ctx, specs, progress=progress)
-    accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
-    # Batch layout (attack j, filter i, repeat) -> matrix[i, j].
-    return accuracies.reshape(k, k, n_repeats).mean(axis=2).T
+    from repro.study.drivers import support_accuracy_matrix as impl
+
+    return impl(ctx, support, poison_fraction=poison_fraction,
+                n_repeats=n_repeats, seed_label=seed_label, engine=engine,
+                victim=victim, defense_kind=defense_kind,
+                defense_params=defense_params, progress=progress)
 
 
 def run_pure_strategy_sweep(
@@ -113,64 +69,16 @@ def run_pure_strategy_sweep(
 ) -> PureSweepResult:
     """Figure 1: accuracy vs filter strength, clean and under optimal attack.
 
-    The optimal pure attack against a *known* filter at percentile
-    ``p`` places every point just inside that radius
-    (``OptimalBoundaryAttack(target_percentile=p)``), the paper's
-    "place the poisoning points close to the boundary of the filter".
-
-    One engine batch covers the whole grid: per percentile and repeat,
-    a clean round and an attacked round sharing a seed.  Clean rounds
-    never consult the contamination rate, so their cache entries are
-    shared by sweeps at any ``poison_fraction``.
-
-    ``victim`` swaps the trained model (any registered
-    :class:`~repro.engine.VictimSpec` kind); ``defense_kind`` and
-    ``defense_params`` sweep another registered defence family's
-    strength axis instead of the radius filter's.  ``progress`` is an
-    optional ``callback(done, total)``: when given, the batch rides
-    the engine's streaming path and the callback fires per round as
-    outcomes land (cache hits first) — results are bit-identical
-    either way.
+    .. deprecated:: use ``run_study(studies.figure1(...))``.
     """
-    check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
-    check_positive_int(n_repeats, name="n_repeats")
-    if percentiles is None:
-        percentiles = np.array([0.0, 0.01, 0.02, 0.03, 0.05, 0.075, 0.10,
-                                0.15, 0.20, 0.25, 0.30, 0.40, 0.50])
-    percentiles = np.asarray(percentiles, dtype=float)
-    engine = resolve_engine(engine)
+    warn_driver_deprecated("run_pure_strategy_sweep", "figure1")
+    from repro.study.drivers import pure_strategy_sweep
 
-    specs = []
-    for i, p in enumerate(percentiles):
-        for rep in range(n_repeats):
-            seed = derive_seed(ctx.seed, "sweep", i, rep)
-            defense = _grid_defense(defense_kind, float(p), defense_params)
-            specs.append(RoundSpec(
-                defense=defense, attack=None,
-                poison_fraction=poison_fraction, seed=seed, victim=victim,
-            ))
-            specs.append(RoundSpec(
-                defense=defense,
-                attack=AttackSpec("boundary", float(p)),
-                poison_fraction=poison_fraction, seed=seed, victim=victim,
-            ))
-    outcomes = engine.evaluate_batch(ctx, specs, progress=progress)
-
-    # Batch layout: (percentile, repeat, [clean, attacked]).
-    accuracies = np.array([o.accuracy for o in outcomes], dtype=float)
-    accuracies = accuracies.reshape(percentiles.size, n_repeats, 2)
-    acc_clean = accuracies[:, :, 0].mean(axis=1)
-    acc_attacked = accuracies[:, :, 1].mean(axis=1)
-
-    return PureSweepResult(
-        percentiles=percentiles.tolist(),
-        acc_clean=acc_clean.tolist(),
-        acc_attacked=acc_attacked.tolist(),
-        n_poison=attack_budget(ctx.n_train, poison_fraction),
-        poison_fraction=poison_fraction,
-        dataset_name=ctx.dataset_name,
-        n_repeats=n_repeats,
-    )
+    return pure_strategy_sweep(
+        ctx, percentiles=percentiles, poison_fraction=poison_fraction,
+        n_repeats=n_repeats, engine=engine, victim=victim,
+        defense_kind=defense_kind, defense_params=defense_params,
+        progress=progress)
 
 
 def evaluate_mixed_defense(
@@ -185,33 +93,14 @@ def evaluate_mixed_defense(
 ) -> tuple[float, float, np.ndarray]:
     """Expected accuracy of a mixed defence under the optimal mixed attack.
 
-    At the equalized defence the attacker is indifferent over
-    placements on the support, so the optimal attack is any mixture of
-    them (Section 4.2).  We tabulate the full support x support
-    accuracy matrix ``A[i, j]`` (defender draws ``p_i``, attacker
-    places at ``p_j``), weight rows by the defender's probabilities,
-    and take the **attacker's best column** — the worst case for the
-    defender, which upper-bounds what any equilibrium attack mixture
-    could do.
-
-    Returns ``(expected_accuracy, dispersion, matrix)`` where the
-    dispersion is the probability-weighted std of the defender's
-    row-accuracies at the attacker's chosen column.
+    .. deprecated:: use ``run_study(studies.mixed_eval(...))``.
     """
-    support = defense.percentiles
-    probs = defense.probabilities
-    matrix = support_accuracy_matrix(
-        ctx, support, poison_fraction=poison_fraction, n_repeats=n_repeats,
-        seed_label="mixed", engine=resolve_engine(engine), victim=victim,
-        progress=progress,
-    )
+    warn_driver_deprecated("evaluate_mixed_defense", "mixed_eval")
+    from repro.study.drivers import mixed_defense_evaluation
 
-    expected_by_attack = probs @ matrix  # one value per attacker column
-    worst_j = int(np.argmin(expected_by_attack))
-    expected_accuracy = float(expected_by_attack[worst_j])
-    deviations = matrix[:, worst_j] - expected_accuracy
-    dispersion = float(np.sqrt(probs @ deviations**2))
-    return expected_accuracy, dispersion, matrix
+    return mixed_defense_evaluation(
+        ctx, defense, poison_fraction=poison_fraction, n_repeats=n_repeats,
+        engine=engine, victim=victim, progress=progress)
 
 
 def run_table1_experiment(
@@ -229,42 +118,14 @@ def run_table1_experiment(
 ) -> list[MixedStrategyResult]:
     """Table 1: Algorithm 1's mixed defence for each support size.
 
-    ``curves`` may be supplied to reuse a fit; otherwise they are
-    estimated from ``sweep`` exactly as the paper does.  ``engine``
-    is threaded into every mixed-defence evaluation, so an equal-seed
-    rerun of the whole experiment is served from the engine's cache.
+    .. deprecated:: use ``run_study(studies.table1(...))`` (which runs
+    the sweep and the mixed evaluations as one study).
     """
-    engine = resolve_engine(engine)
-    if curves is None:
-        curves = estimate_payoff_curves(
-            sweep.percentiles, sweep.acc_clean, sweep.acc_attacked, sweep.n_poison
-        )
-    best_p, best_acc = sweep.best_pure
-    results = []
-    for n_radii in n_radii_values:
-        start = time.perf_counter()
-        opt = compute_optimal_defense(
-            curves, n_radii, sweep.n_poison, **(algorithm_kwargs or {})
-        )
-        elapsed = time.perf_counter() - start
-        accuracy, dispersion, matrix = evaluate_mixed_defense(
-            ctx, opt.defense, poison_fraction=poison_fraction,
-            n_repeats=n_repeats, engine=engine, victim=victim,
-            progress=progress,
-        )
-        results.append(
-            MixedStrategyResult(
-                n_radii=int(n_radii),
-                percentiles=opt.defense.percentiles.tolist(),
-                probabilities=opt.defense.probabilities.tolist(),
-                accuracy=accuracy,
-                accuracy_std=dispersion,
-                expected_loss=opt.expected_loss,
-                best_pure_accuracy=best_acc,
-                best_pure_percentile=best_p,
-                accuracy_matrix=matrix.tolist(),
-                algorithm_iterations=opt.n_iterations,
-                wall_time_seconds=elapsed,
-            )
-        )
-    return results
+    warn_driver_deprecated("run_table1_experiment", "table1")
+    from repro.study.drivers import table1_rows
+
+    return table1_rows(
+        ctx, sweep, n_radii_values=n_radii_values,
+        poison_fraction=poison_fraction, n_repeats=n_repeats, curves=curves,
+        algorithm_kwargs=algorithm_kwargs, engine=engine, victim=victim,
+        progress=progress)

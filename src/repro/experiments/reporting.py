@@ -7,7 +7,9 @@ import numpy as np
 from repro.experiments.results import MixedStrategyResult, PureSweepResult
 
 __all__ = ["ascii_table", "format_pure_sweep", "format_table1", "ascii_series",
-           "format_engine_stats", "format_cross_game"]
+           "format_engine_stats", "format_cross_game",
+           "format_empirical_game", "format_mixed_eval",
+           "format_aggregated_sweep", "format_grid_result"]
 
 
 def ascii_table(headers, rows, *, title: str | None = None) -> str:
@@ -159,6 +161,80 @@ def format_cross_game(result) -> str:
     if result.victim:
         lines.insert(1, f"victim model:              {result.victim}")
     return "\n".join(lines)
+
+
+def format_empirical_game(result) -> str:
+    """An :class:`~repro.experiments.empirical_game.EmpiricalGameResult`
+    as the equilibrium defence table plus the game summary lines."""
+    rows = [(f"{p:.1%}", f"{q:.1%}")
+            for p, q in zip(result.percentiles, result.defender_mix)]
+    table = ascii_table(["filter percentile", "probability"], rows,
+                        title="Measured-game equilibrium defence")
+    return "\n".join([
+        table,
+        f"game value (accuracy): {result.game_value_accuracy:.4f}",
+        f"best pure defence:     {result.best_pure_percentile:.1%} -> "
+        f"{result.best_pure_accuracy:.4f}",
+        f"mixed advantage:       {result.mixed_advantage:+.4f}",
+        f"saddle point exists:   {result.has_saddle_point}",
+    ])
+
+
+def format_mixed_eval(result) -> str:
+    """A :class:`~repro.experiments.results.MixedEvalResult` as the
+    evaluated strategy plus its worst-case expected accuracy."""
+    rows = [(f"{p:.1%}", f"{q:.1%}")
+            for p, q in zip(result.percentiles, result.probabilities)]
+    table = ascii_table(["filter percentile", "probability"], rows,
+                        title="Mixed defence under the optimal mixed attack")
+    return "\n".join([
+        table,
+        f"expected accuracy (worst attack column): "
+        f"{result.expected_accuracy:.4f}",
+        f"dispersion:                              {result.dispersion:.4f}",
+        f"poison fraction:                         "
+        f"{result.poison_fraction:.0%}",
+    ])
+
+
+def format_aggregated_sweep(agg) -> str:
+    """An :class:`~repro.experiments.multi_seed.AggregatedSweep` as a
+    mean ± std table over the percentile grid."""
+    rows = [
+        (f"{float(p):.1%}", f"{float(cm):.4f} ± {float(cs):.4f}",
+         f"{float(am):.4f} ± {float(as_):.4f}")
+        for p, cm, cs, am, as_ in zip(
+            agg.percentiles, agg.acc_clean_mean, agg.acc_clean_std,
+            agg.acc_attacked_mean, agg.acc_attacked_std)
+    ]
+    table = ascii_table(
+        ["filtered", "accuracy (no attack)", "accuracy (optimal attack)"],
+        rows,
+        title=f"Multi-seed sweep — mean ± std over {agg.n_seeds} seeds",
+    )
+    best_p, best_acc = agg.best_pure
+    return (f"{table}\n\nbest average pure defence: remove {best_p:.1%} "
+            f"-> accuracy {best_acc:.4f}")
+
+
+def format_grid_result(result) -> str:
+    """A :class:`~repro.experiments.results.GridResult` as one accuracy
+    table per (victim, fraction) slice."""
+    tensor = np.asarray(result.accuracy, dtype=float)
+    blocks = []
+    for k, victim in enumerate(result.victim_labels):
+        for l, fraction in enumerate(result.fractions):
+            rows = [
+                (label, *(f"{a:.4f}" for a in tensor[i, :, k, l]))
+                for i, label in enumerate(result.defense_labels)
+            ]
+            blocks.append(ascii_table(
+                ["defense \\ attack", *result.attack_labels],
+                rows,
+                title=(f"Scenario grid — measured accuracy "
+                       f"(victim {victim}, {fraction:.0%} poisoning)"),
+            ))
+    return "\n\n".join(blocks)
 
 
 def format_table1(results: list[MixedStrategyResult]) -> str:

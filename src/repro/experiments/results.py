@@ -3,6 +3,17 @@
 Every harness returns one of these dataclasses; they round-trip through
 JSON so benchmark runs can archive their numbers next to the paper's
 (EXPERIMENTS.md is generated from them).
+
+The registry behind :func:`results_from_json` covers *every* result
+type the drivers produce — the three PR-0 records defined here plus
+:class:`~repro.experiments.empirical_game.EmpiricalGameResult`,
+:class:`~repro.experiments.empirical_game.CrossGameResult` and
+:class:`~repro.experiments.multi_seed.AggregatedSweep` (whose ndarray
+and nested fields use a custom codec).  The study layer's
+:class:`~repro.study.result.StudyResult` embeds results through the
+same codec (:func:`result_to_payload` / :func:`result_from_payload`),
+so an archived study renders with exactly the reporting the live run
+used.
 """
 
 from __future__ import annotations
@@ -16,8 +27,12 @@ __all__ = [
     "PureSweepResult",
     "MixedStrategyResult",
     "Table1Row",
+    "MixedEvalResult",
+    "GridResult",
     "results_to_json",
     "results_from_json",
+    "result_to_payload",
+    "result_from_payload",
 ]
 
 
@@ -110,9 +125,45 @@ class Table1Row:
     accuracy_percent: float
 
 
+@dataclass
+class MixedEvalResult:
+    """One mixed defence evaluated under the optimal mixed attack.
+
+    The record form of the historical ``evaluate_mixed_defense`` tuple
+    ``(expected_accuracy, dispersion, matrix)``, plus the strategy it
+    evaluated — what the ``mixed_eval`` study kind archives.
+    """
+
+    percentiles: list
+    probabilities: list
+    expected_accuracy: float
+    dispersion: float
+    accuracy_matrix: list
+    poison_fraction: float = 0.2
+    n_repeats: int = 1
+
+
+@dataclass
+class GridResult:
+    """The measured accuracy tensor of a raw scenario-grid study.
+
+    ``accuracy[i][j][k][l]`` is the mean test accuracy for defence
+    ``defense_labels[i]`` against attack ``attack_labels[j]`` on victim
+    ``victim_labels[k]`` at contamination rate ``fractions[l]``.
+    """
+
+    defense_labels: list
+    attack_labels: list
+    victim_labels: list
+    fractions: list
+    accuracy: list
+    n_repeats: int = 1
+    dataset_name: str = ""
+
+
 def results_to_json(result, path: str | None = None) -> str:
     """Serialise a result dataclass (with its type tag) to JSON."""
-    payload = {"type": type(result).__name__, "data": _listify(asdict(result))}
+    payload = result_to_payload(result)
     text = json.dumps(payload, indent=2)
     if path is not None:
         with open(path, "w", encoding="utf-8") as f:
@@ -120,17 +171,80 @@ def results_to_json(result, path: str | None = None) -> str:
     return text
 
 
-_RESULT_TYPES = {cls.__name__: cls for cls in (PureSweepResult, MixedStrategyResult, Table1Row)}
+def _aggregated_to_data(agg) -> dict:
+    return {
+        "percentiles": _listify(agg.percentiles),
+        "acc_clean_mean": _listify(agg.acc_clean_mean),
+        "acc_clean_std": _listify(agg.acc_clean_std),
+        "acc_attacked_mean": _listify(agg.acc_attacked_mean),
+        "acc_attacked_std": _listify(agg.acc_attacked_std),
+        "n_seeds": int(agg.n_seeds),
+        "per_seed": [_listify(asdict(s)) for s in agg.per_seed],
+    }
+
+
+def _aggregated_from_data(data: dict):
+    from repro.experiments.multi_seed import AggregatedSweep
+
+    return AggregatedSweep(
+        percentiles=np.asarray(data["percentiles"], dtype=float),
+        acc_clean_mean=np.asarray(data["acc_clean_mean"], dtype=float),
+        acc_clean_std=np.asarray(data["acc_clean_std"], dtype=float),
+        acc_attacked_mean=np.asarray(data["acc_attacked_mean"], dtype=float),
+        acc_attacked_std=np.asarray(data["acc_attacked_std"], dtype=float),
+        n_seeds=int(data["n_seeds"]),
+        per_seed=[PureSweepResult(**s) for s in data["per_seed"]],
+    )
+
+
+def _result_codecs() -> dict:
+    """Type name -> (encode, decode); imported lazily to avoid cycles."""
+    from repro.experiments.empirical_game import (CrossGameResult,
+                                                  EmpiricalGameResult)
+    from repro.experiments.multi_seed import AggregatedSweep
+
+    def plain(cls):
+        return (lambda r: _listify(asdict(r)), lambda d: cls(**d))
+
+    codecs = {
+        cls.__name__: plain(cls)
+        for cls in (PureSweepResult, MixedStrategyResult, Table1Row,
+                    MixedEvalResult, GridResult, EmpiricalGameResult,
+                    CrossGameResult)
+    }
+    codecs[AggregatedSweep.__name__] = (_aggregated_to_data,
+                                        _aggregated_from_data)
+    return codecs
+
+
+def result_to_payload(result) -> dict:
+    """``{"type": ..., "data": ...}`` form of any result dataclass.
+
+    Registered types use their codec; any other dataclass falls back to
+    a plain ``asdict`` dump (it will serialise, but only registered
+    types load back through :func:`result_from_payload`).
+    """
+    name = type(result).__name__
+    codecs = _result_codecs()
+    if name not in codecs:
+        return {"type": name, "data": _listify(asdict(result))}
+    encode, _ = codecs[name]
+    return {"type": name, "data": encode(result)}
+
+
+def result_from_payload(payload: dict):
+    """Inverse of :func:`result_to_payload`."""
+    codecs = _result_codecs()
+    name = payload.get("type")
+    if name not in codecs:
+        raise ValueError(f"unknown result type {name!r}; registered: "
+                         f"{sorted(codecs)}")
+    _, decode = codecs[name]
+    return decode(payload["data"])
 
 
 def results_from_json(text_or_path: str):
     """Inverse of :func:`results_to_json` (accepts a path or raw JSON)."""
-    if text_or_path.lstrip().startswith("{"):
-        payload = json.loads(text_or_path)
-    else:
-        with open(text_or_path, encoding="utf-8") as f:
-            payload = json.load(f)
-    cls = _RESULT_TYPES.get(payload.get("type"))
-    if cls is None:
-        raise ValueError(f"unknown result type {payload.get('type')!r}")
-    return cls(**payload["data"])
+    from repro.utils.serialization import read_json_document
+
+    return result_from_payload(read_json_document(text_or_path))

@@ -1,0 +1,57 @@
+"""Declarative studies: whole experiments as serialisable specs.
+
+The one public surface in front of every experiment the repository
+knows.  Build a :class:`StudySpec` (directly, from JSON, or with the
+named builders in :mod:`repro.study.studies <repro.study.builders>`),
+then submit it:
+
+>>> from repro.study import run_study, studies
+>>> spec = studies.figure1(context="spambase", n_repeats=1)
+>>> result = run_study(spec)                      # doctest: +SKIP
+>>> print(result.render())                        # doctest: +SKIP
+
+``run_study`` returns a :class:`StudyResult` — a uniform,
+provenance-stamped artifact that round-trips through JSON, renders its
+own report, warms an engine cache for zero-recompute resume, and is
+addressable by its study fingerprint (``archive_dir=`` turns that into
+skip-if-already-done).  ``describe_study`` dry-runs the spec: expanded
+grid, exact round counts, predicted cache hits.
+
+The historical driver functions (``run_pure_strategy_sweep`` and
+friends) survive as deprecation shims over this package's
+:mod:`~repro.study.drivers`; their outputs and engine cache keys are
+bit-identical.
+"""
+
+from repro.study import builders as studies
+from repro.study.builders import BUILDERS, build
+from repro.study.result import StudyResult, study_result_from_json
+from repro.study.runner import (PhaseDescription, StudyDescription,
+                                archive_path, describe_study, run_study)
+from repro.study.report import format_study_description, render_study_report
+from repro.study.spec import (STUDY_KINDS, STUDY_SCHEMA_VERSION, ContextSpec,
+                              EngineConfig, ScenarioGrid, StudySpec,
+                              study_from_json, study_to_json)
+
+__all__ = [
+    "studies",
+    "BUILDERS",
+    "build",
+    "StudyResult",
+    "study_result_from_json",
+    "PhaseDescription",
+    "StudyDescription",
+    "archive_path",
+    "describe_study",
+    "run_study",
+    "format_study_description",
+    "render_study_report",
+    "STUDY_KINDS",
+    "STUDY_SCHEMA_VERSION",
+    "ContextSpec",
+    "EngineConfig",
+    "ScenarioGrid",
+    "StudySpec",
+    "study_from_json",
+    "study_to_json",
+]

@@ -1,0 +1,103 @@
+"""Rendering for study artifacts: results and dry-run descriptions.
+
+``render_study_report`` dispatches on the study kind to the same ASCII
+formatters the CLI's live commands print, so ``repro report
+result.json`` on an archived artifact reproduces the original run's
+report exactly — plus a provenance footer (fingerprint, backend,
+round/cache counts, wall time).
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_study_report", "format_study_description"]
+
+
+def _render_payload(result) -> str:
+    from repro.experiments.reporting import (ascii_table,
+                                             format_aggregated_sweep,
+                                             format_cross_game,
+                                             format_empirical_game,
+                                             format_grid_result,
+                                             format_mixed_eval,
+                                             format_pure_sweep,
+                                             format_table1)
+
+    obj = result.payload_object()
+    if result.kind == "figure1":
+        sweeps = obj if isinstance(obj, list) else [obj]
+        return "\n\n".join(format_pure_sweep(s) for s in sweeps)
+    if result.kind == "mixed_eval":
+        return format_mixed_eval(obj)
+    if result.kind == "table1":
+        return format_table1(obj["rows"])
+    if result.kind == "empirical_game":
+        return format_empirical_game(obj)
+    if result.kind == "cross_game":
+        return format_cross_game(obj)
+    if result.kind == "multi_seed":
+        return format_aggregated_sweep(obj)
+    if result.kind == "grid":
+        return format_grid_result(obj)
+    # Unknown kind (newer build's artifact with a compatible schema):
+    # still show something useful.
+    return ascii_table(["field", "value"],
+                       [("kind", result.kind),
+                        ("payload type", result.payload.get("type", "?"))],
+                       title="Study result")
+
+
+def _footer(result) -> str:
+    from repro.experiments.reporting import ascii_table
+
+    batches = result.engine_stats.get("batches", [])
+    rows = [
+        ("study", result.kind),
+        ("fingerprint", result.study_fingerprint[:16] + "…"),
+        ("backend", result.engine_stats.get("backend", "?")),
+        ("rounds (specs)", str(result.n_rounds)),
+        ("unique rounds", str(result.n_unique)),
+        ("cache hits", str(result.cache_hits)),
+        ("rounds computed", str(result.rounds_computed)),
+        ("batches", str(len(batches))),
+        ("wall time", f"{result.wall_time_seconds:.3f}s"),
+        ("cache schema", f"v{result.cache_schema_version}"),
+        ("created", result.created_at or "?"),
+    ]
+    return ascii_table(["study run", "value"], rows, title="Provenance")
+
+
+def render_study_report(result) -> str:
+    """The full ASCII report of a :class:`~repro.study.result.StudyResult`."""
+    return f"{_render_payload(result)}\n\n{_footer(result)}"
+
+
+def format_study_description(desc) -> str:
+    """A :class:`~repro.study.runner.StudyDescription` as the expanded
+    grid, the per-phase round table and the dry-run totals."""
+    from repro.experiments.reporting import ascii_table
+
+    def opt(value):
+        return "?" if value is None else str(value)
+
+    lines = [f"study: {desc.kind}"]
+    if desc.fingerprint:
+        lines.append(f"fingerprint: {desc.fingerprint}")
+    lines.extend(desc.grid_lines)
+    phase_rows = [
+        (p.label, str(p.n_rounds), opt(p.n_unique),
+         opt(p.predicted_cache_hits))
+        for p in desc.phases
+    ]
+    lines.append("")
+    lines.append(ascii_table(
+        ["phase", "rounds", "unique", "predicted hits"], phase_rows,
+        title="Dry run — nothing was executed"))
+    totals = (f"total rounds: {desc.n_rounds}   "
+              f"unique: {opt(desc.n_unique)}   "
+              f"predicted cache hits: {opt(desc.predicted_cache_hits)}")
+    lines.append(totals)
+    if not desc.exact:
+        lines.append("(phases marked ? are chosen by the solver at run "
+                     "time; their round counts are exact, their keys are "
+                     "not enumerable up front)")
+    return "\n".join(lines)

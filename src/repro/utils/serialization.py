@@ -1,0 +1,24 @@
+"""Shared JSON document loading for the archival formats.
+
+Result records, study specs and study results all accept "raw JSON text
+or a file path" in their loaders; this is the one implementation of
+that sniffing so the three loaders cannot drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["read_json_document"]
+
+
+def read_json_document(text_or_path: str):
+    """Parse ``text_or_path`` as JSON text, or as a path to a JSON file.
+
+    Anything whose first non-whitespace character is ``{`` is treated
+    as inline JSON; everything else is opened as a file.
+    """
+    if text_or_path.lstrip().startswith("{"):
+        return json.loads(text_or_path)
+    with open(text_or_path, encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,18 @@
+"""Fixtures for the study-layer tests: one small synthetic setting."""
+
+import pytest
+
+from repro.study import ContextSpec
+
+
+@pytest.fixture(scope="session")
+def ctx_spec():
+    """A declarative context: small synthetic task, fast to materialise."""
+    return ContextSpec(name="synthetic", seed=0, n_samples=260,
+                       params={"n_features": 4})
+
+
+@pytest.fixture(scope="session")
+def study_ctx(ctx_spec):
+    """The live context ``ctx_spec`` names (materialised once)."""
+    return ctx_spec.materialize()

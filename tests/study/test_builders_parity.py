@@ -1,0 +1,237 @@
+"""Every legacy driver == its StudySpec equivalent, bit for bit.
+
+The acceptance bar of the study redesign: each deprecated driver call
+(a) emits exactly one DeprecationWarning and (b) returns results
+bit-identical to ``run_study`` on the builder-equivalent spec — across
+serial/process backends and warm/cold cache states — and the two paths
+populate the engine cache under exactly the same keys.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine import EvaluationEngine
+from repro.study import run_study, studies
+
+PERCENTILES = (0.0, 0.1, 0.3)
+FRACTION = 0.25
+
+
+def drop_wall_time(row: dict) -> dict:
+    row = dict(row)
+    row.pop("wall_time_seconds", None)
+    return row
+
+
+@pytest.fixture(params=["serial", "process"], scope="module")
+def backend(request):
+    return request.param
+
+
+def make_engine(backend):
+    jobs = 2 if backend == "process" else None
+    return EvaluationEngine(backend, jobs=jobs)
+
+
+class TestFigure1Parity:
+    def test_shim_warns_once_and_matches(self, ctx_spec, study_ctx, backend):
+        from repro.experiments import run_pure_strategy_sweep
+
+        legacy_engine = make_engine(backend)
+        with pytest.warns(DeprecationWarning, match="figure1") as record:
+            legacy = run_pure_strategy_sweep(
+                study_ctx, percentiles=np.array(PERCENTILES),
+                poison_fraction=FRACTION, engine=legacy_engine)
+        assert len([w for w in record
+                    if w.category is DeprecationWarning]) == 1
+
+        study_engine = make_engine(backend)
+        result = run_study(
+            studies.figure1(context=ctx_spec, percentiles=PERCENTILES,
+                            poison_fraction=FRACTION),
+            engine=study_engine)
+        assert result.payload_object() == legacy
+
+        # Same rounds entered both caches under the same keys — and a
+        # warm re-run of either path computes nothing.
+        assert sorted(legacy_engine.cache._memory) == \
+            sorted(study_engine.cache._memory)
+        rerun = run_study(
+            studies.figure1(context=ctx_spec, percentiles=PERCENTILES,
+                            poison_fraction=FRACTION),
+            engine=legacy_engine)  # warm cache from the *legacy* run
+        assert rerun.rounds_computed == 0
+        assert rerun.payload_object() == legacy
+
+
+class TestMixedEvalParity:
+    def test_shim_matches_study(self, ctx_spec, study_ctx):
+        from repro.core.mixed_strategy import MixedDefense
+        from repro.experiments import evaluate_mixed_defense
+
+        support = (0.05, 0.2)
+        probs = (0.5, 0.5)
+        engine = make_engine("serial")
+        with pytest.warns(DeprecationWarning, match="mixed_eval"):
+            acc, disp, matrix = evaluate_mixed_defense(
+                study_ctx,
+                MixedDefense(np.array(support), np.array(probs)),
+                poison_fraction=FRACTION, engine=engine)
+
+        result = run_study(
+            studies.mixed_eval(context=ctx_spec, percentiles=support,
+                               probabilities=probs,
+                               poison_fraction=FRACTION),
+            engine=make_engine("serial"))
+        payload = result.payload_object()
+        assert payload.expected_accuracy == acc
+        assert payload.dispersion == disp
+        assert payload.accuracy_matrix == matrix.tolist()
+
+
+class TestTable1Parity:
+    def test_shim_matches_study(self, ctx_spec, study_ctx, backend):
+        from repro.experiments import (run_pure_strategy_sweep,
+                                       run_table1_experiment)
+
+        legacy_engine = make_engine(backend)
+        with pytest.warns(DeprecationWarning):
+            sweep = run_pure_strategy_sweep(
+                study_ctx, percentiles=np.array(PERCENTILES),
+                poison_fraction=FRACTION, engine=legacy_engine)
+        with pytest.warns(DeprecationWarning, match="table1") as record:
+            rows = run_table1_experiment(
+                study_ctx, sweep, n_radii_values=(2,),
+                poison_fraction=FRACTION, engine=legacy_engine)
+        assert len([w for w in record
+                    if w.category is DeprecationWarning]) == 1
+
+        result = run_study(
+            studies.table1(context=ctx_spec, percentiles=PERCENTILES,
+                           n_radii=(2,), poison_fraction=FRACTION),
+            engine=make_engine(backend))
+        payload = result.payload_object()
+        assert payload["sweep"] == sweep
+        assert [drop_wall_time(dataclasses.asdict(r))
+                for r in payload["rows"]] == \
+            [drop_wall_time(dataclasses.asdict(r)) for r in rows]
+
+
+class TestEmpiricalGameParity:
+    def test_shim_matches_study(self, ctx_spec, study_ctx, backend):
+        from repro.experiments import solve_empirical_game
+
+        with pytest.warns(DeprecationWarning, match="empirical_game"):
+            legacy = solve_empirical_game(
+                study_ctx, percentiles=np.array(PERCENTILES),
+                poison_fraction=FRACTION, engine=make_engine(backend))
+
+        result = run_study(
+            studies.empirical_game(context=ctx_spec,
+                                   percentiles=PERCENTILES,
+                                   poison_fraction=FRACTION),
+            engine=make_engine(backend))
+        # defender_support holds tuples; JSON round-trips them as lists,
+        # so compare on the listified dict form.
+        from repro.experiments.results import result_to_payload
+
+        assert result_to_payload(result.payload_object()) == \
+            result_to_payload(legacy)
+
+
+class TestCrossGameParity:
+    DEFENSES = ("radius:0.1", "slab_filter:0.1", "none")
+    ATTACKS = ("boundary:0.05", "label-flip", "clean")
+
+    def test_shim_matches_study(self, ctx_spec, study_ctx):
+        from repro.engine import parse_attack_spec, parse_defense_spec
+        from repro.experiments import solve_cross_family_game
+
+        with pytest.warns(DeprecationWarning, match="cross_game"):
+            legacy = solve_cross_family_game(
+                study_ctx,
+                [parse_defense_spec(d) for d in self.DEFENSES],
+                [parse_attack_spec(a) for a in self.ATTACKS],
+                poison_fraction=FRACTION, engine=make_engine("serial"))
+
+        result = run_study(
+            studies.cross_game(context=ctx_spec, defenses=self.DEFENSES,
+                               attacks=self.ATTACKS,
+                               poison_fraction=FRACTION),
+            engine=make_engine("serial"))
+        assert result.payload_object() == legacy
+
+
+class TestMultiSeedParity:
+    def test_shim_matches_study(self, ctx_spec):
+        from repro.experiments import run_multi_seed_sweep
+        from repro.experiments.runner import make_synthetic_context
+
+        with pytest.warns(DeprecationWarning, match="multi_seed") as record:
+            legacy = run_multi_seed_sweep(
+                n_seeds=2, base_seed=4,
+                context_factory=lambda seed: make_synthetic_context(
+                    seed=seed, n_samples=260, n_features=4),
+                percentiles=np.array([0.0, 0.2]),
+                poison_fraction=FRACTION, engine=make_engine("serial"))
+        assert len([w for w in record
+                    if w.category is DeprecationWarning]) == 1
+
+        result = run_study(
+            studies.multi_seed(context=ctx_spec, n_seeds=2, base_seed=4,
+                               percentiles=(0.0, 0.2),
+                               poison_fraction=FRACTION),
+            engine=make_engine("serial"))
+        agg = result.payload_object()
+        np.testing.assert_array_equal(agg.acc_clean_mean,
+                                      legacy.acc_clean_mean)
+        np.testing.assert_array_equal(agg.acc_attacked_mean,
+                                      legacy.acc_attacked_mean)
+        np.testing.assert_array_equal(agg.acc_attacked_std,
+                                      legacy.acc_attacked_std)
+        assert agg.per_seed == legacy.per_seed
+        assert len(result.context_fingerprints) == 2
+
+    def test_custom_context_factory_stays_supported(self):
+        from repro.experiments import run_multi_seed_sweep
+        from repro.experiments.runner import make_synthetic_context
+
+        calls = []
+
+        def factory(seed):
+            calls.append(seed)
+            return make_synthetic_context(seed=seed, n_samples=240,
+                                          n_features=3)
+
+        with pytest.warns(DeprecationWarning):
+            agg = run_multi_seed_sweep(
+                n_seeds=2, context_factory=factory,
+                percentiles=np.array([0.0, 0.2]),
+                engine=make_engine("serial"))
+        assert agg.n_seeds == 2
+        assert len(calls) == 2
+
+
+class TestDiskCacheParity:
+    def test_legacy_and_study_share_disk_entries(self, ctx_spec, study_ctx,
+                                                 tmp_path):
+        """Cold study run -> warm *legacy* rerun from the same disk dir."""
+        from repro.experiments import run_pure_strategy_sweep
+
+        disk = str(tmp_path / "cache")
+        study_engine = EvaluationEngine("serial", cache_dir=disk)
+        result = run_study(
+            studies.figure1(context=ctx_spec, percentiles=PERCENTILES,
+                            poison_fraction=FRACTION),
+            engine=study_engine)
+        assert result.rounds_computed > 0
+
+        legacy_engine = EvaluationEngine("serial", cache_dir=disk)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_pure_strategy_sweep(
+                study_ctx, percentiles=np.array(PERCENTILES),
+                poison_fraction=FRACTION, engine=legacy_engine)
+        assert legacy_engine.rounds_computed == 0  # all served from disk
+        assert legacy == result.payload_object()

@@ -1,0 +1,220 @@
+"""The study CLI surface: repro run / describe / report."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+CTX_SETS = ["--set", "context=synthetic", "--set", "n_samples=260"]
+SMALL = CTX_SETS + ["--set", "percentiles=0.0,0.1,0.3", "--no-progress"]
+
+
+class TestSetParsing:
+    def test_range_literal_and_list(self):
+        from repro.experiments.cli import _parse_set_value
+
+        assert _parse_set_value("0:0.2:9") == tuple(
+            0.2 * i / 8 for i in range(9))
+        assert _parse_set_value("3") == 3
+        assert _parse_set_value("0.25") == 0.25
+        assert _parse_set_value("logistic") == "logistic"
+        assert _parse_set_value("none") is None
+        assert _parse_set_value("0.1,0.2") == (0.1, 0.2)
+        assert _parse_set_value("radius:0.1;slab_filter:0.1") == \
+            ("radius:0.1", "slab_filter:0.1")
+        # Comma splitting is bracket-aware: a spec string with a
+        # list-valued param stays one element.
+        assert _parse_set_value("knn_sanitizer::k=[1,2]") == \
+            "knn_sanitizer::k=[1,2]"
+        assert _parse_set_value("radius:0.1,knn_sanitizer::k=[1,2]") == \
+            ("radius:0.1", "knn_sanitizer::k=[1,2]")
+
+    def test_bad_set_rejected(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["run", "figure1", "--set", "nonsense"])
+        with pytest.raises(SystemExit, match="cannot build study"):
+            main(["run", "figure1", "--set", "wrong_knob=1"])
+        with pytest.raises(SystemExit, match="unknown study"):
+            main(["run", "seance"])
+
+
+class TestRun:
+    def test_run_named_study_and_report(self, tmp_path, capsys):
+        out = str(tmp_path / "result.json")
+        code = main(["run", "figure1"] + SMALL + ["--out", out])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Figure 1" in captured
+        assert "Provenance" in captured
+        assert "Engine stats" in captured
+
+        # repro report renders the archived artifact's report again.
+        assert main(["report", out]) == 0
+        reported = capsys.readouterr().out
+        assert "Figure 1" in reported
+        assert "Provenance" in reported
+
+    def test_run_study_json_document(self, tmp_path, capsys):
+        from repro.study import studies, study_to_json
+
+        spec = studies.empirical_game(
+            context={"name": "synthetic", "n_samples": 260},
+            percentiles=(0.0, 0.1, 0.2))
+        path = str(tmp_path / "study.json")
+        study_to_json(spec, path)
+        assert main(["run", path, "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "Measured-game equilibrium defence" in out
+
+    def test_expect_cached_gate(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["run", "figure1"] + SMALL + ["--cache-dir", cache]
+        assert main(args) == 0
+        # Fully cached rerun passes the gate; a cold run fails it.
+        assert main(args + ["--expect-cached"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="expect-cached"):
+            main(["run", "figure1"] + SMALL +
+                 ["--set", "seed=9", "--cache-dir", cache,
+                  "--expect-cached"])
+
+    def test_archive_dir_skips_second_run(self, tmp_path, capsys):
+        archive = str(tmp_path / "archive")
+        args = ["run", "figure1"] + SMALL + ["--archive-dir", archive]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "served from the study archive" in capsys.readouterr().out
+        # Nothing ran in this invocation, so the determinism gate holds
+        # even though the archived artifact records a cold first run.
+        assert main(args + ["--expect-cached"]) == 0
+
+    def test_single_element_axis_values(self, capsys):
+        """A one-element --set value means a one-point axis, not an
+        iterated scalar/string."""
+        code = main(["run", "grid"] + CTX_SETS +
+                    ["--set", "defenses=radius:0.1",
+                     "--set", "attacks=boundary:0.05",
+                     "--set", "fractions=0.3", "--no-progress"])
+        assert code == 0
+        assert "Scenario grid" in capsys.readouterr().out
+        code = main(["run", "figure1"] + CTX_SETS +
+                    ["--set", "percentiles=0.1",
+                     "--set", "fractions=0.3", "--no-progress"])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_multi_fraction_set(self, capsys):
+        code = main(["run", "figure1"] + CTX_SETS +
+                    ["--set", "percentiles=0.0,0.1",
+                     "--set", "fractions=0.1:0.2:2", "--no-progress"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("Figure 1") == 2
+
+    def test_set_on_json_document_rejected(self, tmp_path):
+        from repro.study import studies, study_to_json
+
+        path = str(tmp_path / "study.json")
+        study_to_json(studies.figure1(), path)
+        with pytest.raises(SystemExit, match="--set applies"):
+            main(["run", path, "--set", "seed=3"])
+
+    def test_missing_document_rejected(self):
+        with pytest.raises(SystemExit, match="cannot load study"):
+            main(["run", "missing-study.json"])
+
+    def test_stray_directory_does_not_shadow_named_study(self, tmp_path,
+                                                         capsys,
+                                                         monkeypatch):
+        """A cwd directory named like a builder (e.g. an output dir
+        called figure1) must not hijack `repro describe figure1`."""
+        (tmp_path / "figure1").mkdir()
+        monkeypatch.chdir(tmp_path)
+        assert main(["describe", "figure1"] + SMALL) == 0
+        assert "study: figure1" in capsys.readouterr().out
+
+    def test_runtime_value_errors_exit_cleanly(self):
+        """Errors surfacing inside run_study (e.g. an unknown context
+        maker) exit with a message, not a traceback."""
+        with pytest.raises(SystemExit, match="cannot run study"):
+            main(["run", "figure1", "--set", "context=bogus",
+                  "--no-progress"])
+
+    def test_study_document_engine_config_honoured(self, tmp_path,
+                                                   capsys):
+        """`repro run study.json` uses the document's EngineConfig when
+        no engine flag is given; explicit flags still win."""
+        from repro.study import EngineConfig, studies, study_to_json
+
+        disk = str(tmp_path / "doc-cache")
+        spec = studies.figure1(
+            context={"name": "synthetic", "n_samples": 260},
+            percentiles=(0.0, 0.1),
+            engine=EngineConfig(cache_dir=disk))
+        path = str(tmp_path / "study.json")
+        study_to_json(spec, path)
+        assert main(["run", path, "--no-progress"]) == 0
+        capsys.readouterr()
+        import os
+
+        assert os.path.isdir(disk)  # the document's cache came on
+        # Second run through the document: served from its disk cache.
+        assert main(["run", path, "--no-progress",
+                     "--expect-cached"]) == 0
+        # An explicit flag overrides the document preference — even one
+        # that happens to spell the default value.
+        other = str(tmp_path / "flag-cache")
+        assert main(["run", path, "--no-progress",
+                     "--cache-dir", other]) == 0
+        assert os.path.isdir(other)
+        before = set(os.listdir(disk))
+        assert main(["run", path, "--no-progress",
+                     "--backend", "serial"]) == 0
+        assert set(os.listdir(disk)) == before  # document cache not used
+
+
+class TestDescribe:
+    def test_describe_prints_grid_and_counts(self, capsys):
+        code = main(["describe", "figure1"] + SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "study: figure1" in out
+        assert "Dry run" in out
+        assert "total rounds: 6" in out
+
+    def test_describe_predicts_disk_cache_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "figure1"] + SMALL +
+                    ["--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["describe", "figure1"] + SMALL +
+                    ["--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "predicted cache hits: 6" in out
+
+    def test_describe_table1_marks_dynamic_phases(self, capsys):
+        assert main(["describe", "table1"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "chosen by the solver" in out
+
+
+class TestReport:
+    def test_bad_report_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load study result"):
+            main(["report", str(tmp_path / "missing.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"type": "not-a-result"}))
+        with pytest.raises(SystemExit, match="cannot load study result"):
+            main(["report", str(bad)])
+
+    def test_report_cross_game_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "cross.json")
+        assert main(["run", "cross-game"] + CTX_SETS +
+                    ["--set", "defenses=radius:0.1;none",
+                     "--set", "attacks=boundary:0.05;clean",
+                     "--no-progress", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["report", out]) == 0
+        assert "Cross-family empirical game" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""describe_study: dry-run counts are exact, hit predictions verified.
+
+The contract under test: for statically-enumerable studies the
+description's per-phase (rounds, unique, predicted hits) numbers equal
+the batch telemetry of a subsequent real run on the same engine —
+cold cache, warm cache, and the cross-phase sharing cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import EvaluationEngine
+from repro.study import describe_study, run_study, studies
+
+PERCENTILES = (0.0, 0.1, 0.3)
+
+
+def batches(result):
+    return result.engine_stats["batches"]
+
+
+def assert_description_matches_run(spec, engine):
+    """Predict, run, compare phase-by-phase against engine telemetry."""
+    desc = describe_study(spec, engine=engine)
+    result = run_study(spec, engine=engine)
+    ran = batches(result)
+    static_phases = [p for p in desc.phases if p.rounds is not None]
+    assert len(static_phases) == len(ran)
+    for phase, batch in zip(static_phases, ran):
+        assert phase.n_rounds == batch["n_specs"], phase.label
+        assert phase.n_unique == batch["n_unique"], phase.label
+        assert phase.predicted_cache_hits == batch["cache_hits"], phase.label
+    assert desc.n_rounds == result.n_rounds
+    assert desc.predicted_cache_hits == result.cache_hits
+    return desc, result
+
+
+class TestExactPrediction:
+    @pytest.mark.parametrize("make_spec", [
+        lambda ctx: studies.figure1(context=ctx, percentiles=PERCENTILES,
+                                    poison_fraction=0.25, n_repeats=2),
+        lambda ctx: studies.empirical_game(context=ctx,
+                                           percentiles=PERCENTILES),
+        lambda ctx: studies.cross_game(
+            context=ctx, defenses=("radius:0.1", "none"),
+            attacks=("boundary:0.05", "label-flip", "clean")),
+        lambda ctx: studies.mixed_eval(context=ctx,
+                                       percentiles=(0.05, 0.2),
+                                       probabilities=(0.5, 0.5)),
+    ], ids=["figure1", "empirical_game", "cross_game", "mixed_eval"])
+    def test_cold_then_warm(self, ctx_spec, make_spec):
+        spec = make_spec(ctx_spec)
+        engine = EvaluationEngine("serial")
+        # Cold: everything predicted as a miss.
+        desc, result = assert_description_matches_run(spec, engine)
+        assert desc.predicted_cache_hits == 0
+        assert result.rounds_computed == desc.n_unique
+        # Warm: everything predicted as a hit — and the prediction
+        # itself (ResultCache.contains) mutated nothing.
+        desc2, result2 = assert_description_matches_run(spec, engine)
+        assert desc2.predicted_cache_hits == desc2.n_unique
+        assert result2.rounds_computed == 0
+
+    def test_grid_with_shared_clean_rounds(self, ctx_spec):
+        """Intra-batch duplicate keys (clean rounds across fractions)
+        are modelled: unique < rounds, telemetry still matches."""
+        spec = studies.grid(context=ctx_spec,
+                            defenses=("radius:0.1", "none"),
+                            attacks=("boundary:0.05", "clean"),
+                            fractions=(0.1, 0.2))
+        engine = EvaluationEngine("serial")
+        desc, result = assert_description_matches_run(spec, engine)
+        assert desc.n_rounds == 2 * 2 * 1 * 2
+        assert desc.n_unique < desc.n_rounds  # clean cells collapse
+
+    def test_multi_fraction_figure1_cross_phase_sharing(self, ctx_spec):
+        """Phase 2 re-uses phase 1's clean rounds: predicted as hits
+        even on a cold cache (sequencing-aware prediction), and counted
+        once in the study-wide unique total."""
+        spec = studies.figure1(context=ctx_spec, percentiles=PERCENTILES,
+                               fractions=(0.1, 0.25))
+        engine = EvaluationEngine("serial")
+        desc, result = assert_description_matches_run(spec, engine)
+        assert desc.phases[0].predicted_cache_hits == 0
+        assert desc.phases[1].predicted_cache_hits == len(PERCENTILES)
+        # The clean rounds shared across the two sweeps dedupe in the
+        # total exactly as they do in the artifact's scenario list.
+        assert desc.n_unique == result.n_unique
+        assert desc.n_unique < sum(p.n_unique for p in desc.phases)
+
+    def test_describe_rejects_what_run_rejects(self, ctx_spec):
+        """A dry run must refuse multi-axis specs run_study refuses."""
+        from repro.study import ScenarioGrid, StudySpec
+
+        bad = StudySpec(kind="figure1", context=ctx_spec,
+                        grid=ScenarioGrid(percentiles=PERCENTILES,
+                                          victims=("svm", "logistic")))
+        with pytest.raises(ValueError, match="exactly one victim"):
+            describe_study(bad)
+        with pytest.raises(ValueError, match="exactly one victim"):
+            run_study(bad, engine=EvaluationEngine("serial"))
+        bad_fraction = StudySpec(kind="empirical_game", context=ctx_spec,
+                                 grid=ScenarioGrid(percentiles=PERCENTILES,
+                                                   fractions=(0.1, 0.2)))
+        with pytest.raises(ValueError, match="exactly one poison fraction"):
+            describe_study(bad_fraction)
+        empty_grid = StudySpec(kind="grid", context=ctx_spec)
+        with pytest.raises(ValueError, match="non-empty"):
+            describe_study(empty_grid)
+        with pytest.raises(ValueError, match="non-empty"):
+            run_study(empty_grid, engine=EvaluationEngine("serial"))
+        no_probs = StudySpec(kind="mixed_eval", context=ctx_spec,
+                             grid=ScenarioGrid(percentiles=(0.05, 0.2)))
+        with pytest.raises(ValueError, match="probabilities"):
+            describe_study(no_probs)
+        with pytest.raises(ValueError, match="probabilities"):
+            run_study(no_probs, engine=EvaluationEngine("serial"))
+
+    def test_multi_seed_prediction(self, ctx_spec):
+        spec = studies.multi_seed(context=ctx_spec, n_seeds=2,
+                                  percentiles=(0.0, 0.2))
+        engine = EvaluationEngine("serial")
+        desc, result = assert_description_matches_run(spec, engine)
+        assert len(desc.phases) == 2
+        assert desc.n_rounds == 2 * 2 * 2
+
+
+class TestTable1Dynamic:
+    def test_counts_exact_keys_partial(self, ctx_spec):
+        spec = studies.table1(context=ctx_spec, percentiles=PERCENTILES,
+                              n_radii=(2, 3), poison_fraction=0.25)
+        engine = EvaluationEngine("serial")
+        desc = describe_study(spec, engine=engine)
+        assert not desc.exact
+        assert desc.predicted_cache_hits is None
+        assert desc.n_unique is None
+        result = run_study(spec, engine=engine)
+        # Total round count is still exact: sweep + n^2 per support size.
+        assert desc.n_rounds == result.n_rounds
+        assert desc.phases[0].rounds is not None  # the sweep enumerates
+        assert desc.phases[1].rounds is None      # Algorithm 1 decides
+        assert desc.phases[1].n_rounds == 4
+        assert desc.phases[2].n_rounds == 9
+
+
+class TestDescribeWithoutEngine:
+    def test_counts_only(self, ctx_spec):
+        spec = studies.figure1(context=ctx_spec, percentiles=PERCENTILES)
+        desc = describe_study(spec)
+        assert desc.n_rounds == 6
+        assert desc.n_unique == 6
+        assert desc.predicted_cache_hits is None
+        assert desc.fingerprint == spec.fingerprint()
+
+    def test_contextless_spec_needs_context(self, study_ctx):
+        spec = studies.figure1(context=None, percentiles=PERCENTILES)
+        with pytest.raises(ValueError, match="no ContextSpec"):
+            describe_study(spec)
+        desc = describe_study(spec, context=study_ctx)
+        assert desc.n_rounds == 6
+
+    def test_formatting(self, ctx_spec):
+        from repro.study import format_study_description
+
+        spec = studies.table1(context=ctx_spec, percentiles=PERCENTILES)
+        text = format_study_description(describe_study(spec))
+        assert "Dry run" in text
+        assert "total rounds" in text
+        assert "solver" in text

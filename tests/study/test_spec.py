@@ -1,0 +1,185 @@
+"""StudySpec: construction, canonicalisation, JSON, fingerprints."""
+
+import pytest
+
+from repro.engine import AttackSpec, DefenseSpec, VictimSpec
+from repro.study import (STUDY_KINDS, ContextSpec, EngineConfig, ScenarioGrid,
+                         StudySpec, studies, study_from_json, study_to_json)
+
+
+class TestContextSpec:
+    def test_defaults(self):
+        c = ContextSpec()
+        assert c.name == "spambase"
+        assert c.seed == 0
+        assert c.n_samples is None
+
+    def test_params_canonicalise(self):
+        a = ContextSpec(name="synthetic", params={"n_features": 4})
+        b = ContextSpec(name="synthetic", params=(("n_features", 4),))
+        assert a == b
+        assert a.canonical() == b.canonical()
+
+    def test_materialize_passes_kwargs(self):
+        ctx = ContextSpec(name="synthetic", seed=3, n_samples=240,
+                          params={"n_features": 3}).materialize()
+        assert ctx.seed == 3
+        assert ctx.X_train.shape[1] == 3
+
+    def test_materialize_seed_override(self):
+        spec = ContextSpec(name="synthetic", seed=3, n_samples=240)
+        assert spec.materialize(seed=9).seed == 9
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ContextSpec(name="")
+        with pytest.raises(ValueError, match="unknown context"):
+            ContextSpec(name="atlantis").materialize()
+
+
+class TestScenarioGrid:
+    def test_spec_strings_parse(self):
+        g = ScenarioGrid(defenses=("radius:0.1", "none"),
+                         attacks=("boundary:0.05", "clean"),
+                         victims=("logistic",))
+        assert g.defenses == (DefenseSpec("radius", 0.1), None)
+        assert g.attacks == (AttackSpec("boundary", 0.05), None)
+        assert g.victims == (VictimSpec("logistic"),)
+
+    def test_unknown_spec_string_rejected(self):
+        with pytest.raises(ValueError, match="unknown defense kind"):
+            ScenarioGrid(defenses=("fortress:0.1",))
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="poison fraction"):
+            ScenarioGrid(fractions=(1.5,))
+        with pytest.raises(ValueError, match="non-empty"):
+            ScenarioGrid(fractions=())
+
+    def test_single_axis_accessors(self):
+        g = ScenarioGrid(percentiles=(0.0, 0.1), fractions=(0.25,))
+        assert g.fraction == 0.25
+        assert g.victim is None
+
+
+class TestStudySpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown study kind"):
+            StudySpec(kind="seance")
+
+    def test_kind_registry_matches_runner_dispatch(self):
+        from repro.study.runner import _DISPATCH
+
+        assert set(_DISPATCH) == set(STUDY_KINDS)
+
+    def test_builders_cover_all_kinds(self):
+        from repro.study import BUILDERS
+
+        assert set(BUILDERS) == set(STUDY_KINDS)
+
+    def test_solver_param(self):
+        spec = studies.table1(n_radii=(2, 4))
+        assert spec.solver_param("n_radii") == (2, 4)
+        assert spec.solver_param("missing", 7) == 7
+
+
+class TestJsonRoundTrip:
+    def specs(self):
+        ctx = {"name": "synthetic", "seed": 2, "n_samples": 240,
+               "params": {"n_features": 4}}
+        return [
+            studies.figure1(context=ctx, percentiles=(0.0, 0.1),
+                            fractions=(0.1, 0.2)),
+            studies.mixed_eval(context=ctx, percentiles=(0.05, 0.2),
+                               probabilities=(0.5, 0.5)),
+            studies.table1(context=ctx, percentiles=(0.0, 0.1),
+                           n_radii=(2,),
+                           algorithm_params={"epsilon": 1e-10}),
+            studies.empirical_game(context=ctx, percentiles=(0.0, 0.1)),
+            studies.cross_game(
+                context=ctx,
+                defenses=("radius:0.1",
+                          "mixed_defense::percentiles=(0.05,0.2),"
+                          "probabilities=(0.5,0.5)", "none"),
+                attacks=("boundary:0.05", "label-flip::strategy=near_boundary",
+                         "clean"),
+                victim="logistic"),
+            studies.multi_seed(context=ctx, n_seeds=2, base_seed=5,
+                               percentiles=(0.0, 0.2)),
+            studies.grid(context=ctx, defenses=("radius:0.1", "none"),
+                         attacks=("boundary:0.05", "clean"),
+                         victims=(None, "logistic"),
+                         fractions=(0.1, 0.2)),
+        ]
+
+    def test_round_trip_equality_and_fingerprint(self, tmp_path):
+        for i, spec in enumerate(self.specs()):
+            path = str(tmp_path / f"study{i}.json")
+            study_to_json(spec, path)
+            loaded = study_from_json(path)
+            assert loaded == spec, spec.kind
+            assert loaded.fingerprint() == spec.fingerprint(), spec.kind
+            # A second dump is byte-identical: the document is canonical.
+            assert study_to_json(loaded) == study_to_json(spec)
+
+    def test_fingerprint_sensitivity(self):
+        base = studies.figure1(percentiles=(0.0, 0.1))
+        assert base.fingerprint() != \
+            studies.figure1(percentiles=(0.0, 0.2)).fingerprint()
+        assert base.fingerprint() != \
+            studies.figure1(percentiles=(0.0, 0.1),
+                            poison_fraction=0.3).fingerprint()
+        assert base.fingerprint() != studies.figure1(
+            percentiles=(0.0, 0.1),
+            context=ContextSpec(seed=1)).fingerprint()
+
+    def test_fingerprint_ignores_engine_placement(self):
+        a = studies.figure1(engine=EngineConfig(backend="serial"))
+        b = studies.figure1(engine=EngineConfig(backend="process", jobs=4))
+        c = studies.figure1()
+        assert a.fingerprint() == b.fingerprint() == c.fingerprint()
+
+    def test_contextless_spec_needs_fingerprint(self, study_ctx):
+        spec = studies.figure1(context=None, percentiles=(0.0, 0.1))
+        with pytest.raises(ValueError, match="context_fingerprint"):
+            spec.fingerprint()
+        fp = spec.fingerprint(context_fingerprint=study_ctx.fingerprint())
+        assert len(fp) == 64
+
+    def test_newer_schema_refused(self):
+        text = study_to_json(studies.figure1())
+        import json
+
+        doc = json.loads(text)
+        doc["schema"] = 99
+        with pytest.raises(ValueError, match="newer"):
+            study_from_json(json.dumps(doc))
+
+    def test_engine_config_round_trips(self):
+        spec = studies.figure1(engine=EngineConfig(
+            backend="process", jobs=2, cache_dir="/tmp/x"))
+        loaded = study_from_json(study_to_json(spec))
+        assert loaded.engine == spec.engine
+
+    def test_pair_tuple_param_values_round_trip_exactly(self):
+        """A param value that *looks* like a mapping (a tuple of
+        (str, value) pairs, in unsorted order) must round-trip without
+        reordering — otherwise the fingerprint and every cache key
+        would drift between a live spec and its reloaded document."""
+        spec = studies.cross_game(
+            defenses=(DefenseSpec("radius", 0.1,
+                                  (("weights", (("b", 2), ("a", 1))),)),),
+            attacks=("boundary:0.05",))
+        loaded = study_from_json(study_to_json(spec))
+        assert loaded == spec
+        assert loaded.fingerprint() == spec.fingerprint()
+        assert dict(loaded.grid.defenses[0].params)["weights"] == \
+            (("b", 2), ("a", 1))
+
+    def test_solver_mapping_values_round_trip(self):
+        spec = studies.table1(algorithm_params={"epsilon": 1e-10,
+                                                "max_iter": 500})
+        loaded = study_from_json(study_to_json(spec))
+        assert loaded == spec
+        assert dict(loaded.solver_param("algorithm")) == \
+            {"epsilon": 1e-10, "max_iter": 500}
