@@ -21,7 +21,7 @@ Speedup floors (asserted; measured values land in the JSON):
 * an uncached attacked round -> ``>= 2x`` (measured: ~2.7-3.5x);
 * the victim fit (fast Pegasos path, objective trace off) ->
   ``>= 1.1x`` (measured: ~1.4-1.8x);
-* the full mixed sweep -> ``>= 1.6x`` (measured: ~2.1-2.5x).  The mixed
+* the full mixed sweep -> ``>= 1.7x`` (measured: ~2.1-2.5x).  The mixed
   sweep is capped below the attacked-round ratio by its clean rounds,
   which are almost pure victim training: the trainer must reproduce
   the seed trainer bit for bit, so its speedup is bounded by
@@ -59,7 +59,31 @@ from repro.utils.validation import check_X_y, check_fraction
 ATTACK_STAGE_FLOOR = 5.0
 FIT_FLOOR = 1.1
 ATTACKED_ROUND_FLOOR = 2.0
-SWEEP_FLOOR = 1.6
+# Raised from 1.6 after PR 6: the batched-fit dispatch lifts the
+# measured sweep ratio to ~2.2x, but the legacy leg only runs once per
+# bench so the floor keeps generous noise headroom.
+SWEEP_FLOOR = 1.7
+# PR 6 batched-fit floors.  At the engine's grid scale fits are
+# dispatch-bound and B-way lockstep training wins big (measured:
+# 4.0-4.5x at B=32); at paper scale one training matrix is L2-resident
+# and the stacked step is memory-bound — the gathered (B, batch, d)
+# block is written once and re-read by the score and gradient kernels,
+# all at memcpy speed — so the honest ceiling is far lower (measured:
+# 1.7-2.1x with the shared-prefix gather).
+FIT_MANY_FLOOR = 3.0
+FIT_MANY_PAPER_FLOOR = 1.25
+# Whole uncached repeat sweep, batched fits vs the same engine with
+# REPRO_BATCH_FITS=0 (i.e. vs pre-PR-6 execution, stage for stage).
+# Asserted at the grid scale study repeats actually run at (measured:
+# ~2.3x); the paper-scale sweep inherits the memory-bound fit ceiling
+# (measured: ~1.3-1.4x) and carries its own conservative floor.
+SWEEP_BATCH_FLOOR = 1.5
+SWEEP_BATCH_PAPER_FLOOR = 1.2
+# RONI stacked-ridge fast path: the per-candidate gram matmul is
+# irreducible under bit-identity, so the ratio is scale-dependent —
+# asserted at grid scale (measured: ~6-18x), recorded at paper scale
+# (~1x, compute-bound).
+RONI_FAST_FLOOR = 3.0
 SWEEP_PERCENTILES = np.array([0.0, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50])
 
 
@@ -203,15 +227,16 @@ def legacy_sweep(ctx, percentiles, poison_fraction=0.2):
     return outcomes
 
 
-def sweep_specs(ctx, percentiles, poison_fraction=0.2):
+def sweep_specs(ctx, percentiles, poison_fraction=0.2, n_repeats=1):
     specs = []
     for i, p in enumerate(percentiles):
-        seed = derive_seed(ctx.seed, "sweep", i, 0)
-        specs.append(RoundSpec(filter_percentile=float(p), attack=None,
-                               poison_fraction=poison_fraction, seed=seed))
-        specs.append(RoundSpec(filter_percentile=float(p),
-                               attack=AttackSpec("boundary", float(p)),
-                               poison_fraction=poison_fraction, seed=seed))
+        for r in range(n_repeats):
+            seed = derive_seed(ctx.seed, "sweep", i, r)
+            specs.append(RoundSpec(filter_percentile=float(p), attack=None,
+                                   poison_fraction=poison_fraction, seed=seed))
+            specs.append(RoundSpec(filter_percentile=float(p),
+                                   attack=AttackSpec("boundary", float(p)),
+                                   poison_fraction=poison_fraction, seed=seed))
     return specs
 
 
@@ -376,6 +401,258 @@ def test_defense_stage_timings(spambase_ctx):
 
     path = write_results({"defense_stages": timings})
     print(f"defense stage timings written to {path}")
+
+
+def test_fit_many_speedup(spambase_ctx):
+    """B-way batched victim training vs B sequential fits (PR 6).
+
+    Grid scale (the study grids' repeat axis, where fits are pure
+    dispatch) carries the asserted ``>= 3x`` floor; the paper-scale
+    shared-dataset case — the engine's multi-seed repeat — is
+    memory-bound and is asserted against its own honest floor.
+    Both paths must agree bit for bit before any timing counts.
+    """
+    from repro.data.synthetic import make_gaussian_blobs
+
+    def bench_case(models_factory, datasets, repeats):
+        seq_s, seq_models = best_of(
+            lambda: [m.fit(X, y) for m, (X, y) in
+                     zip(models_factory(), datasets)], repeats=repeats)
+        many_s, many_models = best_of(
+            lambda: LinearSVM.fit_many(models_factory(), datasets),
+            repeats=repeats)
+        for got, want in zip(many_models, seq_models):
+            assert got.coef_.tobytes() == want.coef_.tobytes()
+            assert got.intercept_ == want.intercept_
+        return seq_s, many_s
+
+    # Grid scale: B=32 distinct problems, the shape of a study's
+    # repeat/seed axis after materialisation.
+    b_grid = 32
+    grid_datasets = [make_gaussian_blobs(n_samples=260, n_features=4,
+                                         separation=1.5, seed=11 + i)
+                     for i in range(b_grid)]
+    grid_models = lambda: [LinearSVM(reg=1e-4, epochs=20, batch_size=64,
+                                     seed=100 + i) for i in range(b_grid)]
+    grid_seq_s, grid_many_s = bench_case(grid_models, grid_datasets, repeats=3)
+
+    # Paper scale: B=8 rounds on one shared training matrix (the
+    # multi-seed repeat case execute_rounds actually groups).
+    ctx = fresh(spambase_ctx)
+    b_paper = 8
+    paper_datasets = [(ctx.X_train, ctx.y_train)] * b_paper
+    paper_models = lambda: [ctx.model_factory(derive_seed(s, "model"))
+                            for s in range(b_paper)]
+    paper_seq_s, paper_many_s = bench_case(paper_models, paper_datasets,
+                                           repeats=2)
+
+    grid_speedup = grid_seq_s / grid_many_s
+    paper_speedup = paper_seq_s / paper_many_s
+    path = write_results({
+        "fit_many": {
+            "grid_b": b_grid,
+            "grid_sequential_seconds": grid_seq_s,
+            "grid_batched_seconds": grid_many_s,
+            "grid_speedup": grid_speedup,
+            "paper_b": b_paper,
+            "paper_sequential_seconds": paper_seq_s,
+            "paper_batched_seconds": paper_many_s,
+            "paper_speedup": paper_speedup,
+        },
+    })
+
+    print()
+    print(f"fit_many grid  (B={b_grid}): {grid_seq_s * 1e3:8.1f} ms -> "
+          f"{grid_many_s * 1e3:8.1f} ms ({grid_speedup:.1f}x)")
+    print(f"fit_many paper (B={b_paper}): {paper_seq_s * 1e3:8.1f} ms -> "
+          f"{paper_many_s * 1e3:8.1f} ms ({paper_speedup:.1f}x)")
+    print(f"fit_many timings written to {path}")
+
+    assert grid_speedup >= FIT_MANY_FLOOR
+    assert paper_speedup >= FIT_MANY_PAPER_FLOOR
+
+
+def test_batched_sweep_vs_unbatched(spambase_ctx):
+    """The whole uncached repeat sweep, batched fits on vs off.
+
+    ``REPRO_BATCH_FITS=0`` runs the identical engine minus the
+    fit_many dispatch — i.e. pre-PR-6 execution, stage for stage — so
+    this ratio isolates what round batching buys end to end.  Measured
+    at both the grid scale study repeats run at (dispatch-bound fits,
+    the asserted ``>= 1.5x``) and paper scale (memory-bound fits, its
+    own conservative floor).  Outcomes must be equal on both before
+    the timings count.
+    """
+    from repro.experiments.runner import make_synthetic_context
+
+    def ab_sweep(ctx, repeats):
+        """Interleaved off/on timings (min of ``repeats`` each)."""
+        specs = sweep_specs(ctx, SWEEP_PERCENTILES, n_repeats=8)
+
+        def run():
+            return EvaluationEngine("serial", cache=False).evaluate_batch(
+                fresh(ctx), specs)
+
+        assert os.environ.get("REPRO_BATCH_FITS") is None
+        timings = {"off": np.inf, "on": np.inf}
+        outcomes = {}
+        for _ in range(repeats):
+            for key in ("off", "on"):
+                if key == "off":
+                    os.environ["REPRO_BATCH_FITS"] = "0"
+                try:
+                    start = time.perf_counter()
+                    outcomes[key] = run()
+                    timings[key] = min(timings[key],
+                                       time.perf_counter() - start)
+                finally:
+                    os.environ.pop("REPRO_BATCH_FITS", None)
+        return (len(specs), timings["off"], timings["on"],
+                outcomes["on"] == outcomes["off"])
+
+    grid_ctx = make_synthetic_context(seed=0, n_samples=260, n_features=4)
+    grid_n, grid_off_s, grid_on_s, grid_equal = ab_sweep(grid_ctx, repeats=3)
+    paper_n, paper_off_s, paper_on_s, paper_equal = ab_sweep(
+        spambase_ctx, repeats=2)
+
+    grid_speedup = grid_off_s / grid_on_s
+    paper_speedup = paper_off_s / paper_on_s
+    path = write_results({
+        "sweep_batched_fits": {
+            "grid_n_rounds": grid_n,
+            "grid_unbatched_seconds": grid_off_s,
+            "grid_batched_seconds": grid_on_s,
+            "grid_speedup": grid_speedup,
+            "paper_n_rounds": paper_n,
+            "paper_unbatched_seconds": paper_off_s,
+            "paper_batched_seconds": paper_on_s,
+            "paper_speedup": paper_speedup,
+            "outcomes_equal": grid_equal and paper_equal,
+        },
+    })
+
+    print()
+    print(f"grid repeat sweep:  {grid_off_s:.3f}s -> {grid_on_s:.3f}s "
+          f"(speedup {grid_speedup:.2f}x)")
+    print(f"paper repeat sweep: {paper_off_s:.3f}s -> {paper_on_s:.3f}s "
+          f"(speedup {paper_speedup:.2f}x)")
+    print(f"batched sweep timings written to {path}")
+
+    assert grid_equal and paper_equal  # bit-identical with fits batched
+    assert grid_speedup >= SWEEP_BATCH_FLOOR
+    assert paper_speedup >= SWEEP_BATCH_PAPER_FLOOR
+
+
+def test_fast_path_defense_timings(spambase_ctx):
+    """PR 6 defence fast paths: RONI's stacked-ridge scorer and the
+    kNN sanitiser's persistent distance block, both against their
+    sequential/expression forms at paper scale.
+
+    RONI's ratio is scale-dependent (the per-candidate gram matmul is
+    irreducible under bit-identity, so it dominates at paper scale
+    while grid-scale rounds drop almost all their dispatch overhead):
+    the grid-scale ratio carries the asserted floor, the paper-scale
+    ratio is recorded floor-free.  kNN's win is peak memory, asserted
+    directly.
+    """
+    import tracemalloc
+
+    from repro.defenses.knn_sanitizer import KNNSanitizer
+    from repro.defenses.radius_filter import _ensure_class_survival
+    from repro.defenses.roni import RONIDefense
+    from repro.experiments.runner import make_synthetic_context
+
+    def roni_ab(ctx, seq_repeats):
+        attack = ctx.boundary_attack(0.1)
+        X, y, is_poison, sources = poison_dataset(
+            ctx.X_train, ctx.y_train, attack, fraction=0.2, seed=123,
+            return_sources=True)
+        roni = RONIDefense(seed=3)
+        kernel = ctx.kernel()
+        seq_s, seq_keep = best_of(lambda: roni.mask(X, y),
+                                  repeats=seq_repeats)
+        fast_s, fast_keep = best_of(
+            lambda: roni.kernel_mask(kernel, X, y, is_poison, sources),
+            repeats=3)
+        assert np.array_equal(seq_keep, fast_keep)
+        return seq_s, fast_s
+
+    grid_ctx = make_synthetic_context(seed=0, n_samples=260, n_features=4)
+    roni_grid_seq_s, roni_grid_fast_s = roni_ab(fresh(grid_ctx),
+                                                seq_repeats=3)
+    ctx = fresh(spambase_ctx)
+    roni_seq_s, roni_fast_s = roni_ab(ctx, seq_repeats=1)
+
+    attack = ctx.boundary_attack(0.1)
+    X_mix, y_mix, _, _ = poison_dataset(
+        ctx.X_train, ctx.y_train, attack, fraction=0.2, seed=123,
+        return_sources=True)
+
+    # kNN: persistent-block distances vs the old expression form.
+    sanitizer = KNNSanitizer(k=10, chunk_size=512)
+
+    def knn_expression_form():
+        X, y = check_X_y(X_mix, y_mix)
+        y_signed = signed_labels(y)
+        n = X.shape[0]
+        k = min(10, n - 1)
+        sq_norms = np.einsum("ij,ij->i", X, X)
+        keep = np.ones(n, dtype=bool)
+        for start in range(0, n, 512):
+            stop = min(start + 512, n)
+            d2 = (sq_norms[start:stop, None]
+                  - 2.0 * (X[start:stop] @ X.T)
+                  + sq_norms[None, :])
+            d2[np.arange(stop - start), np.arange(start, stop)] = np.inf
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            agree = (y_signed[idx] == y_signed[start:stop, None]).mean(axis=1)
+            keep[start:stop] = agree >= 0.5
+        return _ensure_class_survival(keep, y)
+
+    def peak_bytes(fn):
+        tracemalloc.start()
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak, result
+
+    knn_old_s, old_keep = best_of(knn_expression_form, repeats=3)
+    knn_new_s, new_keep = best_of(lambda: sanitizer.mask(X_mix, y_mix),
+                                  repeats=3)
+    assert np.array_equal(old_keep, new_keep)
+    knn_old_peak, _ = peak_bytes(knn_expression_form)
+    knn_new_peak, _ = peak_bytes(lambda: sanitizer.mask(X_mix, y_mix))
+
+    path = write_results({
+        "fast_paths": {
+            "roni_grid_sequential_seconds": roni_grid_seq_s,
+            "roni_grid_fast_seconds": roni_grid_fast_s,
+            "roni_grid_speedup": roni_grid_seq_s / roni_grid_fast_s,
+            "roni_paper_sequential_seconds": roni_seq_s,
+            "roni_paper_fast_seconds": roni_fast_s,
+            "roni_paper_speedup": roni_seq_s / roni_fast_s,
+            "knn_expression_seconds": knn_old_s,
+            "knn_block_seconds": knn_new_s,
+            "knn_expression_peak_bytes": int(knn_old_peak),
+            "knn_block_peak_bytes": int(knn_new_peak),
+        },
+    })
+
+    print()
+    print(f"roni mask (grid):  {roni_grid_seq_s * 1e3:8.1f} ms -> "
+          f"{roni_grid_fast_s * 1e3:8.1f} ms "
+          f"({roni_grid_seq_s / roni_grid_fast_s:.1f}x)")
+    print(f"roni mask (paper): {roni_seq_s * 1e3:8.1f} ms -> "
+          f"{roni_fast_s * 1e3:8.1f} ms ({roni_seq_s / roni_fast_s:.1f}x)")
+    print(f"knn mask:  {knn_old_s * 1e3:8.1f} ms -> {knn_new_s * 1e3:8.1f} ms"
+          f"  peak {knn_old_peak / 1e6:.1f} MB -> {knn_new_peak / 1e6:.1f} MB")
+    print(f"fast-path timings written to {path}")
+
+    assert roni_grid_seq_s / roni_grid_fast_s >= RONI_FAST_FLOOR
+    # The persistent block replaces the chunk-sized temporaries the
+    # expression form allocated per iteration; a solid slice of the
+    # transient peak must be gone (measured: ~25%).
+    assert knn_new_peak <= 0.85 * knn_old_peak
 
 
 def test_uncached_sweep_speedup_and_parity(spambase_ctx):

@@ -49,8 +49,8 @@ from repro.engine.backends import (
     _pack_context,
     _release_shm,
     _worker_init,
-    _worker_run,
-    execute_round,
+    _worker_run_specs,
+    execute_rounds,
 )
 from repro.engine.cache import cache_schema_version
 from repro.engine.spec import prewarm_all
@@ -103,11 +103,16 @@ class ShardExecutor:
 
     def run(self, specs: list) -> list:
         """Outcomes for ``specs``, in order (the round semantics of
-        :func:`~repro.engine.backends.execute_round`)."""
+        :func:`~repro.engine.backends.execute_round`, batch-dispatched
+        through :func:`~repro.engine.backends.execute_rounds`)."""
         if self._pool is None:
-            return [execute_round(self.ctx, spec) for spec in specs]
+            return execute_rounds(self.ctx, specs)
         chunksize = max(1, len(specs) // (self.jobs * 4))
-        return list(self._pool.map(_worker_run, specs, chunksize=chunksize))
+        chunks = [specs[i:i + chunksize]
+                  for i in range(0, len(specs), chunksize)]
+        return [outcome
+                for chunk_outcomes in self._pool.map(_worker_run_specs, chunks)
+                for outcome in chunk_outcomes]
 
     def close(self) -> None:
         if self._pool is not None:

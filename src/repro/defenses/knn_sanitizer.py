@@ -48,14 +48,23 @@ class KNNSanitizer(Defense):
             return np.ones(n, dtype=bool)
         sq_norms = np.einsum("ij,ij->i", X, X)
         keep = np.ones(n, dtype=bool)
+        # One persistent (chunk, n) block serves every iteration: the
+        # gemm writes straight into it and the norm terms fold in
+        # place, so peak extra memory is a single fixed-size block
+        # instead of the four chunk-sized temporaries the expression
+        # form ``col - 2.0 * gram + row`` allocated per chunk.  Bits
+        # are unchanged: ``(-2.0) * g == -(2.0 * g)`` (sign flips are
+        # exact) and ``a - b == a + (-b)`` in IEEE-754, with the same
+        # left-to-right accumulation order as the expression.
+        block = np.empty((min(self.chunk_size, n), n))
         for start in range(0, n, self.chunk_size):
             stop = min(start + self.chunk_size, n)
             # Squared Euclidean distances from this chunk to everything.
-            d2 = (
-                sq_norms[start:stop, None]
-                - 2.0 * (X[start:stop] @ X.T)
-                + sq_norms[None, :]
-            )
+            d2 = block[: stop - start]
+            np.dot(X[start:stop], X.T, out=d2)
+            np.multiply(d2, -2.0, out=d2)
+            np.add(d2, sq_norms[start:stop, None], out=d2)
+            np.add(d2, sq_norms[None, :], out=d2)
             rows = np.arange(stop - start)
             d2[rows, np.arange(start, stop)] = np.inf  # exclude self
             neighbour_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]

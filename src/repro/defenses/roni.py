@@ -14,10 +14,16 @@ import numpy as np
 
 from repro.defenses.base import Defense
 from repro.defenses.radius_filter import _ensure_class_survival
-from repro.ml.base import clone_estimator
+from repro.ml.base import clone_estimator, signed_labels
+from repro.ml.batched import ridge_kernels_verified, ridge_scores_many
 from repro.ml.ridge import RidgeClassifier
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_fraction, check_positive_int, check_X_y
+
+# Candidates per stacked ridge solve on the fast path: large enough to
+# amortise dispatch, small enough that the (chunk, n_base+1, d) stack of
+# augmented calibration matrices stays cache-resident.
+_FAST_CHUNK = 256
 
 __all__ = ["RONIDefense"]
 
@@ -91,4 +97,65 @@ class RONIDefense(Defense):
                 impact = model.score(X_val, y_val) - baseline
                 if impact < -self.tolerance:
                     keep[i] = False
+        return _ensure_class_survival(keep, y)
+
+    def kernel_mask(self, kernel, X, y, is_poison, sources):
+        """Keep mask from the vectorised (stacked-ridge) impact scorer.
+
+        The per-family fast-path hook ``evaluate_configuration``
+        consults before :meth:`mask`.  RONI's probes reuse no kernel
+        geometry — the hook is simply the engine's entry point to the
+        batched scorer: every candidate's augmented calibration matrix
+        ``[X_base; x_i]`` is stacked and all the closed-form ridge fits
+        plus held-out scorings run as a handful of tensor ops
+        (:func:`~repro.ml.batched.ridge_scores_many`) instead of one
+        retrain per candidate.  Bit-identity with :meth:`mask` is
+        guaranteed the same way as the batched SVM trainer: only
+        probe-verified stacked kernels are used
+        (:func:`~repro.ml.batched.ridge_kernels_verified`), and the
+        method returns ``None`` — fall back to the sequential loop —
+        for non-ridge learners or a failed probe.
+        """
+        if type(self.learner) is not RidgeClassifier:
+            return None  # only the closed-form solve stacks losslessly
+        X, y = check_X_y(X, y)
+        rng = as_generator(self.seed)
+        n = X.shape[0]
+        perm = rng.permutation(n)
+        n_base = max(2, int(round(self.base_fraction * n)))
+        n_val = max(2, int(round(self.val_fraction * n)))
+        base_idx = perm[:n_base]
+        val_idx = perm[n_base : n_base + n_val]
+        candidate_idx = perm[n_base + n_val :]
+
+        X_base, y_base = X[base_idx], y[base_idx]
+        X_val, y_val = X[val_idx], y[val_idx]
+        if len(np.unique(y_base)) < 2 or len(np.unique(y_val)) < 2:
+            return np.ones(n, dtype=bool)
+        m, d = n_base + 1, X.shape[1]
+        if not ridge_kernels_verified(m, d, X_val.shape[0]):
+            return None
+
+        baseline = clone_estimator(self.learner).fit(X_base, y_base).score(X_val, y_val)
+        t_base = signed_labels(y_base).astype(float)
+        t_cand = signed_labels(y).astype(float)
+        t_val = signed_labels(y_val)
+
+        keep = np.ones(n, dtype=bool)
+        for start in range(0, len(candidate_idx), _FAST_CHUNK):
+            cands = candidate_idx[start : start + _FAST_CHUNK]
+            X_stack = np.empty((len(cands), m, d))
+            X_stack[:, :n_base] = X_base
+            X_stack[:, n_base] = X[cands]
+            t_stack = np.empty((len(cands), m))
+            t_stack[:, :n_base] = t_base
+            t_stack[:, n_base] = t_cand[cands]
+            scores = ridge_scores_many(
+                X_stack, t_stack, X_val,
+                reg=self.learner.reg,
+                fit_intercept=self.learner.fit_intercept,
+            )
+            # Exactly score(): sign threshold, bool match, exact mean.
+            accuracy = np.mean(np.where(scores >= 0.0, 1, -1) == t_val, axis=1)
+            keep[cands[accuracy - baseline < -self.tolerance]] = False
         return _ensure_class_survival(keep, y)

@@ -48,6 +48,7 @@ from repro.engine.backends import (
     SerialBackend,
     ProcessPoolBackend,
     execute_round,
+    execute_rounds,
     register_backend,
     make_backend,
     available_backends,
@@ -94,6 +95,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "execute_round",
+    "execute_rounds",
     "register_backend",
     "make_backend",
     "available_backends",

@@ -49,10 +49,17 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "execute_round",
+    "execute_rounds",
     "register_backend",
     "make_backend",
     "available_backends",
 ]
+
+# Rounds per batched-fit window: execute_rounds prepares this many
+# rounds at a time, then trains eligible same-victim/same-shape groups
+# through LinearSVM.fit_many.  Large enough to catch a grid study's
+# repeat axis, small enough to keep B prepared training sets resident.
+_FIT_WINDOW = 32
 
 # Fields of an ExperimentContext large enough to be worth publishing in
 # shared memory instead of pickling ("map" is the radius map's sorted
@@ -60,12 +67,10 @@ __all__ = [
 _SHARED_ARRAY_FIELDS = ("X_train", "y_train", "X_test", "y_test")
 
 
-def execute_round(ctx, spec):
-    """Run one :class:`~repro.engine.spec.RoundSpec` in ``ctx``.
-
-    This is *the* semantics of a round — every backend funnels through
-    it, in this process or another.
-    """
+def _round_kwargs(ctx, spec) -> dict:
+    """Materialise ``spec``'s attack/defense/victim into the keyword
+    arguments ``evaluate_configuration`` / ``prepare_configuration``
+    expect for this round."""
     # Imported lazily: the engine package must stay importable without
     # dragging in (or circularly importing) the experiments layer.
     from repro.engine.spec import (
@@ -73,7 +78,6 @@ def execute_round(ctx, spec):
         materialize_defense,
         materialize_victim,
     )
-    from repro.experiments.runner import evaluate_configuration
     from repro.utils.rng import derive_seed
 
     attack = None
@@ -82,30 +86,115 @@ def execute_round(ctx, spec):
     victim_factory = None
     if spec.victim is not None:
         victim_factory = materialize_victim(ctx, spec.victim)
+    kwargs = dict(
+        attack=attack,
+        poison_fraction=spec.poison_fraction,
+        seed=spec.seed,
+        victim_factory=victim_factory,
+    )
     dspec = spec.defense
     if dspec is None or dspec.is_fast_radius:
         # The paper's radius filter rides the kernel-served fast path
         # (clean distances reused, only poison rows recomputed).
         # spec.filter_percentile mirrors the defence's percentile and
         # preserves the caller's 0-vs-None spelling for the outcome.
-        return evaluate_configuration(
-            ctx,
-            filter_percentile=spec.filter_percentile,
-            attack=attack,
-            poison_fraction=spec.poison_fraction,
-            seed=spec.seed,
-            victim_factory=victim_factory,
-        )
-    defense = materialize_defense(
-        ctx, dspec, seed=derive_seed(spec.seed, "defense"))
-    return evaluate_configuration(
-        ctx,
-        attack=attack,
-        defense=defense,
-        poison_fraction=spec.poison_fraction,
-        seed=spec.seed,
-        victim_factory=victim_factory,
+        kwargs["filter_percentile"] = spec.filter_percentile
+    else:
+        kwargs["defense"] = materialize_defense(
+            ctx, dspec, seed=derive_seed(spec.seed, "defense"))
+    return kwargs
+
+
+def execute_round(ctx, spec):
+    """Run one :class:`~repro.engine.spec.RoundSpec` in ``ctx``.
+
+    This is *the* semantics of a round — every backend funnels through
+    it (or through its batch-aware sibling :func:`execute_rounds`,
+    which computes the same outcomes round for round), in this process
+    or another.
+    """
+    from repro.experiments.runner import evaluate_configuration
+
+    return evaluate_configuration(ctx, **_round_kwargs(ctx, spec))
+
+
+def _batch_fits_enabled() -> bool:
+    """The ``REPRO_BATCH_FITS`` toggle (default on; ``0`` disables)."""
+    return os.environ.get("REPRO_BATCH_FITS", "1").strip().lower() \
+        not in ("0", "false", "no", "off")
+
+
+def _fit_group_key(prepared):
+    """Grouping key for batched fits, or ``None`` when ineligible.
+
+    Exactly LinearSVM (subclasses may override ``fit``) with matching
+    hyperparameters on same-shape float64 training sets — the envelope
+    ``LinearSVM.can_fit_many`` accepts.  The key errs loose on purpose:
+    ``fit_many`` re-checks eligibility and falls back to sequential
+    fits itself, so a stale key can cost speed, never bits.
+    """
+    from repro.ml.linear_svm import LinearSVM
+
+    model = prepared.model
+    if type(model) is not LinearSVM:
+        return None
+    X = prepared.X_tr
+    if getattr(X, "ndim", 0) != 2:
+        return None
+    return (model.reg, model.epochs, model.batch_size, model.fit_intercept,
+            model.average, model.tol, bool(model.track_objective),
+            X.shape, X.dtype.str)
+
+
+def _fit_prepared_groups(prepared_rounds) -> None:
+    """Train all eligible groups of prepared rounds through
+    ``LinearSVM.fit_many``; ungrouped rounds stay unfitted (the finish
+    step trains them sequentially, as before)."""
+    from repro.ml.linear_svm import LinearSVM
+
+    groups: dict[tuple, list] = {}
+    for prepared in prepared_rounds:
+        key = _fit_group_key(prepared)
+        if key is not None:
+            groups.setdefault(key, []).append(prepared)
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        LinearSVM.fit_many([p.model for p in group],
+                           [(p.X_tr, p.y_tr) for p in group])
+        for prepared in group:
+            prepared.fitted = True
+
+
+def execute_rounds(ctx, specs) -> list:
+    """Run a batch of round specs, outcomes in input order.
+
+    The batch-aware sibling of :func:`execute_round`: rounds are
+    prepared (attack + defence + fresh victim) one at a time exactly
+    as today, but the victim fits of same-victim, same-shape rounds in
+    each window of ``_FIT_WINDOW`` are dispatched together through
+    ``LinearSVM.fit_many`` — bit-identical to sequential fits by the
+    batched trainer's contract, so outcomes, cache keys and streaming
+    semantics are unchanged.  Set ``REPRO_BATCH_FITS=0`` to force the
+    plain per-round path.
+    """
+    specs = list(specs)
+    if len(specs) < 2 or not _batch_fits_enabled():
+        return [execute_round(ctx, spec) for spec in specs]
+
+    from repro.experiments.runner import (
+        finish_configuration,
+        prepare_configuration,
     )
+
+    outcomes = []
+    for base in range(0, len(specs), _FIT_WINDOW):
+        window = specs[base:base + _FIT_WINDOW]
+        prepared = [prepare_configuration(ctx, **_round_kwargs(ctx, spec))
+                    for spec in window]
+        _fit_prepared_groups(prepared)
+        outcomes.extend(finish_configuration(ctx, p) for p in prepared)
+    return outcomes
 
 
 class EvaluationBackend(ABC):
@@ -141,11 +230,16 @@ class SerialBackend(EvaluationBackend):
         pass  # accepts (and ignores) jobs so all backends share a signature
 
     def run(self, ctx, specs) -> list:
-        return [execute_round(ctx, spec) for spec in specs]
+        return execute_rounds(ctx, specs)
 
     def run_iter(self, ctx, specs):
-        for index, spec in enumerate(specs):
-            yield index, execute_round(ctx, spec)
+        # Stream one fit window at a time: rounds inside a window train
+        # together (batched fits), whole windows surface in input order.
+        specs = list(specs)
+        for base in range(0, len(specs), _FIT_WINDOW):
+            window = specs[base:base + _FIT_WINDOW]
+            for offset, outcome in enumerate(execute_rounds(ctx, window)):
+                yield base + offset, outcome
 
 
 # -- zero-copy context transport --------------------------------------------
@@ -294,6 +388,16 @@ def _worker_run(spec):
     return execute_round(_WORKER_CTX, spec)
 
 
+def _worker_run_specs(specs):
+    """Run a chunk of specs in a worker, outcomes in chunk order.
+
+    Routes through :func:`execute_rounds` so a worker's chunk gets the
+    same batched-fit treatment as the serial backend — chunking decides
+    *where* rounds run, ``execute_rounds`` decides *how*.
+    """
+    return execute_rounds(_WORKER_CTX, specs)
+
+
 def _worker_run_chunk(indexed_specs):
     """Run ``[(index, spec), ...]`` and return ``[(index, outcome), ...]``.
 
@@ -301,8 +405,10 @@ def _worker_run_chunk(indexed_specs):
     future per chunk keeps submission overhead off the hot path while
     letting ``as_completed`` surface whole chunks as they finish.
     """
-    return [(index, execute_round(_WORKER_CTX, spec))
-            for index, spec in indexed_specs]
+    outcomes = execute_rounds(_WORKER_CTX,
+                              [spec for _, spec in indexed_specs])
+    return [(index, outcome)
+            for (index, _), outcome in zip(indexed_specs, outcomes)]
 
 
 class ProcessPoolBackend(EvaluationBackend):
@@ -367,12 +473,20 @@ class ProcessPoolBackend(EvaluationBackend):
             return []
         meta_blob, shm, workers = self._prepare(ctx, specs)
         try:
+            # Explicit chunks (the same sizing pool.map would pick) so
+            # each worker-side chunk flows through execute_rounds and
+            # gets its fits batched; results flatten back in order.
             chunksize = max(1, len(specs) // (workers * 4))
+            chunks = [specs[i:i + chunksize]
+                      for i in range(0, len(specs), chunksize)]
             with ProcessPoolExecutor(
                 max_workers=workers, initializer=_worker_init,
                 initargs=(meta_blob,)
             ) as pool:
-                return list(pool.map(_worker_run, specs, chunksize=chunksize))
+                return [outcome
+                        for chunk_outcomes in pool.map(_worker_run_specs,
+                                                       chunks)
+                        for outcome in chunk_outcomes]
         finally:
             _release_shm(shm)
 

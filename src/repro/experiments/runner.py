@@ -57,6 +57,9 @@ __all__ = [
     "save_context",
     "load_context",
     "evaluate_configuration",
+    "prepare_configuration",
+    "finish_configuration",
+    "PreparedRound",
     "EvaluationOutcome",
 ]
 
@@ -478,7 +481,31 @@ class EvaluationOutcome:
     report: DefenseReport | None
 
 
-def evaluate_configuration(
+@dataclass
+class PreparedRound:
+    """A round paused between "materialise the training set" and "fit".
+
+    :func:`prepare_configuration` runs the attack and the defence and
+    builds the (unfitted) victim; :func:`finish_configuration` trains
+    and scores it.  The split exists so the engine's batched executor
+    can collect the prepared victims of many rounds and train eligible
+    groups through :meth:`~repro.ml.linear_svm.LinearSVM.fit_many` —
+    a caller that fits a prepared model itself sets ``fitted`` so the
+    finish step doesn't train twice.
+    """
+
+    model: BaseEstimator
+    X_tr: np.ndarray
+    y_tr: np.ndarray
+    n_poison: int
+    n_removed: int
+    filter_percentile: float | None
+    filter_radius: float | None
+    report: DefenseReport | None
+    fitted: bool = False
+
+
+def prepare_configuration(
     ctx: ExperimentContext,
     *,
     filter_percentile: float | None = None,
@@ -488,8 +515,13 @@ def evaluate_configuration(
     seed: int | None = None,
     use_kernel: bool = True,
     victim_factory: Callable[[int], BaseEstimator] | None = None,
-) -> EvaluationOutcome:
-    """Play one round of the game and return the test accuracy.
+) -> PreparedRound:
+    """The attack/filter half of a round: everything except the fit.
+
+    Same parameters as :func:`evaluate_configuration` (which is exactly
+    this followed by :func:`finish_configuration`); returns the
+    :class:`PreparedRound` holding the final training set and the
+    fresh, seeded, *unfitted* victim model.
 
     Parameters
     ----------
@@ -587,13 +619,61 @@ def evaluate_configuration(
 
     factory = ctx.model_factory if victim_factory is None else victim_factory
     model = factory(derive_seed(round_seed, "model"))
-    model.fit(X_tr, y_tr)
-    accuracy = model.score(ctx.X_test, ctx.y_test)
-    return EvaluationOutcome(
-        accuracy=float(accuracy),
+    return PreparedRound(
+        model=model,
+        X_tr=X_tr,
+        y_tr=y_tr,
         n_poison=n_poison,
         n_removed=n_removed,
         filter_percentile=filter_percentile,
         filter_radius=filter_radius,
         report=report,
     )
+
+
+def finish_configuration(ctx: ExperimentContext,
+                         prepared: PreparedRound) -> EvaluationOutcome:
+    """Train (unless already fitted) and score a :class:`PreparedRound`."""
+    model = prepared.model
+    if not prepared.fitted:
+        model.fit(prepared.X_tr, prepared.y_tr)
+    accuracy = model.score(ctx.X_test, ctx.y_test)
+    return EvaluationOutcome(
+        accuracy=float(accuracy),
+        n_poison=prepared.n_poison,
+        n_removed=prepared.n_removed,
+        filter_percentile=prepared.filter_percentile,
+        filter_radius=prepared.filter_radius,
+        report=prepared.report,
+    )
+
+
+def evaluate_configuration(
+    ctx: ExperimentContext,
+    *,
+    filter_percentile: float | None = None,
+    attack: PoisoningAttack | None = None,
+    defense=None,
+    poison_fraction: float = 0.2,
+    seed: int | None = None,
+    use_kernel: bool = True,
+    victim_factory: Callable[[int], BaseEstimator] | None = None,
+) -> EvaluationOutcome:
+    """Play one round of the game and return the test accuracy.
+
+    Exactly :func:`prepare_configuration` (which documents the
+    parameters) followed by :func:`finish_configuration` — the split
+    lets the engine's batched executor train groups of prepared rounds
+    together, without changing what any single round computes.
+    """
+    prepared = prepare_configuration(
+        ctx,
+        filter_percentile=filter_percentile,
+        attack=attack,
+        defense=defense,
+        poison_fraction=poison_fraction,
+        seed=seed,
+        use_kernel=use_kernel,
+        victim_factory=victim_factory,
+    )
+    return finish_configuration(ctx, prepared)

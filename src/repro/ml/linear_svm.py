@@ -265,6 +265,77 @@ class LinearSVM(LinearClassifierMixin, BaseEstimator):
             self.intercept_ = float(b)
         return self
 
+    @classmethod
+    def fit_many(cls, models, datasets) -> list:
+        """Fit ``models[i]`` on ``datasets[i] = (X, y)``, batched when safe.
+
+        The result is always bit-identical to ``[m.fit(X, y) for ...]``;
+        when :meth:`can_fit_many` holds, the B problems run in lockstep
+        through :func:`repro.ml.batched.pegasos_fit_many` (one stacked
+        tensor program instead of B dispatch-bound loops), otherwise —
+        ragged shapes, mixed hyperparameters, ``d == 1``, objective
+        tracking, or a failed kernel probe — each model falls back to
+        its own sequential :meth:`fit`.  Returns the models.
+        """
+        models = list(models)
+        datasets = list(datasets)
+        if len(models) != len(datasets):
+            raise ValueError(
+                f"got {len(models)} models but {len(datasets)} datasets")
+        if not models:
+            return models
+        validated = [check_X_y(X, y) for X, y in datasets]
+        if cls.can_fit_many(models, validated):
+            from repro.ml.batched import pegasos_fit_many
+
+            signed = [(X, signed_labels(y).astype(float))
+                      for X, y in validated]
+            pegasos_fit_many(models, signed)
+        else:
+            for model, (X, y) in zip(models, validated):
+                model.fit(X, y)
+        return models
+
+    @classmethod
+    def can_fit_many(cls, models, datasets) -> bool:
+        """Whether ``fit_many`` may run these problems in lockstep.
+
+        Requires: plain ``LinearSVM`` instances whose hyperparameters
+        (everything except ``seed``) agree; same-shape 2-d float64
+        problems with ``d > 1`` (the sequential ``d == 1`` branch uses
+        a pairwise reduction no stacked kernel reproduces); no
+        objective tracking or early stopping (the per-epoch trace
+        would desynchronise the trajectories); and the runtime kernel
+        probe (:func:`repro.ml.batched.pegasos_kernels_verified`)
+        passing at the exact problem shape.
+        """
+        first = models[0]
+        if type(first) is not cls:
+            return False
+        if first.tol is not None or first.track_objective is True:
+            return False
+        for model in models[1:]:
+            if type(model) is not cls:
+                return False
+            if (model.reg, model.epochs, model.batch_size,
+                    model.fit_intercept, model.average, model.tol,
+                    model.track_objective is True) != \
+                    (first.reg, first.epochs, first.batch_size,
+                     first.fit_intercept, first.average, first.tol,
+                     first.track_objective is True):
+                return False
+        shape = np.asarray(datasets[0][0]).shape
+        if len(shape) != 2 or shape[1] < 2:
+            return False
+        for X, _ in datasets:
+            X = np.asarray(X)
+            if X.shape != shape or X.dtype != np.float64:
+                return False
+        from repro.ml.batched import pegasos_kernels_verified
+
+        return pegasos_kernels_verified(shape[0], shape[1],
+                                        min(first.batch_size, shape[0]))
+
     def _objective(self, X: np.ndarray, y_signed: np.ndarray, w: np.ndarray,
                    b: float) -> float:
         scores = X @ w + b

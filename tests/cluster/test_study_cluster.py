@@ -32,6 +32,24 @@ class TestStudyOnCluster:
         assert len(calls) == result.n_rounds
         assert calls[-1] == (result.n_rounds, result.n_rounds)
 
+    def test_grid_repeats_match_serial_with_batched_fits(self, cluster_ctx,
+                                                         shard_farm):
+        """A repeat grid is exactly the shape execute_rounds batches
+        into lockstep fits; shard executors route through the same
+        path, so cluster outcomes must stay bit-identical to serial."""
+        spec = studies.grid(context=None,
+                            defenses=("radius:0.1", "none"),
+                            attacks=("boundary:0.05", "clean"),
+                            fractions=(0.2,), n_repeats=4)
+        serial = run_study(spec, context=cluster_ctx,
+                           engine=EvaluationEngine("serial", cache=False))
+        clustered = run_study(
+            spec, context=cluster_ctx,
+            engine=EvaluationEngine(ClusterBackend(shards=shard_farm(2)),
+                                    cache=False))
+        assert clustered.payload == serial.payload
+        assert clustered.scenarios == serial.scenarios
+
     def test_cluster_result_warms_local_resume(self, cluster_ctx,
                                                shard_farm):
         """A study measured on the cluster resumes locally, zero rounds."""

@@ -180,6 +180,35 @@ class TestKNNSanitizer:
         small = KNNSanitizer(k=5, chunk_size=16).mask(X, y)
         np.testing.assert_array_equal(big, small)
 
+    @pytest.mark.parametrize("chunk_size", [16, 100, 10_000])
+    def test_inplace_block_matches_expression_form(self, blobs, chunk_size):
+        """The persistent-block distance path (PR 6) is a memory
+        optimisation only: keep masks must equal the old chunked
+        expression form ``col - 2.0 * gram + row`` exactly."""
+        from repro.defenses.radius_filter import _ensure_class_survival
+        from repro.ml.base import signed_labels
+
+        X, y = blobs
+        sanitizer = KNNSanitizer(k=5, agreement=0.5, chunk_size=chunk_size)
+
+        y_signed = signed_labels(y)
+        n = X.shape[0]
+        k = min(5, n - 1)
+        sq_norms = np.einsum("ij,ij->i", X, X)
+        keep = np.ones(n, dtype=bool)
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            d2 = (sq_norms[start:stop, None]
+                  - 2.0 * (X[start:stop] @ X.T)
+                  + sq_norms[None, :])
+            d2[np.arange(stop - start), np.arange(start, stop)] = np.inf
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            agree = (y_signed[idx] == y_signed[start:stop, None]).mean(axis=1)
+            keep[start:stop] = agree >= 0.5
+        reference = _ensure_class_survival(keep, y)
+
+        np.testing.assert_array_equal(sanitizer.mask(X, y), reference)
+
 
 class TestPCADetector:
     def test_flags_off_subspace_outliers(self):

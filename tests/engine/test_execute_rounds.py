@@ -1,0 +1,98 @@
+"""execute_rounds: the batch-aware sibling of execute_round.
+
+PR 6 contract: grouping same-victim, same-shape rounds through
+``LinearSVM.fit_many`` is an execution strategy — outcomes must be
+bit-identical to per-spec ``execute_round`` calls, in input order,
+with and without the ``REPRO_BATCH_FITS`` toggle.
+"""
+
+import pytest
+
+from repro.engine import (
+    AttackSpec,
+    DefenseSpec,
+    RoundSpec,
+    VictimSpec,
+    execute_round,
+    execute_rounds,
+)
+from repro.engine import backends as backends_mod
+from repro.experiments.runner import make_synthetic_context
+from repro.ml.linear_svm import LinearSVM
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_synthetic_context(seed=2, n_samples=140, n_features=3)
+
+
+def mixed_specs(n_seeds=3):
+    """Clean + attacked + slow-defense + foreign-victim rounds: every
+    dispatch arm of execute_round, with groupable repeats inside."""
+    specs = []
+    for seed in range(n_seeds):
+        specs.append(RoundSpec(filter_percentile=0.1, attack=None, seed=seed))
+        specs.append(RoundSpec(filter_percentile=0.1,
+                               attack=AttackSpec("boundary", 0.05),
+                               poison_fraction=0.2, seed=seed))
+    specs.append(RoundSpec(attack=AttackSpec("boundary", 0.05),
+                           poison_fraction=0.2, seed=0,
+                           defense=DefenseSpec("slab_filter", 0.1)))
+    specs.append(RoundSpec(filter_percentile=0.1, attack=None, seed=0,
+                           victim=VictimSpec("ridge", (("reg", 0.01),))))
+    return specs
+
+
+class TestBitIdentity:
+    def test_matches_per_round_execution(self, ctx):
+        specs = mixed_specs()
+        batched = execute_rounds(ctx, specs)
+        reference = [execute_round(ctx, spec) for spec in specs]
+        assert batched == reference
+
+    def test_toggle_off_matches(self, ctx, monkeypatch):
+        specs = mixed_specs(n_seeds=2)
+        expected = execute_rounds(ctx, specs)
+        monkeypatch.setenv("REPRO_BATCH_FITS", "0")
+        assert execute_rounds(ctx, specs) == expected
+
+    def test_windowing_preserves_order(self, ctx, monkeypatch):
+        # Tiny windows force multiple prepare/fit/finish cycles.
+        monkeypatch.setattr(backends_mod, "_FIT_WINDOW", 3)
+        specs = mixed_specs(n_seeds=4)
+        assert execute_rounds(ctx, specs) == \
+            [execute_round(ctx, spec) for spec in specs]
+
+    def test_single_spec_short_circuits(self, ctx):
+        spec = RoundSpec(filter_percentile=0.1, attack=None, seed=5)
+        assert execute_rounds(ctx, [spec]) == [execute_round(ctx, spec)]
+        assert execute_rounds(ctx, []) == []
+
+
+class TestBatchedDispatch:
+    def test_fit_many_engages_for_repeat_rounds(self, ctx, monkeypatch):
+        calls = []
+        original = LinearSVM.fit_many.__func__
+
+        def counting_fit_many(cls, models, datasets):
+            calls.append(len(models))
+            return original(cls, models, datasets)
+
+        monkeypatch.setattr(LinearSVM, "fit_many",
+                            classmethod(counting_fit_many))
+        specs = [RoundSpec(filter_percentile=0.1, attack=None, seed=s)
+                 for s in range(4)]
+        execute_rounds(ctx, specs)
+        # The repeat axis (same percentile, different seeds) yields
+        # same-shape training sets -> one batched fit of all four.
+        assert calls == [4]
+
+    def test_toggle_off_disables_dispatch(self, ctx, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_FITS", "0")
+        monkeypatch.setattr(
+            LinearSVM, "fit_many",
+            classmethod(lambda cls, models, datasets: pytest.fail(
+                "fit_many dispatched with REPRO_BATCH_FITS=0")))
+        specs = [RoundSpec(filter_percentile=0.1, attack=None, seed=s)
+                 for s in range(3)]
+        execute_rounds(ctx, specs)

@@ -1,0 +1,98 @@
+"""RONI stacked-ridge fast path: bit-identity vs the sequential loop.
+
+PR 6 satellite: ``RONIDefense.kernel_mask`` replaces the one-retrain-
+per-candidate loop with probe-verified stacked closed-form ridge solves
+(:mod:`repro.ml.batched`).  Every assertion here is exact — the fast
+path is an optimisation, never an approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import poison_dataset
+from repro.defenses.roni import RONIDefense
+from repro.engine import AttackSpec, DefenseSpec, RoundSpec
+from repro.engine.backends import execute_round
+from repro.experiments.runner import evaluate_configuration, \
+    make_synthetic_context
+from repro.ml import batched
+from repro.ml.linear_svm import LinearSVM
+from repro.utils.rng import as_generator, derive_seed
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_synthetic_context(seed=6, n_samples=260, n_features=5)
+
+
+def _mixed(ctx, percentile=0.1, fraction=0.2, seed=11):
+    from repro.engine.spec import materialize_attack
+
+    attack = materialize_attack(ctx, AttackSpec("boundary", percentile))
+    rng = as_generator(derive_seed(seed, "round"))
+    return poison_dataset(ctx.X_train, ctx.y_train, attack,
+                          fraction=fraction, seed=rng, return_sources=True)
+
+
+class TestKernelMask:
+    @pytest.mark.parametrize("tolerance", [0.0, 0.01])
+    def test_mask_matches_sequential_loop(self, ctx, tolerance):
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        defense = RONIDefense(tolerance=tolerance, seed=3)
+        fast = defense.kernel_mask(ctx.kernel(), X_mix, y_mix,
+                                   is_poison, sources)
+        assert fast is not None
+        np.testing.assert_array_equal(fast, defense.mask(X_mix, y_mix))
+
+    def test_clean_data_matches_too(self, ctx):
+        defense = RONIDefense(seed=0)
+        fast = defense.kernel_mask(ctx.kernel(), ctx.X_train, ctx.y_train,
+                                   None, None)
+        np.testing.assert_array_equal(
+            fast, defense.mask(ctx.X_train, ctx.y_train))
+
+    def test_non_ridge_learner_falls_back(self, ctx):
+        defense = RONIDefense(learner=LinearSVM(epochs=2, seed=0))
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        assert defense.kernel_mask(ctx.kernel(), X_mix, y_mix,
+                                   is_poison, sources) is None
+
+    def test_failed_probe_falls_back(self, ctx, monkeypatch):
+        monkeypatch.setattr(batched, "_probe_ridge", lambda *a: False)
+        monkeypatch.setattr(batched, "_ridge_probe_cache", {})
+        defense = RONIDefense(seed=3)
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        assert defense.kernel_mask(ctx.kernel(), X_mix, y_mix,
+                                   is_poison, sources) is None
+
+    def test_chunking_does_not_change_bits(self, ctx, monkeypatch):
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        defense = RONIDefense(seed=5)
+        reference = defense.kernel_mask(ctx.kernel(), X_mix, y_mix,
+                                        is_poison, sources)
+        from repro.defenses import roni as roni_mod
+
+        monkeypatch.setattr(roni_mod, "_FAST_CHUNK", 7)
+        np.testing.assert_array_equal(
+            defense.kernel_mask(ctx.kernel(), X_mix, y_mix,
+                                is_poison, sources),
+            reference)
+
+
+class TestSpecPath:
+    def test_round_matches_kernel_free_reference(self, ctx):
+        """An engine RONI round (fast path engaged) equals the same
+        round with the kernel switched off (sequential mask path)."""
+        from repro.engine.spec import materialize_attack, materialize_defense
+
+        spec = RoundSpec(defense=DefenseSpec("roni"),
+                         attack=AttackSpec("boundary", 0.1),
+                         poison_fraction=0.2, seed=17)
+        fast = execute_round(ctx, spec)
+        reference = evaluate_configuration(
+            ctx,
+            attack=materialize_attack(ctx, spec.attack),
+            defense=materialize_defense(ctx, spec.defense,
+                                        seed=derive_seed(17, "defense")),
+            poison_fraction=0.2, seed=17, use_kernel=False)
+        assert fast == reference

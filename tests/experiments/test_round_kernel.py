@@ -130,6 +130,10 @@ class TestAttackPrecomputedParity:
             return original(self, X, y)
 
         monkeypatch.setattr(LinearSVM, "fit", counting_fit)
+        # Pin the plain per-round path: batched fit_many dispatch would
+        # hide victim fits from the per-call counter (that path's own
+        # accounting is covered by the engine batching tests).
+        monkeypatch.setenv("REPRO_BATCH_FITS", "0")
         fresh = make_synthetic_context(seed=11, n_samples=160, n_features=4)
         engine = EvaluationEngine("serial", cache=False)
         specs = [kernel_spec(0.1, 0.05, seed) for seed in range(4)]

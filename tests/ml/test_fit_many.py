@@ -1,0 +1,140 @@
+"""Batched (lockstep) Pegasos: bit-identity with sequential fits.
+
+ISSUE 6 tentpole: ``LinearSVM.fit_many`` runs B same-shape problems as
+one stacked tensor program.  Batching is an execution strategy, never
+an approximation — every assertion here is exact, against models fitted
+by the plain sequential ``fit`` (itself pinned bit-for-bit to the seed
+trainer by ``test_linear_svm.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_gaussian_blobs
+from repro.ml import batched
+from repro.ml.linear_svm import LinearSVM
+
+
+def _problems(b, n=230, d=6, seed=0):
+    """B distinct same-shape problems (different data and seeds)."""
+    datasets = []
+    for i in range(b):
+        X, y = make_gaussian_blobs(n_samples=n, n_features=d,
+                                   separation=1.5, seed=seed + 17 * i)
+        datasets.append((X, y))
+    return datasets
+
+
+def _fit_sequentially(configs, datasets):
+    models = [LinearSVM(**cfg) for cfg in configs]
+    for model, (X, y) in zip(models, datasets):
+        model.fit(X, y)
+    return models
+
+
+def assert_models_identical(batched_models, sequential_models):
+    for got, want in zip(batched_models, sequential_models):
+        np.testing.assert_array_equal(got.coef_, want.coef_)
+        assert got.intercept_ == want.intercept_
+        assert got.objective_trace_ == want.objective_trace_
+
+
+class TestLockstepBitIdentity:
+    @pytest.mark.parametrize("b", [1, 2, 7, 32])
+    def test_default_hyperparameters(self, b):
+        datasets = _problems(b)
+        configs = [dict(epochs=6, seed=100 + i) for i in range(b)]
+        assert LinearSVM.can_fit_many([LinearSVM(**c) for c in configs],
+                                      datasets)
+        models = LinearSVM.fit_many([LinearSVM(**c) for c in configs],
+                                    datasets)
+        assert_models_identical(models, _fit_sequentially(configs, datasets))
+
+    @pytest.mark.parametrize("config", [
+        dict(reg=1e-2, epochs=7, batch_size=32),
+        dict(reg=1.0, epochs=9, batch_size=1),          # heavy projection
+        dict(epochs=5, batch_size=512),                 # one batch/epoch
+        dict(epochs=8, batch_size=17, average=False),   # ragged batches
+        dict(epochs=6, batch_size=64, fit_intercept=False),
+        dict(epochs=1, batch_size=64),                  # single epoch
+    ])
+    def test_hyperparameter_grid(self, config):
+        b = 5
+        datasets = _problems(b, n=190, d=5, seed=3)
+        configs = [dict(config, seed=7 * i) for i in range(b)]
+        models = LinearSVM.fit_many([LinearSVM(**c) for c in configs],
+                                    datasets)
+        assert_models_identical(models, _fit_sequentially(configs, datasets))
+
+    def test_shared_dataset_distinct_seeds(self):
+        # The engine's common case: one training matrix, many round seeds.
+        X, y = make_gaussian_blobs(n_samples=260, n_features=6, seed=9)
+        configs = [dict(epochs=6, seed=i) for i in range(4)]
+        datasets = [(X, y)] * 4
+        models = LinearSVM.fit_many([LinearSVM(**c) for c in configs],
+                                    datasets)
+        assert_models_identical(models, _fit_sequentially(configs, datasets))
+
+    def test_kernel_probe_passes_on_this_platform(self):
+        # The batched path must actually engage here — a silent fallback
+        # would leave the perf claims untested on CI's own hardware.
+        assert batched.pegasos_kernels_verified(230, 6, 64)
+        assert LinearSVM.can_fit_many(
+            [LinearSVM(epochs=4, seed=i) for i in range(3)],
+            _problems(3))
+
+
+class TestFallbacks:
+    def test_ragged_shapes_fall_back_identically(self):
+        datasets = [_problems(1, n=200)[0], _problems(1, n=150, seed=5)[0]]
+        models = [LinearSVM(epochs=5, seed=0), LinearSVM(epochs=5, seed=1)]
+        assert not LinearSVM.can_fit_many(models, datasets)
+        fitted = LinearSVM.fit_many(models, datasets)
+        reference = _fit_sequentially(
+            [dict(epochs=5, seed=0), dict(epochs=5, seed=1)], datasets)
+        assert_models_identical(fitted, reference)
+
+    def test_mixed_hyperparameters_fall_back_identically(self):
+        datasets = _problems(2)
+        configs = [dict(epochs=5, seed=0), dict(epochs=6, seed=1)]
+        models = [LinearSVM(**c) for c in configs]
+        assert not LinearSVM.can_fit_many(models, datasets)
+        assert_models_identical(LinearSVM.fit_many(models, datasets),
+                                _fit_sequentially(configs, datasets))
+
+    def test_objective_tracking_falls_back_identically(self):
+        datasets = _problems(2)
+        configs = [dict(epochs=5, seed=0, tol=1e-3),
+                   dict(epochs=5, seed=1, tol=1e-3)]
+        models = [LinearSVM(**c) for c in configs]
+        assert not LinearSVM.can_fit_many(models, datasets)
+        fitted = LinearSVM.fit_many(models, datasets)
+        reference = _fit_sequentially(configs, datasets)
+        assert_models_identical(fitted, reference)
+        assert fitted[0].objective_trace_  # the trace really was tracked
+
+    def test_single_feature_falls_back_identically(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((120, 1))
+        y = (X[:, 0] > 0).astype(int)
+        configs = [dict(epochs=5, seed=0), dict(epochs=5, seed=1)]
+        models = [LinearSVM(**c) for c in configs]
+        assert not LinearSVM.can_fit_many(models, [(X, y)] * 2)
+        assert_models_identical(LinearSVM.fit_many(models, [(X, y)] * 2),
+                                _fit_sequentially(configs, [(X, y)] * 2))
+
+    def test_failed_probe_falls_back_identically(self, monkeypatch):
+        monkeypatch.setattr(batched, "_probe_pegasos",
+                            lambda *a: False)
+        monkeypatch.setattr(batched, "_pegasos_probe_cache", {})
+        datasets = _problems(3)
+        configs = [dict(epochs=5, seed=i) for i in range(3)]
+        models = [LinearSVM(**c) for c in configs]
+        assert not LinearSVM.can_fit_many(models, datasets)
+        assert_models_identical(LinearSVM.fit_many(models, datasets),
+                                _fit_sequentially(configs, datasets))
+
+    def test_empty_and_mismatched_inputs(self):
+        assert LinearSVM.fit_many([], []) == []
+        with pytest.raises(ValueError, match="models"):
+            LinearSVM.fit_many([LinearSVM()], [])

@@ -1,0 +1,77 @@
+"""PR 6 batched victim training at the study layer.
+
+``execute_rounds`` groups same-shape victim fits across a batch and
+trains them in lockstep (:meth:`LinearSVM.fit_many`).  Batching is an
+execution strategy, never part of the measured science, so the study
+layer must not be able to tell it apart from per-round execution:
+payloads, scenario cache keys and per-round outcomes are bit-identical
+with batching on or off, across serial and process backends, and a
+cache populated by an unbatched run is fully hit by a batched rerun
+(the CLI ``--expect-cached`` gate).
+"""
+
+import pytest
+
+from repro.engine import EvaluationEngine
+from repro.experiments.cli import main
+from repro.study import run_study, studies
+
+CTX_SETS = ["--set", "context=synthetic", "--set", "n_samples=260"]
+SMALL = CTX_SETS + ["--set", "percentiles=0.0,0.1,0.3",
+                    "--set", "n_repeats=3", "--no-progress"]
+
+
+def grid_spec(ctx_spec):
+    """An uncached mixed grid with a repeat axis — repeats are exactly
+    the rounds execute_rounds groups into one lockstep fit."""
+    return studies.grid(context=ctx_spec,
+                        defenses=("radius:0.1", "none"),
+                        attacks=("boundary:0.05", "clean"),
+                        fractions=(0.1, 0.2),
+                        n_repeats=3)
+
+
+class TestBatchedStudyParity:
+    def test_serial_batched_equals_unbatched(self, ctx_spec, monkeypatch):
+        spec = grid_spec(ctx_spec)
+        batched = run_study(spec,
+                            engine=EvaluationEngine("serial", cache=False))
+        monkeypatch.setenv("REPRO_BATCH_FITS", "0")
+        plain = run_study(spec,
+                          engine=EvaluationEngine("serial", cache=False))
+        assert batched.payload == plain.payload
+        assert batched.scenarios == plain.scenarios  # keys + outcomes
+
+    def test_process_backend_matches_serial(self, ctx_spec):
+        spec = grid_spec(ctx_spec)
+        serial = run_study(spec,
+                           engine=EvaluationEngine("serial", cache=False))
+        process = run_study(spec,
+                            engine=EvaluationEngine("process", cache=False,
+                                                    jobs=2))
+        assert process.payload == serial.payload
+        assert process.scenarios == serial.scenarios
+
+
+class TestExpectCachedAcrossToggle:
+    def test_unbatched_cache_fully_hit_by_batched_rerun(self, tmp_path,
+                                                        monkeypatch,
+                                                        capsys):
+        """Cache keys cannot depend on the execution strategy: a cold
+        run with batching disabled must leave a cache the batched
+        engine replays without computing a single round."""
+        cache = str(tmp_path / "cache")
+        args = ["run", "figure1"] + SMALL + ["--cache-dir", cache]
+        monkeypatch.setenv("REPRO_BATCH_FITS", "0")
+        assert main(args) == 0
+        monkeypatch.delenv("REPRO_BATCH_FITS")
+        assert main(args + ["--expect-cached"]) == 0
+        capsys.readouterr()
+
+    def test_batched_run_is_its_own_fixed_point(self, tmp_path, capsys):
+        """And the reverse: a batched cold run replays batched."""
+        cache = str(tmp_path / "cache")
+        args = ["run", "figure1"] + SMALL + ["--cache-dir", cache]
+        assert main(args) == 0
+        assert main(args + ["--expect-cached"]) == 0
+        capsys.readouterr()
