@@ -21,6 +21,7 @@ this package on first request.
 
 from repro.cluster.backend import (
     ClusterBackend,
+    ClusterDegradedWarning,
     LocalShardPool,
     close_local_pools,
     parse_shard_addresses,
@@ -31,11 +32,13 @@ from repro.cluster.scheduler import (
     ClusterScheduler,
     ShardClient,
     ShardError,
+    ShardRejected,
 )
 from repro.cluster.server import ShardExecutor, ShardServer, serve
 
 __all__ = [
     "ClusterBackend",
+    "ClusterDegradedWarning",
     "LocalShardPool",
     "close_local_pools",
     "parse_shard_addresses",
@@ -44,6 +47,7 @@ __all__ = [
     "ClusterScheduler",
     "ShardClient",
     "ShardError",
+    "ShardRejected",
     "ShardExecutor",
     "ShardServer",
     "serve",

@@ -17,7 +17,22 @@ Registered under ``"cluster"`` (``EvaluationEngine("cluster")``,
   waited for on a blocking keepalive socket — see
   :class:`~repro.cluster.scheduler.ShardClient`) /
   ``REPRO_CLUSTER_MIN_CHUNK`` / ``REPRO_CLUSTER_MAX_CHUNK`` /
-  ``REPRO_CLUSTER_TARGET_SECONDS`` — scheduler knobs.
+  ``REPRO_CLUSTER_TARGET_SECONDS`` — scheduler knobs.  All env knobs
+  are validated at parse time (an unparseable value raises naming the
+  variable) and clamped into documented sane ranges.
+* ``REPRO_CLUSTER_SECRET`` — shared handshake secret; when set, both
+  ends prove possession via mutual HMAC digests and mismatches are
+  refused by name (see :mod:`repro.cluster.protocol`).
+* ``REPRO_CLUSTER_RETRIES`` / ``REPRO_CLUSTER_BACKOFF`` — the
+  connect/handshake (and mid-sweep rejoin) retry budget: exponential
+  backoff with deterministic jitter
+  (:class:`~repro.resilience.RetryPolicy`).  Handshake *refusals*
+  (auth, fingerprint, schema) are configuration and are never retried.
+* ``REPRO_CLUSTER_FALLBACK`` (default on) — graceful degradation: if
+  every shard is dead past its retry budget, the batch falls back to
+  the in-process serial backend with a :class:`ClusterDegradedWarning`
+  instead of failing the run.  Refusals never degrade — silently
+  computing locally would mask a misconfigured fleet.
 
 Every ``run`` opens one connection per shard, performs the
 content-fingerprint handshake (a shard holding a different context —
@@ -25,7 +40,7 @@ or a different cache schema — refuses, loudly), and streams chunks
 through the :class:`~repro.cluster.scheduler.ClusterScheduler`.  The
 determinism contract of :mod:`repro.engine.backends` does the rest:
 outcomes are bit-identical to the serial backend whatever the
-sharding, chunking or arrival order.
+sharding, chunking, arrival order — or fault/degradation path.
 """
 
 from __future__ import annotations
@@ -36,6 +51,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import warnings
 
 from repro.cluster.scheduler import (
     DEFAULT_MAX_CHUNK,
@@ -46,12 +62,19 @@ from repro.cluster.scheduler import (
     ClusterScheduler,
     ShardClient,
     ShardError,
+    ShardRejected,
 )
-from repro.engine.backends import EvaluationBackend
+from repro.engine.backends import EvaluationBackend, SerialBackend
 from repro.engine.cache import cache_schema_version
+from repro.resilience import RetryPolicy, env_bool, env_float, env_int
 
-__all__ = ["ClusterBackend", "LocalShardPool", "parse_shard_addresses",
-           "shared_local_pool", "close_local_pools"]
+__all__ = ["ClusterBackend", "ClusterDegradedWarning", "LocalShardPool",
+           "parse_shard_addresses", "shared_local_pool",
+           "close_local_pools"]
+
+
+class ClusterDegradedWarning(RuntimeWarning):
+    """The cluster was unreachable; the batch ran on the serial backend."""
 
 _SPAWN_READY_TIMEOUT = 120.0  # cold interpreter + context load, generous
 
@@ -75,16 +98,6 @@ def parse_shard_addresses(text: str | None) -> list[tuple[str, int]]:
     return addresses
 
 
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    return float(raw) if raw else default
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    return int(raw) if raw else default
-
-
 class LocalShardPool:
     """Autospawned localhost shard servers for one context.
 
@@ -95,7 +108,8 @@ class LocalShardPool:
     temp file.
     """
 
-    def __init__(self, ctx, n_shards: int, *, jobs_per_shard: int = 1):
+    def __init__(self, ctx, n_shards: int, *, jobs_per_shard: int = 1,
+                 secret: str | None = None):
         from repro.experiments.runner import save_context
 
         self.fingerprint = ctx.fingerprint()
@@ -116,6 +130,10 @@ class LocalShardPool:
                 os.path.abspath(repro.__file__)))
             env["PYTHONPATH"] = pkg_root + os.pathsep + \
                 env.get("PYTHONPATH", "")
+            if secret:
+                # A constructor-passed secret must reach autospawned
+                # shards too, not only env-configured ones.
+                env["REPRO_CLUSTER_SECRET"] = secret
             for _ in range(n_shards):
                 proc = subprocess.Popen(
                     [sys.executable, "-m", "repro.cluster",
@@ -189,7 +207,8 @@ _LOCAL_POOLS: "dict[str, LocalShardPool]" = {}
 _MAX_LOCAL_POOLS = 2
 
 
-def shared_local_pool(ctx, n_shards: int) -> LocalShardPool:
+def shared_local_pool(ctx, n_shards: int,
+                      secret: str | None = None) -> LocalShardPool:
     """The process-wide autospawned pool for ``ctx`` (created on miss)."""
     fingerprint = ctx.fingerprint()
     pool = _LOCAL_POOLS.get(fingerprint)
@@ -199,7 +218,7 @@ def shared_local_pool(ctx, n_shards: int) -> LocalShardPool:
             return pool
         pool.close()
         del _LOCAL_POOLS[fingerprint]
-    pool = LocalShardPool(ctx, n_shards)
+    pool = LocalShardPool(ctx, n_shards, secret=secret)
     _LOCAL_POOLS[fingerprint] = pool
     while len(_LOCAL_POOLS) > _MAX_LOCAL_POOLS:
         oldest = next(iter(_LOCAL_POOLS))
@@ -225,6 +244,9 @@ class ClusterBackend(EvaluationBackend):
     shards:
         ``host:port`` pairs / strings, or ``None`` to read
         ``REPRO_CLUSTER_SHARDS`` (and autospawn when that is unset).
+    secret, retries, backoff, fallback:
+        Resilience knobs; ``None`` reads ``REPRO_CLUSTER_SECRET`` /
+        ``_RETRIES`` / ``_BACKOFF`` / ``_FALLBACK`` (see module docs).
     """
 
     name = "cluster"
@@ -233,7 +255,11 @@ class ClusterBackend(EvaluationBackend):
                  timeout: float | None = None,
                  min_chunk: int | None = None,
                  max_chunk: int | None = None,
-                 target_seconds: float | None = None):
+                 target_seconds: float | None = None,
+                 secret: str | None = None,
+                 retries: int | None = None,
+                 backoff: float | None = None,
+                 fallback: bool | None = None):
         if shards is None:
             shards = os.environ.get("REPRO_CLUSTER_SHARDS")
         if isinstance(shards, str):
@@ -242,47 +268,101 @@ class ClusterBackend(EvaluationBackend):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        # Clamp ranges are operational guard-rails (a week-long timeout
+        # or a 0 min_chunk wedges the service, it doesn't mean anything).
         self.timeout = timeout if timeout is not None else \
-            _env_float("REPRO_CLUSTER_TIMEOUT", DEFAULT_TIMEOUT)
+            env_float("REPRO_CLUSTER_TIMEOUT", DEFAULT_TIMEOUT,
+                      lo=0.01, hi=3600.0)
         self.min_chunk = min_chunk if min_chunk is not None else \
-            _env_int("REPRO_CLUSTER_MIN_CHUNK", DEFAULT_MIN_CHUNK)
+            env_int("REPRO_CLUSTER_MIN_CHUNK", DEFAULT_MIN_CHUNK,
+                    lo=1, hi=4096)
         self.max_chunk = max_chunk if max_chunk is not None else \
-            _env_int("REPRO_CLUSTER_MAX_CHUNK", DEFAULT_MAX_CHUNK)
+            env_int("REPRO_CLUSTER_MAX_CHUNK", DEFAULT_MAX_CHUNK,
+                    lo=1, hi=8192)
+        self.max_chunk = max(self.max_chunk, self.min_chunk)
         self.target_seconds = target_seconds if target_seconds is not None \
-            else _env_float("REPRO_CLUSTER_TARGET_SECONDS",
-                            DEFAULT_TARGET_SECONDS)
+            else env_float("REPRO_CLUSTER_TARGET_SECONDS",
+                           DEFAULT_TARGET_SECONDS, lo=0.01, hi=600.0)
+        if secret is None:
+            secret = os.environ.get("REPRO_CLUSTER_SECRET")
+        self.secret = secret or None
+        if retries is None:
+            retries = env_int("REPRO_CLUSTER_RETRIES", 3, lo=0, hi=100)
+        if backoff is None:
+            backoff = env_float("REPRO_CLUSTER_BACKOFF", 0.05,
+                                lo=0.0, hi=60.0)
+        self.retry_policy = RetryPolicy(retries=int(retries),
+                                        backoff=float(backoff))
+        self.fallback = env_bool("REPRO_CLUSTER_FALLBACK", True) \
+            if fallback is None else bool(fallback)
         self._pool: LocalShardPool | None = None
+        self._last_scheduler: ClusterScheduler | None = None
 
     # -- shard management --------------------------------------------------
 
     def _addresses(self, ctx) -> list[tuple[str, int]]:
         if self.shards:
             return self.shards
-        self._pool = shared_local_pool(ctx, self.jobs or 2)
+        self._pool = shared_local_pool(ctx, self.jobs or 2,
+                                       secret=self.secret)
         return self._pool.addresses
+
+    def _connect_one(self, address, fingerprint, schema) -> ShardClient:
+        """One connect + handshake attempt; the client is closed on
+        handshake failure (no half-open sockets leak out of here)."""
+        client = ShardClient(address, timeout=self.timeout,
+                             secret=self.secret)
+        try:
+            client.handshake(fingerprint, schema)
+        except BaseException:
+            client.close()
+            raise
+        return client
+
+    def _connect_with_retry(self, address, fingerprint,
+                            schema) -> ShardClient:
+        """Connect + handshake, walking the retry budget on transport
+        failures.  :class:`ShardRejected` propagates immediately — a
+        refusal is configuration, and configuration does not fix itself
+        on retry."""
+        name = f"{address[0]}:{address[1]}"
+        last: ShardError | None = None
+        delays = iter(self.retry_policy.delays(f"connect:{name}"))
+        while True:
+            try:
+                return self._connect_one(address, fingerprint, schema)
+            except ShardRejected:
+                raise
+            except ShardError as exc:
+                last = exc
+            try:
+                delay = next(delays)
+            except StopIteration:
+                raise last
+            time.sleep(delay)
 
     def _connect(self, ctx) -> list[ShardClient]:
         fingerprint = ctx.fingerprint()
         schema = cache_schema_version()
         clients: list[ShardClient] = []
-        failures: list[str] = []
+        failures: list[ShardError] = []
         for address in self._addresses(ctx):
             try:
-                client = ShardClient(address, timeout=self.timeout)
+                clients.append(self._connect_with_retry(
+                    address, fingerprint, schema))
             except ShardError as exc:
-                failures.append(str(exc))
-                continue
-            try:
-                client.handshake(fingerprint, schema)
-            except ShardError as exc:
-                client.close()
-                failures.append(str(exc))
-                continue
-            clients.append(client)
+                failures.append(exc)
         if not clients:
-            raise ClusterError(
+            error = ClusterError(
                 "no shard accepted the batch: " +
-                ("; ".join(failures) if failures else "no shards configured"))
+                ("; ".join(str(f) for f in failures)
+                 if failures else "no shards configured"))
+            # Degradation must not mask a misconfigured fleet: flag the
+            # all-refusals case so run_iter raises instead of silently
+            # computing locally.
+            error.rejected_only = bool(failures) and all(
+                isinstance(f, ShardRejected) for f in failures)
+            raise error
         return clients
 
     def close(self) -> None:
@@ -308,13 +388,53 @@ class ClusterBackend(EvaluationBackend):
         specs = list(specs)
         if not specs:
             return
-        clients = self._connect(ctx)
+        done: set[int] = set()
+        try:
+            clients = self._connect(ctx)
+        except ClusterError as exc:
+            yield from self._degrade_or_raise(ctx, specs, done, exc)
+            return
+        fingerprint = ctx.fingerprint()
+        schema = cache_schema_version()
         try:
             scheduler = ClusterScheduler(
                 clients, min_chunk=self.min_chunk,
                 max_chunk=self.max_chunk,
-                target_seconds=self.target_seconds)
-            yield from scheduler.run_iter(specs)
+                target_seconds=self.target_seconds,
+                reconnect=lambda address: self._connect_one(
+                    address, fingerprint, schema),
+                retry_policy=self.retry_policy)
+            self._last_scheduler = scheduler
+            stream = scheduler.run_iter(specs)
+            while True:
+                try:
+                    index, outcome = next(stream)
+                except StopIteration:
+                    return
+                except ClusterError as exc:
+                    # Mid-sweep total loss: every shard died past its
+                    # rejoin budget with work still outstanding.
+                    yield from self._degrade_or_raise(ctx, specs, done,
+                                                      exc)
+                    return
+                done.add(index)
+                yield index, outcome
         finally:
             for client in clients:
                 client.close()
+
+    def _degrade_or_raise(self, ctx, specs, done, exc):
+        """Finish ``specs`` minus ``done`` on the serial backend — or
+        re-raise ``exc`` when degradation is off or the cluster merely
+        *refused* us (see module docs)."""
+        if not self.fallback or getattr(exc, "rejected_only", False):
+            raise exc
+        remaining = [i for i in range(len(specs)) if i not in done]
+        warnings.warn(ClusterDegradedWarning(
+            f"cluster unreachable ({exc}); degrading: running the "
+            f"remaining {len(remaining)} of {len(specs)} rounds on the "
+            f"serial backend"), stacklevel=3)
+        serial = SerialBackend()
+        for position, outcome in serial.run_iter(
+                ctx, [specs[i] for i in remaining]):
+            yield remaining[position], outcome

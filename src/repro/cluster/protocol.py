@@ -9,13 +9,27 @@ malformed one (``ProtocolError``).
 
 Message shapes (all plain dicts with a ``"type"`` key):
 
-* ``hello``   — client -> shard: ``{protocol, fingerprint, schema}``.
-  The shard compares all three against its own values and answers
-  ``welcome`` (with its host/pid/capacity) or ``reject`` with a
-  reason.  A shard therefore *refuses* to evaluate rounds for a
-  context it does not hold — the content-fingerprint handshake that
-  makes a mixed-version or mixed-context fleet fail loudly instead of
-  returning subtly wrong results.
+* ``hello``   — client -> shard: ``{protocol, fingerprint, schema}``
+  plus an optional ``auth`` digest (below).  The shard compares all
+  three against its own values and answers ``welcome`` (with its
+  host/pid/capacity) or ``reject`` with a reason.  A shard therefore
+  *refuses* to evaluate rounds for a context it does not hold — the
+  content-fingerprint handshake that makes a mixed-version or
+  mixed-context fleet fail loudly instead of returning subtly wrong
+  results.
+* **auth** — when both ends hold the shared secret
+  (``REPRO_CLUSTER_SECRET``), the hello carries
+  ``auth = HMAC-SHA256(secret, "client:" + protocol:fingerprint:schema)``
+  and the welcome answers with the ``"shard:"``-tagged digest over the
+  same material, so authentication is *mutual* in the existing single
+  round trip.  A shard with a secret rejects clients without a
+  matching digest (and vice versa: a secret-holding client refuses a
+  welcome whose digest is absent or wrong); a shard *without* a secret
+  rejects clients that send one, so a half-configured fleet fails
+  loudly instead of silently running open.  The digest binds the
+  handshake fields, not the chunk stream — this authenticates *who may
+  submit work*, it is not transport encryption (deploy on a trusted
+  network or under a TLS tunnel for that).
 * ``run``     — client -> shard: ``{chunk_id, specs}`` where ``specs``
   is a list of picklable :class:`~repro.engine.RoundSpec`.  Answered
   by ``result`` (``{chunk_id, outcomes}``, outcomes in spec order) or
@@ -34,6 +48,8 @@ what a round *is* never exchange results.
 
 from __future__ import annotations
 
+import hashlib
+import hmac as _hmac
 import pickle
 import socket
 import struct
@@ -45,6 +61,8 @@ __all__ = [
     "enable_keepalive",
     "send_message",
     "recv_message",
+    "compute_auth",
+    "verify_auth",
     "hello",
     "welcome",
     "reject",
@@ -132,19 +150,53 @@ def recv_message(sock: socket.socket) -> dict:
     return message
 
 
+# -- shared-secret auth ------------------------------------------------------
+
+
+def compute_auth(secret: str, role: str, fingerprint: str,
+                 schema: int) -> str:
+    """The HMAC digest one end presents in the handshake.
+
+    ``role`` is ``"client"`` (hello) or ``"shard"`` (welcome): tagging
+    the direction keeps a captured hello digest from being replayed
+    back as a welcome.
+    """
+    material = f"{role}:{PROTOCOL_VERSION}:{fingerprint}:{int(schema)}"
+    return _hmac.new(secret.encode("utf-8"), material.encode("utf-8"),
+                     hashlib.sha256).hexdigest()
+
+
+def verify_auth(secret: str, role: str, fingerprint: str, schema: int,
+                auth) -> bool:
+    """Constant-time check of a presented handshake digest."""
+    if not isinstance(auth, str):
+        return False
+    expected = compute_auth(secret, role, fingerprint, schema)
+    return _hmac.compare_digest(expected, auth)
+
+
 # -- message constructors ----------------------------------------------------
 
 
-def hello(fingerprint: str, schema: int) -> dict:
+def hello(fingerprint: str, schema: int, *, secret: str | None = None) -> dict:
     """The client side of the content-fingerprint handshake."""
-    return {"type": "hello", "protocol": PROTOCOL_VERSION,
-            "fingerprint": str(fingerprint), "schema": int(schema)}
+    message = {"type": "hello", "protocol": PROTOCOL_VERSION,
+               "fingerprint": str(fingerprint), "schema": int(schema)}
+    if secret:
+        message["auth"] = compute_auth(secret, "client",
+                                       str(fingerprint), int(schema))
+    return message
 
 
-def welcome(fingerprint: str, *, host: str, pid: int, capacity: int) -> dict:
+def welcome(fingerprint: str, *, host: str, pid: int, capacity: int,
+            schema: int | None = None, secret: str | None = None) -> dict:
     """Shard accepts: it holds the same context (and schema)."""
-    return {"type": "welcome", "fingerprint": str(fingerprint),
-            "host": str(host), "pid": int(pid), "capacity": int(capacity)}
+    message = {"type": "welcome", "fingerprint": str(fingerprint),
+               "host": str(host), "pid": int(pid), "capacity": int(capacity)}
+    if secret:
+        message["auth"] = compute_auth(secret, "shard", str(fingerprint),
+                                       int(schema or 0))
+    return message
 
 
 def reject(reason: str) -> dict:

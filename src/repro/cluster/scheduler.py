@@ -15,6 +15,15 @@ The scheduler turns "a batch of round specs" into "a stream of
   shard's work is *never dropped*; if every shard dies with work
   outstanding the scheduler raises :class:`ClusterError` naming each
   shard's failure.
+* **Rejoin** — given a ``reconnect`` callable, a worker whose shard
+  dies does not retire immediately: after requeueing its chunk it
+  walks a :class:`~repro.resilience.RetryPolicy` backoff schedule
+  trying to re-establish connect + handshake at the *same address*, so
+  a shard that is restarted mid-sweep re-enters the live pool and
+  steals work again.  Only handshake *refusals*
+  (:class:`ShardRejected`: auth, fingerprint or schema mismatch) end
+  the worker at once — a refusal is configuration, and configuration
+  does not fix itself on retry.
 * **Exactly-once delivery** — outcomes are deduplicated by index
   before they are yielded.  (Duplicates can only arise from a retried
   chunk whose first reply was half-received; the determinism contract
@@ -33,9 +42,10 @@ import time
 from collections import deque
 
 from repro.cluster import protocol
+from repro.resilience import RetryPolicy, faults
 
-__all__ = ["ShardError", "ChunkExecutionError", "ClusterError",
-           "ShardClient", "ClusterScheduler"]
+__all__ = ["ShardError", "ShardRejected", "ChunkExecutionError",
+           "ClusterError", "ShardClient", "ClusterScheduler"]
 
 # Defaults; ClusterBackend exposes env/constructor overrides.
 DEFAULT_TIMEOUT = 120.0
@@ -46,6 +56,15 @@ DEFAULT_TARGET_SECONDS = 0.5
 
 class ShardError(ConnectionError):
     """One shard failed (handshake refused, died, or spoke garbage)."""
+
+
+class ShardRejected(ShardError):
+    """A shard *refused* the handshake (auth, fingerprint or schema).
+
+    A refusal is a configuration mismatch, not a transient failure:
+    retry and rejoin must not touch it, and the graceful-degradation
+    path must surface it instead of silently computing locally.
+    """
 
 
 class ChunkExecutionError(RuntimeError):
@@ -78,10 +97,13 @@ class ShardClient:
     """
 
     def __init__(self, address: tuple[str, int], *,
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 secret: str | None = None):
         self.address = (str(address[0]), int(address[1]))
         self.name = f"{self.address[0]}:{self.address[1]}"
+        self.secret = secret or None
         try:
+            faults.fire("connect", key=self.name)
             self._sock = socket.create_connection(self.address,
                                                   timeout=timeout)
         except OSError as exc:
@@ -93,16 +115,26 @@ class ShardClient:
     def handshake(self, fingerprint: str, schema: int) -> dict:
         """Run the content-fingerprint handshake; raise on refusal."""
         try:
+            faults.fire("handshake", key=self.name)
             protocol.send_message(self._sock,
-                                  protocol.hello(fingerprint, schema))
+                                  protocol.hello(fingerprint, schema,
+                                                 secret=self.secret))
             reply = protocol.recv_message(self._sock)
         except (protocol.ProtocolError, ConnectionError, OSError) as exc:
             raise ShardError(f"handshake with shard {self.name} failed: "
                              f"{exc}") from exc
         if reply.get("type") != "welcome":
-            raise ShardError(
+            raise ShardRejected(
                 f"shard {self.name} refused the handshake: "
                 f"{reply.get('reason', reply)}")
+        if self.secret and not protocol.verify_auth(
+                self.secret, "shard", str(fingerprint), int(schema),
+                reply.get("auth")):
+            # Mutual auth: a welcome without the shard-side digest means
+            # the peer does not hold our secret (or is not our shard).
+            raise ShardRejected(
+                f"shard {self.name} failed mutual auth: its welcome "
+                f"carries no valid REPRO_CLUSTER_SECRET digest")
         self.info = reply
         # Handshake done: chunk execution time belongs to the shard,
         # not to a local timer (see the class docstring).
@@ -112,6 +144,7 @@ class ShardClient:
     def run_chunk(self, chunk_id: int, specs: list) -> list:
         """Execute one chunk remotely; outcomes aligned with ``specs``."""
         try:
+            faults.fire("chunk_send", key=f"{self.name}#{chunk_id}")
             protocol.send_message(self._sock,
                                   protocol.run_chunk(chunk_id, specs))
             reply = protocol.recv_message(self._sock)
@@ -152,16 +185,25 @@ class ShardClient:
 
 
 class _ShardWorker(threading.Thread):
-    """Drives one shard: pull items, push chunks, adapt, requeue on death."""
+    """Drives one shard: pull items, push chunks, adapt, requeue on death.
+
+    A transport failure mid-batch does not retire the worker when the
+    scheduler has a ``reconnect`` factory: the chunk is requeued (other
+    shards steal it immediately) and the worker walks the retry
+    policy's backoff schedule attempting to rejoin its shard at the
+    same address — the path a restarted shard re-enters the pool by.
+    """
 
     def __init__(self, scheduler: "ClusterScheduler", client: ShardClient):
         super().__init__(daemon=True, name=f"shard-{client.name}")
         self.scheduler = scheduler
         self.client = client
+        self.address = getattr(client, "address", None)
         self.chunk_size = scheduler.min_chunk
         self.failure: ShardError | None = None
         self.chunks_done = 0
         self.rounds_done = 0
+        self.rejoins = 0
 
     def run(self) -> None:
         sched = self.scheduler
@@ -180,8 +222,15 @@ class _ShardWorker(threading.Thread):
                     continue
                 chunk_id = sched._next_chunk_id()
                 start = time.perf_counter()
-                outcomes = self.client.run_chunk(
-                    chunk_id, [spec for _, spec in chunk])
+                try:
+                    outcomes = self.client.run_chunk(
+                        chunk_id, [spec for _, spec in chunk])
+                except ShardError as exc:
+                    sched._requeue(chunk)
+                    chunk = []
+                    if self._rejoin(exc):
+                        continue
+                    return
                 elapsed = time.perf_counter() - start
                 self.chunks_done += 1
                 self.rounds_done += len(chunk)
@@ -201,7 +250,56 @@ class _ShardWorker(threading.Thread):
             if chunk:
                 sched._requeue(chunk)
         finally:
+            # A rejoined client is this worker's own (it is not in
+            # sched.clients, which the backend closes) — release it.
+            if self.client not in sched.clients:
+                self.client.close()
             sched._worker_done(self)
+
+    def _rejoin(self, exc: ShardError) -> bool:
+        """Try to reconnect to this worker's shard; ``True`` on success.
+
+        On ``False`` the worker exits; ``self.failure`` then carries
+        the last error (or ``None`` when the batch simply finished on
+        other shards while we were backing off — nothing was lost).
+        """
+        sched = self.scheduler
+        self.failure = exc
+        if sched.reconnect is None or isinstance(exc, ShardRejected):
+            return False
+        self.client.close()
+        for delay in sched.retry_policy.delays(f"rejoin:{self.name}"):
+            if not self._sleep_unless_finished(delay):
+                self.failure = None
+                return False
+            try:
+                client = sched.reconnect(self.address)
+            except ShardRejected as refused:
+                # A restarted shard that now refuses us (new context,
+                # changed secret) is configuration, not weather.
+                self.failure = refused
+                return False
+            except ShardError as again:
+                self.failure = again
+                continue
+            self.client = client
+            self.chunk_size = sched.min_chunk  # re-learn its speed
+            self.failure = None
+            self.rejoins += 1
+            sched._note_rejoin()
+            return True
+        return False
+
+    def _sleep_unless_finished(self, seconds: float) -> bool:
+        """Back off in small slices; ``False`` once the batch is done."""
+        deadline = time.monotonic() + seconds
+        while True:
+            if self.scheduler._finished():
+                return False
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return True
+            time.sleep(min(remaining, 0.05))
 
     def _adapt(self, n: int, elapsed: float) -> None:
         """Rescale the chunk towards the target duration (≤ 2x per step)."""
@@ -226,12 +324,22 @@ class ClusterScheduler:
         Adaptive-chunking knobs: chunk sizes stay in
         ``[min_chunk, max_chunk]`` and chase ``target_seconds`` of work
         per round trip.
+    reconnect:
+        Optional ``address -> handshaken ShardClient`` factory.  When
+        given, a worker whose shard dies walks ``retry_policy``'s
+        backoff schedule calling it, so a restarted shard at the same
+        address rejoins the pool mid-sweep (see the module docs).
+    retry_policy:
+        The :class:`~repro.resilience.RetryPolicy` governing rejoin
+        attempts; defaults to ``RetryPolicy()``.
     """
 
     def __init__(self, clients: list[ShardClient], *,
                  min_chunk: int = DEFAULT_MIN_CHUNK,
                  max_chunk: int = DEFAULT_MAX_CHUNK,
-                 target_seconds: float = DEFAULT_TARGET_SECONDS):
+                 target_seconds: float = DEFAULT_TARGET_SECONDS,
+                 reconnect=None,
+                 retry_policy: RetryPolicy | None = None):
         if not clients:
             raise ClusterError("no live shards to schedule on")
         if min_chunk < 1 or max_chunk < min_chunk:
@@ -242,6 +350,8 @@ class ClusterScheduler:
         self.min_chunk = int(min_chunk)
         self.max_chunk = int(max_chunk)
         self.target_seconds = float(target_seconds)
+        self.reconnect = reconnect
+        self.retry_policy = retry_policy or RetryPolicy()
         self._pending: deque = deque()
         self._lock = threading.Lock()
         self._results: queue.Queue = queue.Queue()
@@ -250,6 +360,11 @@ class ClusterScheduler:
         self._in_flight = 0
         self._abort_exc: BaseException | None = None
         self.failures: list[ShardError] = []
+        self.rejoins = 0
+
+    def _note_rejoin(self) -> None:
+        with self._lock:
+            self.rejoins += 1
 
     # -- worker-side hooks (thread-safe) -----------------------------------
 

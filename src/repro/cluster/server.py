@@ -54,6 +54,7 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import cache_schema_version
 from repro.engine.spec import prewarm_all
+from repro.resilience import faults
 
 __all__ = ["ShardExecutor", "ShardServer", "serve", "main"]
 
@@ -137,13 +138,30 @@ class ShardServer:
         Worker processes for chunk execution (1 = in-process serial).
     chaos_exit_after:
         Failure injection: hard-exit mid-chunk after this many rounds.
+        A ``shard:crash_after_rounds`` rule in the armed fault plan
+        (``REPRO_FAULTS``) arms the same hook; when both are set the
+        smaller threshold wins.
+    secret:
+        Shared secret for mutual HMAC handshake auth; defaults to
+        ``REPRO_CLUSTER_SECRET``.  When set, clients without a valid
+        digest are refused by name — and a secretless shard refuses
+        clients that *do* present one, so a half-configured fleet
+        fails loudly.
     """
 
     def __init__(self, ctx, *, host: str = "127.0.0.1", port: int = 0,
-                 jobs: int | None = None, chaos_exit_after: int | None = None):
+                 jobs: int | None = None, chaos_exit_after: int | None = None,
+                 secret: str | None = None):
         self.ctx = ctx
         self.fingerprint = ctx.fingerprint()
         self.schema = cache_schema_version()
+        if secret is None:
+            secret = os.environ.get("REPRO_CLUSTER_SECRET")
+        self.secret = secret or None
+        armed = faults.crash_threshold("shard")
+        if armed is not None:
+            chaos_exit_after = armed if chaos_exit_after is None \
+                else min(chaos_exit_after, armed)
         self.chaos_exit_after = chaos_exit_after
         self._rounds_executed = 0
         self._chaos_lock = threading.Lock()
@@ -210,7 +228,25 @@ class ShardServer:
                 f"expected hello, got {message.get('type')!r}"))
             return False
         reason = None
-        if message.get("protocol") != protocol.PROTOCOL_VERSION:
+        auth = message.get("auth")
+        if self.secret:
+            # Auth first: an unauthenticated client learns nothing
+            # about this shard's context from the refusal.
+            if auth is None:
+                reason = ("auth required: shard holds a "
+                          "REPRO_CLUSTER_SECRET but the hello carries "
+                          "no auth digest")
+            elif not protocol.verify_auth(
+                    self.secret, "client",
+                    str(message.get("fingerprint")),
+                    int(message.get("schema") or 0), auth):
+                reason = ("auth failed: the hello's digest does not "
+                          "match this shard's REPRO_CLUSTER_SECRET")
+        elif auth is not None:
+            reason = ("auth mismatch: client presented an auth digest "
+                      "but this shard holds no REPRO_CLUSTER_SECRET")
+        if reason is None and \
+                message.get("protocol") != protocol.PROTOCOL_VERSION:
             reason = (f"protocol version mismatch: shard speaks "
                       f"v{protocol.PROTOCOL_VERSION}, client "
                       f"v{message.get('protocol')}")
@@ -227,7 +263,8 @@ class ShardServer:
             return False
         protocol.send_message(conn, protocol.welcome(
             self.fingerprint, host=self.host, pid=os.getpid(),
-            capacity=self.executor.jobs))
+            capacity=self.executor.jobs, schema=self.schema,
+            secret=self.secret))
         return True
 
     def _dispatch(self, conn: socket.socket, message: dict) -> bool:
@@ -248,6 +285,11 @@ class ShardServer:
                 protocol.send_message(
                     conn, protocol.chunk_error(chunk_id, repr(exc)))
                 return True
+            if faults.fire("chunk_reply", key=f"chunk {chunk_id}"):
+                # Injected drop: the work is done but the reply never
+                # leaves — close the connection so the client sees the
+                # same EOF a shard crash-after-compute produces.
+                return False
             protocol.send_message(
                 conn, protocol.chunk_result(chunk_id, outcomes))
             return True
@@ -282,7 +324,7 @@ class ShardServer:
 
 def serve(ctx, *, host: str = "127.0.0.1", port: int = 0,
           jobs: int | None = None, chaos_exit_after: int | None = None,
-          announce: bool = True) -> None:
+          secret: str | None = None, announce: bool = True) -> None:
     """Construct a :class:`ShardServer` for ``ctx`` and serve forever.
 
     Installs a SIGTERM handler so an orchestrator's ordinary terminate
@@ -294,7 +336,7 @@ def serve(ctx, *, host: str = "127.0.0.1", port: int = 0,
     import signal
 
     server = ShardServer(ctx, host=host, port=port, jobs=jobs,
-                         chaos_exit_after=chaos_exit_after)
+                         chaos_exit_after=chaos_exit_after, secret=secret)
 
     def _terminate(signum, frame):
         raise SystemExit(0)  # unwinds into serve_forever's cleanup
@@ -332,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chaos-exit-after", type=int, default=None,
                         help="failure injection: hard-exit mid-chunk "
                              "after N rounds (tests/failover drills)")
+    parser.add_argument("--faults", type=str, default=None,
+                        help="arm a fault plan (see repro.resilience), "
+                             "e.g. 'chunk_reply:drop_first=1;seed=7'; "
+                             "overrides REPRO_FAULTS")
+    parser.add_argument("--secret", type=str, default=None,
+                        help="shared handshake secret (defaults to "
+                             "REPRO_CLUSTER_SECRET)")
     return parser
 
 
@@ -350,8 +399,14 @@ def context_from_args(args):
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.faults is not None:
+        try:
+            faults.install(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from None
     serve(context_from_args(args), host=args.host, port=args.port,
-          jobs=args.jobs, chaos_exit_after=args.chaos_exit_after)
+          jobs=args.jobs, chaos_exit_after=args.chaos_exit_after,
+          secret=args.secret)
     return 0
 
 

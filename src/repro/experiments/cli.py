@@ -94,6 +94,13 @@ def _parse_victim_arg(text: str | None):
 def _make_engine(args):
     from repro.engine import EvaluationEngine
 
+    if getattr(args, "faults", None) is not None:
+        from repro.resilience import faults
+
+        try:
+            faults.install(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from None
     backend = args.backend or "serial"
     if backend == "cluster" and getattr(args, "shards", None):
         # Build the backend directly so --shards needs no env detour.
@@ -299,7 +306,9 @@ def cmd_run(args) -> int:
     try:
         result = run_study(spec, engine=engine,
                            progress=_progress_for(args, f"run:{spec.kind}"),
-                           archive_dir=args.archive_dir, force=args.force)
+                           archive_dir=args.archive_dir, force=args.force,
+                           resume=args.resume,
+                           checkpoint_every=args.checkpoint_every)
     except ValueError as exc:  # unknown context maker, invalid grid, ...
         raise SystemExit(f"cannot run study: {exc}") from None
     fresh = len(engine.batch_log) > batches_before
@@ -448,8 +457,16 @@ def cmd_repro_cluster(args) -> int:
     # points share one context dispatcher.
     from repro.cluster.server import context_from_args, serve
 
+    if args.faults is not None:
+        from repro.resilience import faults
+
+        try:
+            faults.install(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from None
     serve(context_from_args(args), host=args.host, port=args.port,
-          jobs=args.jobs, chaos_exit_after=args.chaos_exit_after)
+          jobs=args.jobs, chaos_exit_after=args.chaos_exit_after,
+          secret=args.secret)
     return 0
 
 
@@ -541,6 +558,10 @@ def _add_engine_args(p) -> None:
                         "when it is not a terminal")
     p.add_argument("--no-progress", action="store_true",
                    help="never stream per-round progress")
+    p.add_argument("--faults", type=str, default=None,
+                   help="arm a deterministic fault plan for resilience "
+                        "drills, e.g. 'connect:fail_prob=0.3;seed=7' "
+                        "(see repro.resilience; overrides REPRO_FAULTS)")
 
 
 def _add_study_args(p) -> None:
@@ -572,6 +593,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "here, else write the result here")
             p.add_argument("--force", action="store_true",
                            help="re-run and overwrite an archived study")
+            p.add_argument("--resume", action="store_true",
+                           help="warm the engine cache from this study's "
+                                "checkpoint in --archive-dir, so rounds a "
+                                "killed run completed are not recomputed")
+            p.add_argument("--checkpoint-every", type=int, default=None,
+                           help="flush completed rounds to an atomic "
+                                "checkpoint beside the archive every N "
+                                "rounds (default 16, or "
+                                "REPRO_STUDY_CHECKPOINT_EVERY; 0 disables)")
             p.add_argument("--expect-cached", action="store_true",
                            help="fail unless every round was served from "
                                 "cache (CI determinism gate)")
@@ -614,6 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--chaos-exit-after", type=int, default=None,
                            help="failure injection: hard-exit mid-chunk "
                                 "after N rounds (failover drills)")
+            p.add_argument("--faults", type=str, default=None,
+                           help="arm a fault plan on this shard, e.g. "
+                                "'chunk_reply:drop_first=1' (overrides "
+                                "REPRO_FAULTS)")
+            p.add_argument("--secret", type=str, default=None,
+                           help="shared handshake secret (defaults to "
+                                "REPRO_CLUSTER_SECRET)")
             continue
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--n-samples", type=int, default=None,

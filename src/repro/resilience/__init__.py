@@ -1,0 +1,53 @@
+"""``repro.resilience`` — deterministic fault injection and retry policy.
+
+The failure model of the compute tier is *tested, not assumed*: every
+transport interaction of the cluster service passes through a named
+injection point (:mod:`repro.resilience.faults`) that an operator or a
+test can arm with a seeded :class:`FaultPlan` — connect failures,
+handshake failures, delayed or dropped replies, shard crashes after N
+rounds — while the determinism contract of
+:mod:`repro.engine.backends` guarantees that any surviving execution
+is bit-identical to the fault-free run.
+
+Three pieces:
+
+* :mod:`repro.resilience.faults` — ``FaultPlan`` (parsed from
+  ``REPRO_FAULTS`` / ``--faults``), the process-wide armed plan, and
+  ``fire(point)``, the zero-overhead-when-off injection call.
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, the
+  exponential-backoff-with-deterministic-jitter schedule shared by the
+  cluster backend's connect path and the scheduler's shard rejoin.
+* :mod:`repro.resilience.config` — validated environment knobs
+  (parse-time errors naming the variable, documented clamps) used by
+  every ``REPRO_CLUSTER_*`` / ``REPRO_STUDY_*`` setting.
+"""
+
+from repro.resilience.config import env_bool, env_float, env_int
+from repro.resilience.faults import (
+    FAULT_POINTS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    crash_threshold,
+    fire,
+    install,
+    parse_fault_plan,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
+    "active_plan",
+    "crash_threshold",
+    "env_bool",
+    "env_float",
+    "env_int",
+    "fire",
+    "install",
+    "parse_fault_plan",
+]

@@ -1,0 +1,71 @@
+"""Retry schedules: exponential backoff with *deterministic* jitter.
+
+Both consumers — the cluster backend's connect/handshake path and the
+scheduler's shard rejoin — need the classic exponential-backoff-with-
+jitter shape (spread reconnection storms, cap the wait), but this
+codebase's reproducibility bar extends to its failure handling: a
+retried run must wait the same amounts at the same attempts.  Jitter
+is therefore derived from a SHA-256 hash of ``(key, attempt)`` rather
+than drawn from a shared RNG, so a policy is a pure function of its
+parameters and the retry key (typically the shard's ``host:port``
+name).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+def _unit(key: str, attempt: int) -> float:
+    """Deterministic uniform in ``[0, 1)`` from ``(key, attempt)``."""
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded retry budget with exponential, jittered delays.
+
+    Parameters
+    ----------
+    retries:
+        Attempts *beyond the first*; ``delays()`` yields exactly this
+        many sleep durations.  ``0`` means fail fast.
+    backoff:
+        Base delay in seconds for the first retry.
+    max_backoff:
+        Cap on any single delay (the exponential curve flattens here).
+    jitter:
+        Fractional spread: each delay is scaled by a deterministic
+        factor in ``[1 - jitter, 1 + jitter]``.
+    """
+
+    retries: int = 3
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError(
+                f"backoff durations must be >= 0, got "
+                f"{self.backoff}/{self.max_backoff}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """The sleep before retry ``attempt`` (0-based) keyed by ``key``."""
+        base = min(self.backoff * (2.0 ** attempt), self.max_backoff)
+        spread = 1.0 + self.jitter * (2.0 * _unit(key, attempt) - 1.0)
+        return base * spread
+
+    def delays(self, key: str = ""):
+        """Yield the full schedule of sleep durations for ``key``."""
+        for attempt in range(self.retries):
+            yield self.delay(key, attempt)

@@ -25,6 +25,8 @@ bit-identical.
 
 from repro.study import builders as studies
 from repro.study.builders import BUILDERS, build
+from repro.study.checkpoint import (StudyCheckpointer, checkpoint_path,
+                                    load_checkpoint)
 from repro.study.result import StudyResult, study_result_from_json
 from repro.study.runner import (PhaseDescription, StudyDescription,
                                 archive_path, describe_study, run_study)
@@ -39,6 +41,9 @@ __all__ = [
     "build",
     "StudyResult",
     "study_result_from_json",
+    "StudyCheckpointer",
+    "checkpoint_path",
+    "load_checkpoint",
     "PhaseDescription",
     "StudyDescription",
     "archive_path",

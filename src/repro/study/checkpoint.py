@@ -1,0 +1,132 @@
+"""Study checkpoints: crash-surviving progress beside the archive.
+
+A long study that dies at round 4 990 of 5 000 used to restart from
+whatever the engine's disk cache happened to hold — nothing, for the
+default in-memory cache.  :class:`StudyCheckpointer` gives
+:func:`~repro.study.run_study` a durable middle ground: as scenario
+outcomes land, completed rows (the exact records the final archive's
+``scenarios`` section would hold) are flushed to an atomic
+``checkpoint-<study fingerprint>.json`` next to the archive.  On
+``run_study(..., resume=True)`` the rows are injected back into the
+engine's cache under their original keys — the same ``warm_cache``
+machinery study archives use — so every already-completed round is a
+cache hit and zero rounds are recomputed.  The checkpoint is deleted
+once the real archive lands (the archive subsumes it).
+
+Checkpoints are an *optimisation*, never an authority: a missing,
+corrupt or schema-mismatched checkpoint degrades to recomputing (with
+a warning), because the determinism contract makes recomputation
+bit-identical — only slower.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+from repro.utils.serialization import atomic_write_text
+
+__all__ = ["StudyCheckpointer", "checkpoint_path", "load_checkpoint"]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def checkpoint_path(archive_dir: str, fingerprint: str) -> str:
+    """The checkpoint filename for a study fingerprint."""
+    return os.path.join(archive_dir, f"checkpoint-{fingerprint}.json")
+
+
+class StudyCheckpointer:
+    """Accumulates scenario rows and flushes them atomically.
+
+    ``every`` is the flush cadence in *new rows* (1 = flush on every
+    completed scenario; larger values amortise the write).  ``note``
+    deduplicates by cache key, so re-noting a resumed round (which the
+    recorder sees again, as a cache hit) costs nothing.  Seed a resumed
+    checkpointer with the loaded rows (``seed``) so a second crash
+    never regresses the checkpoint below the first one's progress.
+    """
+
+    def __init__(self, archive_dir: str, fingerprint: str, *,
+                 every: int = 16):
+        self.path = checkpoint_path(archive_dir, fingerprint)
+        self.fingerprint = fingerprint
+        self.every = max(1, int(every))
+        self.rows: list[dict] = []
+        self._keys: set[str] = set()
+        self._unflushed = 0
+
+    def seed(self, rows) -> None:
+        """Adopt already-checkpointed rows without re-flushing them."""
+        for row in rows:
+            if row["key"] not in self._keys:
+                self._keys.add(row["key"])
+                self.rows.append(row)
+
+    def note(self, row: dict) -> None:
+        """Record one completed scenario row; flush on cadence."""
+        if row["key"] in self._keys:
+            return
+        self._keys.add(row["key"])
+        self.rows.append(row)
+        self._unflushed += 1
+        if self._unflushed >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the checkpoint now (atomic; safe against any crash)."""
+        from repro.engine.cache import cache_schema_version
+
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        doc = {
+            "type": "StudyCheckpoint",
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "study_fingerprint": self.fingerprint,
+            "cache_schema_version": cache_schema_version(),
+            "scenarios": self.rows,
+        }
+        atomic_write_text(self.path, json.dumps(doc))
+        self._unflushed = 0
+
+    def discard(self) -> None:
+        """Delete the checkpoint (the final archive subsumes it)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+def load_checkpoint(archive_dir: str, fingerprint: str) -> list[dict]:
+    """The checkpointed scenario rows for a study, or ``[]``.
+
+    Tolerant by design (see module docs): anything unusable — absent
+    file, undecodable JSON, wrong study, a cache schema that no longer
+    names the same rounds — yields ``[]``, with a warning for every
+    case except plain absence.
+    """
+    path = checkpoint_path(archive_dir, fingerprint)
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        warnings.warn(f"ignoring unreadable study checkpoint {path}: "
+                      f"{exc}", stacklevel=2)
+        return []
+    from repro.engine.cache import cache_schema_version
+
+    if doc.get("type") != "StudyCheckpoint" or \
+            doc.get("study_fingerprint") != fingerprint:
+        warnings.warn(f"ignoring study checkpoint {path}: it does not "
+                      f"belong to study {fingerprint[:12]}…", stacklevel=2)
+        return []
+    if doc.get("cache_schema_version") != cache_schema_version():
+        warnings.warn(
+            f"ignoring study checkpoint {path}: its scenario keys use "
+            f"cache schema v{doc.get('cache_schema_version')}, this "
+            f"build uses v{cache_schema_version()}", stacklevel=2)
+        return []
+    rows = doc.get("scenarios", [])
+    return rows if isinstance(rows, list) else []

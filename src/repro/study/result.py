@@ -143,13 +143,20 @@ class StudyResult:
     # -- serialisation ----------------------------------------------------
 
     def to_json(self, path: str | None = None) -> str:
-        """Serialise to the archival JSON document."""
+        """Serialise to the archival JSON document.
+
+        Writing is atomic (temp + fsync + rename): an archive is a
+        study's provenance record, and a crash mid-write must leave
+        either the previous archive or none — never a truncated one
+        that a later ``run_study`` would trust as complete.
+        """
         doc = {"type": "StudyResult", "schema": RESULT_SCHEMA_VERSION,
                "data": asdict(self)}
         text = json.dumps(doc, indent=2)
         if path is not None:
-            with open(path, "w", encoding="utf-8") as fh:
-                fh.write(text)
+            from repro.utils.serialization import atomic_write_text
+
+            atomic_write_text(path, text)
         return text
 
     @classmethod

@@ -21,12 +21,15 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.engine.cache import cache_schema_version, round_key
+from repro.resilience import env_int
 from repro.study import drivers
+from repro.study.checkpoint import StudyCheckpointer, load_checkpoint
 from repro.study.result import StudyResult, utc_timestamp
 from repro.study.spec import (StudySpec, attack_to_obj, defense_to_obj,
                               victim_to_obj)
@@ -52,11 +55,15 @@ class _RecordingEngine:
     outcome)`` for each first-seen round — the raw material of the
     result's ``scenarios`` section.  Recording happens on both the
     batch and the streaming path, so progress callbacks keep working.
+
+    ``on_record`` (optional) fires once per first-seen round with the
+    raw note — the hook study checkpointing hangs off.
     """
 
-    def __init__(self, engine):
+    def __init__(self, engine, on_record=None):
         self._engine = engine
         self._seen: set[str] = set()
+        self._on_record = on_record
         self.records: list[dict] = []
 
     def _note(self, fingerprint: str, spec, outcome) -> None:
@@ -64,16 +71,32 @@ class _RecordingEngine:
         if key in self._seen:
             return
         self._seen.add(key)
-        self.records.append({"key": key, "fingerprint": fingerprint,
-                             "spec": spec, "outcome": outcome})
+        record = {"key": key, "fingerprint": fingerprint,
+                  "spec": spec, "outcome": outcome}
+        self.records.append(record)
+        if self._on_record is not None:
+            self._on_record(record)
 
     def evaluate(self, ctx, spec):
         return self.evaluate_batch(ctx, [spec])[0]
 
     def evaluate_batch(self, ctx, specs, *, progress=None):
         specs = list(specs)
-        outcomes = self._engine.evaluate_batch(ctx, specs, progress=progress)
         fingerprint = ctx.fingerprint()
+        if progress is not None:
+            # The streaming path the engine itself takes under
+            # progress=, with the note moved *inside* the loop: a round
+            # is recorded (and checkpointed) the moment it lands, so a
+            # run killed mid-batch keeps every completed round.
+            results = [None] * len(specs)
+            done = 0
+            for index, outcome in self._engine._stream_indexed(ctx, specs):
+                results[index] = outcome
+                self._note(fingerprint, specs[index], outcome)
+                done += 1
+                progress(done, len(specs))
+            return results
+        outcomes = self._engine.evaluate_batch(ctx, specs)
         for spec, outcome in zip(specs, outcomes):
             self._note(fingerprint, spec, outcome)
         return outcomes
@@ -88,25 +111,27 @@ class _RecordingEngine:
         return getattr(self._engine, name)
 
 
-def _scenario_records(records) -> list[dict]:
-    """Serialise the recorder's raw notes into archival scenario rows."""
+def _scenario_row(rec: dict) -> dict:
+    """Serialise one recorder note into an archival scenario row."""
     from repro.engine.cache import outcome_to_dict
 
-    rows = []
-    for rec in records:
-        spec = rec["spec"]
-        rows.append({
-            "key": rec["key"],
-            "context": rec["fingerprint"],
-            "defense": defense_to_obj(spec.defense),
-            "attack": attack_to_obj(spec.attack),
-            "victim": victim_to_obj(spec.victim),
-            "fraction": (float(spec.poison_fraction)
-                         if spec.attack is not None else None),
-            "seed": int(spec.seed),
-            "outcome": outcome_to_dict(rec["outcome"]),
-        })
-    return rows
+    spec = rec["spec"]
+    return {
+        "key": rec["key"],
+        "context": rec["fingerprint"],
+        "defense": defense_to_obj(spec.defense),
+        "attack": attack_to_obj(spec.attack),
+        "victim": victim_to_obj(spec.victim),
+        "fraction": (float(spec.poison_fraction)
+                     if spec.attack is not None else None),
+        "seed": int(spec.seed),
+        "outcome": outcome_to_dict(rec["outcome"]),
+    }
+
+
+def _scenario_records(records) -> list[dict]:
+    """Serialise the recorder's raw notes into archival scenario rows."""
+    return [_scenario_row(rec) for rec in records]
 
 
 # -- kind dispatch -----------------------------------------------------------
@@ -281,6 +306,8 @@ def run_study(
     context=None,
     archive_dir: str | None = None,
     force: bool = False,
+    resume: bool = False,
+    checkpoint_every: int | None = None,
 ) -> StudyResult:
     """Execute a study and return its provenance-stamped result.
 
@@ -309,6 +336,18 @@ def run_study(
         already archived there the stored result is returned without
         running anything (``force=True`` re-runs and overwrites);
         otherwise the fresh result is written there on completion.
+    resume:
+        Load this study's checkpoint (if any) from ``archive_dir`` and
+        warm the engine cache with its completed rounds before running,
+        so a killed run recomputes nothing it already finished.
+        Requires ``archive_dir``.
+    checkpoint_every:
+        Flush completed scenario rows to an atomic
+        ``checkpoint-<fingerprint>.json`` beside the archive every N
+        new rows (``None`` reads ``REPRO_STUDY_CHECKPOINT_EVERY``,
+        default 16; ``0`` disables checkpointing).  Only active with
+        ``archive_dir`` — the checkpoint lives where the archive will.
+        The checkpoint is deleted once the archive is written.
     """
     started = time.perf_counter()
     if spec.kind not in _DISPATCH:
@@ -349,8 +388,42 @@ def run_study(
 
             return study_result_from_json(path)
 
+    if resume and archive_dir is None:
+        raise ValueError("resume=True needs archive_dir= — checkpoints "
+                         "live beside the archive")
     engine = _resolve_engine(engine, spec)
-    recorder = _RecordingEngine(engine)
+
+    checkpointer = None
+    resumed_rows: list[dict] = []
+    if archive_dir is not None:
+        every = checkpoint_every if checkpoint_every is not None else \
+            env_int("REPRO_STUDY_CHECKPOINT_EVERY", 16, lo=0, hi=100000)
+        if resume:
+            resumed_rows = load_checkpoint(archive_dir, fingerprint)
+        if resumed_rows:
+            cache = getattr(engine, "cache", None)
+            if cache is None:
+                warnings.warn(
+                    f"resume: checkpoint holds {len(resumed_rows)} "
+                    f"completed rounds but the engine has no cache to "
+                    f"warm; they will be recomputed", stacklevel=2)
+                resumed_rows = []
+            else:
+                from repro.engine.cache import outcome_from_dict
+
+                for row in resumed_rows:
+                    cache.put(row["key"],
+                              outcome_from_dict(row["outcome"]))
+        if every:
+            checkpointer = StudyCheckpointer(archive_dir, fingerprint,
+                                             every=every)
+            # Seeding with the resumed rows means a second crash can
+            # never regress the checkpoint below this one's progress.
+            checkpointer.seed(resumed_rows)
+
+    on_record = (lambda rec: checkpointer.note(_scenario_row(rec))) \
+        if checkpointer is not None else None
+    recorder = _RecordingEngine(engine, on_record=on_record)
     batches_before = len(engine.batch_log)
 
     payload = _DISPATCH[spec.kind](spec, ctx, recorder, progress)
@@ -378,12 +451,16 @@ def run_study(
         wall_time_seconds=time.perf_counter() - started,
         created_at=utc_timestamp(),
     )
+    if resumed_rows:
+        result.extras["resumed_scenarios"] = len(resumed_rows)
 
     if getattr(engine, "cache", None) is not None:
         engine.cache.annotate_study(fingerprint)
     if archive_dir is not None:
         os.makedirs(archive_dir, exist_ok=True)
         result.to_json(archive_path(archive_dir, fingerprint))
+        if checkpointer is not None:
+            checkpointer.discard()
     return result
 
 

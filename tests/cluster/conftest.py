@@ -13,6 +13,14 @@ import pytest
 
 from repro.cluster.server import ShardServer
 from repro.experiments.runner import make_synthetic_context
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No fault plan leaks between tests (the plan is process-wide)."""
+    yield
+    faults.install(None)
 
 
 @pytest.fixture(scope="session")

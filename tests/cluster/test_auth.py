@@ -1,0 +1,103 @@
+"""Shared-secret handshake auth: mutual HMAC, refusals by name."""
+
+import warnings
+
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.scheduler import ClusterError, ShardClient, ShardRejected
+from repro.engine import EvaluationEngine
+from repro.engine.cache import cache_schema_version
+
+from test_failover import sweep_batch
+
+
+class TestDigests:
+    def test_roles_separate_the_digests(self):
+        a = protocol.compute_auth("s", "client", "fp", 3)
+        b = protocol.compute_auth("s", "shard", "fp", 3)
+        assert a != b  # a captured hello cannot replay as a welcome
+
+    def test_verify_round_trip(self):
+        auth = protocol.compute_auth("s", "client", "fp", 3)
+        assert protocol.verify_auth("s", "client", "fp", 3, auth)
+        assert not protocol.verify_auth("s", "shard", "fp", 3, auth)
+        assert not protocol.verify_auth("other", "client", "fp", 3, auth)
+        assert not protocol.verify_auth("s", "client", "fp", 3, None)
+        assert not protocol.verify_auth("s", "client", "fp", 3, 42)
+
+    def test_hello_and_welcome_carry_auth_only_with_a_secret(self):
+        assert "auth" not in protocol.hello("fp", 3)
+        assert "auth" in protocol.hello("fp", 3, secret="s")
+        plain = protocol.welcome("fp", host="h", pid=1, capacity=1)
+        assert "auth" not in plain
+        sealed = protocol.welcome("fp", host="h", pid=1, capacity=1,
+                                  schema=3, secret="s")
+        assert protocol.verify_auth("s", "shard", "fp", 3, sealed["auth"])
+
+
+class TestHandshakeAuth:
+    def test_matching_secret_sweeps_bit_identical(self, cluster_ctx,
+                                                  shard_farm):
+        specs = sweep_batch(n=3, seeds=2)
+        reference = EvaluationEngine("serial", cache=False).evaluate_batch(
+            cluster_ctx, specs)
+        addresses = shard_farm(2, secret="hunter2")
+        backend = ClusterBackend(shards=addresses, secret="hunter2")
+        outcomes = EvaluationEngine(backend, cache=False).evaluate_batch(
+            cluster_ctx, specs)
+        assert outcomes == reference
+
+    def test_wrong_secret_is_rejected_by_name(self, cluster_ctx,
+                                              shard_farm):
+        addresses = shard_farm(1, secret="right")
+        client = ShardClient(addresses[0], secret="wrong")
+        with pytest.raises(ShardRejected, match="auth failed"):
+            client.handshake(cluster_ctx.fingerprint(),
+                             cache_schema_version())
+        client.close()
+
+    def test_missing_client_secret_is_rejected_by_name(self, cluster_ctx,
+                                                       shard_farm):
+        addresses = shard_farm(1, secret="right")
+        client = ShardClient(addresses[0])
+        with pytest.raises(ShardRejected, match="auth required"):
+            client.handshake(cluster_ctx.fingerprint(),
+                             cache_schema_version())
+        client.close()
+
+    def test_secretless_shard_refuses_a_secret_client(self, cluster_ctx,
+                                                      shard_farm,
+                                                      monkeypatch):
+        # A half-configured fleet fails loudly instead of running open.
+        monkeypatch.delenv("REPRO_CLUSTER_SECRET", raising=False)
+        addresses = shard_farm(1)
+        client = ShardClient(addresses[0], secret="s")
+        with pytest.raises(ShardRejected, match="auth mismatch"):
+            client.handshake(cluster_ctx.fingerprint(),
+                             cache_schema_version())
+        client.close()
+
+    def test_rejection_never_degrades_to_local_compute(self, cluster_ctx,
+                                                       shard_farm):
+        """Auth refusals raise even with fallback enabled: silently
+        computing locally would mask a misconfigured fleet."""
+        addresses = shard_farm(2, secret="right")
+        backend = ClusterBackend(shards=addresses, secret="wrong",
+                                 fallback=True)
+        engine = EvaluationEngine(backend, cache=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no degradation warning either
+            with pytest.raises(ClusterError, match="auth"):
+                engine.evaluate_batch(cluster_ctx, sweep_batch(n=2, seeds=1))
+
+    def test_server_env_secret_is_picked_up(self, cluster_ctx, shard_farm,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SECRET", "from-env")
+        addresses = shard_farm(1)
+        client = ShardClient(addresses[0], secret="from-env")
+        reply = client.handshake(cluster_ctx.fingerprint(),
+                                 cache_schema_version())
+        assert reply["type"] == "welcome"
+        client.close()

@@ -128,8 +128,10 @@ class TestHandshake:
             client.close()
 
     def test_no_live_shard_raises_cluster_error(self, cluster_ctx):
+        # fallback=False: the default would degrade to the serial
+        # backend instead of raising (covered in test_resilience).
         backend = ClusterBackend(shards=[("127.0.0.1", 1)],
-                                 timeout=0.5)
+                                 timeout=0.5, retries=0, fallback=False)
         with pytest.raises(ClusterError, match="no shard accepted"):
             backend.run(cluster_ctx, batch(n=1, seeds=1))
 

@@ -1,0 +1,223 @@
+"""Study checkpointing: crash-surviving progress, resume, atomicity.
+
+The acceptance test at the bottom is the one from the issue: SIGKILL a
+``run_study`` mid-sweep (no cleanup handlers run — exactly what a
+crashed box looks like), then ``resume=True`` and prove via the
+engine's batch telemetry that every checkpointed round came back as a
+cache hit and zero of them were recomputed.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.engine import EvaluationEngine, cache_schema_version
+from repro.study import (StudyCheckpointer, archive_path, checkpoint_path,
+                         load_checkpoint, run_study, studies,
+                         study_result_from_json)
+
+PERCENTILES = (0.0, 0.1, 0.2, 0.3)
+
+
+def figure1_spec(ctx_spec, **kwargs):
+    kwargs.setdefault("percentiles", PERCENTILES)
+    kwargs.setdefault("poison_fraction", 0.25)
+    return studies.figure1(context=ctx_spec, **kwargs)
+
+
+def _row(i):
+    return {"key": f"{i:064d}", "context": "c", "scenario": {},
+            "outcome": {"accuracy": 0.5}}
+
+
+class TestCheckpointer:
+    def test_flush_cadence_and_dedupe(self, tmp_path):
+        cp = StudyCheckpointer(str(tmp_path), "f" * 64, every=2)
+        cp.note(_row(0))
+        assert not os.path.exists(cp.path)  # below cadence
+        cp.note(_row(0))  # duplicate key: ignored, still unflushed
+        assert not os.path.exists(cp.path)
+        cp.note(_row(1))
+        assert os.path.exists(cp.path)  # cadence reached
+        doc = json.loads(open(cp.path).read())
+        assert doc["type"] == "StudyCheckpoint"
+        assert doc["cache_schema_version"] == cache_schema_version()
+        assert [r["key"] for r in doc["scenarios"]] == \
+            [_row(0)["key"], _row(1)["key"]]
+
+    def test_seed_does_not_flush_but_protects_progress(self, tmp_path):
+        cp = StudyCheckpointer(str(tmp_path), "f" * 64, every=1)
+        cp.seed([_row(0), _row(1)])
+        assert not os.path.exists(cp.path)
+        cp.note(_row(0))  # resumed round seen again: no-op
+        assert not os.path.exists(cp.path)
+        cp.note(_row(2))  # first *new* round flushes everything
+        rows = load_checkpoint(str(tmp_path), "f" * 64)
+        assert len(rows) == 3
+
+    def test_discard(self, tmp_path):
+        cp = StudyCheckpointer(str(tmp_path), "f" * 64, every=1)
+        cp.note(_row(0))
+        assert os.path.exists(cp.path)
+        cp.discard()
+        assert not os.path.exists(cp.path)
+        cp.discard()  # idempotent
+
+
+class TestLoadTolerance:
+    def test_absent_checkpoint_is_silently_empty(self, tmp_path):
+        assert load_checkpoint(str(tmp_path), "f" * 64) == []
+
+    def test_corrupt_json_warns_and_recomputes(self, tmp_path):
+        path = checkpoint_path(str(tmp_path), "f" * 64)
+        with open(path, "w") as fh:
+            fh.write("{half a doc")
+        with pytest.warns(UserWarning, match="unreadable"):
+            assert load_checkpoint(str(tmp_path), "f" * 64) == []
+
+    def test_foreign_checkpoint_warns(self, tmp_path):
+        cp = StudyCheckpointer(str(tmp_path), "a" * 64, every=1)
+        cp.note(_row(0))
+        os.rename(cp.path, checkpoint_path(str(tmp_path), "b" * 64))
+        with pytest.warns(UserWarning, match="does not belong"):
+            assert load_checkpoint(str(tmp_path), "b" * 64) == []
+
+    def test_schema_mismatch_warns(self, tmp_path):
+        cp = StudyCheckpointer(str(tmp_path), "f" * 64, every=1)
+        cp.note(_row(0))
+        doc = json.loads(open(cp.path).read())
+        doc["cache_schema_version"] = -1
+        with open(cp.path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.warns(UserWarning, match="cache schema"):
+            assert load_checkpoint(str(tmp_path), "f" * 64) == []
+
+
+class TestAtomicArchive:
+    def test_to_json_leaves_no_temp_files(self, ctx_spec, tmp_path):
+        spec = figure1_spec(ctx_spec, percentiles=(0.0, 0.1))
+        result = run_study(spec, engine=EvaluationEngine("serial"))
+        target = str(tmp_path / "archive.json")
+        result.to_json(target)
+        assert study_result_from_json(target).study_fingerprint == \
+            result.study_fingerprint
+        assert os.listdir(tmp_path) == ["archive.json"]
+
+
+class TestResume:
+    def test_resume_requires_archive_dir(self, ctx_spec):
+        with pytest.raises(ValueError, match="archive_dir"):
+            run_study(figure1_spec(ctx_spec), resume=True)
+
+    def test_interrupted_study_resumes_with_zero_recompute(self, ctx_spec,
+                                                           tmp_path):
+        """Abort after 3 rounds; the resumed run recomputes only the
+        rest, and its archive is bit-identical to an uninterrupted one.
+        """
+        spec = figure1_spec(ctx_spec)
+        reference = run_study(spec, engine=EvaluationEngine("serial"))
+        archive_dir = str(tmp_path)
+
+        class Abort(RuntimeError):
+            pass
+
+        def abort_after(done, total):
+            if done >= 3:
+                raise Abort
+
+        with pytest.raises(Abort):
+            run_study(spec, engine=EvaluationEngine("serial"),
+                      archive_dir=archive_dir, checkpoint_every=1,
+                      progress=abort_after)
+        rows = load_checkpoint(archive_dir, spec.fingerprint())
+        assert len(rows) >= 3
+
+        engine = EvaluationEngine("serial")  # fresh, empty cache
+        result = run_study(spec, engine=engine, archive_dir=archive_dir,
+                           resume=True)
+        computed = sum(b["computed"] for b in engine.batch_log)
+        assert computed == reference.n_unique - len(rows)
+        assert result.extras["resumed_scenarios"] == len(rows)
+        assert result.scenarios == reference.scenarios
+        # the archive subsumes the checkpoint
+        assert not os.path.exists(
+            checkpoint_path(archive_dir, spec.fingerprint()))
+        assert os.path.exists(archive_path(archive_dir, spec.fingerprint()))
+
+    def test_resume_without_cache_warns_and_recomputes(self, ctx_spec,
+                                                       tmp_path):
+        spec = figure1_spec(ctx_spec, percentiles=(0.0, 0.1))
+        archive_dir = str(tmp_path)
+        cp = StudyCheckpointer(archive_dir, spec.fingerprint(), every=1)
+        ref = run_study(spec, engine=EvaluationEngine("serial"))
+        for row in ref.scenarios[:2]:
+            cp.note(dict(row))
+        engine = EvaluationEngine("serial", cache=False)
+        with pytest.warns(UserWarning, match="no cache"):
+            result = run_study(spec, engine=engine, archive_dir=archive_dir,
+                               resume=True)
+        assert result.scenarios == ref.scenarios
+
+    def test_checkpoint_gone_after_clean_run(self, ctx_spec, tmp_path):
+        spec = figure1_spec(ctx_spec, percentiles=(0.0, 0.1))
+        run_study(spec, engine=EvaluationEngine("serial"),
+                  archive_dir=str(tmp_path), checkpoint_every=1)
+        assert glob.glob(str(tmp_path / "checkpoint-*")) == []
+        assert os.path.exists(archive_path(str(tmp_path),
+                                           spec.fingerprint()))
+
+
+CHILD = textwrap.dedent("""\
+    import os, signal, sys
+    from repro.engine import EvaluationEngine
+    from repro.study import ContextSpec, run_study, studies
+
+    archive_dir = sys.argv[1]
+    spec = studies.figure1(
+        context=ContextSpec(name="synthetic", seed=0, n_samples=260,
+                            params={"n_features": 4}),
+        percentiles=(0.0, 0.1, 0.2, 0.3), poison_fraction=0.25)
+
+    def kill_after(done, total):
+        if done >= 3:
+            os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, no flush
+
+    run_study(spec, engine=EvaluationEngine("serial"),
+              archive_dir=archive_dir, checkpoint_every=1,
+              progress=kill_after)
+""")
+
+
+class TestSigkillAcceptance:
+    def test_sigkilled_study_resumes_bit_identical(self, ctx_spec,
+                                                   tmp_path):
+        spec = figure1_spec(ctx_spec)
+        archive_dir = str(tmp_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in [os.path.dirname(os.path.dirname(
+                os.path.abspath(__import__("repro").__file__))),
+                env.get("PYTHONPATH", "")] if p)
+        proc = subprocess.run([sys.executable, "-c", CHILD, archive_dir],
+                              env=env, timeout=120)
+        assert proc.returncode == -signal.SIGKILL
+
+        rows = load_checkpoint(archive_dir, spec.fingerprint())
+        assert len(rows) >= 3  # progress survived the kill
+
+        reference = run_study(spec, engine=EvaluationEngine("serial"))
+        engine = EvaluationEngine("serial")
+        result = run_study(spec, engine=engine, archive_dir=archive_dir,
+                           resume=True)
+        # telemetry: every checkpointed round was a cache hit
+        assert sum(b["computed"] for b in engine.batch_log) == \
+            reference.n_unique - len(rows)
+        assert sum(b["cache_hits"] for b in engine.batch_log) == len(rows)
+        assert result.scenarios == reference.scenarios
+        assert result.payload == reference.payload
