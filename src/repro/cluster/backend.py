@@ -33,6 +33,20 @@ Registered under ``"cluster"`` (``EvaluationEngine("cluster")``,
   the in-process serial backend with a :class:`ClusterDegradedWarning`
   instead of failing the run.  Refusals never degrade — silently
   computing locally would mask a misconfigured fleet.
+* ``REPRO_CLUSTER_PLACEMENT`` (default on) — cache-aware placement:
+  before distributing a batch the backend sends each shard a
+  ``cache-query`` with the batch's canonical round keys and routes
+  held rounds to the shard that holds them (least-loaded among
+  holders), so a warm fleet answers them from its disk tier without
+  recompute.  Off, or against shards without a cache tier, everything
+  flows through the plain work-stealing queue.
+* ``REPRO_SHARD_CACHE_DIR`` / ``REPRO_SHARD_CACHE_MAX_ENTRIES`` —
+  read by the *shard server* (and therefore inherited by autospawned
+  localhost shards): directory of the shard-local
+  :class:`~repro.engine.cache.ResultCache` disk tier that computed
+  rounds stream into as they land, and the LRU cap of its in-memory
+  tier.  Unset means no shard cache (see
+  :mod:`repro.cluster.server`).
 
 Every ``run`` opens one connection per shard, performs the
 content-fingerprint handshake (a shard holding a different context —
@@ -65,7 +79,7 @@ from repro.cluster.scheduler import (
     ShardRejected,
 )
 from repro.engine.backends import EvaluationBackend, SerialBackend
-from repro.engine.cache import cache_schema_version
+from repro.engine.cache import cache_schema_version, round_keys
 from repro.resilience import RetryPolicy, env_bool, env_float, env_int
 
 __all__ = ["ClusterBackend", "ClusterDegradedWarning", "LocalShardPool",
@@ -247,6 +261,9 @@ class ClusterBackend(EvaluationBackend):
     secret, retries, backoff, fallback:
         Resilience knobs; ``None`` reads ``REPRO_CLUSTER_SECRET`` /
         ``_RETRIES`` / ``_BACKOFF`` / ``_FALLBACK`` (see module docs).
+    placement:
+        Cache-aware placement toggle; ``None`` reads
+        ``REPRO_CLUSTER_PLACEMENT`` (default on — see module docs).
     """
 
     name = "cluster"
@@ -259,7 +276,8 @@ class ClusterBackend(EvaluationBackend):
                  secret: str | None = None,
                  retries: int | None = None,
                  backoff: float | None = None,
-                 fallback: bool | None = None):
+                 fallback: bool | None = None,
+                 placement: bool | None = None):
         if shards is None:
             shards = os.environ.get("REPRO_CLUSTER_SHARDS")
         if isinstance(shards, str):
@@ -295,8 +313,11 @@ class ClusterBackend(EvaluationBackend):
                                         backoff=float(backoff))
         self.fallback = env_bool("REPRO_CLUSTER_FALLBACK", True) \
             if fallback is None else bool(fallback)
+        self.placement = env_bool("REPRO_CLUSTER_PLACEMENT", True) \
+            if placement is None else bool(placement)
         self._pool: LocalShardPool | None = None
         self._last_scheduler: ClusterScheduler | None = None
+        self._last_telemetry: dict | None = None
 
     # -- shard management --------------------------------------------------
 
@@ -396,15 +417,16 @@ class ClusterBackend(EvaluationBackend):
             return
         fingerprint = ctx.fingerprint()
         schema = cache_schema_version()
+        scheduler = ClusterScheduler(
+            clients, min_chunk=self.min_chunk,
+            max_chunk=self.max_chunk,
+            target_seconds=self.target_seconds,
+            reconnect=lambda address: self._connect_one(
+                address, fingerprint, schema),
+            retry_policy=self.retry_policy,
+            placement=self._build_placement(clients, fingerprint, specs))
+        self._last_scheduler = scheduler
         try:
-            scheduler = ClusterScheduler(
-                clients, min_chunk=self.min_chunk,
-                max_chunk=self.max_chunk,
-                target_seconds=self.target_seconds,
-                reconnect=lambda address: self._connect_one(
-                    address, fingerprint, schema),
-                retry_policy=self.retry_policy)
-            self._last_scheduler = scheduler
             stream = scheduler.run_iter(specs)
             while True:
                 try:
@@ -420,8 +442,48 @@ class ClusterBackend(EvaluationBackend):
                 done.add(index)
                 yield index, outcome
         finally:
+            self._last_telemetry = scheduler.stats()
             for client in clients:
                 client.close()
+
+    def _build_placement(self, clients, fingerprint,
+                         specs) -> dict | None:
+        """Ask each shard which rounds it already holds; assign each
+        held round to the least-loaded holder.  A shard whose query
+        fails in transport is treated as holding nothing — if it is
+        truly dead, the scheduler's failover discovers that on its own
+        terms."""
+        if not self.placement:
+            return None
+        keys = round_keys(fingerprint, specs)
+        held_by: list[set] = []
+        for client in clients:
+            try:
+                held, _ = client.query_cache(keys)
+            except ShardError:
+                held = set()
+            held_by.append(held)
+        if not any(held_by):
+            return None
+        placement: dict[str, list[int]] = {}
+        loads = [0] * len(clients)
+        for index, key in enumerate(keys):
+            holders = [i for i, held in enumerate(held_by) if key in held]
+            if not holders:
+                continue
+            best = min(holders, key=loads.__getitem__)
+            loads[best] += 1
+            placement.setdefault(clients[best].name, []).append(index)
+        return placement
+
+    def batch_telemetry(self) -> dict | None:
+        """Scheduler stats of the most recent batch (returned once).
+
+        The engine merges this into its ``batch_log`` entry; returning
+        and clearing keeps one batch's placement counters from being
+        attributed to the next."""
+        telemetry, self._last_telemetry = self._last_telemetry, None
+        return telemetry
 
     def _degrade_or_raise(self, ctx, specs, done, exc):
         """Finish ``specs`` minus ``done`` on the serial backend — or

@@ -35,6 +35,29 @@ Message shapes (all plain dicts with a ``"type"`` key):
   by ``result`` (``{chunk_id, outcomes}``, outcomes in spec order) or
   ``error`` (``{chunk_id, message}`` — the chunk failed but the shard
   survives).
+* ``cache-query`` — client -> shard, post-handshake: ``{keys}``, a
+  list of canonical round keys (see
+  :func:`~repro.engine.cache.round_keys`).  Answered by
+  ``cache-report`` (``{held, stats}``): the subset of the keys the
+  shard's local result-cache tier already holds, plus the tier's
+  operator stats.  Because the handshake already pinned the context
+  fingerprint *and* the cache schema version, a held key names
+  bit-identical content on both ends — that is what lets the scheduler
+  route held rounds to the holding shard and serve them from its disk
+  tier without recomputing.  A shard without a cache tier answers with
+  an empty ``held`` list; an *old* shard answers ``error`` (unknown
+  message type), which clients treat the same way — placement is a
+  preference and degrades to the plain work-stealing queue.
+* ``cache-info`` — a *pre-handshake* alternative to ``hello``: an
+  operator tool (``repro-cache info --shard``) asking for a shard's
+  cache-tier stats without knowing the context fingerprint the full
+  handshake would require.  Carries ``{protocol, schema}`` plus the
+  usual ``auth`` digest when a secret is configured (computed over the
+  literal fingerprint string ``"cache-info"``, so a captured hello
+  digest cannot be replayed as a stats probe).  Answered by
+  ``cache-report`` (with the shard's fingerprint included in
+  ``stats``) and the connection closes — the probe never reaches the
+  chunk-execution state machine.
 * ``ping``    — liveness probe, answered by ``pong``.
 * ``shutdown``— ask the shard to exit its serve loop (used by the
   localhost autospawn pool and the tests; production deployments just
@@ -69,6 +92,10 @@ __all__ = [
     "run_chunk",
     "chunk_result",
     "chunk_error",
+    "cache_query",
+    "cache_report",
+    "cache_info",
+    "CACHE_INFO_FINGERPRINT",
 ]
 
 PROTOCOL_VERSION = 1
@@ -209,13 +236,52 @@ def run_chunk(chunk_id: int, specs: list) -> dict:
     return {"type": "run", "chunk_id": int(chunk_id), "specs": list(specs)}
 
 
-def chunk_result(chunk_id: int, outcomes: list) -> dict:
-    """A completed chunk, outcomes aligned with the request's specs."""
-    return {"type": "result", "chunk_id": int(chunk_id),
-            "outcomes": list(outcomes)}
+def chunk_result(chunk_id: int, outcomes: list, *,
+                 cache_hits: int = 0) -> dict:
+    """A completed chunk, outcomes aligned with the request's specs.
+
+    ``cache_hits`` counts the outcomes served from the shard's local
+    result-cache tier rather than recomputed — the per-chunk telemetry
+    the scheduler aggregates into its placement stats.  Old clients
+    ignore the extra field; old shards simply never send it.
+    """
+    message = {"type": "result", "chunk_id": int(chunk_id),
+               "outcomes": list(outcomes)}
+    if cache_hits:
+        message["cache_hits"] = int(cache_hits)
+    return message
 
 
 def chunk_error(chunk_id: int, message: str) -> dict:
     """A failed chunk (the shard survives; the client decides what next)."""
     return {"type": "error", "chunk_id": int(chunk_id),
             "message": str(message)}
+
+
+# -- shard cache tier --------------------------------------------------------
+
+# The literal "fingerprint" a pre-handshake cache-info probe signs its
+# auth digest over: the prober does not know the shard's context, and a
+# fixed tag keeps the digest domain-separated from real handshakes.
+CACHE_INFO_FINGERPRINT = "cache-info"
+
+
+def cache_query(keys) -> dict:
+    """Ask a handshaken shard which of these round keys it holds."""
+    return {"type": "cache-query", "keys": [str(k) for k in keys]}
+
+
+def cache_report(held, stats: dict) -> dict:
+    """The shard's answer: held-key subset plus cache-tier stats."""
+    return {"type": "cache-report", "held": [str(k) for k in held],
+            "stats": dict(stats)}
+
+
+def cache_info(schema: int, *, secret: str | None = None) -> dict:
+    """Pre-handshake cache-tier stats probe (``repro-cache --shard``)."""
+    message = {"type": "cache-info", "protocol": PROTOCOL_VERSION,
+               "schema": int(schema)}
+    if secret:
+        message["auth"] = compute_auth(secret, "client",
+                                       CACHE_INFO_FINGERPRINT, int(schema))
+    return message

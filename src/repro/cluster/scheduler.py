@@ -28,6 +28,18 @@ The scheduler turns "a batch of round specs" into "a stream of
   before they are yielded.  (Duplicates can only arise from a retried
   chunk whose first reply was half-received; the determinism contract
   makes them bit-identical, so first-wins is safe.)
+* **Cache-aware placement** — given a ``placement`` map (shard name ->
+  spec indices that shard's local result cache already holds, built by
+  the backend from a pre-batch ``cache-query``), held rounds travel as
+  *dedicated* chunks to the holding shard, which answers them straight
+  from its disk tier; every other round flows through the shared
+  adaptive queue exactly as before.  Placement is a preference, never
+  a correctness constraint: an idle or surviving shard steals from a
+  slow or dead owner's placed backlog (it merely recomputes what the
+  owner would have served from cache), a requeued placed chunk goes
+  back to the *shared* queue, and the all-dead/rejoin semantics above
+  are untouched.  :meth:`ClusterScheduler.stats` reports the
+  placement/cache telemetry.
 
 The scheduler is transport-dumb: it drives :class:`ShardClient`\\ s,
 which own one socket each and speak :mod:`repro.cluster.protocol`.
@@ -111,6 +123,8 @@ class ShardClient:
                              f"{exc}") from exc
         protocol.enable_keepalive(self._sock)
         self.info: dict = {}
+        # Shard-reported cache hits of the most recent chunk reply.
+        self.last_cache_hits = 0
 
     def handshake(self, fingerprint: str, schema: int) -> dict:
         """Run the content-fingerprint handshake; raise on refusal."""
@@ -167,7 +181,27 @@ class ShardClient:
             raise ShardError(
                 f"shard {self.name} returned {len(outcomes)} outcomes "
                 f"for a {len(specs)}-spec chunk")
+        self.last_cache_hits = int(reply.get("cache_hits", 0))
         return outcomes
+
+    def query_cache(self, keys) -> tuple[set, dict]:
+        """Ask the shard which of these round keys its cache tier holds.
+
+        Returns ``(held, stats)``.  An *old* shard answers ``error``
+        for the unknown message type and stays alive — any non-report
+        reply therefore means "no cache support" and comes back as
+        ``(set(), {})``; only a transport failure raises
+        :class:`ShardError`.
+        """
+        try:
+            protocol.send_message(self._sock, protocol.cache_query(keys))
+            reply = protocol.recv_message(self._sock)
+        except (protocol.ProtocolError, ConnectionError, OSError) as exc:
+            raise ShardError(f"cache query to shard {self.name} failed: "
+                             f"{exc}") from exc
+        if reply.get("type") != "cache-report":
+            return set(), {}
+        return set(reply.get("held", [])), dict(reply.get("stats", {}))
 
     def shutdown_server(self) -> None:
         """Ask the shard process to exit its serve loop (best effort)."""
@@ -210,7 +244,8 @@ class _ShardWorker(threading.Thread):
         chunk: list = []
         try:
             while True:
-                chunk = sched._take(self.chunk_size)
+                chunk, source = sched._take(self.chunk_size,
+                                            self.client.name)
                 if not chunk:
                     # Don't exit while another shard still holds work:
                     # if it dies, its chunk is requeued and this shard
@@ -235,7 +270,9 @@ class _ShardWorker(threading.Thread):
                 self.chunks_done += 1
                 self.rounds_done += len(chunk)
                 self._adapt(len(chunk), elapsed)
-                sched._deliver(chunk, outcomes)
+                sched._deliver(
+                    chunk, outcomes, source=source,
+                    cache_hits=getattr(self.client, "last_cache_hits", 0))
                 chunk = []
         except ChunkExecutionError as exc:
             # Deterministic round failure on a live shard: retrying it
@@ -332,6 +369,13 @@ class ClusterScheduler:
     retry_policy:
         The :class:`~repro.resilience.RetryPolicy` governing rejoin
         attempts; defaults to ``RetryPolicy()``.
+    placement:
+        Optional ``shard name -> iterable of spec indices`` map of
+        rounds whose results that shard's local cache tier already
+        holds (from :meth:`ShardClient.query_cache`).  Placed rounds
+        travel as dedicated chunks to their owner first; names that
+        match no client are ignored (their rounds stay in the shared
+        queue).  See the module docs: a preference, not a constraint.
     """
 
     def __init__(self, clients: list[ShardClient], *,
@@ -339,7 +383,8 @@ class ClusterScheduler:
                  max_chunk: int = DEFAULT_MAX_CHUNK,
                  target_seconds: float = DEFAULT_TARGET_SECONDS,
                  reconnect=None,
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 placement: dict | None = None):
         if not clients:
             raise ClusterError("no live shards to schedule on")
         if min_chunk < 1 or max_chunk < min_chunk:
@@ -352,6 +397,13 @@ class ClusterScheduler:
         self.target_seconds = float(target_seconds)
         self.reconnect = reconnect
         self.retry_policy = retry_policy or RetryPolicy()
+        names = {client.name for client in self.clients}
+        self._owner_of: dict[int, str] = {}
+        for owner, indices in (placement or {}).items():
+            if owner in names:
+                for index in indices:
+                    self._owner_of.setdefault(int(index), owner)
+        self._placed: dict[str, deque] = {}
         self._pending: deque = deque()
         self._lock = threading.Lock()
         self._results: queue.Queue = queue.Queue()
@@ -361,6 +413,11 @@ class ClusterScheduler:
         self._abort_exc: BaseException | None = None
         self.failures: list[ShardError] = []
         self.rejoins = 0
+        self.rounds_done = 0
+        self.placed_rounds = 0
+        self.placement_hits = 0
+        self.placed_steals = 0
+        self.shard_cache_hits = 0
 
     def _note_rejoin(self) -> None:
         with self._lock:
@@ -368,19 +425,47 @@ class ClusterScheduler:
 
     # -- worker-side hooks (thread-safe) -----------------------------------
 
-    def _take(self, n: int) -> list:
+    @staticmethod
+    def _drain(source: deque, n: int) -> list:
+        return [source.popleft() for _ in range(min(n, len(source)))]
+
+    def _take(self, n: int, owner: str | None = None) -> tuple[list, str]:
+        """Hand ``owner`` up to ``n`` items plus where they came from.
+
+        Own placed backlog first (a *dedicated* chunk — never mixed
+        with queue items, so the whole chunk answers from the owner's
+        cache tier), then the shared queue, and only when both are
+        empty a steal from the largest other placed backlog (keeping a
+        slow or dead owner from stalling the batch).
+        """
         with self._lock:
             if self._abort_exc is not None:
-                return []
-            chunk = [self._pending.popleft()
-                     for _ in range(min(n, len(self._pending)))]
-            self._in_flight += len(chunk)
-            return chunk
+                return [], "queue"
+            own = self._placed.get(owner or "")
+            if own:
+                chunk = self._drain(own, n)
+                self._in_flight += len(chunk)
+                return chunk, "own"
+            if self._pending:
+                chunk = self._drain(self._pending, n)
+                self._in_flight += len(chunk)
+                return chunk, "queue"
+            victim = max((backlog for backlog in self._placed.values()
+                          if backlog), key=len, default=None)
+            if victim is not None:
+                chunk = self._drain(victim, n)
+                self._in_flight += len(chunk)
+                self.placed_steals += 1
+                return chunk, "stolen"
+            return [], "queue"
 
     def _requeue(self, chunk: list) -> None:
         with self._lock:
             # Requeue at the front: retried work should not gratuitously
-            # fall behind fresh work in arrival order.
+            # fall behind fresh work in arrival order.  Placed chunks
+            # requeue to the *shared* queue too — their owner just
+            # demonstrated it is slow or dead, so any survivor should
+            # pick them up immediately.
             self._pending.extendleft(reversed(chunk))
             self._in_flight -= len(chunk)
 
@@ -390,23 +475,30 @@ class ClusterScheduler:
             if self._abort_exc is None:
                 self._abort_exc = exc
             self._pending.clear()
+            self._placed.clear()
         self._results.put(None)  # wake the consumer
 
     def _finished(self) -> bool:
         with self._lock:
             return self._abort_exc is not None or \
-                (not self._pending and self._in_flight == 0)
+                (not self._pending and self._in_flight == 0 and
+                 not any(self._placed.values()))
 
     def _next_chunk_id(self) -> int:
         with self._lock:
             self._chunk_counter += 1
             return self._chunk_counter
 
-    def _deliver(self, chunk: list, outcomes: list) -> None:
+    def _deliver(self, chunk: list, outcomes: list, *,
+                 source: str = "queue", cache_hits: int = 0) -> None:
         for (index, _), outcome in zip(chunk, outcomes):
             self._results.put((index, outcome))
         with self._lock:
             self._in_flight -= len(chunk)
+            self.rounds_done += len(chunk)
+            if source == "own":
+                self.placement_hits += len(chunk)
+            self.shard_cache_hits += int(cache_hits)
 
     def _worker_done(self, worker: _ShardWorker) -> None:
         with self._lock:
@@ -416,6 +508,27 @@ class ClusterScheduler:
         self._results.put(None)  # wake the consumer to re-check liveness
 
     # -- consumer side -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Telemetry of this batch: placement and shard-cache counters.
+
+        ``placement_hits`` counts rounds a shard answered from its
+        *own* placed backlog, ``placed_steals`` counts chunks another
+        shard stole from a slow/dead owner's backlog, and
+        ``shard_cache_hits`` sums the per-chunk cache-hit counts the
+        shards reported (which can exceed ``placement_hits`` — a shard
+        also serves cached rounds that arrive via the shared queue).
+        """
+        with self._lock:
+            return {
+                "chunks": self._chunk_counter,
+                "rounds": self.rounds_done,
+                "placed_rounds": self.placed_rounds,
+                "placement_hits": self.placement_hits,
+                "placed_steals": self.placed_steals,
+                "shard_cache_hits": self.shard_cache_hits,
+                "rejoins": self.rejoins,
+            }
 
     def run_iter(self, specs: list):
         """Yield ``(index, outcome)`` pairs as shards complete them.
@@ -427,7 +540,14 @@ class ClusterScheduler:
         if not specs:
             return
         with self._lock:
-            self._pending.extend(enumerate(specs))
+            for index, spec in enumerate(specs):
+                owner = self._owner_of.get(index)
+                if owner is None:
+                    self._pending.append((index, spec))
+                else:
+                    self._placed.setdefault(owner,
+                                            deque()).append((index, spec))
+                    self.placed_rounds += 1
             self._live_workers = len(self.clients)
         workers = [_ShardWorker(self, client) for client in self.clients]
         for worker in workers:

@@ -16,7 +16,17 @@ A :class:`ShardServer` owns exactly one
    :mod:`repro.cluster.protocol`: a content-fingerprint handshake,
    then round chunks, executed through the engine's own
    :func:`~repro.engine.backends.execute_round` — so a shard's
-   outcomes are bit-identical to the serial backend's by construction.
+   outcomes are bit-identical to the serial backend's by construction;
+4. with ``--cache-dir`` (or ``REPRO_SHARD_CACHE_DIR``), keeps a
+   **shard-local** :class:`~repro.engine.cache.ResultCache` disk tier
+   under the same content keys and schema gate as the client cache:
+   every computed outcome streams to disk *as it lands* (not when the
+   chunk completes), so a shard killed mid-chunk replays its partial
+   chunk from disk on rejoin instead of recomputing, and a warm fleet
+   serves repeat rounds to *any* client — including a cold one —
+   without recomputation.  The handshake already refuses clients on a
+   different cache schema version, so a key held by the shard names
+   bit-identical content for every admitted client.
 
 Run one with the CLI (``python -m repro.experiments.cli repro-cluster
 serve ...``) or directly::
@@ -46,15 +56,16 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.cluster import protocol
 from repro.engine.backends import (
+    _FIT_WINDOW,
     _pack_context,
     _release_shm,
     _worker_init,
     _worker_run_specs,
     execute_rounds,
 )
-from repro.engine.cache import cache_schema_version
+from repro.engine.cache import ResultCache, cache_schema_version, round_keys
 from repro.engine.spec import prewarm_all
-from repro.resilience import faults
+from repro.resilience import env_int, faults
 
 __all__ = ["ShardExecutor", "ShardServer", "serve", "main"]
 
@@ -106,14 +117,33 @@ class ShardExecutor:
         """Outcomes for ``specs``, in order (the round semantics of
         :func:`~repro.engine.backends.execute_round`, batch-dispatched
         through :func:`~repro.engine.backends.execute_rounds`)."""
+        return [outcome for _, outcome in self.run_iter(specs)]
+
+    def run_iter(self, specs: list):
+        """Yield ``(offset, outcome)`` pairs, in order, as they land.
+
+        The incremental face of :meth:`run` for the shard cache tier's
+        streaming-to-disk contract: serial execution surfaces one fit
+        window at a time, pool execution one pool chunk at a time —
+        either way an outcome is yielded (and can hit disk) long before
+        the whole chunk completes, so a crash mid-chunk leaves the
+        already-landed prefix replayable.
+        """
         if self._pool is None:
-            return execute_rounds(self.ctx, specs)
+            for base in range(0, len(specs), _FIT_WINDOW):
+                window = specs[base:base + _FIT_WINDOW]
+                for offset, outcome in enumerate(
+                        execute_rounds(self.ctx, window)):
+                    yield base + offset, outcome
+            return
         chunksize = max(1, len(specs) // (self.jobs * 4))
         chunks = [specs[i:i + chunksize]
                   for i in range(0, len(specs), chunksize)]
-        return [outcome
-                for chunk_outcomes in self._pool.map(_worker_run_specs, chunks)
-                for outcome in chunk_outcomes]
+        position = 0
+        for chunk_outcomes in self._pool.map(_worker_run_specs, chunks):
+            for outcome in chunk_outcomes:
+                yield position, outcome
+                position += 1
 
     def close(self) -> None:
         if self._pool is not None:
@@ -147,17 +177,38 @@ class ShardServer:
         digest are refused by name — and a secretless shard refuses
         clients that *do* present one, so a half-configured fleet
         fails loudly.
+    cache_dir:
+        Directory for the shard-local result-cache disk tier; defaults
+        to ``REPRO_SHARD_CACHE_DIR``.  ``None``/unset runs cache-less
+        (every chunk recomputes, ``cache-query`` answers empty).  The
+        tier uses the same content keys and schema gate as the client
+        cache, so one directory may be shared by several shards (and
+        by a client cache) — entries are keyed by context fingerprint
+        and written atomically.
+    cache_max_entries:
+        LRU cap for the cache's in-memory tier; defaults to
+        ``REPRO_SHARD_CACHE_MAX_ENTRIES`` (0/unset = unbounded).
+        Eviction never touches the disk tier.
     """
 
     def __init__(self, ctx, *, host: str = "127.0.0.1", port: int = 0,
                  jobs: int | None = None, chaos_exit_after: int | None = None,
-                 secret: str | None = None):
+                 secret: str | None = None, cache_dir: str | None = None,
+                 cache_max_entries: int | None = None):
         self.ctx = ctx
         self.fingerprint = ctx.fingerprint()
         self.schema = cache_schema_version()
         if secret is None:
             secret = os.environ.get("REPRO_CLUSTER_SECRET")
         self.secret = secret or None
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_SHARD_CACHE_DIR") or None
+        if cache_max_entries is None:
+            cache_max_entries = env_int("REPRO_SHARD_CACHE_MAX_ENTRIES", 0,
+                                        lo=0, hi=1_000_000_000) or None
+        self.cache = ResultCache(disk_dir=cache_dir,
+                                 max_entries=cache_max_entries) \
+            if cache_dir else None
         armed = faults.crash_threshold("shard")
         if armed is not None:
             chaos_exit_after = armed if chaos_exit_after is None \
@@ -223,6 +274,12 @@ class ShardServer:
 
     def _handshake(self, conn: socket.socket) -> bool:
         message = protocol.recv_message(conn)
+        if message.get("type") == "cache-info":
+            # Pre-handshake stats probe: answer and close (the prober
+            # does not know — and does not learn — this shard's
+            # context beyond what the stats expose post-auth).
+            self._answer_cache_info(conn, message)
+            return False
         if message.get("type") != "hello":
             protocol.send_message(conn, protocol.reject(
                 f"expected hello, got {message.get('type')!r}"))
@@ -267,6 +324,50 @@ class ShardServer:
             secret=self.secret))
         return True
 
+    def _answer_cache_info(self, conn: socket.socket, message: dict) -> None:
+        """Answer a pre-handshake ``cache-info`` probe (auth-gated)."""
+        auth = message.get("auth")
+        reason = None
+        if self.secret:
+            if not protocol.verify_auth(
+                    self.secret, "client", protocol.CACHE_INFO_FINGERPRINT,
+                    int(message.get("schema") or 0), auth):
+                reason = ("auth failed: the cache-info probe carries no "
+                          "digest matching this shard's "
+                          "REPRO_CLUSTER_SECRET")
+        elif auth is not None:
+            reason = ("auth mismatch: probe presented an auth digest but "
+                      "this shard holds no REPRO_CLUSTER_SECRET")
+        if reason is None and \
+                message.get("protocol") != protocol.PROTOCOL_VERSION:
+            reason = (f"protocol version mismatch: shard speaks "
+                      f"v{protocol.PROTOCOL_VERSION}, probe "
+                      f"v{message.get('protocol')}")
+        if reason is not None:
+            protocol.send_message(conn, protocol.reject(reason))
+            return
+        protocol.send_message(
+            conn, protocol.cache_report([], self.cache_stats()))
+
+    def cache_stats(self) -> dict:
+        """Cache-tier telemetry for ``cache-report`` replies."""
+        stats = {
+            "enabled": self.cache is not None,
+            "fingerprint": self.fingerprint,
+            "schema_version": self.schema,
+        }
+        if self.cache is not None:
+            info = self.cache.describe()
+            stats.update(
+                cache_dir=info["disk_dir"],
+                entry_count=info["entry_count"],
+                total_bytes=info["total_bytes"],
+                memory_entries=info["memory_entries"],
+                hits=self.cache.stats.hits,
+                stores=self.cache.stats.stores,
+            )
+        return stats
+
     def _dispatch(self, conn: socket.socket, message: dict) -> bool:
         kind = message["type"]
         if kind == "ping":
@@ -276,11 +377,18 @@ class ShardServer:
             protocol.send_message(conn, {"type": "bye"})
             self._shutdown.set()
             return False
+        if kind == "cache-query":
+            keys = message.get("keys", [])
+            held = self.cache.held_keys(keys) if self.cache is not None \
+                else []
+            protocol.send_message(
+                conn, protocol.cache_report(held, self.cache_stats()))
+            return True
         if kind == "run":
             chunk_id = int(message.get("chunk_id", -1))
             specs = message.get("specs", [])
             try:
-                outcomes = self._run_chunk(specs)
+                outcomes, cache_hits = self._run_chunk(specs)
             except Exception as exc:  # the shard survives a bad chunk
                 protocol.send_message(
                     conn, protocol.chunk_error(chunk_id, repr(exc)))
@@ -291,27 +399,68 @@ class ShardServer:
                 # same EOF a shard crash-after-compute produces.
                 return False
             protocol.send_message(
-                conn, protocol.chunk_result(chunk_id, outcomes))
+                conn, protocol.chunk_result(chunk_id, outcomes,
+                                            cache_hits=cache_hits))
             return True
         protocol.send_message(conn, protocol.chunk_error(
             -1, f"unknown message type {kind!r}"))
         return True
 
-    def _run_chunk(self, specs: list) -> list:
+    def _run_chunk(self, specs: list) -> tuple[list, int]:
+        """Outcomes for ``specs`` plus how many came from the cache tier.
+
+        With a cache: held rounds are served without touching the
+        executor (they do not count as *executed* — the chaos
+        crash-after-N threshold counts real work only, which is what
+        makes replay-from-disk after a crash observable), and every
+        computed outcome is stored the moment it lands, not when the
+        chunk completes — the streaming-to-disk contract.
+        """
+        if self.cache is None:
+            return self._collect(specs, lambda i, outcome: None), 0
+        keys = round_keys(self.fingerprint, specs)
+        outcomes: list = [None] * len(specs)
+        to_run: list[int] = []
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                outcomes[i] = cached
+            else:
+                to_run.append(i)
+        cache_hits = len(specs) - len(to_run)
+        if to_run:
+            def land(offset, outcome):
+                index = to_run[offset]
+                self.cache.put(keys[index], outcome)
+                outcomes[index] = outcome
+
+            self._collect([specs[i] for i in to_run], land)
+        return outcomes, cache_hits
+
+    def _collect(self, specs: list, land) -> list:
+        """Execute ``specs``, calling ``land(offset, outcome)`` per round
+        as it lands; honours the chaos crash hook.  Returns outcomes in
+        order (for the cache-less path)."""
         if self.chaos_exit_after is None:
-            outcomes = self.executor.run(specs)
-            self._rounds_executed += len(specs)
-            return outcomes
+            collected = [None] * len(specs)
+            for offset, outcome in self.executor.run_iter(specs):
+                self._rounds_executed += 1
+                collected[offset] = outcome
+                land(offset, outcome)
+            return collected
         # Chaos mode: execute one round at a time so the crash lands
-        # mid-chunk, after real work, with the reply never sent.
-        outcomes = []
-        for spec in specs:
+        # mid-chunk, after real work, with the reply never sent —
+        # but with everything *already landed* on the disk tier.
+        collected = []
+        for offset, spec in enumerate(specs):
             with self._chaos_lock:
                 if self._rounds_executed >= self.chaos_exit_after:
                     os._exit(CHAOS_EXIT_CODE)
                 self._rounds_executed += 1
-            outcomes.extend(self.executor.run([spec]))
-        return outcomes
+            outcome = self.executor.run([spec])[0]
+            collected.append(outcome)
+            land(offset, outcome)
+        return collected
 
     def close(self) -> None:
         self._shutdown.set()
@@ -324,7 +473,9 @@ class ShardServer:
 
 def serve(ctx, *, host: str = "127.0.0.1", port: int = 0,
           jobs: int | None = None, chaos_exit_after: int | None = None,
-          secret: str | None = None, announce: bool = True) -> None:
+          secret: str | None = None, cache_dir: str | None = None,
+          cache_max_entries: int | None = None,
+          announce: bool = True) -> None:
     """Construct a :class:`ShardServer` for ``ctx`` and serve forever.
 
     Installs a SIGTERM handler so an orchestrator's ordinary terminate
@@ -336,7 +487,9 @@ def serve(ctx, *, host: str = "127.0.0.1", port: int = 0,
     import signal
 
     server = ShardServer(ctx, host=host, port=port, jobs=jobs,
-                         chaos_exit_after=chaos_exit_after, secret=secret)
+                         chaos_exit_after=chaos_exit_after, secret=secret,
+                         cache_dir=cache_dir,
+                         cache_max_entries=cache_max_entries)
 
     def _terminate(signum, frame):
         raise SystemExit(0)  # unwinds into serve_forever's cleanup
@@ -381,6 +534,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--secret", type=str, default=None,
                         help="shared handshake secret (defaults to "
                              "REPRO_CLUSTER_SECRET)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="shard-local result-cache disk tier: "
+                             "computed rounds stream here as they land "
+                             "and repeat rounds are served without "
+                             "recompute (defaults to "
+                             "REPRO_SHARD_CACHE_DIR; unset = no cache)")
+    parser.add_argument("--cache-max-entries", type=int, default=None,
+                        help="LRU cap for the shard cache's in-memory "
+                             "tier (defaults to "
+                             "REPRO_SHARD_CACHE_MAX_ENTRIES; "
+                             "0/unset = unbounded)")
     return parser
 
 
@@ -406,7 +570,8 @@ def main(argv=None) -> int:
             raise SystemExit(f"--faults: {exc}") from None
     serve(context_from_args(args), host=args.host, port=args.port,
           jobs=args.jobs, chaos_exit_after=args.chaos_exit_after,
-          secret=args.secret)
+          secret=args.secret, cache_dir=args.cache_dir,
+          cache_max_entries=args.cache_max_entries)
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.engine.cache import (
     CacheStats,
     ResultCache,
     round_key,
+    round_keys,
     cache_schema_version,
     read_manifest,
     write_manifest,
@@ -87,6 +88,7 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "round_key",
+    "round_keys",
     "cache_schema_version",
     "read_manifest",
     "write_manifest",

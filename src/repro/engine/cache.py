@@ -33,6 +33,7 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "round_key",
+    "round_keys",
     "cache_schema_version",
     "outcome_to_dict",
     "outcome_from_dict",
@@ -70,6 +71,17 @@ def round_key(context_fingerprint: str, spec) -> str:
         separators=(",", ":"),
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def round_keys(context_fingerprint: str, specs) -> list[str]:
+    """Batch form of :func:`round_key`, aligned with ``specs``.
+
+    The export the cluster tier's ``cache-query`` message batches over:
+    the client keys a whole batch once and ships the key list, so the
+    shard side answers membership without ever seeing a spec.
+    """
+    fingerprint = str(context_fingerprint)
+    return [round_key(fingerprint, spec) for spec in specs]
 
 
 def outcome_to_dict(outcome) -> dict:
@@ -328,6 +340,40 @@ class ResultCache:
             if key in self._memory:
                 return True
         return self._disk_get(key) is not None
+
+    def held_keys(self, keys) -> list[str]:
+        """The subset of ``keys`` served by either tier, in input order.
+
+        Batched :meth:`contains` — same side-effect-free semantics (no
+        stats, no LRU refresh, no disk promotion).  This is what a shard
+        answers a ``cache-query`` message with.
+        """
+        return [key for key in keys if self.contains(key)]
+
+    def describe(self) -> dict:
+        """Operator-facing summary of this cache instance.
+
+        Always reports the schema version and in-memory entry count;
+        with a disk tier it adds the directory and the manifest's
+        entry/byte tallies (seeding the manifest with one scan if the
+        directory has never been tallied).
+        """
+        info = {
+            "schema_version": _SCHEMA_VERSION,
+            "memory_entries": len(self._memory),
+            "disk_dir": self._disk_dir,
+            "entry_count": 0,
+            "total_bytes": 0,
+        }
+        if self._disk_dir is not None and os.path.isdir(self._disk_dir):
+            with self._lock:
+                manifest = self._manifest or read_manifest(self._disk_dir)
+                if manifest is None or \
+                        manifest.get("schema_version") != _SCHEMA_VERSION:
+                    manifest = write_manifest(self._disk_dir)
+            info["entry_count"] = int(manifest.get("entry_count", 0))
+            info["total_bytes"] = int(manifest.get("total_bytes", 0))
+        return info
 
     def annotate_study(self, study_fingerprint: str) -> None:
         """Record a study fingerprint in the disk manifest's provenance.

@@ -135,7 +135,7 @@ class EvaluationEngine:
                     self.cache.put(key, outcome)
                 results[key] = outcome
 
-        self.batch_log.append({
+        entry = {
             "batch": len(self.batch_log) + 1,
             "backend": self.backend.name,
             "n_specs": len(specs),
@@ -143,7 +143,11 @@ class EvaluationEngine:
             "computed": len(to_run),
             "cache_hits": len(unique) - len(to_run),
             "seconds": time.perf_counter() - start,
-        })
+        }
+        telemetry = self.backend.batch_telemetry()
+        if telemetry:
+            entry["cluster"] = telemetry
+        self.batch_log.append(entry)
         return [results[key] for key in keys]
 
     def evaluate_stream(self, ctx, specs):
@@ -197,7 +201,7 @@ class EvaluationEngine:
                     for index in positions[key]:
                         yield index, outcome
         finally:
-            self.batch_log.append({
+            entry = {
                 "batch": len(self.batch_log) + 1,
                 "backend": self.backend.name,
                 "n_specs": len(specs),
@@ -205,7 +209,11 @@ class EvaluationEngine:
                 "computed": computed,
                 "cache_hits": len(positions) - len(to_run),
                 "seconds": time.perf_counter() - start,
-            })
+            }
+            telemetry = self.backend.batch_telemetry()
+            if telemetry:
+                entry["cluster"] = telemetry
+            self.batch_log.append(entry)
 
     # -- introspection ----------------------------------------------------
 
@@ -224,6 +232,14 @@ class EvaluationEngine:
             "batches_run": len(self.batch_log),
             "batch_seconds": sum(b["seconds"] for b in self.batch_log),
         }
+        cluster_entries = [b["cluster"] for b in self.batch_log
+                           if b.get("cluster")]
+        if cluster_entries:
+            for counter in ("placed_rounds", "placement_hits",
+                            "placed_steals", "shard_cache_hits",
+                            "rejoins"):
+                out[counter] = sum(int(c.get(counter, 0))
+                                   for c in cluster_entries)
         if self.cache is not None:
             out.update(
                 cache_hits=self.cache.stats.hits,

@@ -431,9 +431,60 @@ def cmd_cross_game(args) -> int:
     return 0
 
 
+def _shard_cache_info(args) -> int:
+    """Probe running shards for their cache-tier stats (repro-cache
+    info --shard).  Uses the pre-handshake ``cache-info`` message, so
+    it needs no context — only the address (and the secret, if the
+    fleet has one)."""
+    import socket as socketlib
+
+    from repro.cluster import protocol
+    from repro.cluster.backend import parse_shard_addresses
+    from repro.engine import cache_schema_version
+
+    secret = args.secret or os.environ.get("REPRO_CLUSTER_SECRET") or None
+    schema = cache_schema_version()
+    failures = 0
+    for host, port in parse_shard_addresses(args.shard):
+        name = f"{host}:{port}"
+        try:
+            with socketlib.create_connection((host, port),
+                                             timeout=10.0) as sock:
+                protocol.send_message(
+                    sock, protocol.cache_info(schema, secret=secret))
+                reply = protocol.recv_message(sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            print(f"{name}: unreachable ({exc})")
+            failures += 1
+            continue
+        if reply.get("type") != "cache-report":
+            print(f"{name}: refused "
+                  f"({reply.get('reason', reply.get('type'))})")
+            failures += 1
+            continue
+        stats = reply.get("stats", {})
+        if not stats.get("enabled"):
+            print(f"{name}: cache tier disabled "
+                  f"(schema v{stats.get('schema_version')})")
+            continue
+        print(f"{name}: {stats.get('entry_count', 0)} entries, "
+              f"{stats.get('total_bytes', 0)} bytes on disk, "
+              f"schema v{stats.get('schema_version')}, "
+              f"{stats.get('hits', 0)} hits / "
+              f"{stats.get('stores', 0)} stores")
+    return 1 if failures else 0
+
+
 def cmd_repro_cache(args) -> int:
     from repro.engine import prune_cache_dir, write_manifest
 
+    if getattr(args, "shard", None):
+        if args.action != "info":
+            raise SystemExit("--shard supports the info action only "
+                             "(prune a shard's cache on its own host)")
+        return _shard_cache_info(args)
+    if not args.cache_dir:
+        raise SystemExit("one of --cache-dir or --shard is required")
     if not os.path.isdir(args.cache_dir):
         raise SystemExit(f"no such cache directory: {args.cache_dir}")
     if args.action == "prune":
@@ -466,7 +517,8 @@ def cmd_repro_cluster(args) -> int:
             raise SystemExit(f"--faults: {exc}") from None
     serve(context_from_args(args), host=args.host, port=args.port,
           jobs=args.jobs, chaos_exit_after=args.chaos_exit_after,
-          secret=args.secret)
+          secret=args.secret, cache_dir=args.cache_dir,
+          cache_max_entries=args.cache_max_entries)
     return 0
 
 
@@ -620,8 +672,17 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("action", choices=("info", "prune"),
                            help="info: print the manifest; prune: drop "
                                 "entries from older cache schema versions")
-            p.add_argument("--cache-dir", type=str, required=True,
+            p.add_argument("--cache-dir", type=str, default=None,
                            help="the on-disk cache directory to operate on")
+            p.add_argument("--shard", type=str, default=None,
+                           help="info only: probe running shard servers "
+                                "('host:port,host:port') for their "
+                                "cache-tier stats over the cluster "
+                                "protocol instead of reading a local "
+                                "directory")
+            p.add_argument("--secret", type=str, default=None,
+                           help="cluster secret for the --shard probe "
+                                "(defaults to REPRO_CLUSTER_SECRET)")
             continue
         if name == "repro-cluster":
             p.add_argument("action", choices=("serve",),
@@ -651,6 +712,14 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--secret", type=str, default=None,
                            help="shared handshake secret (defaults to "
                                 "REPRO_CLUSTER_SECRET)")
+            p.add_argument("--cache-dir", type=str, default=None,
+                           help="shard-local result-cache disk tier "
+                                "(defaults to REPRO_SHARD_CACHE_DIR; "
+                                "unset = no cache)")
+            p.add_argument("--cache-max-entries", type=int, default=None,
+                           help="LRU cap for the shard cache's in-memory "
+                                "tier (defaults to "
+                                "REPRO_SHARD_CACHE_MAX_ENTRIES)")
             continue
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--n-samples", type=int, default=None,

@@ -90,6 +90,7 @@ class ContextKernel:
     _attack_radii: dict = field(default_factory=dict)
     _filter_radii: dict = field(default_factory=dict)
     _slab: object = _UNSET
+    _mask_cache: dict = field(default_factory=dict)
 
     # -- percentile -> radius lookups --------------------------------------
 
@@ -139,6 +140,37 @@ class ContextKernel:
     def direction_computed(self) -> bool:
         """Whether :attr:`direction` has been materialised yet."""
         return not isinstance(self._direction, str)
+
+    def reuse_mask(self, key, compute) -> np.ndarray:
+        """Memoise a clean-data keep mask under ``key``, probe-verified.
+
+        A defence whose mask over the *clean* training matrix is a pure
+        function of its parameters (e.g. the loss filter's iterative
+        trim — no poison, no per-round seed in the computation) may
+        serve it from the kernel instead of recomputing per round.
+        Trust is earned, not assumed: the first call computes and
+        stores, the **second** call recomputes and bit-compares — any
+        mismatch permanently disables reuse for ``key`` (every later
+        call recomputes sequentially), so a defence whose mask turns
+        out not to be round-invariant degrades to exactly the
+        from-scratch behaviour instead of serving a wrong mask.
+        """
+        cached = self._mask_cache.get(key)
+        if cached is False:
+            # Failed its replay probe once: permanent fallback.
+            return np.asarray(compute(), dtype=bool)
+        if cached is None:
+            mask = np.asarray(compute(), dtype=bool)
+            self._mask_cache[key] = ("unverified", mask)
+            return mask.copy()
+        state, mask = cached
+        if state == "unverified":
+            replay = np.asarray(compute(), dtype=bool)
+            if not np.array_equal(replay, mask):
+                self._mask_cache[key] = False
+                return replay
+            self._mask_cache[key] = ("verified", mask)
+        return mask.copy()
 
     def describes(self, X: np.ndarray) -> bool:
         """``True`` when ``X`` *is* the clean training matrix.

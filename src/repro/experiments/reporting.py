@@ -115,6 +115,14 @@ def format_engine_stats(engine) -> str:
         ]
     else:
         rows.append(("cache", "off"))
+    if "placement_hits" in stats:
+        # Cluster telemetry: present only when at least one batch ran
+        # on the cluster backend with placement/shard-cache reporting.
+        rows += [
+            ("cluster placement hits", str(stats["placement_hits"])),
+            ("cluster shard-cache hits", str(stats["shard_cache_hits"])),
+            ("cluster placed-chunk steals", str(stats["placed_steals"])),
+        ]
     summary = ascii_table(["engine", "value"], rows, title="Engine stats")
     if not engine.batch_log:
         return summary

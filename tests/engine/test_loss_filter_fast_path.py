@@ -1,0 +1,130 @@
+"""Loss-filter surrogate-reuse fast path: bit-identity vs the trim loop.
+
+PR 8 satellite: ``LossFilter.kernel_mask`` memoises the clean-data trim
+mask on the :class:`~repro.experiments.kernel.ContextKernel` behind a
+one-time replay probe (``ContextKernel.reuse_mask``), so a sweep's
+repeated clean rounds stop refitting the provisional ridge model.
+Every assertion here is exact — the fast path is an optimisation,
+never an approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import poison_dataset
+from repro.defenses import loss_filter as loss_filter_mod
+from repro.defenses.loss_filter import LossFilter
+from repro.engine import AttackSpec, DefenseSpec, RoundSpec
+from repro.engine.backends import execute_round
+from repro.experiments.runner import evaluate_configuration, \
+    make_synthetic_context
+from repro.ml.linear_svm import LinearSVM
+from repro.utils.rng import as_generator, derive_seed
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_synthetic_context(seed=6, n_samples=260, n_features=5)
+
+
+def _mixed(ctx, percentile=0.1, fraction=0.2, seed=11):
+    from repro.engine.spec import materialize_attack
+
+    attack = materialize_attack(ctx, AttackSpec("boundary", percentile))
+    rng = as_generator(derive_seed(seed, "round"))
+    return poison_dataset(ctx.X_train, ctx.y_train, attack,
+                          fraction=fraction, seed=rng, return_sources=True)
+
+
+class TestKernelMask:
+    def test_clean_mask_matches_trim_loop(self, ctx):
+        defense = LossFilter(remove_fraction=0.1)
+        reference = defense.mask(ctx.X_train, ctx.y_train)
+        # First call computes, second replays the probe, third serves
+        # the memo — all three must be the reference bits.
+        for _ in range(3):
+            fast = defense.kernel_mask(ctx.kernel(), ctx.X_train,
+                                       ctx.y_train, None, None)
+            assert fast is not None
+            np.testing.assert_array_equal(fast, reference)
+
+    def test_memo_serves_without_refitting(self, ctx, monkeypatch):
+        defense = LossFilter(remove_fraction=0.15)
+        reference = defense.mask(ctx.X_train, ctx.y_train)
+        args = (ctx.kernel(), ctx.X_train, ctx.y_train, None, None)
+        defense.kernel_mask(*args)  # compute
+        defense.kernel_mask(*args)  # replay probe
+        fits = []
+        monkeypatch.setattr(
+            loss_filter_mod, "clone_estimator",
+            lambda learner: fits.append(1) or type(learner)())
+        served = defense.kernel_mask(*args)
+        assert fits == []  # verified memo: zero provisional fits
+        np.testing.assert_array_equal(served, reference)
+
+    def test_poisoned_round_falls_back(self, ctx):
+        X_mix, y_mix, is_poison, sources = _mixed(ctx)
+        defense = LossFilter(remove_fraction=0.1)
+        assert defense.kernel_mask(ctx.kernel(), X_mix, y_mix,
+                                   is_poison, sources) is None
+
+    def test_foreign_matrix_falls_back(self, ctx):
+        defense = LossFilter(remove_fraction=0.1)
+        assert defense.kernel_mask(ctx.kernel(), ctx.X_train.copy(),
+                                   ctx.y_train, None, None) is None
+
+    def test_non_ridge_learner_falls_back(self, ctx):
+        defense = LossFilter(remove_fraction=0.1,
+                             learner=LinearSVM(epochs=2, seed=0))
+        assert defense.kernel_mask(ctx.kernel(), ctx.X_train,
+                                   ctx.y_train, None, None) is None
+
+    def test_failed_probe_disables_reuse(self, ctx):
+        kernel = ctx.kernel()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            mask = np.ones(8, dtype=bool)
+            mask[len(calls) % 2] = False  # differs between calls
+            return mask
+
+        key = ("test-flaky",)
+        first = kernel.reuse_mask(key, flaky)
+        second = kernel.reuse_mask(key, flaky)
+        # The replay probe disagreed: serve the fresh truth, never the
+        # stale memo, and recompute on every later call.
+        assert not np.array_equal(first, second)
+        kernel.reuse_mask(key, flaky)
+        assert len(calls) == 3  # permanent sequential fallback
+
+
+class TestSpecPath:
+    def test_clean_round_matches_kernel_free_reference(self, ctx):
+        """An engine loss-filter round on clean data (memo engaged)
+        equals the same round with the kernel switched off."""
+        from repro.engine.spec import materialize_defense
+
+        spec = RoundSpec(defense=DefenseSpec("loss_filter", 0.1), seed=17)
+        fast = execute_round(ctx, spec)
+        reference = evaluate_configuration(
+            ctx,
+            defense=materialize_defense(ctx, spec.defense,
+                                        seed=derive_seed(17, "defense")),
+            seed=17, use_kernel=False)
+        assert fast == reference
+
+    def test_poisoned_round_matches_kernel_free_reference(self, ctx):
+        from repro.engine.spec import materialize_attack, materialize_defense
+
+        spec = RoundSpec(defense=DefenseSpec("loss_filter", 0.1),
+                         attack=AttackSpec("boundary", 0.1),
+                         poison_fraction=0.2, seed=17)
+        fast = execute_round(ctx, spec)
+        reference = evaluate_configuration(
+            ctx,
+            attack=materialize_attack(ctx, spec.attack),
+            defense=materialize_defense(ctx, spec.defense,
+                                        seed=derive_seed(17, "defense")),
+            poison_fraction=0.2, seed=17, use_kernel=False)
+        assert fast == reference
