@@ -58,6 +58,18 @@ Message shapes (all plain dicts with a ``"type"`` key):
   ``cache-report`` (with the shard's fingerprint included in
   ``stats``) and the connection closes — the probe never reaches the
   chunk-execution state machine.
+* ``telemetry-query`` — client -> shard, post-handshake: no payload.
+  Answered by ``telemetry-report`` (``{metrics}``, the shard's live
+  metrics-registry snapshot).  Old shards answer ``error`` (unknown
+  message type) and clients skip them — the ``cache-query`` interop
+  rule.  Shards also *piggyback* a metrics delta on every ``result``
+  message (optional ``telemetry`` field), so routine runs need no
+  extra round trips at all.
+* ``telemetry-info`` — the *pre-handshake* sibling, mirroring
+  ``cache-info``: ``repro-cluster stats`` asking for live metrics
+  without knowing the context fingerprint, auth digest over the
+  literal ``"telemetry-info"``.  Answered by ``telemetry-report`` and
+  the connection closes; old shards answer ``reject``.
 * ``ping``    — liveness probe, answered by ``pong``.
 * ``shutdown``— ask the shard to exit its serve loop (used by the
   localhost autospawn pool and the tests; production deployments just
@@ -96,6 +108,10 @@ __all__ = [
     "cache_report",
     "cache_info",
     "CACHE_INFO_FINGERPRINT",
+    "telemetry_query",
+    "telemetry_report",
+    "telemetry_info",
+    "TELEMETRY_INFO_FINGERPRINT",
 ]
 
 PROTOCOL_VERSION = 1
@@ -237,18 +253,24 @@ def run_chunk(chunk_id: int, specs: list) -> dict:
 
 
 def chunk_result(chunk_id: int, outcomes: list, *,
-                 cache_hits: int = 0) -> dict:
+                 cache_hits: int = 0, telemetry: dict | None = None) -> dict:
     """A completed chunk, outcomes aligned with the request's specs.
 
     ``cache_hits`` counts the outcomes served from the shard's local
     result-cache tier rather than recomputed — the per-chunk telemetry
-    the scheduler aggregates into its placement stats.  Old clients
-    ignore the extra field; old shards simply never send it.
+    the scheduler aggregates into its placement stats.  ``telemetry``
+    piggybacks the shard's metrics delta (see
+    :meth:`repro.telemetry.metrics.MetricsRegistry.flush_delta`) so the
+    client's registry covers shard-side stage timings with zero extra
+    round trips.  Both fields are omitted when empty: old clients
+    ignore them, old shards simply never send them.
     """
     message = {"type": "result", "chunk_id": int(chunk_id),
                "outcomes": list(outcomes)}
     if cache_hits:
         message["cache_hits"] = int(cache_hits)
+    if telemetry:
+        message["telemetry"] = dict(telemetry)
     return message
 
 
@@ -284,4 +306,46 @@ def cache_info(schema: int, *, secret: str | None = None) -> dict:
     if secret:
         message["auth"] = compute_auth(secret, "client",
                                        CACHE_INFO_FINGERPRINT, int(schema))
+    return message
+
+
+# -- shard telemetry ---------------------------------------------------------
+
+# Like CACHE_INFO_FINGERPRINT: the literal a pre-handshake telemetry
+# probe signs over, domain-separating its digest from real handshakes
+# and from cache-info probes.
+TELEMETRY_INFO_FINGERPRINT = "telemetry-info"
+
+
+def telemetry_query() -> dict:
+    """Ask a handshaken shard for its live metrics snapshot.
+
+    Answered by :func:`telemetry_report`.  An *old* shard answers
+    ``error`` (unknown message type), which clients treat as "no
+    telemetry support" — the same interop rule as ``cache-query``.
+    """
+    return {"type": "telemetry-query"}
+
+
+def telemetry_report(metrics: dict) -> dict:
+    """A shard's metrics snapshot (see ``MetricsRegistry.snapshot``)."""
+    return {"type": "telemetry-report", "metrics": dict(metrics)}
+
+
+def telemetry_info(schema: int, *, secret: str | None = None) -> dict:
+    """Pre-handshake live-metrics probe (``repro-cluster stats``).
+
+    The operator tool does not know the shard's context fingerprint, so
+    — exactly like ``cache-info`` — the probe rides its own message
+    type answered before the hello state machine, with the auth digest
+    computed over :data:`TELEMETRY_INFO_FINGERPRINT`.  Old shards
+    answer ``reject`` ("expected hello"), which the CLI reports as
+    unsupported.
+    """
+    message = {"type": "telemetry-info", "protocol": PROTOCOL_VERSION,
+               "schema": int(schema)}
+    if secret:
+        message["auth"] = compute_auth(secret, "client",
+                                       TELEMETRY_INFO_FINGERPRINT,
+                                       int(schema))
     return message

@@ -53,6 +53,7 @@ import threading
 import time
 from collections import deque
 
+from repro import telemetry
 from repro.cluster import protocol
 from repro.resilience import RetryPolicy, faults
 
@@ -125,6 +126,9 @@ class ShardClient:
         self.info: dict = {}
         # Shard-reported cache hits of the most recent chunk reply.
         self.last_cache_hits = 0
+        # Shard-piggybacked metrics delta of the most recent chunk
+        # reply (None from old shards or when telemetry is disabled).
+        self.last_telemetry: dict | None = None
 
     def handshake(self, fingerprint: str, schema: int) -> dict:
         """Run the content-fingerprint handshake; raise on refusal."""
@@ -182,7 +186,26 @@ class ShardClient:
                 f"shard {self.name} returned {len(outcomes)} outcomes "
                 f"for a {len(specs)}-spec chunk")
         self.last_cache_hits = int(reply.get("cache_hits", 0))
+        self.last_telemetry = reply.get("telemetry")
         return outcomes
+
+    def query_telemetry(self) -> dict | None:
+        """The shard's live metrics snapshot, or ``None``.
+
+        Same interop rule as :meth:`query_cache`: an *old* shard
+        answers ``error`` for the unknown ``telemetry-query`` type and
+        stays alive, so any non-report reply means "no telemetry
+        support"; only a transport failure raises :class:`ShardError`.
+        """
+        try:
+            protocol.send_message(self._sock, protocol.telemetry_query())
+            reply = protocol.recv_message(self._sock)
+        except (protocol.ProtocolError, ConnectionError, OSError) as exc:
+            raise ShardError(f"telemetry query to shard {self.name} "
+                             f"failed: {exc}") from exc
+        if reply.get("type") != "telemetry-report":
+            return None
+        return dict(reply.get("metrics", {}))
 
     def query_cache(self, keys) -> tuple[set, dict]:
         """Ask the shard which of these round keys its cache tier holds.
@@ -267,12 +290,16 @@ class _ShardWorker(threading.Thread):
                         continue
                     return
                 elapsed = time.perf_counter() - start
+                telemetry.histogram("cluster.chunk.seconds") \
+                    .observe(elapsed)
                 self.chunks_done += 1
                 self.rounds_done += len(chunk)
                 self._adapt(len(chunk), elapsed)
                 sched._deliver(
                     chunk, outcomes, source=source,
-                    cache_hits=getattr(self.client, "last_cache_hits", 0))
+                    cache_hits=getattr(self.client, "last_cache_hits", 0),
+                    telemetry_delta=getattr(self.client,
+                                            "last_telemetry", None))
                 chunk = []
         except ChunkExecutionError as exc:
             # Deterministic round failure on a live shard: retrying it
@@ -418,8 +445,10 @@ class ClusterScheduler:
         self.placement_hits = 0
         self.placed_steals = 0
         self.shard_cache_hits = 0
+        self.requeues = 0
 
     def _note_rejoin(self) -> None:
+        telemetry.counter("cluster.rejoins").inc()
         with self._lock:
             self.rejoins += 1
 
@@ -456,11 +485,16 @@ class ClusterScheduler:
                 chunk = self._drain(victim, n)
                 self._in_flight += len(chunk)
                 self.placed_steals += 1
+                telemetry.counter("cluster.chunks_stolen").inc()
                 return chunk, "stolen"
             return [], "queue"
 
     def _requeue(self, chunk: list) -> None:
+        if chunk:
+            telemetry.counter("cluster.chunks_requeued").inc()
         with self._lock:
+            if chunk:
+                self.requeues += 1
             # Requeue at the front: retried work should not gratuitously
             # fall behind fresh work in arrival order.  Placed chunks
             # requeue to the *shared* queue too — their owner just
@@ -490,7 +524,9 @@ class ClusterScheduler:
             return self._chunk_counter
 
     def _deliver(self, chunk: list, outcomes: list, *,
-                 source: str = "queue", cache_hits: int = 0) -> None:
+                 source: str = "queue", cache_hits: int = 0,
+                 telemetry_delta: dict | None = None) -> None:
+        telemetry.merge(telemetry_delta)
         for (index, _), outcome in zip(chunk, outcomes):
             self._results.put((index, outcome))
         with self._lock:
@@ -498,7 +534,12 @@ class ClusterScheduler:
             self.rounds_done += len(chunk)
             if source == "own":
                 self.placement_hits += len(chunk)
+                telemetry.counter("cluster.placement_hits") \
+                    .inc(len(chunk))
             self.shard_cache_hits += int(cache_hits)
+            if cache_hits:
+                telemetry.counter("cluster.shard_cache_hits") \
+                    .inc(int(cache_hits))
 
     def _worker_done(self, worker: _ShardWorker) -> None:
         with self._lock:
@@ -527,6 +568,7 @@ class ClusterScheduler:
                 "placement_hits": self.placement_hits,
                 "placed_steals": self.placed_steals,
                 "shard_cache_hits": self.shard_cache_hits,
+                "requeues": self.requeues,
                 "rejoins": self.rejoins,
             }
 

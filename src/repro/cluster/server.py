@@ -54,13 +54,14 @@ import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import telemetry
 from repro.cluster import protocol
 from repro.engine.backends import (
     _FIT_WINDOW,
     _pack_context,
     _release_shm,
     _worker_init,
-    _worker_run_specs,
+    _worker_run_specs_telemetry,
     execute_rounds,
 )
 from repro.engine.cache import ResultCache, cache_schema_version, round_keys
@@ -140,7 +141,12 @@ class ShardExecutor:
         chunks = [specs[i:i + chunksize]
                   for i in range(0, len(specs), chunksize)]
         position = 0
-        for chunk_outcomes in self._pool.map(_worker_run_specs, chunks):
+        for chunk_outcomes, delta in self._pool.map(
+                _worker_run_specs_telemetry, chunks):
+            # Fold each pool worker's stage metrics into the shard's
+            # own registry, so the shard's piggybacked deltas (and its
+            # telemetry-report answers) cover the whole pool.
+            telemetry.merge(delta)
             for outcome in chunk_outcomes:
                 yield position, outcome
                 position += 1
@@ -262,13 +268,18 @@ class ShardServer:
                 protocol.enable_keepalive(conn)
                 if not self._handshake(conn):
                     return
-                while not self._shutdown.is_set():
-                    try:
-                        message = protocol.recv_message(conn)
-                    except protocol.ConnectionClosed:
-                        return
-                    if not self._dispatch(conn, message):
-                        return
+                try:
+                    peer = "%s:%s" % conn.getpeername()[:2]
+                except OSError:
+                    peer = "?"
+                with telemetry.trace_span("shard.connection", peer=peer):
+                    while not self._shutdown.is_set():
+                        try:
+                            message = protocol.recv_message(conn)
+                        except protocol.ConnectionClosed:
+                            return
+                        if not self._dispatch(conn, message):
+                            return
         except (protocol.ProtocolError, ConnectionError, OSError):
             return  # a broken client never takes the shard down
 
@@ -279,6 +290,11 @@ class ShardServer:
             # does not know — and does not learn — this shard's
             # context beyond what the stats expose post-auth).
             self._answer_cache_info(conn, message)
+            return False
+        if message.get("type") == "telemetry-info":
+            # Same pre-handshake pattern for live metrics
+            # (repro-cluster stats); old shards hit the reject below.
+            self._answer_telemetry_info(conn, message)
             return False
         if message.get("type") != "hello":
             protocol.send_message(conn, protocol.reject(
@@ -349,6 +365,44 @@ class ShardServer:
         protocol.send_message(
             conn, protocol.cache_report([], self.cache_stats()))
 
+    def _answer_telemetry_info(self, conn: socket.socket,
+                               message: dict) -> None:
+        """Answer a pre-handshake ``telemetry-info`` probe (auth-gated)."""
+        auth = message.get("auth")
+        reason = None
+        if self.secret:
+            if not protocol.verify_auth(
+                    self.secret, "client",
+                    protocol.TELEMETRY_INFO_FINGERPRINT,
+                    int(message.get("schema") or 0), auth):
+                reason = ("auth failed: the telemetry-info probe carries "
+                          "no digest matching this shard's "
+                          "REPRO_CLUSTER_SECRET")
+        elif auth is not None:
+            reason = ("auth mismatch: probe presented an auth digest but "
+                      "this shard holds no REPRO_CLUSTER_SECRET")
+        if reason is None and \
+                message.get("protocol") != protocol.PROTOCOL_VERSION:
+            reason = (f"protocol version mismatch: shard speaks "
+                      f"v{protocol.PROTOCOL_VERSION}, probe "
+                      f"v{message.get('protocol')}")
+        if reason is not None:
+            protocol.send_message(conn, protocol.reject(reason))
+            return
+        protocol.send_message(
+            conn, protocol.telemetry_report(self.telemetry_stats()))
+
+    def telemetry_stats(self) -> dict:
+        """Live metrics for ``telemetry-report`` replies."""
+        stats = {
+            "enabled": telemetry.enabled(),
+            "fingerprint": self.fingerprint,
+            "pid": os.getpid(),
+            "rounds_executed": self._rounds_executed,
+        }
+        stats.update(telemetry.snapshot())
+        return stats
+
     def cache_stats(self) -> dict:
         """Cache-tier telemetry for ``cache-report`` replies."""
         stats = {
@@ -384,23 +438,32 @@ class ShardServer:
             protocol.send_message(
                 conn, protocol.cache_report(held, self.cache_stats()))
             return True
+        if kind == "telemetry-query":
+            protocol.send_message(
+                conn, protocol.telemetry_report(self.telemetry_stats()))
+            return True
         if kind == "run":
             chunk_id = int(message.get("chunk_id", -1))
             specs = message.get("specs", [])
             try:
-                outcomes, cache_hits = self._run_chunk(specs)
+                with telemetry.trace_span("shard.chunk", chunk=chunk_id,
+                                          rounds=len(specs)):
+                    outcomes, cache_hits = self._run_chunk(specs)
             except Exception as exc:  # the shard survives a bad chunk
                 protocol.send_message(
                     conn, protocol.chunk_error(chunk_id, repr(exc)))
                 return True
+            telemetry.counter("shard.chunks_total").inc()
+            telemetry.counter("shard.rounds_total").inc(len(specs))
             if faults.fire("chunk_reply", key=f"chunk {chunk_id}"):
                 # Injected drop: the work is done but the reply never
                 # leaves — close the connection so the client sees the
                 # same EOF a shard crash-after-compute produces.
                 return False
             protocol.send_message(
-                conn, protocol.chunk_result(chunk_id, outcomes,
-                                            cache_hits=cache_hits))
+                conn, protocol.chunk_result(
+                    chunk_id, outcomes, cache_hits=cache_hits,
+                    telemetry=telemetry.flush_delta()))
             return True
         protocol.send_message(conn, protocol.chunk_error(
             -1, f"unknown message type {kind!r}"))

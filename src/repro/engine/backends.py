@@ -150,6 +150,7 @@ def _fit_prepared_groups(prepared_rounds) -> None:
     """Train all eligible groups of prepared rounds through
     ``LinearSVM.fit_many``; ungrouped rounds stay unfitted (the finish
     step trains them sequentially, as before)."""
+    from repro import telemetry
     from repro.ml.linear_svm import LinearSVM
 
     groups: dict[tuple, list] = {}
@@ -160,8 +161,9 @@ def _fit_prepared_groups(prepared_rounds) -> None:
     for group in groups.values():
         if len(group) < 2:
             continue
-        LinearSVM.fit_many([p.model for p in group],
-                           [(p.X_tr, p.y_tr) for p in group])
+        with telemetry.trace_span("fit", rounds=len(group), batched=True):
+            LinearSVM.fit_many([p.model for p in group],
+                               [(p.X_tr, p.y_tr) for p in group])
         for prepared in group:
             prepared.fitted = True
 
@@ -421,6 +423,27 @@ def _worker_run_chunk(indexed_specs):
             for (index, _), outcome in zip(indexed_specs, outcomes)]
 
 
+def _worker_run_specs_telemetry(specs):
+    """:func:`_worker_run_specs` plus the worker's telemetry delta.
+
+    The delta (``None`` when telemetry is disabled or nothing changed)
+    carries the stage histograms and counters this chunk accumulated in
+    the worker process; the parent merges it into its own registry so
+    client-side summaries cover the whole pool.  Spans still land in
+    the worker's own JSONL file — only metrics travel back.
+    """
+    from repro import telemetry
+
+    return _worker_run_specs(specs), telemetry.flush_delta()
+
+
+def _worker_run_chunk_telemetry(indexed_specs):
+    """:func:`_worker_run_chunk` plus the worker's telemetry delta."""
+    from repro import telemetry
+
+    return _worker_run_chunk(indexed_specs), telemetry.flush_delta()
+
+
 class ProcessPoolBackend(EvaluationBackend):
     """Fan rounds out over a ``ProcessPoolExecutor``.
 
@@ -489,14 +512,18 @@ class ProcessPoolBackend(EvaluationBackend):
             chunksize = max(1, len(specs) // (workers * 4))
             chunks = [specs[i:i + chunksize]
                       for i in range(0, len(specs), chunksize)]
+            from repro import telemetry
+
             with ProcessPoolExecutor(
                 max_workers=workers, initializer=_worker_init,
                 initargs=(meta_blob,)
             ) as pool:
-                return [outcome
-                        for chunk_outcomes in pool.map(_worker_run_specs,
-                                                       chunks)
-                        for outcome in chunk_outcomes]
+                outcomes = []
+                for chunk_outcomes, delta in pool.map(
+                        _worker_run_specs_telemetry, chunks):
+                    telemetry.merge(delta)
+                    outcomes.extend(chunk_outcomes)
+                return outcomes
         finally:
             _release_shm(shm)
 
@@ -518,14 +545,18 @@ class ProcessPoolBackend(EvaluationBackend):
             indexed = list(enumerate(specs))
             chunks = [indexed[i:i + chunksize]
                       for i in range(0, len(indexed), chunksize)]
+            from repro import telemetry
+
             with ProcessPoolExecutor(
                 max_workers=workers, initializer=_worker_init,
                 initargs=(meta_blob,)
             ) as pool:
-                futures = [pool.submit(_worker_run_chunk, chunk)
+                futures = [pool.submit(_worker_run_chunk_telemetry, chunk)
                            for chunk in chunks]
                 for future in as_completed(futures):
-                    yield from future.result()
+                    pairs, delta = future.result()
+                    telemetry.merge(delta)
+                    yield from pairs
         finally:
             _release_shm(shm)
 

@@ -257,9 +257,12 @@ class ResultCache:
         self._memory[key] = entry
         self._memory.move_to_end(key)
         if self._max_entries is not None:
+            from repro import telemetry
+
             while len(self._memory) > self._max_entries:
                 self._memory.popitem(last=False)
                 self.stats.evictions += 1
+                telemetry.counter("cache.evictions").inc()
 
     # -- internal disk tier ----------------------------------------------
 
@@ -413,27 +416,35 @@ class ResultCache:
 
     def get(self, key: str):
         """Return the cached ``EvaluationOutcome`` or ``None``."""
+        from repro import telemetry
+
         with self._lock:
             entry = self._memory.get(key)
             if entry is not None:
                 self._memory.move_to_end(key)  # refresh recency
+                telemetry.counter("cache.memory.hits").inc()
             else:
                 entry = self._disk_get(key)
                 if entry is not None:
                     self._remember(key, entry)  # promote for next time
+                    telemetry.counter("cache.disk.hits").inc()
             if entry is None:
                 self.stats.misses += 1
+                telemetry.counter("cache.misses").inc()
                 return None
             self.stats.hits += 1
         return outcome_from_dict(entry)
 
     def put(self, key: str, outcome) -> None:
         """Store one outcome under its content key (both tiers)."""
+        from repro import telemetry
+
         entry = outcome_to_dict(outcome)
         with self._lock:
             self._remember(key, entry)
             self._disk_put(key, entry)
             self.stats.stores += 1
+        telemetry.counter("cache.stores").inc()
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory tier (and optionally the disk tier)."""

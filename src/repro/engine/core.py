@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro import telemetry
 from repro.engine.backends import EvaluationBackend, make_backend
 from repro.engine.cache import ResultCache, round_key
 
@@ -128,13 +129,19 @@ class EvaluationEngine:
                 results[key] = cached
 
         if to_run:
-            outcomes = self.backend.run(ctx, [spec for _, spec in to_run])
+            with telemetry.trace_span("batch", backend=self.backend.name,
+                                      rounds=len(to_run)):
+                outcomes = self.backend.run(ctx,
+                                            [spec for _, spec in to_run])
             self.rounds_computed += len(outcomes)
             for (key, _), outcome in zip(to_run, outcomes):
                 if self.cache is not None:
                     self.cache.put(key, outcome)
                 results[key] = outcome
 
+        telemetry.counter("engine.rounds_total").inc(len(specs))
+        telemetry.counter("engine.rounds_computed").inc(len(to_run))
+        telemetry.counter("engine.batches_total").inc()
         entry = {
             "batch": len(self.batch_log) + 1,
             "backend": self.backend.name,
@@ -144,9 +151,9 @@ class EvaluationEngine:
             "cache_hits": len(unique) - len(to_run),
             "seconds": time.perf_counter() - start,
         }
-        telemetry = self.backend.batch_telemetry()
-        if telemetry:
-            entry["cluster"] = telemetry
+        cluster_telemetry = self.backend.batch_telemetry()
+        if cluster_telemetry:
+            entry["cluster"] = cluster_telemetry
         self.batch_log.append(entry)
         return [results[key] for key in keys]
 
@@ -192,15 +199,22 @@ class EvaluationEngine:
         try:
             if to_run:
                 run_specs = [spec for _, spec in to_run]
-                for j, outcome in self.backend.run_iter(ctx, run_specs):
-                    key = to_run[j][0]
-                    self.rounds_computed += 1
-                    computed += 1
-                    if self.cache is not None:
-                        self.cache.put(key, outcome)
-                    for index in positions[key]:
-                        yield index, outcome
+                with telemetry.trace_span("batch",
+                                          backend=self.backend.name,
+                                          rounds=len(to_run)):
+                    for j, outcome in self.backend.run_iter(ctx,
+                                                            run_specs):
+                        key = to_run[j][0]
+                        self.rounds_computed += 1
+                        computed += 1
+                        if self.cache is not None:
+                            self.cache.put(key, outcome)
+                        for index in positions[key]:
+                            yield index, outcome
         finally:
+            telemetry.counter("engine.rounds_total").inc(len(specs))
+            telemetry.counter("engine.rounds_computed").inc(computed)
+            telemetry.counter("engine.batches_total").inc()
             entry = {
                 "batch": len(self.batch_log) + 1,
                 "backend": self.backend.name,
@@ -210,9 +224,9 @@ class EvaluationEngine:
                 "cache_hits": len(positions) - len(to_run),
                 "seconds": time.perf_counter() - start,
             }
-            telemetry = self.backend.batch_telemetry()
-            if telemetry:
-                entry["cluster"] = telemetry
+            cluster_telemetry = self.backend.batch_telemetry()
+            if cluster_telemetry:
+                entry["cluster"] = cluster_telemetry
             self.batch_log.append(entry)
 
     # -- introspection ----------------------------------------------------
@@ -235,9 +249,9 @@ class EvaluationEngine:
         cluster_entries = [b["cluster"] for b in self.batch_log
                            if b.get("cluster")]
         if cluster_entries:
-            for counter in ("placed_rounds", "placement_hits",
+            for counter in ("chunks", "placed_rounds", "placement_hits",
                             "placed_steals", "shard_cache_hits",
-                            "rejoins"):
+                            "requeues", "rejoins"):
                 out[counter] = sum(int(c.get(counter, 0))
                                    for c in cluster_entries)
         if self.cache is not None:

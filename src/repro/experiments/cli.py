@@ -94,6 +94,12 @@ def _parse_victim_arg(text: str | None):
 def _make_engine(args):
     from repro.engine import EvaluationEngine
 
+    if getattr(args, "telemetry_dir", None):
+        from repro import telemetry
+
+        # configure() also exports REPRO_TELEMETRY_DIR, so autospawned
+        # localhost shards and pool workers inherit the sink.
+        telemetry.configure(args.telemetry_dir)
     if getattr(args, "faults", None) is not None:
         from repro.resilience import faults
 
@@ -350,6 +356,27 @@ def cmd_report(args) -> int:
     except (OSError, ValueError, KeyError) as exc:
         raise SystemExit(f"cannot load study result {args.result!r}: {exc}")
     print(result.render())
+    if getattr(args, "telemetry", False):
+        from repro.experiments.reporting import format_telemetry_summary
+
+        summary = result.extras.get("telemetry")
+        print()
+        if summary is None:
+            print("(no telemetry in this result — run the study with "
+                  "--telemetry-dir or REPRO_TELEMETRY_DIR armed)")
+        else:
+            print(format_telemetry_summary(summary))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.telemetry.viewer import render_trace
+
+    try:
+        print(render_trace(args.trace_dir,
+                           metrics=not args.no_metrics))
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
     return 0
 
 
@@ -503,11 +530,65 @@ def cmd_repro_cache(args) -> int:
     return 0
 
 
+def _shard_fleet_stats(args) -> int:
+    """Probe running shards for live telemetry (repro-cluster stats).
+
+    Uses the pre-handshake ``telemetry-info`` message — like
+    ``repro-cache info --shard`` it needs only addresses (and the
+    fleet's secret).  Old shards that predate the verb answer
+    ``reject``; they are reported as not supporting telemetry rather
+    than failing the sweep."""
+    import socket as socketlib
+
+    from repro.cluster import protocol
+    from repro.cluster.backend import parse_shard_addresses
+    from repro.engine import cache_schema_version
+
+    addresses = args.shards or os.environ.get("REPRO_CLUSTER_SHARDS")
+    if not addresses:
+        raise SystemExit("stats needs --shards host:port[,host:port...] "
+                         "(or REPRO_CLUSTER_SHARDS)")
+    secret = args.secret or os.environ.get("REPRO_CLUSTER_SECRET") or None
+    schema = cache_schema_version()
+    failures = 0
+    for host, port in parse_shard_addresses(addresses):
+        name = f"{host}:{port}"
+        try:
+            with socketlib.create_connection((host, port),
+                                             timeout=10.0) as sock:
+                protocol.send_message(
+                    sock, protocol.telemetry_info(schema, secret=secret))
+                reply = protocol.recv_message(sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            print(f"{name}: unreachable ({exc})")
+            failures += 1
+            continue
+        if reply.get("type") != "telemetry-report":
+            # An old shard rejects the unknown probe ("expected
+            # hello..."); that is "no telemetry support", not an error.
+            print(f"{name}: no telemetry support "
+                  f"({reply.get('reason', reply.get('type'))})")
+            continue
+        stats = reply.get("metrics", {})
+        counters = stats.get("counters", {}) or {}
+        head = (f"{name}: pid {stats.get('pid', '?')}, "
+                f"{stats.get('rounds_executed', 0)} rounds executed, "
+                f"telemetry "
+                f"{'enabled' if stats.get('enabled') else 'disabled'}")
+        print(head)
+        for counter in sorted(counters):
+            if counters[counter]:
+                print(f"  {counter} = {counters[counter]}")
+    return 1 if failures else 0
+
+
 def cmd_repro_cluster(args) -> int:
     # Same args shape as `python -m repro.cluster`, so the two entry
     # points share one context dispatcher.
     from repro.cluster.server import context_from_args, serve
 
+    if args.action == "stats":
+        return _shard_fleet_stats(args)
     if args.faults is not None:
         from repro.resilience import faults
 
@@ -582,6 +663,7 @@ _COMMANDS = {
     "proposition1": cmd_proposition1,
     "repro-cache": cmd_repro_cache,
     "repro-cluster": cmd_repro_cluster,
+    "trace": cmd_trace,
 }
 
 
@@ -614,6 +696,11 @@ def _add_engine_args(p) -> None:
                    help="arm a deterministic fault plan for resilience "
                         "drills, e.g. 'connect:fail_prob=0.3;seed=7' "
                         "(see repro.resilience; overrides REPRO_FAULTS)")
+    p.add_argument("--telemetry-dir", type=str, default=None,
+                   help="arm telemetry and write span/metrics JSONL "
+                        "trace files (one per process) under this "
+                        "directory; view with 'repro trace <dir>' "
+                        "(also via REPRO_TELEMETRY_DIR)")
 
 
 def _add_study_args(p) -> None:
@@ -667,6 +754,18 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("result", type=str,
                            help="a StudyResult JSON written by "
                                 "'repro run --out' or --archive-dir")
+            p.add_argument("--telemetry", action="store_true",
+                           help="append the run's per-stage time "
+                                "breakdown and counters (present when "
+                                "the study ran with telemetry armed)")
+            continue
+        if name == "trace":
+            p.add_argument("trace_dir", type=str,
+                           help="a telemetry directory written by "
+                                "--telemetry-dir / REPRO_TELEMETRY_DIR")
+            p.add_argument("--no-metrics", action="store_true",
+                           help="render the span trees only, without "
+                                "each process's closing counters")
             continue
         if name == "repro-cache":
             p.add_argument("action", choices=("info", "prune"),
@@ -685,8 +784,14 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(defaults to REPRO_CLUSTER_SECRET)")
             continue
         if name == "repro-cluster":
-            p.add_argument("action", choices=("serve",),
-                           help="serve: run a shard server for one context")
+            p.add_argument("action", choices=("serve", "stats"),
+                           help="serve: run a shard server for one "
+                                "context; stats: probe running shards "
+                                "for their live telemetry metrics")
+            p.add_argument("--shards", type=str, default=None,
+                           help="stats: comma-separated host:port shard "
+                                "servers to probe (also via "
+                                "REPRO_CLUSTER_SHARDS)")
             p.add_argument("--context", type=str, default="spambase",
                            choices=("spambase", "synthetic"),
                            help="construct the served context by name")

@@ -7,7 +7,8 @@ import numpy as np
 from repro.experiments.results import MixedStrategyResult, PureSweepResult
 
 __all__ = ["ascii_table", "format_pure_sweep", "format_table1", "ascii_series",
-           "format_engine_stats", "format_cross_game",
+           "format_engine_stats", "format_telemetry_summary",
+           "format_cross_game",
            "format_empirical_game", "format_mixed_eval",
            "format_aggregated_sweep", "format_grid_result"]
 
@@ -119,9 +120,13 @@ def format_engine_stats(engine) -> str:
         # Cluster telemetry: present only when at least one batch ran
         # on the cluster backend with placement/shard-cache reporting.
         rows += [
+            ("cluster chunks", str(stats.get("chunks", 0))),
+            ("cluster placed rounds", str(stats.get("placed_rounds", 0))),
             ("cluster placement hits", str(stats["placement_hits"])),
             ("cluster shard-cache hits", str(stats["shard_cache_hits"])),
             ("cluster placed-chunk steals", str(stats["placed_steals"])),
+            ("cluster chunk requeues", str(stats.get("requeues", 0))),
+            ("cluster shard rejoins", str(stats.get("rejoins", 0))),
         ]
     summary = ascii_table(["engine", "value"], rows, title="Engine stats")
     if not engine.batch_log:
@@ -136,6 +141,44 @@ def format_engine_stats(engine) -> str:
         batch_rows,
     )
     return f"{summary}\n{batches}"
+
+
+def format_telemetry_summary(summary: dict) -> str:
+    """A study's ``extras["telemetry"]`` block as readable tables.
+
+    Renders the per-stage time breakdown (one row per traced span
+    name, with total/mean wall time and share of the traced total)
+    followed by the non-zero counters.  ``summary`` is what
+    :func:`repro.telemetry.summary` produced at run time — this never
+    touches the live registry, so it works on archived results.
+    """
+    schema = summary.get("schema")
+    stages = summary.get("stages", {}) or {}
+    counters = summary.get("counters", {}) or {}
+    parts = []
+    if stages:
+        traced_total = sum(s.get("seconds", 0.0) for s in stages.values())
+        stage_rows = []
+        for name in sorted(stages, key=lambda n: -stages[n].get("seconds", 0)):
+            stage = stages[name]
+            count = int(stage.get("count", 0))
+            seconds = float(stage.get("seconds", 0.0))
+            mean_ms = seconds / count * 1e3 if count else 0.0
+            share = seconds / traced_total if traced_total else 0.0
+            stage_rows.append((name, str(count), f"{seconds:.3f}",
+                               f"{mean_ms:.1f}", f"{share:.1%}"))
+        parts.append(ascii_table(
+            ["stage", "spans", "total s", "mean ms", "share"], stage_rows,
+            title=f"Telemetry — per-stage breakdown (schema v{schema})"))
+    else:
+        parts.append(f"Telemetry (schema v{schema}): no stage timings "
+                     f"recorded")
+    nonzero = [(name, str(counters[name]))
+               for name in sorted(counters) if counters[name]]
+    if nonzero:
+        parts.append(ascii_table(["counter", "value"], nonzero,
+                                 title="Telemetry counters"))
+    return "\n\n".join(parts)
 
 
 def format_cross_game(result) -> str:

@@ -34,6 +34,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.attacks.base import PoisoningAttack, poison_dataset
 from repro.data.geometry import RadiusPercentileMap, compute_centroid, distances_to_centroid
 from repro.data.spambase import load_spambase
@@ -570,42 +571,47 @@ def prepare_configuration(
     n_poison = 0
     if attack is not None:
         check_fraction(poison_fraction, name="poison_fraction", inclusive_high=False)
-        X_tr, y_tr, is_poison, sources = poison_dataset(
-            ctx.X_train, ctx.y_train, attack, fraction=poison_fraction, seed=rng,
-            return_sources=True,
-        )
+        with telemetry.trace_span("attack", seed=round_seed):
+            X_tr, y_tr, is_poison, sources = poison_dataset(
+                ctx.X_train, ctx.y_train, attack, fraction=poison_fraction,
+                seed=rng, return_sources=True,
+            )
         n_poison = int(is_poison.sum())
 
     report = None
     filter_radius = None
     n_removed = 0
     if filter_percentile is not None and filter_percentile > 0.0:
-        if kernel is not None:
-            filter_radius = kernel.filter_radius(filter_percentile)
-            keep = kernel.keep_mask(X_tr, y_tr, is_poison, sources, filter_radius)
-        else:
-            filter_radius = ctx.radius_map.radius(filter_percentile)
-            clean_centroid = compute_centroid(ctx.X_train,
-                                              method=ctx.centroid_method)
-            radius_defense = RadiusFilter(filter_radius,
-                                          centroid_method=ctx.centroid_method,
-                                          centroid=clean_centroid)
-            keep = radius_defense.mask(X_tr, y_tr)
+        with telemetry.trace_span("defense", seed=round_seed):
+            if kernel is not None:
+                filter_radius = kernel.filter_radius(filter_percentile)
+                keep = kernel.keep_mask(X_tr, y_tr, is_poison, sources,
+                                        filter_radius)
+            else:
+                filter_radius = ctx.radius_map.radius(filter_percentile)
+                clean_centroid = compute_centroid(ctx.X_train,
+                                                  method=ctx.centroid_method)
+                radius_defense = RadiusFilter(filter_radius,
+                                              centroid_method=ctx.centroid_method,
+                                              centroid=clean_centroid)
+                keep = radius_defense.mask(X_tr, y_tr)
         report = defense_report(keep, is_poison)
         n_removed = int((~keep).sum())
         X_tr, y_tr = X_tr[keep], y_tr[keep]
     elif defense is not None:
         keep = None
-        if kernel is not None:
-            # Per-family kernel fast path: a defence may serve its keep
-            # mask from per-context cached geometry (e.g. the slab
-            # filter's clean per-class scores).  ``None`` means "not
-            # applicable for this round" — fall through to mask().
-            fast = getattr(defense, "kernel_mask", None)
-            if fast is not None:
-                keep = fast(kernel, X_tr, y_tr, is_poison, sources)
-        if keep is None:
-            keep = np.asarray(defense.mask(X_tr, y_tr), dtype=bool)
+        with telemetry.trace_span("defense", seed=round_seed):
+            if kernel is not None:
+                # Per-family kernel fast path: a defence may serve its
+                # keep mask from per-context cached geometry (e.g. the
+                # slab filter's clean per-class scores).  ``None`` means
+                # "not applicable for this round" — fall through to
+                # mask().
+                fast = getattr(defense, "kernel_mask", None)
+                if fast is not None:
+                    keep = fast(kernel, X_tr, y_tr, is_poison, sources)
+            if keep is None:
+                keep = np.asarray(defense.mask(X_tr, y_tr), dtype=bool)
         report = defense_report(keep, is_poison)
         n_removed = int((~keep).sum())
         X_tr, y_tr = X_tr[keep], y_tr[keep]
@@ -636,8 +642,10 @@ def finish_configuration(ctx: ExperimentContext,
     """Train (unless already fitted) and score a :class:`PreparedRound`."""
     model = prepared.model
     if not prepared.fitted:
-        model.fit(prepared.X_tr, prepared.y_tr)
-    accuracy = model.score(ctx.X_test, ctx.y_test)
+        with telemetry.trace_span("fit", rounds=1):
+            model.fit(prepared.X_tr, prepared.y_tr)
+    with telemetry.trace_span("payoff"):
+        accuracy = model.score(ctx.X_test, ctx.y_test)
     return EvaluationOutcome(
         accuracy=float(accuracy),
         n_poison=prepared.n_poison,

@@ -66,6 +66,14 @@ class RetryPolicy:
         return base * spread
 
     def delays(self, key: str = ""):
-        """Yield the full schedule of sleep durations for ``key``."""
+        """Yield the full schedule of sleep durations for ``key``.
+
+        Each yielded delay counts one ``retry.attempts`` on the
+        telemetry registry (a no-op when telemetry is disabled), so
+        operators can see how often the fleet is actually retrying.
+        """
+        from repro import telemetry
+
         for attempt in range(self.retries):
+            telemetry.counter("retry.attempts").inc()
             yield self.delay(key, attempt)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.engine.cache import cache_schema_version, round_key
 from repro.resilience import env_int
 from repro.study import drivers
@@ -65,6 +66,12 @@ class _RecordingEngine:
         self._seen: set[str] = set()
         self._on_record = on_record
         self.records: list[dict] = []
+        # Study-cumulative progress accounting: batches within one
+        # study continue the count instead of restarting at zero, and
+        # resumed (checkpointed) rounds land first as cache hits — so
+        # a --resume restart picks up where the killed run stopped.
+        self._progress_done = 0
+        self._progress_total = 0
 
     def _note(self, fingerprint: str, spec, outcome) -> None:
         key = round_key(fingerprint, spec)
@@ -88,13 +95,15 @@ class _RecordingEngine:
             # progress=, with the note moved *inside* the loop: a round
             # is recorded (and checkpointed) the moment it lands, so a
             # run killed mid-batch keeps every completed round.
+            base = self._progress_done
+            self._progress_total += len(specs)
             results = [None] * len(specs)
-            done = 0
             for index, outcome in self._engine._stream_indexed(ctx, specs):
                 results[index] = outcome
                 self._note(fingerprint, specs[index], outcome)
-                done += 1
-                progress(done, len(specs))
+                self._progress_done += 1
+                progress(self._progress_done, self._progress_total)
+            self._progress_done = base + len(specs)
             return results
         outcomes = self._engine.evaluate_batch(ctx, specs)
         for spec, outcome in zip(specs, outcomes):
@@ -324,7 +333,11 @@ def run_study(
     progress:
         Optional ``callback(done, total)``; rounds then stream through
         ``evaluate_stream`` and the callback fires per scenario as
-        outcomes land (cache hits first).
+        outcomes land (cache hits first).  Counts are cumulative
+        across the study's engine batches, and a resumed run's
+        checkpointed rounds land first as cache hits — so after a
+        ``resume=True`` restart ``done`` immediately reflects the
+        checkpointed progress instead of restarting from zero.
     context:
         A live :class:`~repro.experiments.runner.ExperimentContext`
         for specs built with ``context=None`` — required then, and
@@ -348,8 +361,16 @@ def run_study(
         default 16; ``0`` disables checkpointing).  Only active with
         ``archive_dir`` — the checkpoint lives where the archive will.
         The checkpoint is deleted once the archive is written.
+
+    When telemetry is enabled (:func:`repro.telemetry.configure` or
+    ``REPRO_TELEMETRY_DIR``) the result's ``extras["telemetry"]``
+    carries a schema-versioned summary of the run's counters and
+    per-stage timings.  The key is absent when telemetry is off, and
+    the study fingerprint never covers it — archived results stay
+    bit-identical either way.
     """
     started = time.perf_counter()
+    tel_since = telemetry.snapshot() if telemetry.enabled() else None
     if spec.kind not in _DISPATCH:
         raise ValueError(f"unknown study kind {spec.kind!r}")
 
@@ -426,7 +447,8 @@ def run_study(
     recorder = _RecordingEngine(engine, on_record=on_record)
     batches_before = len(engine.batch_log)
 
-    payload = _DISPATCH[spec.kind](spec, ctx, recorder, progress)
+    with telemetry.trace_span("study", kind=spec.kind):
+        payload = _DISPATCH[spec.kind](spec, ctx, recorder, progress)
 
     batches = [dict(b) for b in engine.batch_log[batches_before:]]
     scenarios = _scenario_records(recorder.records)
@@ -453,6 +475,8 @@ def run_study(
     )
     if resumed_rows:
         result.extras["resumed_scenarios"] = len(resumed_rows)
+    if tel_since is not None:
+        result.extras["telemetry"] = telemetry.summary(since=tel_since)
 
     if getattr(engine, "cache", None) is not None:
         engine.cache.annotate_study(fingerprint)

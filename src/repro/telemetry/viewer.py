@@ -1,0 +1,122 @@
+"""Trace-directory reader and tree renderer for ``repro trace``.
+
+A telemetry directory holds one JSONL file per process (client, pool
+workers, shard servers).  :func:`load_trace_dir` parses them all
+tolerantly — unparseable lines (the partial tail a ``SIGKILL`` leaves
+behind) are counted and skipped, never fatal.  :func:`render_trace`
+rebuilds each process's span forest from the ``parent`` links, orders
+siblings by wall-clock start, and prints an indented tree with
+durations and attributes, plus each process's closing metrics counters
+when present.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+__all__ = ["load_trace_dir", "render_trace", "format_span_tree"]
+
+
+def load_trace_dir(directory: str) -> dict:
+    """Parse every ``*.jsonl`` file under ``directory``.
+
+    Returns ``{"spans": [...], "metrics": [...], "files": n,
+    "skipped_lines": n}``; raises ``FileNotFoundError`` only when the
+    directory itself is absent.
+    """
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"no such telemetry directory: "
+                                f"{directory}")
+    spans, metrics = [], []
+    files = sorted(glob.glob(os.path.join(directory, "*.jsonl")))
+    skipped = 0
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        skipped += 1  # crash-truncated tail
+                        continue
+                    kind = event.get("event")
+                    if kind == "span":
+                        spans.append(event)
+                    elif kind == "metrics":
+                        metrics.append(event)
+        except OSError:
+            continue
+    return {"spans": spans, "metrics": metrics,
+            "files": len(files), "skipped_lines": skipped}
+
+
+def _attr_suffix(event: dict) -> str:
+    attrs = event.get("attrs") or {}
+    parts = [f"{k}={v}" for k, v in sorted(attrs.items())]
+    if event.get("error"):
+        parts.append(f"error={event['error']}")
+    return ("  [" + " ".join(parts) + "]") if parts else ""
+
+
+def format_span_tree(spans: list) -> list[str]:
+    """Indented lines for one process's spans (parent-linked forest)."""
+    by_id = {s.get("span"): s for s in spans}
+    children: dict = {}
+    roots = []
+    for s in spans:
+        parent = s.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    lines: list[str] = []
+
+    def emit(span, depth):
+        dur = span.get("dur", 0.0)
+        lines.append(f"{'  ' * depth}{span.get('name', '?')} "
+                     f"({dur * 1000.0:.1f} ms){_attr_suffix(span)}")
+        for child in sorted(children.get(span.get("span"), []),
+                            key=lambda s: s.get("ts", 0.0)):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("ts", 0.0)):
+        emit(root, 1)
+    return lines
+
+
+def render_trace(directory: str, *, metrics: bool = True) -> str:
+    """The merged, ordered tree view of a telemetry directory."""
+    trace = load_trace_dir(directory)
+    if not trace["spans"] and not trace["metrics"]:
+        return (f"{directory}: no telemetry events in "
+                f"{trace['files']} file(s)")
+    by_pid: dict = {}
+    for span in trace["spans"]:
+        by_pid.setdefault(span.get("pid", 0), []).append(span)
+    lines = []
+    first_ts = {pid: min(s.get("ts", 0.0) for s in spans)
+                for pid, spans in by_pid.items()}
+    for pid in sorted(by_pid, key=lambda p: first_ts[p]):
+        spans = by_pid[pid]
+        lines.append(f"process {pid} — {len(spans)} span(s)")
+        lines.extend(format_span_tree(spans))
+        lines.append("")
+    if metrics:
+        for event in sorted(trace["metrics"],
+                            key=lambda e: e.get("ts", 0.0)):
+            counters = event.get("metrics", {}).get("counters", {})
+            if not counters:
+                continue
+            lines.append(f"process {event.get('pid', '?')} counters:")
+            for name, value in sorted(counters.items()):
+                lines.append(f"  {name} = {value}")
+            lines.append("")
+    if trace["skipped_lines"]:
+        lines.append(f"({trace['skipped_lines']} unparseable line(s) "
+                     f"skipped — crash-truncated tails)")
+    return "\n".join(lines).rstrip()

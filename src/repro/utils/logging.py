@@ -7,11 +7,21 @@ applications can configure handlers the usual way.
 
 from __future__ import annotations
 
+import json
 import logging
+import time
 
-__all__ = ["get_logger", "configure_console_logging"]
+__all__ = ["get_logger", "configure_console_logging",
+           "configure_json_logging"]
 
 _LIBRARY_LOGGER_NAME = "repro"
+
+# logging.LogRecord attributes that are plumbing, not payload — anything
+# else on a record (``logger.info(..., extra={...})``) is an extra field
+# the JSON formatter should emit.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__) | {
+        "message", "asctime", "taskName"}
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -33,5 +43,48 @@ def configure_console_logging(level: int = logging.INFO) -> logging.Logger:
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
         )
+        logger.addHandler(handler)
+    return logger
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, message,
+    plus any ``extra={...}`` fields passed at the call site."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                time.gmtime(record.created))
+                  + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS:
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                doc[key] = value
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc, separators=(",", ":"))
+
+
+def configure_json_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a machine-parseable JSON-lines handler to the library
+    logger (for the service tier; pipe into ``jq`` or a log shipper).
+
+    Idempotent, and independent of :func:`configure_console_logging`:
+    each attaches its own handler kind at most once, and arming JSON
+    logging never alters an existing console handler.
+    """
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h.formatter, _JsonFormatter)
+               for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(_JsonFormatter())
         logger.addHandler(handler)
     return logger

@@ -1,0 +1,30 @@
+"""Fixtures for the telemetry suite.
+
+Telemetry state is a process-wide lazy singleton driven by environment
+variables, so every test starts and ends from a clean slate: env vars
+scrubbed, module state dropped.  Tests that want telemetry armed call
+``telemetry.configure(...)`` themselves (which re-exports the env for
+any subprocesses they spawn).
+"""
+
+import os
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Scrub env + module state around every test (configure() writes
+    os.environ directly, so monkeypatch alone would not cover it)."""
+    saved = {name: os.environ.pop(name, None)
+             for name in ("REPRO_TELEMETRY_DIR", "REPRO_TELEMETRY")}
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    for name, value in saved.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value

@@ -1,0 +1,114 @@
+"""Telemetry parity across backends, and bit-identity when disabled.
+
+The same StudySpec must produce the same *shape* of telemetry whether
+its rounds run serially, in a process pool (worker deltas merged by the
+parent) or on the cluster (shard deltas piggybacked on chunk results).
+Stage counts for attack/defense/payoff are exact — one per computed
+round — while ``fit`` span *counts* legitimately differ: the batched
+fit_many path groups rounds per chunk, and chunking depends on the
+backend.  Disabled telemetry must leave no trace at all: no provenance
+key, no files, and a bit-identical StudyResult.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.engine import EvaluationEngine
+from repro.study import run_study, studies
+
+CONTEXT = {"name": "synthetic", "n_samples": 240}
+PERCENTILES = (0.0, 0.1, 0.3)
+
+
+def _spec():
+    return studies.figure1(context=CONTEXT, percentiles=PERCENTILES)
+
+
+def _run_with_telemetry(engine):
+    telemetry.reset()
+    telemetry.configure(metrics_only=True)
+    try:
+        result = run_study(_spec(), engine=engine)
+    finally:
+        close = getattr(engine.backend, "close", None)
+        if close is not None:
+            close()
+    summary = result.extras["telemetry"]
+    telemetry.configure()  # disarm + scrub env before the next backend
+    return result, summary
+
+
+class TestBackendParity:
+    def test_serial_process_cluster_agree(self):
+        serial_result, serial = _run_with_telemetry(
+            EvaluationEngine("serial"))
+        _, process = _run_with_telemetry(
+            EvaluationEngine("process", jobs=2))
+        cluster_result, cluster = _run_with_telemetry(
+            EvaluationEngine("cluster", jobs=2))
+
+        # The numbers themselves are backend-independent.
+        assert cluster_result.payload == serial_result.payload
+
+        for summary in (serial, process, cluster):
+            assert summary["schema"] == telemetry.SUMMARY_SCHEMA_VERSION
+            # Exactly one span per computed round for the per-round
+            # stages, whichever tier executed them.
+            for stage in ("attack", "defense", "payoff"):
+                assert summary["stages"][stage]["count"] == \
+                    serial["stages"][stage]["count"], stage
+            # fit spans exist but their count is grouping-dependent.
+            assert summary["stages"]["fit"]["count"] >= 1
+            assert summary["counters"]["engine.rounds_total"] == \
+                serial["counters"]["engine.rounds_total"]
+
+    def test_cluster_chunk_latency_histogram_lands_clientside(self):
+        telemetry.reset()
+        telemetry.configure(metrics_only=True)
+        engine = EvaluationEngine("cluster", jobs=2)
+        try:
+            run_study(_spec(), engine=engine)
+            snap = telemetry.snapshot()
+        finally:
+            engine.backend.close()
+            telemetry.configure()
+        assert snap["histograms"]["cluster.chunk.seconds"]["count"] >= 1
+
+
+class TestDisabledBitIdentity:
+    def test_no_provenance_key_and_no_files(self, tmp_path):
+        result = run_study(_spec(), engine=EvaluationEngine("serial"))
+        assert "telemetry" not in result.extras
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disabled_result_bit_identical_to_enabled_fingerprint(
+            self, tmp_path):
+        disabled = run_study(_spec(), engine=EvaluationEngine("serial"))
+
+        telemetry.configure(metrics_only=True)
+        enabled = run_study(_spec(), engine=EvaluationEngine("serial"))
+        telemetry.configure()
+
+        # Identical fingerprints: telemetry never enters the identity.
+        assert enabled.study_fingerprint == disabled.study_fingerprint
+        assert enabled.payload == disabled.payload
+
+        # And two disabled runs are bit-identical on disk (timings and
+        # timestamps normalised away, as the archive round-trip does).
+        again = run_study(_spec(), engine=EvaluationEngine("serial"))
+        a, b = (str(tmp_path / "a.json"), str(tmp_path / "b.json"))
+        disabled.to_json(a)
+        again.to_json(b)
+
+        def normalised(path):
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh).get("data", {})
+            for volatile in ("wall_time_seconds", "created_at"):
+                data.pop(volatile, None)
+            for batch in data.get("engine_stats", {}).get("batches", []):
+                batch.pop("seconds", None)
+            return data
+
+        assert normalised(a) == normalised(b)

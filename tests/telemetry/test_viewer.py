@@ -1,0 +1,74 @@
+"""The trace directory loader and `repro trace` tree renderer."""
+
+import json
+
+import pytest
+
+from repro.telemetry.viewer import (format_span_tree, load_trace_dir,
+                                    render_trace)
+
+
+def _write_jsonl(path, events, tail: str | None = None):
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+        if tail is not None:
+            fh.write(tail)  # crash-truncated partial line
+
+
+SPANS = [
+    {"event": "span", "name": "fit", "pid": 7, "span": 2, "parent": 1,
+     "ts": 10.5, "dur": 0.004, "attrs": {"rounds": 3}},
+    {"event": "span", "name": "batch", "pid": 7, "span": 1,
+     "parent": None, "ts": 10.0, "dur": 0.02},
+]
+
+
+class TestLoad:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace_dir(str(tmp_path / "absent"))
+
+    def test_partial_tail_skipped_not_fatal(self, tmp_path):
+        _write_jsonl(tmp_path / "trace-7-x.jsonl", SPANS,
+                     tail='{"event":"span","name":"pay')
+        trace = load_trace_dir(str(tmp_path))
+        assert len(trace["spans"]) == 2
+        assert trace["skipped_lines"] == 1
+
+    def test_merges_all_files(self, tmp_path):
+        _write_jsonl(tmp_path / "trace-7-a.jsonl", SPANS)
+        _write_jsonl(tmp_path / "trace-8-b.jsonl", [
+            {"event": "metrics", "pid": 8, "ts": 11.0,
+             "metrics": {"counters": {"cache.misses": 4}}}])
+        trace = load_trace_dir(str(tmp_path))
+        assert trace["files"] == 2
+        assert len(trace["metrics"]) == 1
+
+
+class TestRender:
+    def test_tree_nests_by_parent_links(self, tmp_path):
+        _write_jsonl(tmp_path / "trace-7-a.jsonl", SPANS)
+        lines = format_span_tree(load_trace_dir(str(tmp_path))["spans"])
+        assert lines[0].strip().startswith("batch")
+        # The child renders one level deeper than its parent.
+        assert lines[1].startswith("    fit")
+        assert "[rounds=3]" in lines[1]
+
+    def test_render_trace_groups_by_process(self, tmp_path):
+        _write_jsonl(tmp_path / "trace-7-a.jsonl", SPANS)
+        _write_jsonl(tmp_path / "trace-8-b.jsonl", [
+            {"event": "span", "name": "shard.chunk", "pid": 8, "span": 1,
+             "parent": None, "ts": 10.2, "dur": 0.01},
+            {"event": "metrics", "pid": 8, "ts": 11.0,
+             "metrics": {"counters": {"shard.rounds_total": 9}}}])
+        out = render_trace(str(tmp_path))
+        assert "process 7" in out and "process 8" in out
+        assert "shard.chunk" in out
+        assert "shard.rounds_total = 9" in out
+        assert render_trace(str(tmp_path), metrics=False).count(
+            "shard.rounds_total") == 0
+
+    def test_empty_directory_reports_itself(self, tmp_path):
+        out = render_trace(str(tmp_path))
+        assert "no telemetry events" in out

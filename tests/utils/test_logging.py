@@ -1,8 +1,10 @@
 """Tests for the logging helpers."""
 
+import json
 import logging
 
-from repro.utils.logging import configure_console_logging, get_logger
+from repro.utils.logging import (configure_console_logging,
+                                 configure_json_logging, get_logger)
 
 
 class TestGetLogger:
@@ -37,3 +39,57 @@ class TestConfigureConsoleLogging:
         with caplog.at_level(logging.INFO, logger="repro.test-flow"):
             logger.info("hello from the library")
         assert "hello from the library" in caplog.text
+
+
+class TestConfigureJsonLogging:
+    def _json_handlers(self, logger):
+        from repro.utils.logging import _JsonFormatter
+
+        return [h for h in logger.handlers
+                if isinstance(h.formatter, _JsonFormatter)]
+
+    def _teardown(self, logger):
+        for handler in self._json_handlers(logger):
+            logger.removeHandler(handler)
+
+    def test_one_json_object_per_line(self):
+        logger = configure_json_logging()
+        try:
+            (handler,) = self._json_handlers(logger)
+            record = logging.LogRecord("repro.svc", logging.WARNING,
+                                       "f.py", 10, "queue %s", ("deep",),
+                                       None)
+            doc = json.loads(handler.format(record))
+            assert doc["level"] == "WARNING"
+            assert doc["logger"] == "repro.svc"
+            assert doc["message"] == "queue deep"
+            # ISO-8601 UTC with millisecond precision.
+            assert doc["ts"].endswith("Z") and "T" in doc["ts"]
+        finally:
+            self._teardown(logger)
+
+    def test_extra_fields_emitted(self):
+        logger = configure_json_logging()
+        try:
+            (handler,) = self._json_handlers(logger)
+            record = logging.LogRecord("repro", logging.INFO, "f.py", 1,
+                                       "m", (), None)
+            record.shard = "127.0.0.1:9"
+            record.weird = object()  # unserialisable -> repr, not a crash
+            doc = json.loads(handler.format(record))
+            assert doc["shard"] == "127.0.0.1:9"
+            assert "object object" in doc["weird"]
+        finally:
+            self._teardown(logger)
+
+    def test_idempotent_and_console_untouched(self):
+        logger = configure_console_logging()
+        console_before = list(logger.handlers)
+        configure_json_logging()
+        configure_json_logging()
+        try:
+            assert len(self._json_handlers(logger)) == 1
+            for handler in console_before:
+                assert handler in logger.handlers
+        finally:
+            self._teardown(logger)
