@@ -4,9 +4,14 @@ An alias of :mod:`repro.experiments.cli`; see that module (or
 ``python -m repro --help``) for the command reference.
 """
 
+import signal
 import sys
 
 from repro.experiments.cli import main
 
 if __name__ == "__main__":
+    # Die quietly on a closed pipe (`repro archive ls | head`) instead
+    # of tracebacking mid-listing.
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
     sys.exit(main())

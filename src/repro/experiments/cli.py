@@ -18,6 +18,10 @@ Usage::
     python -m repro proposition1 [--seed S]
     python -m repro repro-cache {info,prune} --cache-dir DIR
     python -m repro repro-cluster serve [--port P] [--jobs N]
+    python -m repro serve --archive-dir DIR [--port P] [--workers N]
+    python -m repro repro-queue {list,show,cancel,nudge} [FP]
+                               --archive-dir DIR
+    python -m repro archive ls DIR
 
 (``python -m repro.experiments.cli`` remains an alias of
 ``python -m repro``.)
@@ -603,6 +607,116 @@ def cmd_repro_cluster(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """`repro serve`: the studies-as-a-service daemon (HTTP API +
+    scheduler workers over one shared archive directory)."""
+    from repro.service import ServiceConfig, serve
+
+    try:
+        config = ServiceConfig.from_env(
+            args.archive_dir, host=args.host, port=args.port,
+            poll_interval=args.poll_interval, lease_ttl=args.lease_ttl,
+            retries=args.retries, backoff=args.backoff,
+            checkpoint_every=args.checkpoint_every)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.workers < 0:
+        raise SystemExit(f"--workers {args.workers}: expected >= 0 "
+                         f"(0 = API-only replica, no scheduler)")
+    return serve(config, engine=_make_engine(args), workers=args.workers)
+
+
+def _queue_fingerprint(queue, prefix: str) -> str:
+    """Resolve an operator-typed fingerprint prefix to one entry."""
+    matches = sorted({e.fingerprint for e in queue.entries()
+                      if e.fingerprint.startswith(prefix)})
+    if not matches:
+        raise SystemExit(f"no queue entry matches {prefix!r}")
+    if len(matches) > 1:
+        raise SystemExit(f"{prefix!r} is ambiguous: matches "
+                         + ", ".join(m[:16] + "…" for m in matches))
+    return matches[0]
+
+
+def cmd_repro_queue(args) -> int:
+    """`repro-queue`: the operator surface over a service queue dir."""
+    import json as jsonlib
+
+    from repro.service import StudyQueue
+
+    queue = StudyQueue(args.archive_dir)
+    if args.action == "list":
+        entries = queue.entries()
+        if not entries:
+            print("queue is empty")
+            return 0
+        for entry in entries:
+            lease = queue.lease_info(entry.fingerprint)
+            state = "running" if lease is not None else entry.state
+            line = (f"{entry.fingerprint[:16]}…  {state:<9} "
+                    f"prio={entry.priority} attempts={entry.attempts} "
+                    f"kind={entry.study.get('kind', '?')}")
+            if lease is not None:
+                line += (f" progress={lease.get('done', 0)}/"
+                         f"{lease.get('total', 0)} "
+                         f"owner={lease.get('owner')}")
+            if entry.last_error:
+                line += f" error={entry.last_error!r}"
+            print(line)
+        counts = queue.counts()
+        print("totals: " + ", ".join(f"{k}={v}"
+                                     for k, v in sorted(counts.items())))
+        return 0
+    if not args.fingerprint:
+        raise SystemExit(f"repro-queue {args.action} needs a study "
+                         f"fingerprint (any unambiguous prefix)")
+    fingerprint = _queue_fingerprint(queue, args.fingerprint)
+    if args.action == "show":
+        status = queue.study_state(fingerprint) or {}
+        entry = queue.get(fingerprint)
+        doc = {"status": status}
+        if entry is not None:
+            doc["entry"] = entry.to_obj()
+        print(jsonlib.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.action == "cancel":
+        try:
+            entry = queue.cancel(fingerprint)
+        except ValueError as exc:  # leased: stop the runner, not the queue
+            raise SystemExit(str(exc)) from None
+        if entry is None:
+            raise SystemExit(f"study {fingerprint[:16]}… is not waiting "
+                             f"in the queue; nothing to cancel")
+        print(f"cancelled {fingerprint}")
+        return 0
+    # nudge: requeue a failed/cancelled/backed-off study for pickup now
+    entry = queue.nudge(fingerprint, priority=args.priority)
+    if entry is None:
+        raise SystemExit(f"no queue entry for {fingerprint[:16]}…")
+    print(f"requeued {fingerprint} (priority {entry.priority})")
+    return 0
+
+
+def cmd_archive(args) -> int:
+    """`repro archive ls`: scan a study archive directory."""
+    from repro.study import list_archive
+
+    if not os.path.isdir(args.archive_dir):
+        raise SystemExit(f"no such archive directory: {args.archive_dir}")
+    summaries = list_archive(args.archive_dir)
+    if not summaries:
+        print(f"no archived studies under {args.archive_dir}")
+        return 0
+    for s in summaries:
+        print(f"{s['fingerprint'][:16]}…  {s['kind']:<16} "
+              f"{s['n_scenarios']:>5} scenarios  "
+              f"{s['created_at'] or '?':<20}  "
+              f"{s['wall_time_seconds']:.2f}s")
+    print(f"{len(summaries)} archived stud"
+          f"{'y' if len(summaries) == 1 else 'ies'}")
+    return 0
+
+
 def cmd_paper_table1(args) -> int:
     from repro.core.algorithm1 import compute_optimal_defense
     from repro.core.paper_curves import (PAPER_N_POISON, PAPER_TABLE1_N2,
@@ -664,6 +778,9 @@ _COMMANDS = {
     "repro-cache": cmd_repro_cache,
     "repro-cluster": cmd_repro_cluster,
     "trace": cmd_trace,
+    "serve": cmd_serve,
+    "repro-queue": cmd_repro_queue,
+    "archive": cmd_archive,
 }
 
 
@@ -766,6 +883,69 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-metrics", action="store_true",
                            help="render the span trees only, without "
                                 "each process's closing counters")
+            continue
+        if name == "serve":
+            p.add_argument("--archive-dir", type=str, required=True,
+                           help="the shared study archive + queue "
+                                "directory; every replica of the "
+                                "service points at the same one")
+            p.add_argument("--host", type=str, default=None,
+                           help="bind address (default 127.0.0.1, or "
+                                "REPRO_SERVICE_HOST)")
+            p.add_argument("--port", type=int, default=None,
+                           help="bind port; 0 asks the OS for a free "
+                                "port, announced on the READY line "
+                                "(default 0, or REPRO_SERVICE_PORT)")
+            p.add_argument("--workers", type=int, default=1,
+                           help="scheduler workers in this process "
+                                "(0 = API-only replica; default 1)")
+            p.add_argument("--poll-interval", type=float, default=None,
+                           help="scheduler/stream poll cadence in "
+                                "seconds (REPRO_SERVICE_POLL_INTERVAL)")
+            p.add_argument("--lease-ttl", type=float, default=None,
+                           help="seconds without a heartbeat before a "
+                                "lease is stale and another replica "
+                                "adopts the study "
+                                "(REPRO_SERVICE_LEASE_TTL)")
+            p.add_argument("--retries", type=int, default=None,
+                           help="requeue-on-failure budget per study "
+                                "(REPRO_SERVICE_RETRIES)")
+            p.add_argument("--backoff", type=float, default=None,
+                           help="base retry backoff in seconds "
+                                "(REPRO_SERVICE_BACKOFF)")
+            p.add_argument("--checkpoint-every", type=int, default=None,
+                           help="checkpoint cadence for leased studies "
+                                "(default 1: every round, so a killed "
+                                "daemon resumes with zero recompute; "
+                                "REPRO_SERVICE_CHECKPOINT_EVERY)")
+            _add_engine_args(p)
+            continue
+        if name == "repro-queue":
+            p.add_argument("action",
+                           choices=("list", "show", "cancel", "nudge"),
+                           help="list: every entry; show: one entry's "
+                                "full state; cancel: drop a waiting "
+                                "study; nudge: requeue a failed or "
+                                "backed-off study for immediate pickup")
+            p.add_argument("fingerprint", type=str, nargs="?",
+                           default=None,
+                           help="study fingerprint (any unambiguous "
+                                "prefix) — required for show, cancel "
+                                "and nudge")
+            p.add_argument("--archive-dir", type=str, required=True,
+                           help="the service's archive + queue directory")
+            p.add_argument("--priority", type=int, default=None,
+                           help="nudge: also reset the entry's priority")
+            continue
+        if name == "archive":
+            p.add_argument("action", choices=("ls",),
+                           help="ls: list every archived study with its "
+                                "fingerprint, kind, round count and "
+                                "timings")
+            p.add_argument("archive_dir", type=str,
+                           help="a study archive directory (as written "
+                                "by 'repro run --archive-dir' or the "
+                                "service)")
             continue
         if name == "repro-cache":
             p.add_argument("action", choices=("info", "prune"),

@@ -22,7 +22,8 @@ Three pieces:
   every ``REPRO_CLUSTER_*`` / ``REPRO_STUDY_*`` setting.
 """
 
-from repro.resilience.config import env_bool, env_float, env_int
+from repro.resilience.config import (env_bool, env_float, env_int,
+                                     validate_float, validate_int)
 from repro.resilience.faults import (
     FAULT_POINTS,
     FaultPlan,
@@ -50,4 +51,6 @@ __all__ = [
     "fire",
     "install",
     "parse_fault_plan",
+    "validate_float",
+    "validate_int",
 ]

@@ -1,0 +1,33 @@
+"""repro.service — studies-as-a-service: HTTP API + persistent queue.
+
+The service tier turns the study layer into a long-running daemon:
+``repro serve`` exposes submit/status/stream/result/report routes over
+a crash-safe on-disk priority queue, with scheduler workers that lease
+queued studies and run them through the ordinary
+:func:`~repro.study.run_study` (checkpoint/resume included).  See
+:mod:`repro.service.app` for the route table and the multi-instance
+deployment story.
+"""
+
+from repro.service.app import ReproService, serve
+from repro.service.auth import AuthPolicy
+from repro.service.config import ServiceConfig, service_token
+from repro.service.http import HttpError, HttpServer, Request, Response
+from repro.service.queue import QueueEntry, StudyQueue
+from repro.service.scheduler import SchedulerWorker, StudyInterrupted
+
+__all__ = [
+    "AuthPolicy",
+    "HttpError",
+    "HttpServer",
+    "QueueEntry",
+    "ReproService",
+    "Request",
+    "Response",
+    "SchedulerWorker",
+    "ServiceConfig",
+    "StudyInterrupted",
+    "StudyQueue",
+    "serve",
+    "service_token",
+]

@@ -1,0 +1,54 @@
+"""Bearer-token auth for the HTTP tier: named refusals, constant-time.
+
+The shape follows the cluster handshake's auth (PR 7): a shared secret
+(``REPRO_SERVICE_TOKEN``), comparisons through
+:func:`hmac.compare_digest`, and every refusal *names* what was wrong
+and which knob fixes it — a half-configured deployment fails loudly,
+not mysteriously.  Like the shard handshake, the mismatch is symmetric:
+a tokenless service refuses clients that *do* present a token, because
+one of the two sides is misconfigured and silently ignoring credentials
+hides that.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+__all__ = ["AuthPolicy"]
+
+
+class AuthPolicy:
+    """Checks an ``Authorization`` header against the configured token."""
+
+    def __init__(self, token: str | None):
+        self.token = token or None
+
+    @property
+    def enabled(self) -> bool:
+        return self.token is not None
+
+    def refusal(self, header: str | None) -> str | None:
+        """Why this request must be refused, or ``None`` to admit it.
+
+        ``header`` is the raw ``Authorization`` header value (``None``
+        when the request carried none).
+        """
+        if self.token is None:
+            if header:
+                return ("auth mismatch: the request presents an "
+                        "Authorization header but this service holds no "
+                        "REPRO_SERVICE_TOKEN")
+            return None
+        if not header:
+            return ("auth required: send 'Authorization: Bearer <token>' "
+                    "matching this service's REPRO_SERVICE_TOKEN")
+        scheme, _, credential = header.partition(" ")
+        if scheme.strip().lower() != "bearer" or not credential.strip():
+            return ("auth malformed: the Authorization header must be "
+                    "'Bearer <token>', got scheme "
+                    f"{scheme.strip()!r}")
+        if not hmac.compare_digest(credential.strip().encode("utf-8"),
+                                   self.token.encode("utf-8")):
+            return ("auth failed: the bearer token does not match this "
+                    "service's REPRO_SERVICE_TOKEN")
+        return None

@@ -24,6 +24,7 @@ bit-identical.
 """
 
 from repro.study import builders as studies
+from repro.study.archive import archive_summary, list_archive
 from repro.study.builders import BUILDERS, build
 from repro.study.checkpoint import (StudyCheckpointer, checkpoint_path,
                                     load_checkpoint)
@@ -39,6 +40,8 @@ __all__ = [
     "studies",
     "BUILDERS",
     "build",
+    "archive_summary",
+    "list_archive",
     "StudyResult",
     "study_result_from_json",
     "StudyCheckpointer",

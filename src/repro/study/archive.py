@@ -1,0 +1,78 @@
+"""Archive directory scanning: what studies does this directory hold?
+
+One helper behind two consumers: the ``repro archive ls`` operator
+command and the service tier's status/queue routes.  Both answer the
+same question — "which study fingerprints are archived here, and what
+are they?" — by scanning the ``study-<fingerprint>.json`` files
+:func:`~repro.study.run_study` writes, reading only the cheap summary
+fields (never materialising payload objects).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+__all__ = ["archive_summary", "list_archive"]
+
+_PREFIX, _SUFFIX = "study-", ".json"
+
+
+def archive_summary(path: str) -> dict:
+    """The one-line summary of one archived :class:`StudyResult` file.
+
+    Raises ``OSError``/``ValueError`` on an unreadable or foreign file
+    (:func:`list_archive` turns those into skips-with-warning).
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("type") != "StudyResult":
+        raise ValueError(f"not a StudyResult document: "
+                         f"type={doc.get('type')!r}")
+    data = doc.get("data", {})
+    return {
+        "fingerprint": data.get("study_fingerprint", ""),
+        "kind": data.get("kind", "?"),
+        "n_scenarios": len(data.get("scenarios", ())),
+        "context_fingerprints": list(data.get("context_fingerprints", ())),
+        "created_at": data.get("created_at", ""),
+        "wall_time_seconds": data.get("wall_time_seconds", 0.0),
+        "path": path,
+    }
+
+
+def list_archive(archive_dir: str) -> list[dict]:
+    """Summaries of every archived study under ``archive_dir``.
+
+    Sorted by creation stamp then fingerprint (stable across scans).
+    Unreadable or mis-named files are skipped with a warning — an
+    archive shared by live writers may legitimately contain files this
+    scan races with, and one bad file must not hide the rest.
+    """
+    try:
+        names = sorted(os.listdir(archive_dir))
+    except OSError as exc:
+        raise ValueError(f"cannot scan archive {archive_dir!r}: "
+                         f"{exc}") from None
+    summaries = []
+    for name in names:
+        if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+            continue
+        path = os.path.join(archive_dir, name)
+        try:
+            summary = archive_summary(path)
+        except (OSError, ValueError) as exc:
+            warnings.warn(f"skipping unreadable archive file {path}: "
+                          f"{exc}", stacklevel=2)
+            continue
+        named = name[len(_PREFIX):-len(_SUFFIX)]
+        if summary["fingerprint"] != named:
+            warnings.warn(
+                f"skipping mis-filed archive {path}: the document says "
+                f"study {summary['fingerprint'][:12]}… but the filename "
+                f"says {named[:12]}…", stacklevel=2)
+            continue
+        summaries.append(summary)
+    summaries.sort(key=lambda s: (s["created_at"], s["fingerprint"]))
+    return summaries

@@ -74,6 +74,11 @@ class StudyCheckpointer:
         if self._unflushed >= self.every:
             self.flush()
 
+    @property
+    def unflushed(self) -> int:
+        """Rows noted since the last flush (0 = the file is current)."""
+        return self._unflushed
+
     def flush(self) -> None:
         """Write the checkpoint now (atomic; safe against any crash)."""
         from repro.engine.cache import cache_schema_version

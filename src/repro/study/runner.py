@@ -447,8 +447,17 @@ def run_study(
     recorder = _RecordingEngine(engine, on_record=on_record)
     batches_before = len(engine.batch_log)
 
-    with telemetry.trace_span("study", kind=spec.kind):
-        payload = _DISPATCH[spec.kind](spec, ctx, recorder, progress)
+    try:
+        with telemetry.trace_span("study", kind=spec.kind):
+            payload = _DISPATCH[spec.kind](spec, ctx, recorder, progress)
+    except BaseException:
+        # An aborted study (cancellation raised from the progress
+        # callback, SIGTERM unwinding, a crash) keeps every completed
+        # round: flush the rows noted since the last cadence write, so
+        # a resume recomputes nothing that already finished.
+        if checkpointer is not None and checkpointer.unflushed:
+            checkpointer.flush()
+        raise
 
     batches = [dict(b) for b in engine.batch_log[batches_before:]]
     scenarios = _scenario_records(recorder.records)

@@ -1,0 +1,118 @@
+"""Fixtures for the service tier: tiny studies, an in-process service.
+
+Everything runs in-process (the HTTP listener binds a free loopback
+port; scheduler workers are threads), so the tests exercise the exact
+code paths of ``repro serve`` without subprocess plumbing — the same
+trick the cluster tests' shard farm uses.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import ReproService, ServiceConfig
+from repro.study import ContextSpec, studies
+
+
+@pytest.fixture(scope="session")
+def ctx_spec():
+    """A declarative context: small synthetic task, fast to materialise."""
+    return ContextSpec(name="synthetic", seed=0, n_samples=260,
+                       params={"n_features": 4})
+
+
+@pytest.fixture()
+def tiny_spec(ctx_spec):
+    """A two-round figure1 study — the smallest real study to queue."""
+    return studies.figure1(context=ctx_spec, percentiles=(0.05, 0.1),
+                           n_repeats=1)
+
+
+@pytest.fixture(scope="session")
+def spec_maker(ctx_spec):
+    """Builds distinct-fingerprint variants of the tiny study."""
+
+    def make(*, seed_offset=0, percentiles=(0.05, 0.1)):
+        context = ContextSpec(name=ctx_spec.name,
+                              seed=ctx_spec.seed + seed_offset,
+                              n_samples=ctx_spec.n_samples,
+                              params=dict(ctx_spec.params))
+        return studies.figure1(context=context, percentiles=percentiles,
+                               n_repeats=1)
+
+    return make
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A running service over a fresh archive dir (stopped afterwards)."""
+    svc = ReproService(ServiceConfig(
+        archive_dir=str(tmp_path / "archive"), poll_interval=0.05,
+        lease_ttl=5.0, retries=1, backoff=0.01)).start()
+    yield svc
+    svc.stop()
+
+
+class Client:
+    """A tiny one-request-per-connection HTTP client for the tests."""
+
+    def __init__(self, host, port, *, token=None):
+        self.host = host
+        self.port = port
+        self.token = token
+
+    def request(self, method, path, body=None, *, headers=None,
+                timeout=60.0):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        sent = dict(headers or {})
+        if self.token is not None and "Authorization" not in sent:
+            sent["Authorization"] = f"Bearer {self.token}"
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body)
+        try:
+            conn.request(method, path, body=body, headers=sent)
+            resp = conn.getresponse()
+            data = resp.read()
+        finally:
+            conn.close()
+        return resp.status, data
+
+    def json(self, method, path, body=None, **kwargs):
+        status, data = self.request(method, path, body, **kwargs)
+        return status, json.loads(data)
+
+    def stream_lines(self, path, *, timeout=120.0):
+        """Collect the chunked NDJSON events of a /stream response."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        headers = {}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        events = []
+        try:
+            conn.request("GET", path, headers=headers)
+            resp = conn.getresponse()
+            status = resp.status
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        finally:
+            conn.close()
+        return status, events
+
+
+@pytest.fixture()
+def client(service):
+    return Client(service.host, service.port)
+
+
+@pytest.fixture(scope="session")
+def client_class():
+    """The Client helper, for tests that talk to their own service."""
+    return Client

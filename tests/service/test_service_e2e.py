@@ -1,0 +1,207 @@
+"""End-to-end over real HTTP: submit → stream → result, dedupe, parity."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine import EvaluationEngine
+from repro.service import ReproService, ServiceConfig
+from repro.study import run_study
+
+
+@pytest.fixture()
+def engine():
+    return EvaluationEngine("serial")
+
+
+@pytest.fixture()
+def svc(tmp_path, engine):
+    service = ReproService(ServiceConfig(
+        archive_dir=str(tmp_path / "archive"), poll_interval=0.05,
+        lease_ttl=5.0, retries=0, backoff=0.01),
+        engine=engine).start()
+    yield service
+    service.stop()
+
+
+@pytest.fixture()
+def svc_client(svc, client_class):
+    return client_class(svc.host, svc.port)
+
+
+def _wait_done(client, fp, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, doc = client.json("GET", f"/studies/{fp}")
+        assert status == 200
+        if doc["state"] in ("done", "failed"):
+            return doc
+        time.sleep(0.05)
+    raise AssertionError(f"study {fp[:12]} never finished")
+
+
+def test_submit_stream_fetch_bit_identical(svc_client, tiny_spec,
+                                           tmp_path):
+    fp = tiny_spec.fingerprint()
+    status, doc = svc_client.json("POST", "/studies", tiny_spec.to_obj())
+    assert status == 202
+    assert doc == {"fingerprint": fp, "state": "queued",
+                   "deduped": False, "queue_position": 1}
+
+    status, events = svc_client.stream_lines(f"/studies/{fp}/stream")
+    assert status == 200
+    assert events  # at least the snapshot event
+    assert events[-1]["state"] == "done"
+    assert all(e["fingerprint"] == fp for e in events)
+
+    status, doc = svc_client.json("GET", f"/studies/{fp}")
+    assert status == 200
+    assert doc["state"] == "done"
+    assert doc["summary"]["fingerprint"] == fp
+    assert doc["summary"]["n_scenarios"] > 0
+
+    status, served = svc_client.json("GET", f"/studies/{fp}/result")
+    assert status == 200
+    status, report = svc_client.request("GET", f"/studies/{fp}/report")
+    assert status == 200
+    assert b"Figure 1" in report
+
+    # Bit-identical to a direct run_study: same payload, same scenario
+    # records, same fingerprints (wall time and engine stats are the
+    # run's own history and legitimately differ).
+    direct = json.loads(
+        run_study(tiny_spec, engine=EvaluationEngine("serial")).to_json())
+    served, direct = served["data"], direct["data"]
+    assert served["payload"] == direct["payload"]
+    assert served["scenarios"] == direct["scenarios"]
+    assert served["study_fingerprint"] == direct["study_fingerprint"]
+    assert served["context_fingerprints"] == \
+        direct["context_fingerprints"]
+
+
+def test_concurrent_submits_one_computation(svc_client, svc, engine,
+                                            tiny_spec):
+    """Two simultaneous POSTs of one spec: exactly one computation,
+    asserted through the engine's batch telemetry."""
+    fp = tiny_spec.fingerprint()
+    body = json.dumps(tiny_spec.to_obj())
+    results = []
+    barrier = threading.Barrier(2)
+
+    def post():
+        barrier.wait()
+        results.append(svc_client.json("POST", "/studies", body))
+
+    threads = [threading.Thread(target=post) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert {status for status, _ in results} <= {200, 202}
+    assert sorted(doc["deduped"] for _, doc in results) == [False, True]
+    assert {doc["fingerprint"] for _, doc in results} == {fp}
+
+    _wait_done(svc_client, fp)
+    svc.workers[0].wait_idle(timeout=30.0)
+    # One computation: every computed round is accounted to exactly one
+    # batch pass over the study; a duplicate run would double it.
+    direct_engine = EvaluationEngine("serial")
+    run_study(tiny_spec, engine=direct_engine)
+    assert engine.rounds_computed == direct_engine.rounds_computed
+    assert len(engine.batch_log) == len(direct_engine.batch_log)
+
+
+def test_already_archived_submit_zero_recompute(svc_client, svc, engine,
+                                                tiny_spec):
+    fp = tiny_spec.fingerprint()
+    status, first = svc_client.json("POST", "/studies", tiny_spec.to_obj())
+    assert status == 202
+    _wait_done(svc_client, fp)
+    svc.workers[0].wait_idle(timeout=30.0)
+    rounds_after_first = engine.rounds_computed
+    batches_after_first = len(engine.batch_log)
+
+    status, doc = svc_client.json("POST", "/studies", tiny_spec.to_obj())
+    assert status == 200
+    assert doc == {"fingerprint": fp, "state": "done", "deduped": True}
+    # The archive answered; nothing was queued, nothing recomputed.
+    time.sleep(0.3)
+    assert engine.rounds_computed == rounds_after_first
+    assert len(engine.batch_log) == batches_after_first
+    assert svc.queue.get(fp) is None
+
+
+def test_priority_wrapper_and_queue_route(svc_client, svc, spec_maker):
+    lo = spec_maker(seed_offset=21)
+    hi = spec_maker(seed_offset=22)
+    svc_client.json("POST", "/studies", lo.to_obj())
+    status, doc = svc_client.json(
+        "POST", "/studies", {"study": hi.to_obj(), "priority": 9})
+    assert status in (200, 202)
+
+    status, listing = svc_client.json("GET", "/queue")
+    assert status == 200
+    assert set(listing["counts"]) >= {"queued", "running", "failed",
+                                      "cancelled"}
+    by_fp = {e["fingerprint"]: e for e in listing["entries"]}
+    if hi.fingerprint() in by_fp:  # may already have finished
+        assert by_fp[hi.fingerprint()]["priority"] == 9
+
+    _wait_done(svc_client, lo.fingerprint())
+    _wait_done(svc_client, hi.fingerprint())
+
+
+def test_queue_route_counters_when_telemetry_armed(tmp_path, client_class,
+                                                   spec_maker):
+    """/queue surfaces the service.* counters once telemetry is armed."""
+    from repro import telemetry
+
+    telemetry.configure(metrics_only=True)
+    try:
+        service = ReproService(ServiceConfig(
+            archive_dir=str(tmp_path / "archive"), poll_interval=0.05),
+            engine=EvaluationEngine("serial")).start()
+        try:
+            client = client_class(service.host, service.port)
+            spec = spec_maker(seed_offset=31)
+            client.json("POST", "/studies", spec.to_obj())
+            _wait_done(client, spec.fingerprint())
+            status, listing = client.json("GET", "/queue")
+        finally:
+            service.stop()
+        assert status == 200
+        counters = listing["counters"]
+        assert counters["service.queue.submitted"] >= 1
+        assert counters["service.queue.leased"] >= 1
+        assert counters["service.studies.completed"] >= 1
+    finally:
+        telemetry.configure()  # disarm
+        telemetry.reset()
+
+
+def test_result_before_done_is_a_named_404(svc_client, svc, tiny_spec):
+    # Stop the scheduler so the study stays queued.
+    for worker in svc.workers:
+        worker.stop()
+    for worker in svc.workers:
+        worker.join(timeout=30.0)
+    fp = tiny_spec.fingerprint()
+    svc_client.json("POST", "/studies", tiny_spec.to_obj())
+    status, doc = svc_client.json("GET", f"/studies/{fp}/result")
+    assert status == 404
+    assert "queued" in doc["error"] and "not done" in doc["error"]
+    status, doc = svc_client.json("GET", f"/studies/{fp}/report")
+    assert status == 404
+    assert "report" in doc["error"]
+
+
+def test_health_reports_workers(svc_client, svc):
+    status, doc = svc_client.json("GET", "/health")
+    assert status == 200
+    assert doc["status"] == "ok"
+    assert doc["auth"] is False
+    assert len(doc["workers"]) == 1
+    assert doc["workers"][0]["alive"] is True
